@@ -1,0 +1,91 @@
+"""Ablation A3 — instance-similarity design choices (§II-E).
+
+Three comparisons the paper's text invites:
+
+* Doc2Vec embeddings vs. BM25-score vectors vs. TF-IDF-score vectors
+  ("any similar collection statistic would suffice") — do all three
+  recover the planted near-copy, and at what similarity?
+* The cosine-sampled ``s`` sweep: with n ≪ s, how often does sampling
+  ``s`` non-relevant documents recover the best instance, and how does
+  latency grow with s?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance_cf import CosineSampledExplainer, Doc2VecNearestExplainer
+from repro.datasets.covid import DEMO_QUERY, FAKE_NEWS_DOC_ID, NEAR_COPY_DOC_ID
+from repro.embeddings.vectorizers import TfIdfVectorizer
+from repro.eval.reporting import Table
+
+K = 10
+
+
+@pytest.mark.parametrize("method", ["doc2vec", "bm25_vectors", "tfidf_vectors"])
+def test_a3_similarity_backends(engine, method, capsys, benchmark):
+    """Each backend should place the near-copy first (paper's Fig. 4)."""
+    if method == "doc2vec":
+        engine.doc2vec
+        explainer = Doc2VecNearestExplainer(engine.ranker, engine.doc2vec)
+        run = lambda: explainer.explain(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=3, k=K)
+    else:
+        vectorizer = (
+            engine.bm25_vectorizer
+            if method == "bm25_vectors"
+            else TfIdfVectorizer(engine.index)
+        )
+        explainer = CosineSampledExplainer(engine.ranker, vectorizer, seed=5)
+        run = lambda: explainer.explain(
+            DEMO_QUERY, FAKE_NEWS_DOC_ID, n=3, k=K, samples=500
+        )
+
+    result = benchmark(run)
+
+    table = Table(
+        ["backend", "top instance", "similarity", "near-copy found"],
+        title="A3 — similarity backend comparison",
+    )
+    top = result[0]
+    table.add(
+        method,
+        top.counterfactual_doc_id,
+        f"{top.similarity_percent}%",
+        top.counterfactual_doc_id == NEAR_COPY_DOC_ID,
+    )
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    assert top.counterfactual_doc_id == NEAR_COPY_DOC_ID
+
+
+@pytest.mark.parametrize("samples", [5, 15, 30, 50])
+def test_a3_sample_size_sweep(engine, samples, capsys, benchmark):
+    """Recovery probability and cost as a function of s (n ≪ s)."""
+
+    def run():
+        hits = 0
+        trials = 20
+        for trial in range(trials):
+            explainer = CosineSampledExplainer(engine.ranker, seed=1000 + trial)
+            result = explainer.explain(
+                DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K, samples=samples
+            )
+            if result[0].counterfactual_doc_id == NEAR_COPY_DOC_ID:
+                hits += 1
+        return hits / trials
+
+    recovery = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["s (samples)", "recovery rate over 20 trials"],
+        title="A3 — cosine-sampled s sweep",
+    )
+    table.add(samples, recovery)
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    # With full coverage of the ~51 non-relevant docs, recovery is certain.
+    if samples >= 50:
+        assert recovery == 1.0

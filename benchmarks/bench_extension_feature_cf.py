@@ -1,0 +1,99 @@
+"""Extension bench — feature-space counterfactuals over LTR rankers.
+
+Covers the paper's future-work direction (§II-A): explanations for
+rankers with richer, non-textual features. Reports success rate, size,
+and cost of feature-space counterfactuals for linear and RankNet LTR
+models, alongside the classic text-space explainer on the same model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.document_cf import CounterfactualDocumentExplainer
+from repro.datasets.synthetic import synthetic_corpus
+from repro.eval.reporting import Table
+from repro.index.inverted import InvertedIndex
+from repro.ltr import (
+    FeatureCounterfactualExplainer,
+    LinearLtrModel,
+    LtrRanker,
+    RankNetLtrModel,
+    assign_priors,
+    synthetic_letor_dataset,
+)
+
+QUERY = "virus hospital patients"
+K = 10
+
+TRAINING_QUERIES = [
+    QUERY,
+    "markets stocks investors",
+    "storm rainfall forecast",
+    "software platform users",
+    "match season team",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return assign_priors(synthetic_corpus(size=100, seed=3), seed=7)
+
+
+@pytest.fixture(scope="module")
+def examples(corpus):
+    return synthetic_letor_dataset(corpus, TRAINING_QUERIES, seed=11)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return InvertedIndex.from_documents(corpus)
+
+
+@pytest.fixture(scope="module", params=["linear", "ranknet"])
+def ltr_ranker(request, index, examples):
+    if request.param == "linear":
+        model = LinearLtrModel.fit(examples)
+    else:
+        model = RankNetLtrModel.fit(examples, epochs=10, seed=3)
+    return LtrRanker(index, model)
+
+
+def test_extension_feature_cf(ltr_ranker, capsys, benchmark):
+    """Feature-space counterfactual for each model's rank-k document."""
+    ranking = ltr_ranker.rank(QUERY, k=K)
+    target = ranking.doc_ids[-1]
+    explainer = FeatureCounterfactualExplainer(ltr_ranker)
+
+    result = benchmark(lambda: explainer.explain(QUERY, target, n=1, k=K))
+
+    table = Table(
+        ["model", "target", "found", "changes", "candidates"],
+        title="Extension — feature-space counterfactuals (paper future work)",
+    )
+    table.add(
+        ltr_ranker.name,
+        target,
+        len(result) > 0,
+        "; ".join(c.describe() for c in result[0].changes) if len(result) else "-",
+        result.candidates_evaluated,
+    )
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    if len(result):
+        assert result[0].new_rank > K
+        assert explainer.is_valid(QUERY, target, result[0].changes, k=K)
+    else:
+        assert result.search_exhausted
+
+
+def test_extension_text_cf_on_ltr(ltr_ranker, benchmark):
+    """The classic §II-C explainer must run on LTR models unchanged."""
+    ranking = ltr_ranker.rank(QUERY, k=K)
+    target = ranking.doc_ids[-1]
+    explainer = CounterfactualDocumentExplainer(ltr_ranker, max_evaluations=500)
+
+    result = benchmark(lambda: explainer.explain(QUERY, target, n=1, k=K))
+    assert len(result) == 1 or result.search_exhausted

@@ -1,0 +1,65 @@
+"""Figure 3 — counterfactual query explanations (query augmentation).
+
+Paper artefact: seven augmentations of "covid outbreak" raising the
+fake-news article's rank to the threshold of 2; "covid outbreak 5G"
+reaches rank 2 and "covid outbreak 5G microchip" reaches rank 1, because
+the conspiracy terms are exclusive to the article (top TF-IDF).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.covid import DEMO_QUERY, FAKE_NEWS_DOC_ID
+from repro.eval.reporting import Table
+
+K = 10
+N = 7
+THRESHOLD = 2
+
+
+def test_fig3_artifact(engine, capsys, benchmark):
+    """Regenerate and print the Fig. 3 table of augmented queries."""
+    ranking = engine.rank(DEMO_QUERY, k=K)
+    original_rank = ranking.rank_of(FAKE_NEWS_DOC_ID)
+    result = benchmark(
+        lambda: engine.explain_query(
+            DEMO_QUERY, FAKE_NEWS_DOC_ID, n=N, k=K, threshold=THRESHOLD
+        )
+    )
+
+    table = Table(
+        ["augmented query", "rank before", "rank after"],
+        title=(
+            f"Fig. 3 — {N} query counterfactuals (threshold {THRESHOLD}); "
+            f'paper: "covid outbreak 5G" → 2, "covid outbreak 5G microchip" → 1'
+        ),
+    )
+    for explanation in result:
+        table.add(explanation.augmented_query, original_rank, explanation.new_rank)
+    rank_one = engine.explain_query(
+        DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K, threshold=1
+    )
+    for explanation in rank_one:
+        table.add(explanation.augmented_query + "  (threshold 1)", original_rank,
+                  explanation.new_rank)
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    # Shape assertions: seven explanations found; conspiracy vocabulary
+    # leads; rank 1 reachable.
+    assert len(result) == N
+    assert all(e.new_rank <= THRESHOLD for e in result)
+    assert set(result[0].added_terms) & {"5g", "microchip"}
+    assert rank_one[0].new_rank == 1
+
+
+def test_fig3_latency(engine, benchmark):
+    """Time the n=7 query-augmentation request from the demo."""
+
+    def run():
+        return engine.explain_query(
+            DEMO_QUERY, FAKE_NEWS_DOC_ID, n=N, k=K, threshold=THRESHOLD
+        )
+
+    result = benchmark(run)
+    assert len(result) == N

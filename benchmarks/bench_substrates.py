@@ -1,0 +1,71 @@
+"""Ablation A5 — substrate throughput.
+
+Times the building blocks everything else sits on: index construction,
+top-k search, single-pair scoring for each ranker, Doc2Vec and LDA
+training. Useful for spotting regressions and for sizing larger corpora.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.covid import DEMO_QUERY
+from repro.datasets.synthetic import synthetic_corpus
+from repro.index.inverted import InvertedIndex
+from repro.index.searcher import IndexSearcher
+from repro.topics.lda import train_lda
+
+
+@pytest.fixture(scope="module")
+def large_corpus():
+    return synthetic_corpus(size=400, seed=3)
+
+
+def test_a5_index_build(large_corpus, benchmark):
+    index = benchmark(lambda: InvertedIndex.from_documents(large_corpus))
+    assert len(index) == 400
+
+
+def test_a5_search_topk(large_corpus, benchmark):
+    index = InvertedIndex.from_documents(large_corpus)
+    searcher = IndexSearcher(index)
+    hits = benchmark(lambda: searcher.search("virus hospital patients", k=10))
+    assert hits
+
+
+@pytest.mark.parametrize("ranker_name", ["neural", "bm25", "tfidf", "lm"])
+def test_a5_score_one_pair(engines_by_ranker, ranker_name, benchmark):
+    engine = engines_by_ranker[ranker_name]
+    body = engine.document("covid-genuine-01").body
+    # Bypass the engine's memoising cache: time the raw scorer.
+    raw = getattr(engine.ranker, "inner", engine.ranker)
+    score = benchmark(lambda: raw.score_text(DEMO_QUERY, body))
+    assert isinstance(score, float)
+
+
+def test_a5_doc2vec_training(engine, benchmark):
+    from repro.embeddings.doc2vec import train_doc2vec
+
+    analyzed = {
+        document.doc_id: engine.index.analyzer.analyze(document.body)
+        for document in list(engine.index)[:20]
+    }
+    model = benchmark.pedantic(
+        lambda: train_doc2vec(analyzed, dimension=32, epochs=10, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert model.dimension == 32
+
+
+def test_a5_lda_training(engine, benchmark):
+    analyzed = {
+        document.doc_id: engine.index.analyzer.analyze(document.body)
+        for document in list(engine.index)[:20]
+    }
+    model = benchmark.pedantic(
+        lambda: train_lda(analyzed, num_topics=4, iterations=50, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert model.num_topics == 4

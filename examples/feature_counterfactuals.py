@@ -1,0 +1,95 @@
+"""Feature-space counterfactuals over a learning-to-rank model.
+
+The paper's future work: "explain ranking models that support richer
+sets of features (e.g., user preferences)". This example trains a
+feature-based LTR ranker whose inputs include non-textual document
+priors (popularity, freshness, authority), shows that the four CREDENCE
+explainers run on it unchanged, and then asks the new question only a
+feature-based model can answer: *which minimal change to the document's
+priors would have kept it out of the top-k?*
+
+Run with::
+
+    python examples/feature_counterfactuals.py
+"""
+
+from repro.datasets import synthetic_corpus
+from repro.index import InvertedIndex
+from repro.ltr import (
+    FeatureCounterfactualExplainer,
+    LinearLtrModel,
+    LtrRanker,
+    assign_priors,
+    synthetic_letor_dataset,
+)
+
+QUERY = "virus hospital patients"
+K = 10
+
+TRAINING_QUERIES = [
+    QUERY,
+    "markets stocks investors",
+    "storm rainfall forecast",
+    "software platform users",
+    "match season team",
+]
+
+
+def main() -> None:
+    print("Generating a corpus with document priors (popularity/freshness/authority)...")
+    corpus = assign_priors(synthetic_corpus(size=100, seed=3), seed=7)
+
+    print("Synthesising LETOR-style graded judgments and fitting a linear LTR model...")
+    examples = synthetic_letor_dataset(corpus, TRAINING_QUERIES, seed=11)
+    model = LinearLtrModel.fit(examples)
+    ranker = LtrRanker(InvertedIndex.from_documents(corpus), model)
+
+    ranking = ranker.rank(QUERY, k=K)
+    print(f"\nTop-{K} for {QUERY!r} under {ranker.name}:")
+    for entry in ranking:
+        document = ranker.index.document(entry.doc_id)
+        priors = ", ".join(
+            f"{name}={document.metadata[name]:.2f}"
+            for name in ("popularity", "freshness", "authority")
+        )
+        print(f"  {entry.rank:>2}. {entry.doc_id:<16} {entry.score:7.3f}  ({priors})")
+
+    # The classic CREDENCE explainers work on the LTR model unchanged.
+    target = ranking.doc_ids[-1]
+    print(f"\nClassic sentence-removal counterfactual for {target} still works:")
+    from repro.core.document_cf import CounterfactualDocumentExplainer
+
+    text_cf = CounterfactualDocumentExplainer(ranker).explain(QUERY, target, n=1, k=K)
+    if len(text_cf):
+        explanation = text_cf[0]
+        print(
+            f"  remove sentence(s) {list(explanation.removed_indices)}: rank "
+            f"{explanation.original_rank} -> {explanation.new_rank}"
+        )
+    else:
+        print("  (no sentence-removal counterfactual exists for this document)")
+
+    # The new capability: counterfactuals in feature space.
+    print(f"\nFeature-space counterfactuals for {target}:")
+    explainer = FeatureCounterfactualExplainer(ranker)
+    result = explainer.explain(QUERY, target, n=3, k=K)
+    for explanation in result:
+        changes = "; ".join(change.describe() for change in explanation.changes)
+        print(
+            f"  {changes:<45} rank {explanation.original_rank} -> "
+            f"{explanation.new_rank}"
+        )
+    print(
+        f"\n({result.candidates_evaluated} candidate change-sets evaluated; "
+        "size-major enumeration makes the first explanation minimal in the "
+        "number of features touched.)"
+    )
+    print(
+        "\nReading: had this document been less popular/fresh, the ranker "
+        "would not have deemed it relevant — evidence of how strongly its "
+        "rank rests on priors rather than textual match."
+    )
+
+
+if __name__ == "__main__":
+    main()

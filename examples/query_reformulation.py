@@ -1,0 +1,108 @@
+"""Query-reformulation workflow on a custom corpus.
+
+Shows CREDENCE on a corpus you bring yourself (here: a synthetic product
+support knowledge base) with the BM25 ranker: a support engineer asks why
+a known-good troubleshooting article ranks low for a user's query and
+uses counterfactual *query* explanations to learn which words the user
+should have typed — then verifies with the Builder.
+
+Run with::
+
+    python examples/query_reformulation.py
+"""
+
+from repro import CredenceEngine, Document, EngineConfig
+
+ARTICLES = [
+    Document(
+        "kb-router-resets",
+        "Router keeps restarting overnight. Firmware 2.1 introduced a watchdog "
+        "bug that reboots the router when the upstream link flaps. Upgrade the "
+        "firmware and disable aggressive watchdog mode.",
+        title="Router restart loop",
+    ),
+    Document(
+        "kb-wifi-slow",
+        "Slow wifi speeds are usually channel congestion. Use the analyzer to "
+        "pick a quiet channel and prefer the 5ghz band for streaming devices.",
+        title="Slow wifi",
+    ),
+    Document(
+        "kb-dropouts",
+        "Intermittent connection dropouts on the 5ghz band happen when dfs "
+        "radar events force a channel switch. Pin a non-dfs channel to stop "
+        "the dropouts. Dropouts can also indicate overheating.",
+        title="Intermittent dropouts",
+    ),
+    Document(
+        "kb-parental",
+        "Parental controls let you schedule internet access per device. Create "
+        "a profile, attach devices, and set a bedtime schedule.",
+        title="Parental controls",
+    ),
+    Document(
+        "kb-port-forward",
+        "Port forwarding exposes a service on your network. Map the external "
+        "port to the device ip and internal port, then save and reboot.",
+        title="Port forwarding",
+    ),
+    Document(
+        "kb-vpn",
+        "The built-in vpn server supports wireguard. Generate a peer "
+        "configuration and scan the qr code from the mobile app.",
+        title="VPN setup",
+    ),
+    Document(
+        "kb-mesh",
+        "Mesh satellites should be placed one room apart. A satellite with a "
+        "red light has lost backhaul connection; move it closer to the router.",
+        title="Mesh placement",
+    ),
+    Document(
+        "kb-firmware",
+        "Firmware updates install automatically at night by default. You can "
+        "trigger an update manually from the maintenance page.",
+        title="Firmware updates",
+    ),
+]
+
+QUERY = "wifi connection problems"
+TARGET = "kb-dropouts"
+K = 5
+
+
+def main() -> None:
+    engine = CredenceEngine(ARTICLES, EngineConfig(ranker="bm25", seed=1))
+
+    ranking = engine.rank(QUERY, k=K)
+    print(f"Support search: {QUERY!r}")
+    for entry in ranking:
+        marker = "  <-- the right article" if entry.doc_id == TARGET else ""
+        print(f"  {entry.rank}. {entry.doc_id:<18} {entry.score:7.3f}{marker}")
+
+    rank = ranking.rank_of(TARGET)
+    print(f"\n{TARGET} ranks only {rank}/{K}. Why — and what query finds it?")
+
+    result = engine.explain_query(QUERY, TARGET, n=5, k=K, threshold=1)
+    print("\nMinimal query augmentations that put it at rank 1:")
+    for explanation in result:
+        print(
+            f"  {explanation.augmented_query!r:55} "
+            f"rank {explanation.original_rank} -> {explanation.new_rank}"
+        )
+    print(
+        "\nThe counterfactual terms are the article's discriminative "
+        "vocabulary (TF-IDF within the ranked list) — the words support "
+        "should teach users, or add as synonyms in the search config."
+    )
+
+    best = result[0]
+    reranked = engine.rank(best.augmented_query, k=K)
+    print(f"\nVerification — ranking for {best.augmented_query!r}:")
+    for entry in reranked:
+        marker = "  <--" if entry.doc_id == TARGET else ""
+        print(f"  {entry.rank}. {entry.doc_id:<18} {entry.score:7.3f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

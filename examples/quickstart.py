@@ -1,0 +1,69 @@
+"""Quickstart: rank a corpus and generate every explanation type.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DEMO_QUERY, FAKE_NEWS_DOC_ID, demo_engine
+from repro.core.perturbations import RemoveTerm, ReplaceTerm
+
+K = 10
+
+
+def main() -> None:
+    print("Building the CREDENCE engine (index + neural ranker)...")
+    engine = demo_engine()
+
+    # 1. Rank, like the demo's Explanations page.
+    ranking = engine.rank(DEMO_QUERY, k=K)
+    print(f"\nTop-{K} for {DEMO_QUERY!r} under {engine.ranker.name}:")
+    for entry in ranking:
+        marker = "  <-- fake news" if entry.doc_id == FAKE_NEWS_DOC_ID else ""
+        print(f"  {entry.rank:>2}. {entry.doc_id:<24} {entry.score:8.3f}{marker}")
+
+    # 2. Counterfactual document: which sentences keep it relevant?
+    document_cf = engine.explain_document(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)
+    explanation = document_cf[0]
+    print(
+        f"\nRemoving {explanation.size} sentence(s) demotes the fake article "
+        f"from rank {explanation.original_rank} to {explanation.new_rank} (> k={K}):"
+    )
+    for sentence in explanation.removed_sentences:
+        print(f"  - {sentence.text}")
+
+    # 3. Counterfactual query: which queries would promote it?
+    query_cf = engine.explain_query(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=3, k=K, threshold=2)
+    print("\nQueries that raise the fake article to rank <= 2:")
+    for explanation in query_cf:
+        print(f"  {explanation.augmented_query!r:45} -> rank {explanation.new_rank}")
+
+    # 4. Instance-based: a real, similar, non-relevant document.
+    instance_cf = engine.explain_instance_doc2vec(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)
+    instance = instance_cf[0]
+    print(
+        f"\nNearest non-relevant instance: {instance.counterfactual_doc_id} "
+        f"({instance.similarity_percent}% similar)"
+    )
+
+    # 5. Build-your-own: script the Fig. 5 edits and re-rank.
+    result = engine.build_counterfactual(
+        DEMO_QUERY,
+        FAKE_NEWS_DOC_ID,
+        perturbations=[
+            ReplaceTerm("covid-19", "flu"),
+            ReplaceTerm("covid", "flu"),
+            RemoveTerm("outbreak"),
+        ],
+        k=K,
+    )
+    check = "VALID" if result.is_valid_counterfactual else "not valid"
+    print(
+        f"\nBuilder: covid->flu, outbreak removed: rank "
+        f"{result.rank_before} -> {result.rank_after} ({check}); "
+        f"revealed: {result.revealed_doc_id}"
+    )
+
+
+if __name__ == "__main__":
+    main()

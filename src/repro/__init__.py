@@ -1,0 +1,46 @@
+"""repro — a full reproduction of CREDENCE (ICDE 2023).
+
+CREDENCE generates counterfactual explanations for black-box document
+rankers: minimal sentence removals that demote a document, minimal query
+augmentations that promote it, similar non-relevant instances, and
+interactive build-your-own perturbations.
+
+Quickstart::
+
+    from repro import demo_engine, DEMO_QUERY, FAKE_NEWS_DOC_ID
+
+    engine = demo_engine()
+    ranking = engine.rank(DEMO_QUERY, k=10)
+    explanations = engine.explain_document(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1)
+
+See :mod:`repro.core` for the explainers, :mod:`repro.api` for the REST
+service, and DESIGN.md for the system inventory.
+"""
+
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.demo import (
+    DEMO_K,
+    DEMO_QUERY,
+    DEMO_SEED,
+    FAKE_NEWS_DOC_ID,
+    NEAR_COPY_DOC_ID,
+    demo_engine,
+)
+from repro.errors import ReproError
+from repro.index.document import Document
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CredenceEngine",
+    "EngineConfig",
+    "DEMO_K",
+    "DEMO_QUERY",
+    "DEMO_SEED",
+    "FAKE_NEWS_DOC_ID",
+    "NEAR_COPY_DOC_ID",
+    "demo_engine",
+    "ReproError",
+    "Document",
+    "__version__",
+]

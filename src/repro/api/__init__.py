@@ -1,0 +1,24 @@
+"""The REST service layer (Fig. 1's FastAPI/Uvicorn equivalent).
+
+A dependency-free JSON-over-HTTP stack: :mod:`repro.api.http` is the
+routing substrate, :mod:`repro.api.endpoints` binds a
+:class:`~repro.core.engine.CredenceEngine` to the demo's endpoints, and
+:mod:`repro.api.client` offers an in-process client (for tests) plus a
+real HTTP client. The React front-end is out of scope; every UI artefact
+(rank arrows, validity check-mark, strikethrough sentences) is returned
+as structured JSON.
+"""
+
+from repro.api.app import build_router, serve
+from repro.api.client import HttpClient, InProcessClient
+from repro.api.http import HttpResponse, Request, Router
+
+__all__ = [
+    "build_router",
+    "serve",
+    "HttpClient",
+    "InProcessClient",
+    "HttpResponse",
+    "Request",
+    "Router",
+]

@@ -1,0 +1,23 @@
+"""Application wiring: engine → router → server."""
+
+from __future__ import annotations
+
+from repro.api.endpoints import register_endpoints
+from repro.api.http import ApiServer, Router
+from repro.core.engine import CredenceEngine
+
+
+def build_router(engine: CredenceEngine) -> Router:
+    """A router with all CREDENCE endpoints bound to ``engine``."""
+    return register_endpoints(Router(), engine)
+
+
+def serve(
+    engine: CredenceEngine, host: str = "127.0.0.1", port: int = 8091
+) -> ApiServer:
+    """Start the CREDENCE service (non-blocking); returns the server.
+
+    Port 8091 mirrors the paper's deployment URL. Call ``.stop()`` when
+    done, or use the returned server as a context manager.
+    """
+    return ApiServer(build_router(engine), host=host, port=port).start()

@@ -1,0 +1,66 @@
+"""Clients for the CREDENCE API.
+
+:class:`InProcessClient` dispatches through a :class:`Router` without a
+socket — the integration-test workhorse. :class:`HttpClient` speaks real
+HTTP (urllib) to a running :class:`~repro.api.http.ApiServer`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.api.http import HttpResponse, Request, Router
+
+
+class InProcessClient:
+    """Calls a router directly, bypassing the network stack."""
+
+    def __init__(self, router: Router):
+        self._router = router
+
+    def get(self, path: str, query_params: dict[str, str] | None = None) -> HttpResponse:
+        request = Request(
+            method="GET", path=path, query_params=dict(query_params or {})
+        )
+        return self._router.dispatch(request)
+
+    def post(self, path: str, body: Any = None) -> HttpResponse:
+        # Round-trip through JSON so tests exercise serialisability too.
+        normalized = json.loads(json.dumps(body)) if body is not None else None
+        request = Request(method="POST", path=path, body=normalized)
+        return self._router.dispatch(request)
+
+
+class HttpClient:
+    """A tiny JSON HTTP client for a live server."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: Any = None) -> HttpResponse:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        http_request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(http_request, timeout=self.timeout) as raw:
+                payload = json.loads(raw.read().decode("utf-8"))
+                return HttpResponse(raw.status, payload)
+        except urllib.error.HTTPError as error:
+            payload = json.loads(error.read().decode("utf-8"))
+            return HttpResponse(error.code, payload)
+
+    def get(self, path: str) -> HttpResponse:
+        return self._request("GET", path)
+
+    def post(self, path: str, body: Any = None) -> HttpResponse:
+        return self._request("POST", path, body)

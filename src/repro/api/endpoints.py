@@ -1,0 +1,151 @@
+"""REST endpoints: the CREDENCE service surface (Fig. 1).
+
+Binds a :class:`~repro.core.engine.CredenceEngine` to the routes the demo
+UI calls:
+
+====================================  =======================================
+``GET  /health``                      liveness + corpus stats
+``GET  /documents/{doc_id}``          fetch a document body for display
+``POST /rank``                        the Explanations/Builder rank button
+``POST /explanations/document``       sentence-removal counterfactuals
+``POST /explanations/query``          query-augmentation counterfactuals
+``POST /explanations/instance``       Doc2Vec Nearest / Cosine Sampled
+``POST /builder/rerank``              build-your-own re-rank + movements
+``POST /topics``                      Browse Topics over the current top-k
+====================================  =======================================
+"""
+
+from __future__ import annotations
+
+from repro.api.http import Request, Router
+from repro.api.schemas import (
+    BuilderRequest,
+    DocumentExplanationRequest,
+    InstanceExplanationRequest,
+    QueryExplanationRequest,
+    RankRequest,
+    TopicsRequest,
+)
+from repro.core.engine import CredenceEngine
+from repro.errors import (
+    BadRequestError,
+    DocumentNotFoundError,
+    NotFoundError,
+    RankingError,
+)
+
+
+def register_endpoints(router: Router, engine: CredenceEngine) -> Router:
+    """Attach every CREDENCE endpoint for ``engine`` to ``router``."""
+
+    @router.get("/health")
+    def health(_: Request):
+        stats = engine.index.stats()
+        return {
+            "status": "ok",
+            "ranker": engine.ranker.name,
+            "documents": stats.document_count,
+            "unique_terms": stats.unique_terms,
+        }
+
+    @router.get("/documents/{doc_id}")
+    def get_document(request: Request):
+        doc_id = request.path_params["doc_id"]
+        try:
+            document = engine.document(doc_id)
+        except DocumentNotFoundError:
+            raise NotFoundError(f"unknown document id: {doc_id!r}") from None
+        return document.to_dict()
+
+    @router.post("/rank")
+    def rank(request: Request):
+        parsed = RankRequest.parse(request.body)
+        ranking = engine.rank(parsed.query, parsed.k)
+        return {
+            "query": parsed.query,
+            "k": parsed.k,
+            "ranking": ranking.to_dicts(),
+        }
+
+    @router.post("/explanations/document")
+    def explain_document(request: Request):
+        parsed = DocumentExplanationRequest.parse(request.body)
+        try:
+            result = engine.explain_document(
+                parsed.query, parsed.doc_id, n=parsed.n, k=parsed.k
+            )
+        except RankingError as error:
+            raise BadRequestError(str(error)) from None
+        return result.to_dict()
+
+    @router.post("/explanations/query")
+    def explain_query(request: Request):
+        parsed = QueryExplanationRequest.parse(request.body)
+        try:
+            result = engine.explain_query(
+                parsed.query,
+                parsed.doc_id,
+                n=parsed.n,
+                k=parsed.k,
+                threshold=parsed.threshold,
+            )
+        except RankingError as error:
+            raise BadRequestError(str(error)) from None
+        return result.to_dict()
+
+    @router.post("/explanations/instance")
+    def explain_instance(request: Request):
+        parsed = InstanceExplanationRequest.parse(request.body)
+        try:
+            if parsed.method == "doc2vec_nearest":
+                result = engine.explain_instance_doc2vec(
+                    parsed.query, parsed.doc_id, n=parsed.n, k=parsed.k
+                )
+            else:
+                result = engine.explain_instance_cosine(
+                    parsed.query,
+                    parsed.doc_id,
+                    n=parsed.n,
+                    k=parsed.k,
+                    samples=parsed.samples,
+                )
+        except RankingError as error:
+            raise BadRequestError(str(error)) from None
+        payload = result.to_dict()
+        # Attach the counterfactual bodies the UI renders beneath the prompt.
+        for explanation in payload["explanations"]:
+            document = engine.document(explanation["counterfactual_doc_id"])
+            explanation["counterfactual_body"] = document.body
+        return payload
+
+    @router.post("/builder/rerank")
+    def builder_rerank(request: Request):
+        parsed = BuilderRequest.parse(request.body)
+        try:
+            result = engine.build_counterfactual(
+                parsed.query,
+                parsed.doc_id,
+                perturbations=(
+                    list(parsed.perturbations)
+                    if parsed.perturbations is not None
+                    else None
+                ),
+                edited_body=parsed.edited_body,
+                k=parsed.k,
+            )
+        except (RankingError, DocumentNotFoundError) as error:
+            raise BadRequestError(str(error)) from None
+        return result.to_dict()
+
+    @router.post("/topics")
+    def topics(request: Request):
+        parsed = TopicsRequest.parse(request.body)
+        summary = engine.topics(
+            parsed.query,
+            k=parsed.k,
+            num_topics=parsed.num_topics,
+            terms_per_topic=parsed.terms_per_topic,
+        )
+        return {"query": parsed.query, "topics": summary.to_dicts()}
+
+    return router

@@ -1,0 +1,204 @@
+"""A minimal JSON-REST substrate on the standard library.
+
+Provides path-pattern routing (``/documents/{doc_id}``), JSON body
+parsing, structured error mapping for :class:`repro.errors.ApiError`,
+and a threading HTTP server. Deliberately small: the demo's backend is a
+thin REST facade over the engine, and this substrate keeps that facade
+testable without third-party frameworks.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ApiError, BadRequestError, NotFoundError
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed HTTP request."""
+
+    method: str
+    path: str
+    path_params: dict[str, str] = field(default_factory=dict)
+    query_params: dict[str, str] = field(default_factory=dict)
+    body: Any = None
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A JSON response with a status code."""
+
+    status: int
+    payload: Any
+
+
+Handler = Callable[[Request], Any]
+
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def _compile_pattern(pattern: str) -> re.Pattern[str]:
+    regex = _PARAM_RE.sub(r"(?P<\1>[^/]+)", re.escape(pattern).replace(r"\{", "{").replace(r"\}", "}"))
+    return re.compile(f"^{regex}$")
+
+
+@dataclass(frozen=True)
+class _Route:
+    method: str
+    pattern: re.Pattern[str]
+    handler: Handler
+
+
+class Router:
+    """Maps (method, path) to handlers and dispatches requests."""
+
+    def __init__(self):
+        self._routes: list[_Route] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` on a ``/path/{param}`` pattern."""
+        self._routes.append(
+            _Route(method.upper(), _compile_pattern(pattern), handler)
+        )
+
+    def get(self, pattern: str):
+        """Decorator form of :meth:`add` for GET."""
+        return self._decorator("GET", pattern)
+
+    def post(self, pattern: str):
+        """Decorator form of :meth:`add` for POST."""
+        return self._decorator("POST", pattern)
+
+    def _decorator(self, method: str, pattern: str):
+        def register(handler: Handler) -> Handler:
+            self.add(method, pattern, handler)
+            return handler
+
+        return register
+
+    def dispatch(self, request: Request) -> HttpResponse:
+        """Route and execute ``request``, mapping errors to status codes."""
+        matched_path = False
+        for route in self._routes:
+            match = route.pattern.match(request.path)
+            if match is None:
+                continue
+            matched_path = True
+            if route.method != request.method:
+                continue
+            bound = Request(
+                method=request.method,
+                path=request.path,
+                path_params=match.groupdict(),
+                query_params=request.query_params,
+                body=request.body,
+            )
+            try:
+                result = route.handler(bound)
+            except ApiError as error:
+                return HttpResponse(error.status_code, error.to_payload())
+            except (KeyError, ValueError, TypeError) as error:
+                bad = BadRequestError(str(error))
+                return HttpResponse(bad.status_code, bad.to_payload())
+            if isinstance(result, HttpResponse):
+                return result
+            return HttpResponse(200, result)
+        if matched_path:
+            error: ApiError = BadRequestError("method not allowed for this path")
+            return HttpResponse(405, error.to_payload())
+        missing = NotFoundError(f"no route for {request.path}")
+        return HttpResponse(missing.status_code, missing.to_payload())
+
+
+class _JsonRequestHandler(BaseHTTPRequestHandler):
+    """Adapts :class:`BaseHTTPRequestHandler` to the router."""
+
+    router: Router  # set by server factory
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # silence default stderr logging
+        pass
+
+    def _respond(self, response: HttpResponse) -> None:
+        body = json.dumps(response.payload, ensure_ascii=False).encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        query_params = {
+            key: values[0] for key, values in parse_qs(parsed.query).items()
+        }
+        body = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            raw = self.rfile.read(length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError:
+                error = BadRequestError("request body is not valid JSON")
+                self._respond(HttpResponse(error.status_code, error.to_payload()))
+                return
+        request = Request(
+            method=method, path=parsed.path, query_params=query_params, body=body
+        )
+        self._respond(self.router.dispatch(request))
+
+    def do_GET(self):
+        self._handle("GET")
+
+    def do_POST(self):
+        self._handle("POST")
+
+
+class ApiServer:
+    """A threading HTTP server bound to a :class:`Router`."""
+
+    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_JsonRequestHandler,), {"router": router})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[0], self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ApiServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (blocks until interrupted)."""
+        self._server.serve_forever()
+
+    def __enter__(self) -> "ApiServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,220 @@
+"""Request validation and perturbation (de)serialisation for the API.
+
+Manual, explicit validation (the FastAPI/pydantic role): every endpoint
+parses its body through one of these helpers, which raise
+:class:`repro.errors.BadRequestError` with a field-specific message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.perturbations import (
+    AppendText,
+    Perturbation,
+    RemoveSentences,
+    RemoveTerm,
+    ReplaceTerm,
+)
+from repro.errors import BadRequestError
+
+
+def _require_mapping(body: Any) -> Mapping[str, Any]:
+    if not isinstance(body, Mapping):
+        raise BadRequestError("request body must be a JSON object")
+    return body
+
+
+def _string_field(body: Mapping[str, Any], name: str) -> str:
+    value = body.get(name)
+    if not isinstance(value, str) or not value.strip():
+        raise BadRequestError(f"{name!r} must be a non-empty string")
+    return value
+
+
+def _int_field(
+    body: Mapping[str, Any],
+    name: str,
+    default: int | None = None,
+    minimum: int = 1,
+    maximum: int | None = None,
+) -> int:
+    value = body.get(name, default)
+    if value is None:
+        raise BadRequestError(f"{name!r} is required")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(f"{name!r} must be an integer")
+    if value < minimum:
+        raise BadRequestError(f"{name!r} must be ≥ {minimum}")
+    if maximum is not None and value > maximum:
+        raise BadRequestError(f"{name!r} must be ≤ {maximum}")
+    return value
+
+
+@dataclass(frozen=True)
+class RankRequest:
+    query: str
+    k: int
+
+    @classmethod
+    def parse(cls, body: Any) -> "RankRequest":
+        data = _require_mapping(body)
+        return cls(query=_string_field(data, "query"), k=_int_field(data, "k", 10))
+
+
+@dataclass(frozen=True)
+class DocumentExplanationRequest:
+    query: str
+    doc_id: str
+    n: int
+    k: int
+
+    @classmethod
+    def parse(cls, body: Any) -> "DocumentExplanationRequest":
+        data = _require_mapping(body)
+        return cls(
+            query=_string_field(data, "query"),
+            doc_id=_string_field(data, "doc_id"),
+            n=_int_field(data, "n", 1, maximum=100),
+            k=_int_field(data, "k", 10),
+        )
+
+
+@dataclass(frozen=True)
+class QueryExplanationRequest:
+    query: str
+    doc_id: str
+    n: int
+    k: int
+    threshold: int
+
+    @classmethod
+    def parse(cls, body: Any) -> "QueryExplanationRequest":
+        data = _require_mapping(body)
+        request = cls(
+            query=_string_field(data, "query"),
+            doc_id=_string_field(data, "doc_id"),
+            n=_int_field(data, "n", 1, maximum=100),
+            k=_int_field(data, "k", 10),
+            threshold=_int_field(data, "threshold", 1),
+        )
+        if request.threshold > request.k:
+            raise BadRequestError("'threshold' must be within the top-k")
+        return request
+
+
+#: Instance-based explanation types exposed in the UI dropdown (§III-B).
+INSTANCE_METHODS = ("doc2vec_nearest", "cosine_sampled")
+
+
+@dataclass(frozen=True)
+class InstanceExplanationRequest:
+    query: str
+    doc_id: str
+    n: int
+    k: int
+    method: str
+    samples: int
+
+    @classmethod
+    def parse(cls, body: Any) -> "InstanceExplanationRequest":
+        data = _require_mapping(body)
+        method = data.get("method", "doc2vec_nearest")
+        if method not in INSTANCE_METHODS:
+            raise BadRequestError(f"'method' must be one of {INSTANCE_METHODS}")
+        return cls(
+            query=_string_field(data, "query"),
+            doc_id=_string_field(data, "doc_id"),
+            n=_int_field(data, "n", 1, maximum=100),
+            k=_int_field(data, "k", 10),
+            method=method,
+            samples=_int_field(data, "samples", 50),
+        )
+
+
+def parse_perturbation(raw: Any) -> Perturbation:
+    """Deserialise one perturbation operation.
+
+    Supported shapes::
+
+        {"type": "replace_term", "term": "covid", "replacement": "flu"}
+        {"type": "remove_term", "term": "outbreak"}
+        {"type": "remove_sentences", "indices": [0, 4]}
+        {"type": "append_text", "text": "..."}
+    """
+    data = _require_mapping(raw)
+    kind = data.get("type")
+    if kind == "replace_term":
+        return ReplaceTerm(
+            term=_string_field(data, "term"),
+            replacement=_string_field(data, "replacement"),
+        )
+    if kind == "remove_term":
+        return RemoveTerm(term=_string_field(data, "term"))
+    if kind == "remove_sentences":
+        indices = data.get("indices")
+        if not isinstance(indices, list) or not all(
+            isinstance(i, int) and not isinstance(i, bool) and i >= 0
+            for i in indices
+        ):
+            raise BadRequestError("'indices' must be a list of non-negative ints")
+        return RemoveSentences(indices=tuple(indices))
+    if kind == "append_text":
+        return AppendText(text=_string_field(data, "text"))
+    raise BadRequestError(f"unknown perturbation type: {kind!r}")
+
+
+@dataclass(frozen=True)
+class BuilderRequest:
+    query: str
+    doc_id: str
+    k: int
+    edited_body: str | None
+    perturbations: tuple[Perturbation, ...] | None
+
+    @classmethod
+    def parse(cls, body: Any) -> "BuilderRequest":
+        data = _require_mapping(body)
+        edited_body = data.get("edited_body")
+        raw_perturbations = data.get("perturbations")
+        if (edited_body is None) == (raw_perturbations is None):
+            raise BadRequestError(
+                "provide exactly one of 'edited_body' or 'perturbations'"
+            )
+        perturbations = None
+        if raw_perturbations is not None:
+            if not isinstance(raw_perturbations, list) or not raw_perturbations:
+                raise BadRequestError("'perturbations' must be a non-empty list")
+            perturbations = tuple(
+                parse_perturbation(raw) for raw in raw_perturbations
+            )
+        if edited_body is not None and (
+            not isinstance(edited_body, str) or not edited_body.strip()
+        ):
+            raise BadRequestError("'edited_body' must be a non-empty string")
+        return cls(
+            query=_string_field(data, "query"),
+            doc_id=_string_field(data, "doc_id"),
+            k=_int_field(data, "k", 10),
+            edited_body=edited_body,
+            perturbations=perturbations,
+        )
+
+
+@dataclass(frozen=True)
+class TopicsRequest:
+    query: str
+    k: int
+    num_topics: int
+    terms_per_topic: int
+
+    @classmethod
+    def parse(cls, body: Any) -> "TopicsRequest":
+        data = _require_mapping(body)
+        return cls(
+            query=_string_field(data, "query"),
+            k=_int_field(data, "k", 10),
+            num_topics=_int_field(data, "num_topics", 5, maximum=50),
+            terms_per_topic=_int_field(data, "terms_per_topic", 10, maximum=100),
+        )

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Headless access to the CREDENCE workflow over any JSONL corpus (or the
+bundled demo corpus):
+
+.. code-block:: bash
+
+    python -m repro.cli rank --query "covid outbreak" --k 10
+    python -m repro.cli explain-document --query "covid outbreak" \
+        --doc covid-fake-5g
+    python -m repro.cli explain-query --query "covid outbreak" \
+        --doc covid-fake-5g --n 7 --threshold 2
+    python -m repro.cli explain-instance --query "covid outbreak" \
+        --doc covid-fake-5g --method cosine_sampled
+    python -m repro.cli builder --query "covid outbreak" \
+        --doc covid-fake-5g --replace covid=flu --remove outbreak
+    python -m repro.cli serve --port 8091
+    python -m repro.cli rank --corpus my_docs.jsonl --ranker bm25 \
+        --query "anything"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.engine import CredenceEngine, EngineConfig, RANKER_CHOICES
+from repro.core.perturbations import Perturbation, RemoveTerm, ReplaceTerm
+from repro.datasets.loaders import load_jsonl
+from repro.datasets.queries import sample_queries
+from repro.demo import demo_engine
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--corpus", help="JSONL corpus path (default: the bundled demo corpus)"
+    )
+    parser.add_argument(
+        "--ranker",
+        default="bm25",
+        choices=RANKER_CHOICES,
+        help="ranking model (default bm25; 'neural' trains the MLP reranker)",
+    )
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--json", action="store_true", help="emit raw JSON")
+
+
+def _build_engine(args: argparse.Namespace) -> CredenceEngine:
+    if args.corpus is None:
+        return demo_engine(ranker=args.ranker, seed=args.seed)
+    documents = load_jsonl(args.corpus)
+    training = tuple(sample_queries(documents, count=10, seed=args.seed))
+    config = EngineConfig(
+        ranker=args.ranker, training_queries=training, seed=args.seed
+    )
+    return CredenceEngine(documents, config)
+
+
+def _emit(args: argparse.Namespace, payload: dict, text: str) -> None:
+    if args.json:
+        print(json.dumps(payload, ensure_ascii=False, indent=2))
+    else:
+        print(text)
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    ranking = engine.rank(args.query, k=args.k)
+    lines = [
+        f"{entry.rank:>3}. {entry.doc_id:<30} {entry.score:10.4f}"
+        for entry in ranking
+    ]
+    _emit(args, {"query": args.query, "ranking": ranking.to_dicts()}, "\n".join(lines))
+    return 0
+
+
+def _cmd_explain_document(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    result = engine.explain_document(args.query, args.doc, n=args.n, k=args.k)
+    if not result.explanations:
+        _emit(args, result.to_dict(), "no counterfactual found")
+        return 1
+    lines = []
+    for explanation in result:
+        lines.append(
+            f"rank {explanation.original_rank} -> {explanation.new_rank} by "
+            f"removing sentence(s) {list(explanation.removed_indices)}:"
+        )
+        lines.extend(f"  - {s.text}" for s in explanation.removed_sentences)
+    _emit(args, result.to_dict(), "\n".join(lines))
+    return 0
+
+
+def _cmd_explain_query(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    result = engine.explain_query(
+        args.query, args.doc, n=args.n, k=args.k, threshold=args.threshold
+    )
+    if not result.explanations:
+        _emit(args, result.to_dict(), "no counterfactual found")
+        return 1
+    lines = [
+        f"{e.augmented_query!r}: rank {e.original_rank} -> {e.new_rank}"
+        for e in result
+    ]
+    _emit(args, result.to_dict(), "\n".join(lines))
+    return 0
+
+
+def _cmd_explain_instance(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    if args.method == "doc2vec_nearest":
+        result = engine.explain_instance_doc2vec(args.query, args.doc, n=args.n, k=args.k)
+    else:
+        result = engine.explain_instance_cosine(
+            args.query, args.doc, n=args.n, k=args.k, samples=args.samples
+        )
+    lines = [
+        f"{e.counterfactual_doc_id:<30} {e.similarity_percent:6.1f}% ({e.method})"
+        for e in result
+    ]
+    _emit(args, result.to_dict(), "\n".join(lines) or "no instances found")
+    return 0 if result.explanations else 1
+
+
+def _parse_edits(args: argparse.Namespace) -> list[Perturbation]:
+    perturbations: list[Perturbation] = []
+    for spec in args.replace or []:
+        term, _, replacement = spec.partition("=")
+        if not term or not replacement:
+            raise SystemExit(f"--replace expects term=replacement, got {spec!r}")
+        perturbations.append(ReplaceTerm(term, replacement))
+    for term in args.remove or []:
+        perturbations.append(RemoveTerm(term))
+    if not perturbations:
+        raise SystemExit("builder needs at least one --replace/--remove edit")
+    return perturbations
+
+
+def _cmd_builder(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    result = engine.build_counterfactual(
+        args.query, args.doc, perturbations=_parse_edits(args), k=args.k
+    )
+    check = "VALID counterfactual" if result.is_valid_counterfactual else "not valid"
+    lines = [f"rank {result.rank_before} -> {result.rank_after}  [{check}]"]
+    glyph = {"raised": "^", "lowered": "v", "unchanged": "=", "revealed": "+"}
+    lines.extend(
+        f"  {glyph[m.direction]} {m.doc_id:<30} "
+        f"{m.before if m.before is not None else '-'} -> {m.after}"
+        for m in result.movements
+    )
+    _emit(args, result.to_dict(), "\n".join(lines))
+    return 0 if result.is_valid_counterfactual else 1
+
+
+def _cmd_topics(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    summary = engine.topics(args.query, k=args.k, num_topics=args.num_topics)
+    lines = [
+        f"topic {topic.topic_id}: "
+        + ", ".join(term for term, _ in topic.terms)
+        for topic in summary
+    ]
+    _emit(args, {"topics": summary.to_dicts()}, "\n".join(lines))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api.app import serve
+
+    engine = _build_engine(args)
+    server = serve(engine, host=args.host, port=args.port)
+    print(f"CREDENCE service on {server.url} (Ctrl-C to stop)")
+    try:
+        server._server.serve_forever()  # reuse the bound socket loop
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CREDENCE counterfactual ranking explanations"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    rank = commands.add_parser("rank", help="rank the corpus for a query")
+    _add_common(rank)
+    rank.add_argument("--query", required=True)
+    rank.set_defaults(handler=_cmd_rank)
+
+    doc_cf = commands.add_parser(
+        "explain-document", help="minimal sentence removals demoting a document"
+    )
+    _add_common(doc_cf)
+    doc_cf.add_argument("--query", required=True)
+    doc_cf.add_argument("--doc", required=True)
+    doc_cf.add_argument("--n", type=int, default=1)
+    doc_cf.set_defaults(handler=_cmd_explain_document)
+
+    query_cf = commands.add_parser(
+        "explain-query", help="minimal query augmentations promoting a document"
+    )
+    _add_common(query_cf)
+    query_cf.add_argument("--query", required=True)
+    query_cf.add_argument("--doc", required=True)
+    query_cf.add_argument("--n", type=int, default=1)
+    query_cf.add_argument("--threshold", type=int, default=1)
+    query_cf.set_defaults(handler=_cmd_explain_query)
+
+    instance = commands.add_parser(
+        "explain-instance", help="similar non-relevant corpus documents"
+    )
+    _add_common(instance)
+    instance.add_argument("--query", required=True)
+    instance.add_argument("--doc", required=True)
+    instance.add_argument("--n", type=int, default=1)
+    instance.add_argument(
+        "--method",
+        default="doc2vec_nearest",
+        choices=["doc2vec_nearest", "cosine_sampled"],
+    )
+    instance.add_argument("--samples", type=int, default=50)
+    instance.set_defaults(handler=_cmd_explain_instance)
+
+    builder = commands.add_parser(
+        "builder", help="apply edits to a document and re-rank"
+    )
+    _add_common(builder)
+    builder.add_argument("--query", required=True)
+    builder.add_argument("--doc", required=True)
+    builder.add_argument(
+        "--replace", action="append", metavar="TERM=REPLACEMENT"
+    )
+    builder.add_argument("--remove", action="append", metavar="TERM")
+    builder.set_defaults(handler=_cmd_builder)
+
+    topics = commands.add_parser("topics", help="LDA topics over the top-k")
+    _add_common(topics)
+    topics.add_argument("--query", required=True)
+    topics.add_argument("--num-topics", type=int, default=5)
+    topics.set_defaults(handler=_cmd_topics)
+
+    serve_cmd = commands.add_parser("serve", help="run the REST service")
+    _add_common(serve_cmd)
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8091)
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""CREDENCE's contribution: counterfactual explanations for rankers.
+
+Four explanation families over a black-box ranker ``M``:
+
+* :class:`CounterfactualDocumentExplainer` — minimal sentence removals
+  that push a document out of the top-k (§II-C, Fig. 2).
+* :class:`CounterfactualQueryExplainer` — minimal query augmentations
+  that raise a document above a rank threshold (§II-D, Fig. 3).
+* :class:`Doc2VecNearestExplainer` / :class:`CosineSampledExplainer` —
+  real non-relevant documents similar to the instance (§II-E, Fig. 4).
+* :class:`CounterfactualBuilder` — interactive build-your-own
+  perturbations with substitution re-ranking (§III-C, Fig. 5).
+
+:class:`CredenceEngine` wires a corpus, ranker, and all explainers into
+the one object the API layer and examples use.
+"""
+
+from repro.core.builder import BuilderResult, CounterfactualBuilder
+from repro.core.document_cf import CounterfactualDocumentExplainer
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.core.greedy import GreedyDocumentExplainer
+from repro.core.importance import (
+    TfIdfTermImportance,
+    sentence_importance_scores,
+)
+from repro.core.instance_cf import (
+    CosineSampledExplainer,
+    Doc2VecNearestExplainer,
+)
+from repro.core.perturbations import (
+    AppendText,
+    CompositePerturbation,
+    Perturbation,
+    RemoveSentences,
+    RemoveTerm,
+    ReplaceTerm,
+)
+from repro.core.query_cf import CounterfactualQueryExplainer
+from repro.core.types import (
+    ExplanationSet,
+    InstanceExplanation,
+    QueryAugmentationExplanation,
+    SentenceRemovalExplanation,
+)
+from repro.core.validity import is_non_relevant, meets_threshold
+
+__all__ = [
+    "BuilderResult",
+    "CounterfactualBuilder",
+    "CredenceEngine",
+    "EngineConfig",
+    "GreedyDocumentExplainer",
+    "TfIdfTermImportance",
+    "sentence_importance_scores",
+    "CosineSampledExplainer",
+    "Doc2VecNearestExplainer",
+    "AppendText",
+    "CompositePerturbation",
+    "Perturbation",
+    "RemoveSentences",
+    "RemoveTerm",
+    "ReplaceTerm",
+    "CounterfactualQueryExplainer",
+    "ExplanationSet",
+    "InstanceExplanation",
+    "QueryAugmentationExplanation",
+    "SentenceRemovalExplanation",
+    "is_non_relevant",
+    "meets_threshold",
+]

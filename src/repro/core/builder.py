@@ -1,0 +1,143 @@
+"""Build-your-own counterfactual documents (§III-C, Fig. 5).
+
+The Builder mirrors the demo's Builder page: rank the top-k, let the user
+edit one document (free text or scripted :class:`Perturbation` ops),
+substitute the edit for the original, re-rank alongside the top k+1
+documents, and report (a) per-document rank movements — the coloured
+arrows — and (b) counterfactual validity — the green check-mark shown
+when the edited document has fallen out of the top-k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import RankingError
+from repro.index.document import Document
+from repro.ranking.base import Ranker, Ranking
+from repro.ranking.rerank import (
+    RankMovement,
+    candidate_pool,
+    movements,
+    rank_with_substitution,
+)
+from repro.core.perturbations import Perturbation, apply_all
+from repro.core.validity import is_non_relevant
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class BuilderResult:
+    """Outcome of one re-rank of an edited document."""
+
+    doc_id: str
+    query: str
+    k: int
+    edited_body: str
+    original_ranking: Ranking  # the k+1 candidates, pre-edit
+    new_ranking: Ranking  # the k+1 candidates, post-edit
+    movements: tuple[RankMovement, ...]
+    rank_before: int
+    rank_after: int
+
+    @property
+    def is_valid_counterfactual(self) -> bool:
+        """The green check-mark: the edit pushed the document beyond k."""
+        return is_non_relevant(self.rank_after, self.k)
+
+    @property
+    def revealed_doc_id(self) -> str | None:
+        """The originally hidden rank-(k+1) document (orange plus icon)."""
+        for movement in self.movements:
+            if movement.direction == "revealed":
+                return movement.doc_id
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "doc_id": self.doc_id,
+            "query": self.query,
+            "k": self.k,
+            "edited_body": self.edited_body,
+            "rank_before": self.rank_before,
+            "rank_after": self.rank_after,
+            "is_valid_counterfactual": self.is_valid_counterfactual,
+            "revealed_doc_id": self.revealed_doc_id,
+            "new_ranking": self.new_ranking.to_dicts(),
+            "movements": [
+                {
+                    "doc_id": movement.doc_id,
+                    "before": movement.before,
+                    "after": movement.after,
+                    "direction": movement.direction,
+                }
+                for movement in self.movements
+            ],
+        }
+
+
+@dataclass
+class CounterfactualBuilder:
+    """Interactive perturbation testing against a black-box ranker."""
+
+    ranker: Ranker
+
+    def _candidate_pool(self, query: str, k: int) -> tuple[Ranking, list[Document]]:
+        """The top k+1 documents and their baseline candidate ranking.
+
+        The ranking shown to the user is over the top-k; the pool carries
+        one extra document so a demoted edit has somewhere to fall and the
+        hidden (k+1)-th document can be revealed.
+        """
+        documents = candidate_pool(self.ranker, query, k)
+        baseline = self.ranker.rank_candidates(query, documents)
+        return baseline, documents
+
+    def rank(self, query: str, k: int) -> Ranking:
+        """The top-k ranking displayed on the Builder page."""
+        require_positive(k, "k")
+        baseline, _ = self._candidate_pool(query, k)
+        return baseline.top(min(k, len(baseline)))
+
+    def rerank_edited(
+        self, query: str, doc_id: str, edited_body: str, k: int = 10
+    ) -> BuilderResult:
+        """Substitute an edited body for ``doc_id`` and re-rank the pool."""
+        require_positive(k, "k")
+        baseline, documents = self._candidate_pool(query, k)
+        rank_before = baseline.rank_of(doc_id)
+        if rank_before is None or rank_before > k:
+            raise RankingError(
+                f"document {doc_id!r} is not in the top-{k} for {query!r}"
+            )
+        original = self.ranker.index.document(doc_id)
+        edited = original.with_body(edited_body)
+        new_ranking = rank_with_substitution(self.ranker, query, documents, edited)
+        rank_after = new_ranking.rank_of(doc_id)
+        if rank_after is None:  # substitution preserves membership
+            raise RankingError("edited document missing from re-ranking")
+        before_visible = baseline.top(min(k, len(baseline)))
+        return BuilderResult(
+            doc_id=doc_id,
+            query=query,
+            k=k,
+            edited_body=edited_body,
+            original_ranking=baseline,
+            new_ranking=new_ranking,
+            movements=tuple(movements(before_visible, new_ranking)),
+            rank_before=rank_before,
+            rank_after=rank_after,
+        )
+
+    def apply_and_rerank(
+        self,
+        query: str,
+        doc_id: str,
+        perturbations: Sequence[Perturbation],
+        k: int = 10,
+    ) -> BuilderResult:
+        """Apply scripted perturbations to the original body, then re-rank."""
+        original = self.ranker.index.document(doc_id)
+        edited_body = apply_all(original.body, perturbations)
+        return self.rerank_edited(query, doc_id, edited_body, k)

@@ -1,0 +1,181 @@
+"""Counterfactual document explanations by sentence removal (§II-C).
+
+The algorithm, as specified in the paper:
+
+1. Score every sentence of the instance document by the number of its
+   terms that appear in the query.
+2. Enumerate candidate perturbations (sentence subsets) first by size
+   ascending, then by summed importance descending — "this method
+   guarantees explanation minimality, as all perturbations with j
+   removals must be evaluated before those with j + 1."
+3. For each candidate, remove the sentences, substitute the perturbed
+   document for the original among the top k+1 documents, re-rank, and
+   accept the perturbation if the document is now non-relevant (rank > k).
+4. Stop once ``n`` valid explanations are found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ExplanationBudgetExceeded, RankingError
+from repro.index.document import Document
+from repro.ranking.base import Ranker, Ranking
+from repro.ranking.rerank import candidate_pool
+from repro.text.sentences import split_sentences
+from repro.core.importance import sentence_importance_scores
+from repro.core.types import ExplanationSet, SentenceRemovalExplanation
+from repro.core.validity import is_non_relevant
+from repro.utils.iteration import ordered_subsets
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class CounterfactualDocumentExplainer:
+    """Finds minimal sentence-removal counterfactuals for a ranked document.
+
+    Args:
+        ranker: the black-box model ``M``.
+        max_removals: cap on perturbation size (sentences removed). ``None``
+            allows up to all-but-one sentence.
+        max_evaluations: budget on candidate perturbations re-ranked; when
+            hit, the search returns what it found with
+            ``budget_exhausted=True`` (or raises if ``raise_on_budget``).
+        raise_on_budget: raise :class:`ExplanationBudgetExceeded` instead of
+            returning partial results.
+    """
+
+    ranker: Ranker
+    max_removals: int | None = None
+    max_evaluations: int = 2000
+    raise_on_budget: bool = False
+
+    def __post_init__(self):
+        require_positive(self.max_evaluations, "max_evaluations")
+        if self.max_removals is not None:
+            require_positive(self.max_removals, "max_removals")
+
+    # -- candidate-set assembly ---------------------------------------------
+
+    def _candidate_documents(self, query: str, k: int) -> list[Document]:
+        """The top k+1 documents: the ranked list plus the first hidden one.
+
+        Substituting the perturbed document into this pool and re-ranking
+        realises "its rank of 11 surpasses k = 10": a perturbed document
+        that falls behind the (k+1)-th document is demonstrably
+        non-relevant. When retrieval returns fewer than k+1 matches the
+        pool is padded with unretrieved corpus documents (see
+        :func:`repro.ranking.rerank.candidate_pool`).
+        """
+        return candidate_pool(self.ranker, query, k)
+
+    # -- main search ----------------------------------------------------------
+
+    def explain(
+        self, query: str, doc_id: str, n: int = 1, k: int = 10
+    ) -> ExplanationSet[SentenceRemovalExplanation]:
+        """Find up to ``n`` minimal sentence-removal counterfactuals.
+
+        Raises :class:`RankingError` if ``doc_id`` is not among the top-k
+        for ``query`` (only relevant documents have a rank to lose).
+        """
+        require_positive(n, "n")
+        require_positive(k, "k")
+        candidates = self._candidate_documents(query, k)
+        by_id = {document.doc_id: document for document in candidates}
+        if doc_id not in by_id:
+            raise RankingError(
+                f"document {doc_id!r} is not in the top-{k} for {query!r}"
+            )
+        instance = by_id[doc_id]
+        baseline = self.ranker.rank_candidates(query, candidates)
+        original_rank = baseline.rank_of(doc_id)
+        if original_rank is None or is_non_relevant(original_rank, k):
+            raise RankingError(
+                f"document {doc_id!r} is already non-relevant "
+                f"(rank {original_rank}) for {query!r}"
+            )
+
+        sentences = split_sentences(instance.body)
+        if len(sentences) <= 1:
+            # Removing the only sentence leaves an empty document; the paper
+            # perturbs multi-sentence articles.
+            return ExplanationSet(search_exhausted=True)
+        analyzer = self.ranker.index.analyzer
+        importance = sentence_importance_scores(analyzer, query, sentences)
+        max_size = min(
+            self.max_removals if self.max_removals is not None else len(sentences) - 1,
+            len(sentences) - 1,
+        )
+
+        result: ExplanationSet[SentenceRemovalExplanation] = ExplanationSet()
+        for subset, subset_score in ordered_subsets(
+            sentences, importance, max_size=max_size
+        ):
+            if result.candidates_evaluated >= self.max_evaluations:
+                result.budget_exhausted = True
+                if self.raise_on_budget:
+                    raise ExplanationBudgetExceeded(
+                        f"evaluated {result.candidates_evaluated} candidates "
+                        f"without finding {n} explanations",
+                        partial_results=result.explanations,
+                    )
+                return result
+            removed_indices = {sentence.index for sentence in subset}
+            survivors = [
+                sentence.text
+                for sentence in sentences
+                if sentence.index not in removed_indices
+            ]
+            perturbed_body = " ".join(survivors)
+            perturbed = instance.with_body(perturbed_body)
+            reranked = self._rerank_with(query, candidates, perturbed)
+            result.candidates_evaluated += 1
+            result.ranker_calls += len(candidates)
+            new_rank = reranked.rank_of(doc_id)
+            if new_rank is not None and is_non_relevant(new_rank, k):
+                result.explanations.append(
+                    SentenceRemovalExplanation(
+                        doc_id=doc_id,
+                        query=query,
+                        k=k,
+                        removed_sentences=tuple(
+                            sorted(subset, key=lambda s: s.index)
+                        ),
+                        importance=subset_score,
+                        original_rank=original_rank,
+                        new_rank=new_rank,
+                        perturbed_body=perturbed_body,
+                    )
+                )
+                if len(result.explanations) >= n:
+                    return result
+        result.search_exhausted = True
+        return result
+
+    def _rerank_with(
+        self, query: str, candidates: list[Document], perturbed: Document
+    ) -> Ranking:
+        substituted = [
+            perturbed if document.doc_id == perturbed.doc_id else document
+            for document in candidates
+        ]
+        return self.ranker.rank_candidates(query, substituted)
+
+    # -- verification (used by tests and the eval harness) --------------------
+
+    def is_valid(
+        self, query: str, doc_id: str, removed_indices: set[int], k: int = 10
+    ) -> bool:
+        """Independently check a removal set's counterfactual validity."""
+        candidates = self._candidate_documents(query, k)
+        by_id = {document.doc_id: document for document in candidates}
+        if doc_id not in by_id:
+            raise ConfigurationError(f"{doc_id!r} is not in the candidate pool")
+        instance = by_id[doc_id]
+        sentences = split_sentences(instance.body)
+        survivors = [s.text for s in sentences if s.index not in removed_indices]
+        perturbed = instance.with_body(" ".join(survivors))
+        reranked = self._rerank_with(query, candidates, perturbed)
+        new_rank = reranked.rank_of(doc_id)
+        return new_rank is not None and is_non_relevant(new_rank, k)

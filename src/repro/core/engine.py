@@ -1,0 +1,228 @@
+"""`CredenceEngine`: corpus + ranker + all four explainers in one facade.
+
+This is the object the REST layer, the examples, and the benchmarks talk
+to — the Python equivalent of the running CREDENCE service in Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.embeddings.doc2vec import Doc2Vec, train_doc2vec
+from repro.embeddings.vectorizers import Bm25Vectorizer, TfIdfVectorizer
+from repro.errors import ConfigurationError
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.ranking.base import Ranker, Ranking
+from repro.ranking.bm25 import Bm25Ranker
+from repro.ranking.cache import ScoreCache
+from repro.ranking.lm import DirichletLmRanker
+from repro.ranking.neural import train_neural_ranker
+from repro.ranking.pipeline import RetrieveRerankPipeline
+from repro.ranking.tfidf import TfIdfRanker
+from repro.core.builder import BuilderResult, CounterfactualBuilder
+from repro.core.document_cf import CounterfactualDocumentExplainer
+from repro.core.instance_cf import CosineSampledExplainer, Doc2VecNearestExplainer
+from repro.core.perturbations import Perturbation
+from repro.core.query_cf import CounterfactualQueryExplainer
+from repro.core.types import (
+    ExplanationSet,
+    InstanceExplanation,
+    QueryAugmentationExplanation,
+    SentenceRemovalExplanation,
+)
+from repro.topics.lda import train_lda
+from repro.topics.summaries import TopicSummary, summarize_topics
+from repro.utils.validation import require, require_positive
+
+#: Ranker factory names accepted by :class:`EngineConfig`.
+RANKER_CHOICES = ("bm25", "tfidf", "lm", "neural")
+
+
+@dataclass
+class EngineConfig:
+    """Configuration for :class:`CredenceEngine`.
+
+    Attributes:
+        ranker: one of :data:`RANKER_CHOICES`. ``"neural"`` trains the MLP
+            cross-scorer (the monoT5 stand-in) behind a BM25 first stage.
+        training_queries: weak-supervision queries for the neural ranker;
+            required when ``ranker == "neural"``.
+        rerank_depth: first-stage candidate depth for the neural pipeline.
+        doc2vec_dimension / doc2vec_epochs: Doc2Vec training size.
+        cache_scores: memoise ranker scorings (recommended: the
+            counterfactual search re-scores unperturbed documents heavily).
+        seed: a single seed that derives every stochastic component.
+    """
+
+    ranker: str = "neural"
+    training_queries: tuple[str, ...] = ()
+    rerank_depth: int = 50
+    doc2vec_dimension: int = 64
+    doc2vec_epochs: int = 100
+    neural_epochs: int = 30
+    use_semantic_channel: bool = False
+    cache_scores: bool = True
+    seed: int = 13
+
+    def __post_init__(self):
+        if self.ranker not in RANKER_CHOICES:
+            raise ConfigurationError(
+                f"ranker must be one of {RANKER_CHOICES}, got {self.ranker!r}"
+            )
+        if self.ranker == "neural" and not self.training_queries:
+            raise ConfigurationError(
+                "the neural ranker needs training_queries for weak supervision"
+            )
+
+
+class CredenceEngine:
+    """The assembled CREDENCE system over one corpus."""
+
+    def __init__(
+        self,
+        documents: list[Document],
+        config: EngineConfig | None = None,
+        ranker: Ranker | None = None,
+    ):
+        require(bool(documents), "documents must be non-empty")
+        self.config = config or EngineConfig(
+            ranker="bm25"
+        )
+        self.index = InvertedIndex.from_documents(documents)
+        if ranker is not None:
+            base_ranker = ranker
+        else:
+            base_ranker = self._build_ranker()
+        self.ranker: Ranker = (
+            ScoreCache(base_ranker) if self.config.cache_scores else base_ranker
+        )
+        self.document_explainer = CounterfactualDocumentExplainer(self.ranker)
+        self.query_explainer = CounterfactualQueryExplainer(self.ranker)
+        self.builder = CounterfactualBuilder(self.ranker)
+        self.bm25_vectorizer = Bm25Vectorizer(self.index)
+        self.tfidf_vectorizer = TfIdfVectorizer(self.index)
+        self._doc2vec: Doc2Vec | None = None
+
+    # -- construction helpers -------------------------------------------------
+
+    def _build_ranker(self) -> Ranker:
+        config = self.config
+        if config.ranker == "bm25":
+            return Bm25Ranker(self.index)
+        if config.ranker == "tfidf":
+            return TfIdfRanker(self.index)
+        if config.ranker == "lm":
+            return DirichletLmRanker(self.index)
+        semantic_scorer = None
+        if config.use_semantic_channel:
+            from repro.embeddings.semantic import Word2VecSemanticScorer
+
+            semantic_scorer = Word2VecSemanticScorer.train(
+                self.index, seed=config.seed
+            )
+        neural = train_neural_ranker(
+            self.index,
+            list(config.training_queries),
+            epochs=config.neural_epochs,
+            semantic_scorer=semantic_scorer,
+            seed=config.seed,
+        )
+        return RetrieveRerankPipeline(
+            Bm25Ranker(self.index), neural, depth=config.rerank_depth
+        )
+
+    @property
+    def doc2vec(self) -> Doc2Vec:
+        """The Doc2Vec model, trained on first use (mirrors the demo's
+        per-corpus offline embedding step)."""
+        if self._doc2vec is None:
+            analyzed = {
+                document.doc_id: self.index.analyzer.analyze(document.body)
+                for document in self.index
+            }
+            self._doc2vec = train_doc2vec(
+                analyzed,
+                dimension=self.config.doc2vec_dimension,
+                epochs=self.config.doc2vec_epochs,
+                seed=self.config.seed,
+            )
+        return self._doc2vec
+
+    # -- ranking ---------------------------------------------------------------
+
+    def rank(self, query: str, k: int = 10) -> Ranking:
+        """The top-k ranking shown on the Explanations page."""
+        require_positive(k, "k")
+        return self.ranker.rank(query, min(k, len(self.index)))
+
+    def document(self, doc_id: str) -> Document:
+        return self.index.document(doc_id)
+
+    # -- the four explanation families ------------------------------------------
+
+    def explain_document(
+        self, query: str, doc_id: str, n: int = 1, k: int = 10
+    ) -> ExplanationSet[SentenceRemovalExplanation]:
+        """Sentence-removal counterfactuals (Fig. 2)."""
+        return self.document_explainer.explain(query, doc_id, n=n, k=k)
+
+    def explain_query(
+        self, query: str, doc_id: str, n: int = 1, k: int = 10, threshold: int = 1
+    ) -> ExplanationSet[QueryAugmentationExplanation]:
+        """Query-augmentation counterfactuals (Fig. 3)."""
+        return self.query_explainer.explain(
+            query, doc_id, n=n, k=k, threshold=threshold
+        )
+
+    def explain_instance_doc2vec(
+        self, query: str, doc_id: str, n: int = 1, k: int = 10
+    ) -> ExplanationSet[InstanceExplanation]:
+        """Doc2Vec Nearest instance counterfactuals (Fig. 4)."""
+        explainer = Doc2VecNearestExplainer(self.ranker, self.doc2vec)
+        return explainer.explain(query, doc_id, n=n, k=k)
+
+    def explain_instance_cosine(
+        self, query: str, doc_id: str, n: int = 1, k: int = 10, samples: int = 50
+    ) -> ExplanationSet[InstanceExplanation]:
+        """Cosine Sampled instance counterfactuals (Fig. 4 variant)."""
+        explainer = CosineSampledExplainer(
+            self.ranker, self.bm25_vectorizer, seed=self.config.seed
+        )
+        return explainer.explain(query, doc_id, n=n, k=k, samples=samples)
+
+    def build_counterfactual(
+        self,
+        query: str,
+        doc_id: str,
+        perturbations: list[Perturbation] | None = None,
+        edited_body: str | None = None,
+        k: int = 10,
+    ) -> BuilderResult:
+        """Build-your-own counterfactual (Fig. 5): scripted ops or free text."""
+        if (perturbations is None) == (edited_body is None):
+            raise ConfigurationError(
+                "provide exactly one of perturbations or edited_body"
+            )
+        if edited_body is not None:
+            return self.builder.rerank_edited(query, doc_id, edited_body, k)
+        return self.builder.apply_and_rerank(query, doc_id, perturbations, k)
+
+    # -- topics -------------------------------------------------------------------
+
+    def topics(
+        self, query: str, k: int = 10, num_topics: int = 5, terms_per_topic: int = 10
+    ) -> TopicSummary:
+        """Browse Topics: LDA over the current top-k documents (§III-C)."""
+        ranking = self.rank(query, k)
+        analyzed = {
+            doc_id: self.index.analyzer.analyze(self.index.document(doc_id).body)
+            for doc_id in ranking.doc_ids
+        }
+        model = train_lda(
+            analyzed,
+            num_topics=min(num_topics, max(1, len(analyzed))),
+            iterations=150,
+            seed=self.config.seed,
+        )
+        return summarize_topics(model, terms_per_topic)

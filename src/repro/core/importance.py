@@ -1,0 +1,95 @@
+"""Importance scoring for candidate perturbations.
+
+Two scorers, straight from the paper:
+
+* Sentence importance (§II-C): "an importance score for each sentence in
+  the instance document d, equal to the number of sentence terms that
+  appear in the search query q."
+* Term importance (§II-D): "we choose to score each candidate term using
+  TF-IDF, which scores terms based on their frequency in, and exclusivity
+  to, the instance document d (among the set of ranked documents D_M)."
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.text.analyzer import Analyzer
+from repro.text.sentences import Sentence
+
+
+def sentence_importance_scores(
+    analyzer: Analyzer,
+    query: str,
+    sentences: Sequence[Sentence],
+    distinct: bool = False,
+) -> list[float]:
+    """Score each sentence by how many of its terms appear in the query.
+
+    With ``distinct=False`` (the default, matching the paper's "number of
+    sentence terms that appear in the search query") every occurrence
+    counts, so a sentence repeating *covid* twice scores 2 for it; with
+    ``distinct=True`` each query term counts at most once per sentence.
+    """
+    query_terms = set(analyzer.analyze(query))
+    scores: list[float] = []
+    for sentence in sentences:
+        sentence_terms = analyzer.analyze(sentence.text)
+        if distinct:
+            scores.append(float(len(set(sentence_terms) & query_terms)))
+        else:
+            scores.append(
+                float(sum(1 for term in sentence_terms if term in query_terms))
+            )
+    return scores
+
+
+@dataclass
+class TfIdfTermImportance:
+    """TF-IDF of a term in the instance document, among the ranked list.
+
+    TF is the term's frequency in the instance document; IDF is computed
+    over the *ranked documents* ``D_M`` only (size k), so terms exclusive
+    to the instance document — like the fake-news article's ``5g`` and
+    ``microchip`` — receive the highest scores.
+    """
+
+    analyzer: Analyzer
+    instance_terms: Counter[str]
+    ranked_term_sets: list[set[str]]
+
+    @classmethod
+    def build(
+        cls,
+        analyzer: Analyzer,
+        instance_body: str,
+        ranked_bodies: Sequence[str],
+    ) -> "TfIdfTermImportance":
+        return cls(
+            analyzer=analyzer,
+            instance_terms=Counter(analyzer.analyze(instance_body)),
+            ranked_term_sets=[
+                set(analyzer.analyze(body)) for body in ranked_bodies
+            ],
+        )
+
+    def document_frequency(self, term: str) -> int:
+        """Number of ranked documents containing the analyzed ``term``."""
+        return sum(1 for terms in self.ranked_term_sets if term in terms)
+
+    def score(self, term: str) -> float:
+        """TF-IDF score of an analyzed ``term``; 0 if absent from d."""
+        term_frequency = self.instance_terms.get(term, 0)
+        if term_frequency == 0:
+            return 0.0
+        ranked_count = len(self.ranked_term_sets)
+        idf = math.log((1.0 + ranked_count) / (1.0 + self.document_frequency(term))) + 1.0
+        return term_frequency * idf
+
+    def score_surface(self, word: str) -> float:
+        """Score a surface word by analysing it first; 0 if filtered out."""
+        term = self.analyzer.term_of(word)
+        return self.score(term) if term else 0.0

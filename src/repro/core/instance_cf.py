@@ -1,0 +1,149 @@
+"""Instance-based counterfactual explanations (§II-E, Fig. 4).
+
+Instead of synthetic perturbations, return *actual corpus documents*: for
+a relevant instance document, a valid explanation is a non-relevant
+document (rank beyond k) with high similarity. Two variants from the
+paper:
+
+* **Doc2Vec Nearest** — embed documents with PV-DBOW Doc2Vec and return
+  the ``n`` most cosine-similar non-relevant documents.
+* **Cosine Sampled** — represent documents as per-term BM25-score vectors,
+  sample ``s`` non-relevant documents (ideally ``n ≪ s``), and return the
+  ``n`` with the highest cosine similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.embeddings.doc2vec import Doc2Vec
+from repro.embeddings.similarity import cosine_similarity
+from repro.embeddings.vectorizers import Bm25Vectorizer, _StatisticVectorizer
+from repro.errors import RankingError
+from repro.ranking.base import Ranker
+from repro.core.types import ExplanationSet, InstanceExplanation
+from repro.utils.rng import default_rng
+from repro.utils.validation import require, require_positive
+
+
+def _non_relevant_ids(ranker: Ranker, query: str, k: int) -> tuple[int, list[str]]:
+    """(rank of instance pool, ids of documents ranked k+1 and below)."""
+    ranking = ranker.rank(query, min(k, len(ranker.index)))
+    relevant = set(ranking.doc_ids)
+    non_relevant = [
+        doc_id for doc_id in ranker.index.doc_ids if doc_id not in relevant
+    ]
+    return ranking, non_relevant
+
+
+@dataclass
+class Doc2VecNearestExplainer:
+    """Method 1: nearest non-relevant documents in Doc2Vec space."""
+
+    ranker: Ranker
+    model: Doc2Vec
+
+    def explain(
+        self, query: str, doc_id: str, n: int = 1, k: int = 10
+    ) -> ExplanationSet[InstanceExplanation]:
+        """The ``n`` most Doc2Vec-similar documents ranked beyond ``k``."""
+        require_positive(n, "n")
+        ranking, non_relevant = _non_relevant_ids(self.ranker, query, k)
+        if doc_id not in ranking:
+            raise RankingError(
+                f"document {doc_id!r} is not in the top-{k} for {query!r}"
+            )
+        if doc_id not in self.model:
+            raise RankingError(f"document {doc_id!r} is not in the Doc2Vec model")
+        eligible = {cand for cand in non_relevant if cand in self.model}
+        excluded = set(self.model.doc_ids) - eligible
+        neighbours = self.model.most_similar(doc_id, n=n, exclude=excluded)
+        result: ExplanationSet[InstanceExplanation] = ExplanationSet()
+        result.explanations = [
+            InstanceExplanation(
+                doc_id=doc_id,
+                counterfactual_doc_id=neighbour_id,
+                similarity=similarity,
+                method="doc2vec_nearest",
+                query=query,
+                k=k,
+            )
+            for neighbour_id, similarity in neighbours
+        ]
+        result.candidates_evaluated = len(eligible)
+        result.search_exhausted = len(result.explanations) < n
+        return result
+
+
+@dataclass
+class CosineSampledExplainer:
+    """Method 2: cosine over BM25-score vectors of sampled non-relevant docs.
+
+    Args:
+        ranker: the black-box model ``M`` (supplies the corpus index).
+        vectorizer: per-term collection-statistic vectorizer; defaults to
+            BM25 vectors as in the paper.
+        seed: sampling seed (sampling is the stochastic part of method 2).
+    """
+
+    ranker: Ranker
+    vectorizer: _StatisticVectorizer | None = None
+    seed: int | None = None
+    _vector_cache: dict[str, dict[str, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self):
+        if self.vectorizer is None:
+            self.vectorizer = Bm25Vectorizer(self.ranker.index)
+
+    def _vector(self, doc_id: str) -> dict[str, float]:
+        if doc_id not in self._vector_cache:
+            self._vector_cache[doc_id] = self.vectorizer.vector(doc_id)
+        return self._vector_cache[doc_id]
+
+    def explain(
+        self, query: str, doc_id: str, n: int = 1, k: int = 10, samples: int = 50
+    ) -> ExplanationSet[InstanceExplanation]:
+        """Sample ``samples`` non-relevant documents; return the ``n`` most
+        cosine-similar to the instance document."""
+        require_positive(n, "n")
+        require_positive(samples, "samples")
+        require(
+            n <= samples,
+            "n must not exceed the sample count (the paper assumes n ≪ s)",
+        )
+        ranking, non_relevant = _non_relevant_ids(self.ranker, query, k)
+        if doc_id not in ranking:
+            raise RankingError(
+                f"document {doc_id!r} is not in the top-{k} for {query!r}"
+            )
+        rng = default_rng(self.seed)
+        if len(non_relevant) > samples:
+            chosen = rng.choice(len(non_relevant), size=samples, replace=False)
+            sampled = [non_relevant[int(i)] for i in sorted(chosen)]
+        else:
+            sampled = non_relevant
+
+        instance_vector = self._vector(doc_id)
+        scored = [
+            (candidate, cosine_similarity(instance_vector, self._vector(candidate)))
+            for candidate in sampled
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+
+        result: ExplanationSet[InstanceExplanation] = ExplanationSet()
+        result.explanations = [
+            InstanceExplanation(
+                doc_id=doc_id,
+                counterfactual_doc_id=candidate,
+                similarity=similarity,
+                method="cosine_sampled",
+                query=query,
+                k=k,
+            )
+            for candidate, similarity in scored[:n]
+        ]
+        result.candidates_evaluated = len(sampled)
+        result.search_exhausted = len(result.explanations) < n
+        return result

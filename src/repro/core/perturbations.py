@@ -1,0 +1,141 @@
+"""Scriptable document perturbations for the Builder (§III-C, Fig. 5).
+
+In the demo the user edits document text free-form; programmatically, the
+same edits are expressed as composable :class:`Perturbation` operations —
+"replace all occurrences of 'covid-19' with 'flu'", "remove occurrences
+of 'outbreak'" — applied to the raw body with whole-token matching so
+surrounding grammar and punctuation survive.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.text.sentences import split_sentences
+from repro.utils.validation import require
+
+
+def _token_pattern(surface: str) -> re.Pattern[str]:
+    """Case-insensitive whole-token pattern for a surface form.
+
+    ``covid`` must not match inside ``covid-19``, so the boundary also
+    excludes the intra-token joiners the tokenizer allows.
+    """
+    boundary = r"[0-9A-Za-z]|[-'./](?=[0-9A-Za-z])"
+    return re.compile(
+        rf"(?<![0-9A-Za-z-'./])({re.escape(surface)})(?!{boundary})",
+        re.IGNORECASE,
+    )
+
+
+class Perturbation(ABC):
+    """An edit applied to document text, returning new text."""
+
+    @abstractmethod
+    def apply(self, body: str) -> str:
+        """Return the perturbed text."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable description for explanation rendering."""
+
+
+@dataclass(frozen=True)
+class ReplaceTerm(Perturbation):
+    """Replace all whole-token occurrences of ``term`` with ``replacement``."""
+
+    term: str
+    replacement: str
+
+    def __post_init__(self):
+        require(bool(self.term), "term must be non-empty")
+
+    def apply(self, body: str) -> str:
+        return _token_pattern(self.term).sub(self.replacement, body)
+
+    def describe(self) -> str:
+        return f"replace '{self.term}' with '{self.replacement}'"
+
+
+@dataclass(frozen=True)
+class RemoveTerm(Perturbation):
+    """Remove all whole-token occurrences of ``term`` (tidying spaces)."""
+
+    term: str
+
+    def __post_init__(self):
+        require(bool(self.term), "term must be non-empty")
+
+    def apply(self, body: str) -> str:
+        removed = _token_pattern(self.term).sub("", body)
+        collapsed = re.sub(r"[ \t]{2,}", " ", removed)
+        collapsed = re.sub(r"\s+([.,;:!?])", r"\1", collapsed)
+        return collapsed.strip()
+
+    def describe(self) -> str:
+        return f"remove '{self.term}'"
+
+
+@dataclass(frozen=True)
+class RemoveSentences(Perturbation):
+    """Remove sentences by index (the §II-C perturbation, scriptable)."""
+
+    indices: tuple[int, ...]
+
+    def apply(self, body: str) -> str:
+        removals = set(self.indices)
+        survivors = [
+            sentence.text
+            for sentence in split_sentences(body)
+            if sentence.index not in removals
+        ]
+        return " ".join(survivors)
+
+    def describe(self) -> str:
+        listed = ", ".join(str(i) for i in self.indices)
+        return f"remove sentence(s) {listed}"
+
+
+@dataclass(frozen=True)
+class AppendText(Perturbation):
+    """Append free text to the document body."""
+
+    text: str
+
+    def apply(self, body: str) -> str:
+        if not body:
+            return self.text
+        separator = "" if body.endswith((" ", "\n")) else " "
+        return f"{body}{separator}{self.text}"
+
+    def describe(self) -> str:
+        return f"append {self.text!r}"
+
+
+@dataclass(frozen=True)
+class CompositePerturbation(Perturbation):
+    """Apply several perturbations in sequence."""
+
+    steps: tuple[Perturbation, ...]
+
+    @classmethod
+    def of(cls, *steps: Perturbation) -> "CompositePerturbation":
+        return cls(tuple(steps))
+
+    def apply(self, body: str) -> str:
+        for step in self.steps:
+            body = step.apply(body)
+        return body
+
+    def describe(self) -> str:
+        return "; ".join(step.describe() for step in self.steps)
+
+
+def apply_all(body: str, perturbations: Sequence[Perturbation]) -> str:
+    """Apply ``perturbations`` left to right."""
+    for perturbation in perturbations:
+        body = perturbation.apply(body)
+    return body

@@ -1,0 +1,177 @@
+"""Counterfactual query explanations by query augmentation (§II-D).
+
+The algorithm, as specified in the paper:
+
+1. Build candidate terms from the instance document, excluding terms
+   already present in the query.
+2. Score each candidate with TF-IDF — frequency in, and exclusivity to,
+   the instance document among the ranked list ``D_M``.
+3. Enumerate term subsets first by size ascending, then by summed TF-IDF
+   descending; size-major order guarantees minimality.
+4. For each subset, append the terms to the query, re-rank the original
+   top-k documents under the augmented query, and accept if the instance
+   document's rank reaches the threshold.
+5. Stop once ``n`` valid explanations are found.
+
+Candidate terms are kept in *surface form* (e.g. ``5G``, ``microchip``)
+so augmented queries read like real user queries, while matching and
+scoring run on analyzed terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExplanationBudgetExceeded, RankingError
+from repro.index.document import Document
+from repro.ranking.base import Ranker
+from repro.core.importance import TfIdfTermImportance
+from repro.core.types import ExplanationSet, QueryAugmentationExplanation
+from repro.core.validity import meets_threshold
+from repro.utils.iteration import ordered_subsets
+from repro.utils.validation import require, require_positive
+
+
+@dataclass
+class CounterfactualQueryExplainer:
+    """Finds minimal query augmentations that raise a document's rank.
+
+    Args:
+        ranker: the black-box model ``M``.
+        max_terms: cap on how many terms one explanation may append.
+        max_candidate_terms: only the highest-TF-IDF candidates enter the
+            combinatorial search (bounds the subset space; the paper's
+            ordering makes high-TF-IDF terms the ones explored anyway).
+        max_evaluations: budget on augmented queries re-ranked.
+        raise_on_budget: raise instead of returning partial results.
+    """
+
+    ranker: Ranker
+    max_terms: int = 3
+    max_candidate_terms: int = 30
+    max_evaluations: int = 2000
+    raise_on_budget: bool = False
+
+    def __post_init__(self):
+        require_positive(self.max_terms, "max_terms")
+        require_positive(self.max_candidate_terms, "max_candidate_terms")
+        require_positive(self.max_evaluations, "max_evaluations")
+
+    # -- candidate terms ------------------------------------------------------
+
+    def candidate_terms(
+        self, query: str, instance: Document, ranked_documents: list[Document]
+    ) -> list[tuple[str, float]]:
+        """Surface candidate terms from ``instance`` with TF-IDF scores.
+
+        Excludes terms already in the query, deduplicates by analyzed
+        form (keeping the first surface occurrence), and returns the top
+        ``max_candidate_terms`` by score.
+        """
+        analyzer = self.ranker.index.analyzer
+        importance = TfIdfTermImportance.build(
+            analyzer,
+            instance.body,
+            [document.body for document in ranked_documents],
+        )
+        query_terms = set(analyzer.analyze(query))
+        seen_terms: set[str] = set()
+        scored: list[tuple[str, float]] = []
+        for analyzed in analyzer.analyze_tokens(instance.body):
+            term = analyzed.term
+            if term in query_terms or term in seen_terms:
+                continue
+            seen_terms.add(term)
+            surface = analyzed.token.text.lower()
+            scored.append((surface, importance.score(term)))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[: self.max_candidate_terms]
+
+    # -- main search ----------------------------------------------------------
+
+    def explain(
+        self,
+        query: str,
+        doc_id: str,
+        n: int = 1,
+        k: int = 10,
+        threshold: int = 1,
+    ) -> ExplanationSet[QueryAugmentationExplanation]:
+        """Find up to ``n`` minimal query augmentations reaching ``threshold``.
+
+        ``threshold`` is the target rank: 2 means "raise the document to
+        rank ≤ 2 of the top-k", matching the demo's Fig. 3 usage.
+        """
+        require_positive(n, "n")
+        require_positive(k, "k")
+        require_positive(threshold, "threshold")
+        require(threshold <= k, "threshold must be within the top-k")
+
+        ranking = self.ranker.rank(query, min(k, len(self.ranker.index)))
+        if doc_id not in ranking:
+            raise RankingError(
+                f"document {doc_id!r} is not in the top-{k} for {query!r}"
+            )
+        original_rank = ranking.rank_of(doc_id)
+        ranked_documents = [
+            self.ranker.index.document(ranked_id) for ranked_id in ranking.doc_ids
+        ]
+        instance = self.ranker.index.document(doc_id)
+
+        candidates = self.candidate_terms(query, instance, ranked_documents)
+        result: ExplanationSet[QueryAugmentationExplanation] = ExplanationSet()
+        if not candidates:
+            result.search_exhausted = True
+            return result
+        terms = [term for term, _ in candidates]
+        scores = [score for _, score in candidates]
+
+        for subset, subset_score in ordered_subsets(
+            terms, scores, max_size=min(self.max_terms, len(terms))
+        ):
+            if result.candidates_evaluated >= self.max_evaluations:
+                result.budget_exhausted = True
+                if self.raise_on_budget:
+                    raise ExplanationBudgetExceeded(
+                        f"evaluated {result.candidates_evaluated} augmented "
+                        f"queries without finding {n} explanations",
+                        partial_results=result.explanations,
+                    )
+                return result
+            augmented_query = " ".join([query, *subset])
+            reranked = self.ranker.rank_candidates(
+                augmented_query, ranked_documents
+            )
+            result.candidates_evaluated += 1
+            result.ranker_calls += len(ranked_documents)
+            new_rank = reranked.rank_of(doc_id)
+            if new_rank is not None and meets_threshold(new_rank, threshold):
+                result.explanations.append(
+                    QueryAugmentationExplanation(
+                        doc_id=doc_id,
+                        original_query=query,
+                        added_terms=subset,
+                        score=subset_score,
+                        threshold=threshold,
+                        original_rank=original_rank,
+                        new_rank=new_rank,
+                    )
+                )
+                if len(result.explanations) >= n:
+                    return result
+        result.search_exhausted = True
+        return result
+
+    # -- verification ----------------------------------------------------------
+
+    def rank_under_augmentation(
+        self, query: str, doc_id: str, added_terms: tuple[str, ...], k: int = 10
+    ) -> int | None:
+        """Rank of ``doc_id`` among the original top-k under an augmentation."""
+        ranking = self.ranker.rank(query, min(k, len(self.ranker.index)))
+        ranked_documents = [
+            self.ranker.index.document(ranked_id) for ranked_id in ranking.doc_ids
+        ]
+        augmented_query = " ".join([query, *added_terms])
+        reranked = self.ranker.rank_candidates(augmented_query, ranked_documents)
+        return reranked.rank_of(doc_id)

@@ -1,0 +1,163 @@
+"""Explanation records returned by the counterfactual explainers.
+
+Every record carries enough provenance (ranks before/after, scores,
+perturbed artefacts) for the API layer to render the demo's UI artefacts:
+strikethrough sentences (Fig. 2), augmented-query tables (Fig. 3),
+similar-instance cards (Fig. 4), and the builder's movement arrows and
+validity check-mark (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, Sequence, TypeVar
+
+from repro.text.sentences import Sentence
+
+
+@dataclass(frozen=True)
+class SentenceRemovalExplanation:
+    """A valid counterfactual document perturbation (§II-C).
+
+    Removing :attr:`removed_sentences` from the instance document lowers
+    its rank from :attr:`original_rank` to :attr:`new_rank` > k.
+    """
+
+    doc_id: str
+    query: str
+    k: int
+    removed_sentences: tuple[Sentence, ...]
+    importance: float
+    original_rank: int
+    new_rank: int
+    perturbed_body: str
+
+    @property
+    def removed_indices(self) -> tuple[int, ...]:
+        return tuple(sentence.index for sentence in self.removed_sentences)
+
+    @property
+    def size(self) -> int:
+        return len(self.removed_sentences)
+
+    def to_dict(self) -> dict:
+        return {
+            "doc_id": self.doc_id,
+            "query": self.query,
+            "k": self.k,
+            "removed_sentences": [s.text for s in self.removed_sentences],
+            "removed_indices": list(self.removed_indices),
+            "importance": self.importance,
+            "original_rank": self.original_rank,
+            "new_rank": self.new_rank,
+            "perturbed_body": self.perturbed_body,
+        }
+
+
+@dataclass(frozen=True)
+class QueryAugmentationExplanation:
+    """A valid counterfactual query perturbation (§II-D).
+
+    Appending :attr:`added_terms` to the query raises the instance
+    document's rank from :attr:`original_rank` to :attr:`new_rank`
+    ≤ the requested threshold.
+    """
+
+    doc_id: str
+    original_query: str
+    added_terms: tuple[str, ...]
+    score: float
+    threshold: int
+    original_rank: int
+    new_rank: int
+
+    @property
+    def augmented_query(self) -> str:
+        return " ".join([self.original_query, *self.added_terms])
+
+    @property
+    def size(self) -> int:
+        return len(self.added_terms)
+
+    def to_dict(self) -> dict:
+        return {
+            "doc_id": self.doc_id,
+            "original_query": self.original_query,
+            "augmented_query": self.augmented_query,
+            "added_terms": list(self.added_terms),
+            "score": self.score,
+            "threshold": self.threshold,
+            "original_rank": self.original_rank,
+            "new_rank": self.new_rank,
+        }
+
+
+@dataclass(frozen=True)
+class InstanceExplanation:
+    """An instance-based counterfactual (§II-E): a real, similar,
+    non-relevant corpus document."""
+
+    doc_id: str  # the document being explained
+    counterfactual_doc_id: str  # the similar non-relevant document
+    similarity: float  # cosine similarity in [−1, 1]
+    method: str  # "doc2vec_nearest" | "cosine_sampled"
+    query: str
+    k: int
+
+    @property
+    def similarity_percent(self) -> float:
+        """Similarity as the percentage the demo UI displays."""
+        return round(100.0 * self.similarity, 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "doc_id": self.doc_id,
+            "counterfactual_doc_id": self.counterfactual_doc_id,
+            "similarity": self.similarity,
+            "similarity_percent": self.similarity_percent,
+            "method": self.method,
+            "query": self.query,
+            "k": self.k,
+        }
+
+
+E = TypeVar("E")
+
+
+@dataclass
+class ExplanationSet(Generic[E]):
+    """The result of one explanation request.
+
+    Carries cost accounting (how many candidate perturbations were
+    evaluated, how many ranker scorings that required) and whether the
+    search ran out of budget before finding ``n`` explanations.
+    """
+
+    explanations: list[E] = field(default_factory=list)
+    candidates_evaluated: int = 0
+    ranker_calls: int = 0
+    budget_exhausted: bool = False
+    search_exhausted: bool = False
+
+    def __iter__(self) -> Iterator[E]:
+        return iter(self.explanations)
+
+    def __len__(self) -> int:
+        return len(self.explanations)
+
+    def __getitem__(self, position: int) -> E:
+        return self.explanations[position]
+
+    @property
+    def complete(self) -> bool:
+        """True if the search ended for a reason other than budget."""
+        return not self.budget_exhausted
+
+    def to_dict(self) -> dict:
+        return {
+            "explanations": [e.to_dict() for e in self.explanations],
+            "candidates_evaluated": self.candidates_evaluated,
+            "ranker_calls": self.ranker_calls,
+            "budget_exhausted": self.budget_exhausted,
+            "search_exhausted": self.search_exhausted,
+        }

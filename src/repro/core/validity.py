@@ -1,0 +1,26 @@
+"""Counterfactual validity predicates.
+
+Relevance in CREDENCE is dictated by the cutoff ``k`` (§II-E): a document
+is *relevant* iff its rank is at most ``k``. A document counterfactual is
+valid when the perturbed document becomes non-relevant; a query
+counterfactual is valid when the document's rank reaches the requested
+threshold.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require_positive
+
+
+def is_non_relevant(rank: int, k: int) -> bool:
+    """True if ``rank`` falls beyond the relevance cutoff ``k``."""
+    require_positive(rank, "rank")
+    require_positive(k, "k")
+    return rank > k
+
+
+def meets_threshold(rank: int, threshold: int) -> bool:
+    """True if ``rank`` is at or above (≤) the target ``threshold``."""
+    require_positive(rank, "rank")
+    require_positive(threshold, "threshold")
+    return rank <= threshold

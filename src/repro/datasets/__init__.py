@@ -1,0 +1,28 @@
+"""Corpora: the synthetic COVID-19 Articles collection and generators.
+
+The paper demos on a private "COVID-19 Articles" corpus; offline, we
+synthesise a deterministic stand-in whose *structure* reproduces every
+scenario in the demonstration plan (see :mod:`repro.datasets.covid`).
+"""
+
+from repro.datasets.covid import (
+    FAKE_NEWS_DOC_ID,
+    NEAR_COPY_DOC_ID,
+    covid_corpus,
+    covid_training_queries,
+)
+from repro.datasets.loaders import load_jsonl, save_jsonl
+from repro.datasets.queries import sample_queries
+from repro.datasets.synthetic import TopicSpec, synthetic_corpus
+
+__all__ = [
+    "FAKE_NEWS_DOC_ID",
+    "NEAR_COPY_DOC_ID",
+    "covid_corpus",
+    "covid_training_queries",
+    "load_jsonl",
+    "save_jsonl",
+    "sample_queries",
+    "TopicSpec",
+    "synthetic_corpus",
+]

@@ -1,0 +1,247 @@
+"""The synthetic "COVID-19 Articles" corpus.
+
+The paper demos on a private COVID-19 news corpus with one running
+example: a fake-news article ranked 3/10 for the query *"covid
+outbreak"*. This module rebuilds that scenario deterministically:
+
+* nine genuine COVID-outbreak articles of graded relevance (so the fake
+  article lands mid-pack, around rank 3);
+* ``FAKE_NEWS_DOC_ID`` — a fake-news article whose **first and last
+  sentences each mention covid and outbreak** (importance 2 apiece, as in
+  Fig. 2) and whose middle sentences carry the conspiracy vocabulary
+  (``5G``, ``microchip``) found in no other ranked document (driving the
+  Fig. 3 TF-IDF ordering);
+* ``NEAR_COPY_DOC_ID`` — a near-copy of the fake article with *covid* and
+  *outbreak* systematically replaced, so it sits outside the top-10 yet
+  embeds near the fake article (the Fig. 4 Doc2Vec-nearest instance);
+* themed filler articles (flu, vaccines, markets, sports, weather, tech)
+  generated from topic vocabularies for corpus mass.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import TopicSpec, synthetic_corpus
+from repro.index.document import Document
+from repro.utils.validation import require
+
+FAKE_NEWS_DOC_ID = "covid-fake-5g"
+NEAR_COPY_DOC_ID = "covid-fake-near-copy"
+
+#: The demo's running query (§III-A).
+DEMO_QUERY = "covid outbreak"
+
+_FAKE_NEWS_BODY = (
+    "Insiders reveal the covid outbreak was staged by global elites to control "
+    "the population. "
+    "Secret documents prove that 5G towers were switched on in every city just "
+    "days before people fell ill. "
+    "The microchip hidden in each injection lets shadowy agencies track citizens "
+    "through the 5G network. "
+    "Mainstream journalists refuse to publish the microchip evidence handed to "
+    "them by brave whistleblowers. "
+    "Wake up: the covid outbreak is the cover story for the greatest "
+    "surveillance rollout in history."
+)
+
+_NEAR_COPY_BODY = (
+    "Insiders reveal the illness wave was staged by global elites to control "
+    "the population. "
+    "Secret documents prove that 5G towers were switched on in every city just "
+    "days before people fell ill. "
+    "The microchip hidden in each injection lets shadowy agencies track citizens "
+    "through the 5G network. "
+    "Mainstream journalists refuse to publish the microchip evidence handed to "
+    "them by brave whistleblowers. "
+    "Wake up: the illness wave is the cover story for the greatest surveillance "
+    "rollout in history."
+)
+
+# Genuine coverage with graded query-term intensity. The two strongest
+# articles repeat the query terms most, so the fake article (two mentions
+# of each query term) settles near rank 3 for "covid outbreak".
+_GENUINE_ARTICLES = (
+    (
+        "covid-genuine-01",
+        "Health ministry declares covid outbreak emergency as covid cases triple. "
+        "The covid outbreak has now reached forty cities, the largest outbreak "
+        "recorded this year. "
+        "Hospitals treating covid patients warn the outbreak could overwhelm "
+        "intensive care units. "
+        "Officials urged residents to follow covid outbreak guidance issued by "
+        "the national health agency.",
+    ),
+    (
+        "covid-genuine-02",
+        "The covid outbreak accelerated over the weekend with record covid "
+        "admissions. "
+        "Epidemiologists tracking the outbreak say covid transmission is the "
+        "fastest since the outbreak began. "
+        "City councils reopened covid testing centres to slow the outbreak.",
+    ),
+    (
+        "covid-genuine-03",
+        "Scientists studying the covid outbreak published new transmission data. "
+        "The outbreak appears seasonal, with covid cases peaking in winter "
+        "months. "
+        "Researchers cautioned that outbreak models still carry uncertainty.",
+    ),
+    (
+        "covid-genuine-04",
+        "Local schools closed after a covid outbreak among staff. "
+        "Parents were notified that the outbreak affected three classrooms. "
+        "Cleaning crews disinfected the buildings overnight.",
+    ),
+    (
+        "covid-genuine-05",
+        "A covid outbreak at the port delayed cargo shipments this week. "
+        "Dock workers who tested positive during the outbreak are isolating at "
+        "home. "
+        "Shipping companies rerouted vessels to neighbouring harbours.",
+    ),
+    (
+        "covid-genuine-06",
+        "Nursing homes reported a fresh covid outbreak among residents. "
+        "Vaccination teams were dispatched as the outbreak spread to two wings. "
+        "Families were asked to postpone visits until screening finishes.",
+    ),
+    (
+        "covid-genuine-07",
+        "The covid outbreak dashboard added wastewater surveillance data. "
+        "Analysts say the outbreak signal in sewage predicts hospital demand. "
+        "The dashboard updates every morning with new case counts.",
+    ),
+    (
+        "covid-genuine-08",
+        "Economists measured how the covid outbreak changed commuting patterns. "
+        "During the outbreak, office occupancy fell by half in major centres. "
+        "Transit agencies adjusted schedules to match reduced demand.",
+    ),
+    (
+        "covid-genuine-09",
+        "A rural clinic managed a small covid outbreak with mobile testing vans. "
+        "Volunteers traced contacts for every case in the outbreak. "
+        "The county praised the quick local response.",
+    ),
+)
+
+# Low-intensity outbreak coverage without covid mentions. These articles
+# sit just below the top-10 for "covid outbreak", supplying the rank-11
+# cushion a demoted counterfactual falls into (the pool the Builder's
+# "orange plus" document comes from).
+_PERIPHERAL_ARTICLES = (
+    (
+        "flu-outbreak-01",
+        "An influenza outbreak closed two primary schools for the week. "
+        "Nurses said the seasonal wave arrived earlier than usual. "
+        "Classes resume once absentee numbers fall.",
+    ),
+    (
+        "flu-outbreak-02",
+        "Health inspectors monitored a mild outbreak of seasonal flu at a "
+        "packaging factory. "
+        "Shifts were staggered while the building was ventilated. "
+        "Production resumed at the weekend.",
+    ),
+    (
+        "measles-outbreak-01",
+        "A measles outbreak in the valley prompted an emergency vaccination "
+        "drive. "
+        "Clinics extended opening hours to meet demand. "
+        "Case numbers are expected to fall within a month.",
+    ),
+)
+
+_FILLER_TOPICS = (
+    TopicSpec("flu", (
+        "flu", "influenza", "fever", "clinic", "season", "sneezing",
+        "vaccine", "recovery", "symptoms", "winter",
+    )),
+    TopicSpec("vaccine", (
+        "vaccine", "trial", "doses", "immunity", "researchers", "approval",
+        "booster", "efficacy", "pharmacy", "rollout",
+    )),
+    TopicSpec("markets", (
+        "markets", "stocks", "investors", "earnings", "shares", "trading",
+        "economy", "inflation", "bonds", "rally",
+    )),
+    TopicSpec("sports", (
+        "match", "season", "team", "players", "championship", "coach",
+        "stadium", "tournament", "victory", "league",
+    )),
+    TopicSpec("weather", (
+        "storm", "rainfall", "temperatures", "forecast", "flooding", "winds",
+        "drought", "heatwave", "snowfall", "climate",
+    )),
+    TopicSpec("technology", (
+        "software", "startup", "devices", "network", "platform", "users",
+        "digital", "innovation", "data", "engineers",
+    )),
+)
+
+
+def covid_corpus(filler_size: int = 48, seed: int | None = 7) -> list[Document]:
+    """Build the synthetic COVID-19 Articles corpus.
+
+    Args:
+        filler_size: number of generated non-covid articles (≥ 0); the 11
+            anchor documents above are always included.
+        seed: generation seed for the filler articles.
+    """
+    require(filler_size >= 0, "filler_size must be non-negative")
+    documents = [
+        Document(
+            doc_id=FAKE_NEWS_DOC_ID,
+            body=_FAKE_NEWS_BODY,
+            title="The truth they are hiding about the outbreak",
+            metadata={"fake_news": True, "topic": "covid"},
+        ),
+        Document(
+            doc_id=NEAR_COPY_DOC_ID,
+            body=_NEAR_COPY_BODY,
+            title="The truth they are hiding",
+            metadata={"fake_news": True, "topic": "conspiracy"},
+        ),
+    ]
+    documents.extend(
+        Document(
+            doc_id=doc_id,
+            body=body,
+            title=body.split(". ")[0][:60],
+            metadata={"fake_news": False, "topic": "covid"},
+        )
+        for doc_id, body in _GENUINE_ARTICLES
+    )
+    documents.extend(
+        Document(
+            doc_id=doc_id,
+            body=body,
+            title=body.split(". ")[0][:60],
+            metadata={"fake_news": False, "topic": "outbreak-peripheral"},
+        )
+        for doc_id, body in _PERIPHERAL_ARTICLES
+    )
+    if filler_size:
+        filler = synthetic_corpus(
+            size=filler_size,
+            topics=_FILLER_TOPICS,
+            sentences_per_doc=(3, 6),
+            seed=seed,
+        )
+        documents.extend(filler)
+    return documents
+
+
+def covid_training_queries() -> list[str]:
+    """Weak-supervision queries for the neural ranker on this corpus."""
+    return [
+        "covid outbreak",
+        "covid cases hospitals",
+        "flu season symptoms",
+        "vaccine trial results",
+        "stock markets rally",
+        "storm rainfall forecast",
+        "championship season victory",
+        "software platform users",
+        "outbreak testing response",
+        "5g network towers",
+    ]

@@ -1,0 +1,39 @@
+"""JSONL corpus persistence (one document per line)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.index.document import Document
+
+
+def save_jsonl(documents: Iterable[Document], path: str | Path) -> int:
+    """Write documents to ``path`` as JSON lines; returns the count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for document in documents:
+            handle.write(json.dumps(document.to_dict(), ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str | Path) -> list[Document]:
+    """Read documents from a JSONL file written by :func:`save_jsonl`."""
+    documents = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                documents.append(Document.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed document record"
+                ) from error
+    return documents

@@ -1,0 +1,45 @@
+"""Query sampling for benchmarks and ranker training.
+
+Draws 1–3-term queries from a corpus's own mid-frequency vocabulary so
+generated queries always have matching documents.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.index.document import Document
+from repro.text.analyzer import Analyzer, default_analyzer
+from repro.utils.rng import default_rng
+from repro.utils.validation import require, require_positive
+
+
+def sample_queries(
+    documents: list[Document],
+    count: int = 10,
+    terms_per_query: tuple[int, int] = (1, 3),
+    analyzer: Analyzer | None = None,
+    seed: int | None = None,
+) -> list[str]:
+    """Sample ``count`` queries from the corpus's frequent content terms."""
+    require_positive(count, "count")
+    low, high = terms_per_query
+    require(1 <= low <= high, "terms_per_query must be a valid range")
+    analyzer = analyzer or default_analyzer()
+    rng = default_rng(seed)
+
+    frequencies: Counter[str] = Counter()
+    for document in documents:
+        frequencies.update(analyzer.analyze(document.body))
+    # Mid-frequency band: informative but not one-off typos.
+    ranked = [term for term, freq in frequencies.most_common() if freq >= 2]
+    require(bool(ranked), "corpus has no repeated terms to query")
+    pool = ranked[: max(20, len(ranked) // 2)]
+
+    queries = []
+    for _ in range(count):
+        size = int(rng.integers(low, high + 1))
+        size = min(size, len(pool))
+        chosen = rng.choice(len(pool), size=size, replace=False)
+        queries.append(" ".join(pool[int(i)] for i in chosen))
+    return queries

@@ -1,0 +1,61 @@
+"""The canonical demo configuration used across examples and benchmarks.
+
+One construction of the CREDENCE system over the synthetic COVID-19
+Articles corpus, with the neural retrieve-rerank pipeline and the seed
+under which the demonstration-plan scenario (§III) plays out closest to
+the paper: the fake-news article ranks mid-pack for "covid outbreak",
+``5g`` alone raises it to rank 2, and removing the first and last
+sentences demotes it beyond k = 10.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.datasets.covid import (
+    DEMO_QUERY,
+    FAKE_NEWS_DOC_ID,
+    NEAR_COPY_DOC_ID,
+    covid_corpus,
+    covid_training_queries,
+)
+
+#: Seed chosen (by sweep) to best match the paper's reported ranks.
+DEMO_SEED = 5
+
+#: The demo's relevance cutoff (§III-A).
+DEMO_K = 10
+
+__all__ = [
+    "DEMO_QUERY",
+    "DEMO_SEED",
+    "DEMO_K",
+    "FAKE_NEWS_DOC_ID",
+    "NEAR_COPY_DOC_ID",
+    "demo_engine",
+]
+
+
+def demo_engine(
+    ranker: str = "neural",
+    filler_size: int = 48,
+    seed: int = DEMO_SEED,
+    cache_scores: bool = True,
+) -> CredenceEngine:
+    """Build the demo CREDENCE engine over the COVID corpus.
+
+    Args:
+        ranker: any of :data:`repro.core.engine.RANKER_CHOICES`; the demo
+            default is the neural pipeline (the monoT5 stand-in).
+        filler_size: size of the generated non-covid background corpus.
+        seed: controls the neural ranker, Doc2Vec, LDA, and sampling.
+        cache_scores: memoise ranker scorings (keep on, except when
+            benchmarking raw ranker cost).
+    """
+    documents = covid_corpus(filler_size=filler_size)
+    config = EngineConfig(
+        ranker=ranker,
+        training_queries=tuple(covid_training_queries()),
+        seed=seed,
+        cache_scores=cache_scores,
+    )
+    return CredenceEngine(documents, config)

@@ -1,0 +1,27 @@
+"""Embedding substrate: word2vec, Doc2Vec, and collection-statistic vectors.
+
+Backs the paper's two instance-based counterfactual variants (§II-E):
+Doc2Vec embeddings (method 1) and per-term BM25-score document vectors
+(method 2), both compared by cosine similarity.
+"""
+
+from repro.embeddings.doc2vec import Doc2Vec, train_doc2vec
+from repro.embeddings.similarity import CosineKnn, cosine_similarity
+from repro.embeddings.vectorizers import (
+    Bm25Vectorizer,
+    SparseVector,
+    TfIdfVectorizer,
+)
+from repro.embeddings.word2vec import Word2Vec, train_word2vec
+
+__all__ = [
+    "Doc2Vec",
+    "train_doc2vec",
+    "CosineKnn",
+    "cosine_similarity",
+    "Bm25Vectorizer",
+    "SparseVector",
+    "TfIdfVectorizer",
+    "Word2Vec",
+    "train_word2vec",
+]

@@ -1,0 +1,175 @@
+"""Doc2Vec (Paragraph Vectors) — the PV-DBOW variant of Le & Mikolov 2014.
+
+Method 1 of the paper's instance-based counterfactuals trains "a Doc2Vec
+embedding model" and returns the most cosine-similar non-relevant
+documents. PV-DBOW learns one vector per document by training it to
+predict the document's words against negative samples; it is the variant
+gensim defaults to for similarity work and the cheapest to train, which
+matches the demo's interactive setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.sampling import UnigramTable, sigmoid
+from repro.errors import DocumentNotFoundError, TrainingError
+from repro.text.vocabulary import Vocabulary
+from repro.utils.rng import default_rng
+from repro.utils.validation import require, require_positive
+
+
+@dataclass
+class Doc2Vec:
+    """Trained PV-DBOW model: one embedding per training document."""
+
+    vocabulary: Vocabulary
+    doc_ids: list[str]
+    doc_vectors: np.ndarray  # (num_docs, dimension)
+    word_out: np.ndarray  # (vocab, dimension)
+    negatives: int
+    _unigram_table: UnigramTable
+
+    @property
+    def dimension(self) -> int:
+        return self.doc_vectors.shape[1]
+
+    def vector(self, doc_id: str) -> np.ndarray:
+        try:
+            row = self.doc_ids.index(doc_id)
+        except ValueError:
+            raise DocumentNotFoundError(doc_id) from None
+        return self.doc_vectors[row]
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self.doc_ids
+
+    def similarity(self, first: str, second: str) -> float:
+        """Cosine similarity between two trained documents."""
+        a, b = self.vector(first), self.vector(second)
+        denominator = (np.linalg.norm(a) * np.linalg.norm(b)) or 1.0
+        return float(a @ b / denominator)
+
+    def most_similar(
+        self, doc_id: str, n: int = 10, exclude: set[str] | None = None
+    ) -> list[tuple[str, float]]:
+        """The ``n`` most cosine-similar documents to ``doc_id``."""
+        query = self.vector(doc_id)
+        norms = np.linalg.norm(self.doc_vectors, axis=1) * (
+            np.linalg.norm(query) or 1.0
+        )
+        norms[norms == 0] = 1.0
+        scores = (self.doc_vectors @ query) / norms
+        excluded = set(exclude or ()) | {doc_id}
+        ranked = [
+            (self.doc_ids[i], float(scores[i]))
+            for i in np.argsort(-scores)
+            if self.doc_ids[i] not in excluded
+        ]
+        return ranked[:n]
+
+    def infer_vector(
+        self,
+        terms: list[str],
+        epochs: int = 25,
+        learning_rate: float = 0.025,
+        seed: int | None = None,
+    ) -> np.ndarray:
+        """Embed unseen text by gradient steps against frozen word vectors."""
+        rng = default_rng(seed)
+        word_ids = self.vocabulary.encode(terms)
+        vector = (rng.random(self.dimension) - 0.5) / self.dimension
+        if not word_ids:
+            return vector
+        ids = np.asarray(word_ids, dtype=np.int64)
+        for epoch in range(epochs):
+            alpha = learning_rate * (1.0 - epoch / epochs) + 1e-4
+            for word_id in ids:
+                negative_ids = self._unigram_table.sample(rng, self.negatives)
+                targets = np.concatenate(([word_id], negative_ids))
+                labels = np.zeros(len(targets))
+                labels[0] = 1.0
+                outputs = self.word_out[targets]
+                predictions = sigmoid(outputs @ vector)
+                gradient = (predictions - labels)[:, None]
+                vector -= alpha * (gradient * outputs).sum(axis=0)
+        return vector
+
+
+def train_doc2vec(
+    documents: dict[str, list[str]],
+    dimension: int = 64,
+    negatives: int = 5,
+    epochs: int = 100,
+    learning_rate: float = 0.025,
+    min_count: int = 1,
+    subsample: float | None = 1e-2,
+    seed: int | None = None,
+) -> Doc2Vec:
+    """Train PV-DBOW document embeddings.
+
+    Args:
+        documents: mapping of doc_id → analyzed term sequence.
+        subsample: frequent-word subsampling threshold (word2vec's ``t``).
+            Without it, corpus-wide frequent terms dominate every update
+            and all document vectors collapse onto one direction; ``1e-2``
+            suits the small corpora this library targets (gensim's default
+            ``1e-3`` assumes web-scale text). ``None`` disables.
+    """
+    require_positive(dimension, "dimension")
+    require_positive(epochs, "epochs")
+    require(bool(documents), "documents must be non-empty")
+    rng = default_rng(seed)
+    doc_ids = list(documents)
+    vocabulary = Vocabulary.from_documents(documents.values(), min_count=min_count)
+    if len(vocabulary) == 0:
+        raise TrainingError("empty vocabulary: no trainable terms")
+
+    encoded = {doc_id: vocabulary.encode(documents[doc_id]) for doc_id in doc_ids}
+    counts = np.array(
+        [vocabulary.frequency(vocabulary.term_of(i)) for i in range(len(vocabulary))],
+        dtype=np.float64,
+    )
+    table = UnigramTable(counts)
+    keep_probability = np.ones(len(vocabulary))
+    if subsample is not None:
+        frequency = counts / counts.sum()
+        keep_probability = np.minimum(
+            1.0, np.sqrt(subsample / frequency) + subsample / frequency
+        )
+
+    doc_vectors = (rng.random((len(doc_ids), dimension)) - 0.5) / dimension
+    word_out = np.zeros((len(vocabulary), dimension))
+
+    for epoch in range(epochs):
+        alpha = learning_rate * (1.0 - epoch / epochs) + 1e-4
+        for row, doc_id in enumerate(doc_ids):
+            word_ids = encoded[doc_id]
+            if not word_ids:
+                continue
+            for word_id in word_ids:
+                if keep_probability[word_id] < 1.0 and (
+                    rng.random() > keep_probability[word_id]
+                ):
+                    continue
+                negative_ids = table.sample(rng, negatives)
+                targets = np.concatenate(([word_id], negative_ids))
+                labels = np.zeros(len(targets))
+                labels[0] = 1.0
+                outputs = word_out[targets]
+                vector = doc_vectors[row]
+                predictions = sigmoid(outputs @ vector)
+                gradient = (predictions - labels)[:, None]
+                word_out[targets] -= alpha * gradient * vector
+                doc_vectors[row] -= alpha * (gradient * outputs).sum(axis=0)
+
+    return Doc2Vec(
+        vocabulary=vocabulary,
+        doc_ids=doc_ids,
+        doc_vectors=doc_vectors,
+        word_out=word_out,
+        negatives=negatives,
+        _unigram_table=table,
+    )

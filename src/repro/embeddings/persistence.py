@@ -1,0 +1,113 @@
+"""Persistence for trained models (word2vec, Doc2Vec, neural reranker).
+
+Embedding training is the slowest step of engine construction; saving
+trained models lets a deployment (or a benchmark session) reuse them
+across processes. Format: numpy ``.npz`` with a JSON-encoded header —
+self-describing, dependency-free, and safe to load (no pickle).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.embeddings.doc2vec import Doc2Vec
+from repro.embeddings.sampling import UnigramTable
+from repro.embeddings.word2vec import Word2Vec
+from repro.text.vocabulary import Vocabulary
+
+FORMAT_VERSION = 1
+
+
+def _check_kind(payload: dict, expected: str) -> None:
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format version: {payload.get('format_version')!r}"
+        )
+    if payload.get("kind") != expected:
+        raise ValueError(f"expected a {expected} file, got {payload.get('kind')!r}")
+
+
+def _vocabulary_payload(vocabulary: Vocabulary) -> dict:
+    return {
+        "terms": list(vocabulary),
+        "frequencies": [vocabulary.frequency(term) for term in vocabulary],
+    }
+
+
+def _vocabulary_from_payload(payload: dict) -> Vocabulary:
+    vocabulary = Vocabulary()
+    for term, frequency in zip(payload["terms"], payload["frequencies"]):
+        vocabulary.add(term)
+        vocabulary._frequencies[term] = frequency
+    return vocabulary
+
+
+def save_word2vec(model: Word2Vec, path: str | Path) -> None:
+    """Serialise a trained word2vec model to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "kind": "word2vec",
+        "vocabulary": _vocabulary_payload(model.vocabulary),
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        w_in=model.w_in,
+        w_out=model.w_out,
+    )
+
+
+def load_word2vec(path: str | Path) -> Word2Vec:
+    """Load a model written by :func:`save_word2vec`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        _check_kind(header, "word2vec")
+        return Word2Vec(
+            vocabulary=_vocabulary_from_payload(header["vocabulary"]),
+            w_in=data["w_in"],
+            w_out=data["w_out"],
+        )
+
+
+def save_doc2vec(model: Doc2Vec, path: str | Path) -> None:
+    """Serialise a trained Doc2Vec model to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "kind": "doc2vec",
+        "vocabulary": _vocabulary_payload(model.vocabulary),
+        "doc_ids": model.doc_ids,
+        "negatives": model.negatives,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        doc_vectors=model.doc_vectors,
+        word_out=model.word_out,
+    )
+
+
+def load_doc2vec(path: str | Path) -> Doc2Vec:
+    """Load a model written by :func:`save_doc2vec`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        _check_kind(header, "doc2vec")
+        vocabulary = _vocabulary_from_payload(header["vocabulary"])
+        counts = np.array(
+            [max(vocabulary.frequency(term), 1) for term in vocabulary],
+            dtype=np.float64,
+        )
+        return Doc2Vec(
+            vocabulary=vocabulary,
+            doc_ids=list(header["doc_ids"]),
+            doc_vectors=data["doc_vectors"],
+            word_out=data["word_out"],
+            negatives=int(header["negatives"]),
+            _unigram_table=UnigramTable(counts),
+        )

@@ -1,0 +1,28 @@
+"""Negative-sampling machinery shared by word2vec and Doc2Vec."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+class UnigramTable:
+    """Draws negative samples ∝ unigram_count^power (Mikolov's 0.75)."""
+
+    def __init__(self, counts: np.ndarray, power: float = 0.75):
+        require(len(counts) > 0, "counts must be non-empty")
+        weights = np.asarray(counts, dtype=np.float64) ** power
+        total = weights.sum()
+        require(total > 0, "counts must contain a positive entry")
+        self._cumulative = np.cumsum(weights / total)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` ids (may include repeats, as in word2vec)."""
+        draws = rng.random(size)
+        return np.searchsorted(self._cumulative, draws).astype(np.int64)
+
+
+def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Numerically-stable logistic function."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))

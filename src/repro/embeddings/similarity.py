@@ -1,0 +1,58 @@
+"""Cosine similarity and exact nearest-neighbour search."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.heap import TopK
+from repro.utils.validation import require, require_positive
+
+
+def cosine_similarity(a, b) -> float:
+    """Cosine similarity of two vectors.
+
+    Accepts dense arrays or sparse ``{key: weight}`` mappings (both
+    arguments must use the same representation). Zero vectors yield 0.0.
+    """
+    if isinstance(a, Mapping) and isinstance(b, Mapping):
+        if not a or not b:
+            return 0.0
+        smaller, larger = (a, b) if len(a) <= len(b) else (b, a)
+        dot = sum(weight * larger.get(key, 0.0) for key, weight in smaller.items())
+        norm_a = sum(weight * weight for weight in a.values()) ** 0.5
+        norm_b = sum(weight * weight for weight in b.values()) ** 0.5
+        denominator = norm_a * norm_b
+        return dot / denominator if denominator else 0.0
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    require(a.shape == b.shape, "vectors must have matching shapes")
+    denominator = float(np.linalg.norm(a) * np.linalg.norm(b))
+    return float(a @ b) / denominator if denominator else 0.0
+
+
+class CosineKnn:
+    """Exact top-n cosine search over a fixed set of labelled vectors."""
+
+    def __init__(self, labels: Sequence[str], matrix: np.ndarray):
+        require(len(labels) == matrix.shape[0], "labels must match matrix rows")
+        self.labels = list(labels)
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._normalized = matrix / norms
+
+    def nearest(
+        self, query: np.ndarray, n: int = 10, exclude: set[str] | None = None
+    ) -> list[tuple[str, float]]:
+        """The ``n`` labels most cosine-similar to ``query``, best first."""
+        require_positive(n, "n")
+        norm = float(np.linalg.norm(query))
+        unit = query / norm if norm else query
+        scores = self._normalized @ unit
+        excluded = exclude or set()
+        top = TopK[str](n)
+        for i, label in enumerate(self.labels):
+            if label not in excluded:
+                top.push(float(scores[i]), label)
+        return [(label, score) for score, label in top.items()]

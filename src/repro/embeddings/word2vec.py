@@ -1,0 +1,119 @@
+"""Skip-gram word2vec with negative sampling (Mikolov et al., 2013).
+
+Pure-numpy SGNS, deterministic under a seed. Word vectors feed the
+optional semantic channel of the neural reranker's features and serve as
+the word-output layer for PV-DBOW Doc2Vec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.embeddings.sampling import UnigramTable, sigmoid
+from repro.errors import TermNotFoundError, TrainingError
+from repro.text.vocabulary import Vocabulary
+from repro.utils.rng import default_rng
+from repro.utils.validation import require, require_positive
+
+
+@dataclass
+class Word2Vec:
+    """Trained SGNS embeddings: input vectors ``W_in``, output ``W_out``."""
+
+    vocabulary: Vocabulary
+    w_in: np.ndarray
+    w_out: np.ndarray
+
+    @property
+    def dimension(self) -> int:
+        return self.w_in.shape[1]
+
+    def vector(self, term: str) -> np.ndarray:
+        term_id = self.vocabulary.get(term)
+        if term_id is None:
+            raise TermNotFoundError(term)
+        return self.w_in[term_id]
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.vocabulary
+
+    def text_vector(self, terms: Iterable[str]) -> np.ndarray:
+        """Mean of known term vectors; zeros if no term is known."""
+        vectors = [self.w_in[i] for i in self.vocabulary.encode(terms)]
+        if not vectors:
+            return np.zeros(self.dimension)
+        return np.mean(vectors, axis=0)
+
+    def most_similar(self, term: str, n: int = 10) -> list[tuple[str, float]]:
+        """The ``n`` terms with the highest cosine similarity to ``term``."""
+        query = self.vector(term)
+        norms = np.linalg.norm(self.w_in, axis=1) * (np.linalg.norm(query) or 1.0)
+        norms[norms == 0] = 1.0
+        scores = (self.w_in @ query) / norms
+        scores[self.vocabulary.id_of(term)] = -np.inf
+        order = np.argsort(-scores)[:n]
+        return [(self.vocabulary.term_of(int(i)), float(scores[int(i)])) for i in order]
+
+
+def train_word2vec(
+    documents: Sequence[Sequence[str]],
+    dimension: int = 64,
+    window: int = 4,
+    negatives: int = 5,
+    epochs: int = 5,
+    learning_rate: float = 0.025,
+    min_count: int = 1,
+    seed: int | None = None,
+) -> Word2Vec:
+    """Train SGNS embeddings on tokenised ``documents``."""
+    require_positive(dimension, "dimension")
+    require_positive(window, "window")
+    require_positive(epochs, "epochs")
+    rng = default_rng(seed)
+    vocabulary = Vocabulary.from_documents(documents, min_count=min_count)
+    if len(vocabulary) == 0:
+        raise TrainingError("empty vocabulary: no trainable terms")
+
+    encoded = [vocabulary.encode(document) for document in documents]
+    encoded = [doc for doc in encoded if len(doc) > 1]
+    require(bool(encoded), "no document has two or more known terms")
+
+    counts = np.array(
+        [vocabulary.frequency(vocabulary.term_of(i)) for i in range(len(vocabulary))],
+        dtype=np.float64,
+    )
+    table = UnigramTable(counts)
+
+    size = len(vocabulary)
+    w_in = (rng.random((size, dimension)) - 0.5) / dimension
+    w_out = np.zeros((size, dimension))
+
+    for epoch in range(epochs):
+        alpha = learning_rate * (1.0 - epoch / max(epochs, 1)) + 1e-4
+        for doc in encoded:
+            doc_array = np.asarray(doc, dtype=np.int64)
+            for position, center in enumerate(doc_array):
+                span = int(rng.integers(1, window + 1))
+                left = max(0, position - span)
+                contexts = np.concatenate(
+                    [doc_array[left:position], doc_array[position + 1 : position + 1 + span]]
+                )
+                if contexts.size == 0:
+                    continue
+                for context in contexts:
+                    negatives_ids = table.sample(rng, negatives)
+                    targets = np.concatenate(([context], negatives_ids))
+                    labels = np.zeros(len(targets))
+                    labels[0] = 1.0
+                    outputs = w_out[targets]  # (1+neg, dim)
+                    center_vector = w_in[center]
+                    predictions = sigmoid(outputs @ center_vector)
+                    gradient = (predictions - labels)[:, None]  # d(loss)/d(logit)
+                    grad_center = (gradient * outputs).sum(axis=0)
+                    w_out[targets] -= alpha * gradient * center_vector
+                    w_in[center] -= alpha * grad_center
+
+    return Word2Vec(vocabulary=vocabulary, w_in=w_in, w_out=w_out)

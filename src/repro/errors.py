@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro (CREDENCE reproduction) library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class DocumentNotFoundError(ReproError, KeyError):
+    """A document id was requested that the index/corpus does not contain."""
+
+    def __init__(self, doc_id: str):
+        super().__init__(doc_id)
+        self.doc_id = doc_id
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return f"unknown document id: {self.doc_id!r}"
+
+
+class TermNotFoundError(ReproError, KeyError):
+    """A term was requested that the vocabulary/index does not contain."""
+
+    def __init__(self, term: str):
+        super().__init__(term)
+        self.term = term
+
+    def __str__(self) -> str:
+        return f"unknown term: {self.term!r}"
+
+
+class IndexStateError(ReproError):
+    """The index was used in an invalid state (e.g. searching an empty index)."""
+
+
+class RankingError(ReproError):
+    """A ranking operation failed (e.g. ranking over an empty candidate set)."""
+
+
+class ExplanationBudgetExceeded(ReproError):
+    """A counterfactual search exhausted its ranker-call budget.
+
+    Carries the partial results discovered before the budget ran out so
+    callers can degrade gracefully.
+    """
+
+    def __init__(self, message: str, partial_results=None):
+        super().__init__(message)
+        self.partial_results = list(partial_results or [])
+
+
+class TrainingError(ReproError):
+    """A model (embedding, LDA, neural ranker) failed to train."""
+
+
+class ApiError(ReproError):
+    """Base class for errors surfaced through the REST layer."""
+
+    status_code = 500
+
+    def to_payload(self) -> dict:
+        return {"error": type(self).__name__, "detail": str(self)}
+
+
+class BadRequestError(ApiError):
+    """The request payload failed validation."""
+
+    status_code = 400
+
+
+class NotFoundError(ApiError):
+    """The requested route or resource does not exist."""
+
+    status_code = 404

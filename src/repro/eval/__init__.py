@@ -1,0 +1,35 @@
+"""Evaluation: ranking metrics, counterfactual metrics, and the harness
+that regenerates the paper's figures as printable reports."""
+
+from repro.eval.cf_metrics import (
+    CounterfactualStats,
+    explanation_cost,
+    minimality_violations,
+    validity_rate,
+)
+from repro.eval.plausibility import CorpusLanguageModel
+from repro.eval.ranking_metrics import (
+    average_precision,
+    kendall_tau,
+    mrr,
+    ndcg_at_k,
+    precision_at_k,
+    rank_biased_overlap,
+)
+from repro.eval.reporting import Table, format_table
+
+__all__ = [
+    "CorpusLanguageModel",
+    "CounterfactualStats",
+    "explanation_cost",
+    "minimality_violations",
+    "validity_rate",
+    "average_precision",
+    "kendall_tau",
+    "mrr",
+    "ndcg_at_k",
+    "precision_at_k",
+    "rank_biased_overlap",
+    "Table",
+    "format_table",
+]

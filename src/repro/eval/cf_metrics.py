@@ -1,0 +1,102 @@
+"""Counterfactual-quality metrics.
+
+The demo paper reports no quantitative tables, so the benchmark harness
+evaluates its algorithms with the standard counterfactual-explanation
+metrics from the XAI literature: validity (does the perturbation flip
+the outcome), minimality (is no strict subset also valid), perturbation
+size/sparsity, and search cost in ranker calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable, Iterable, Sequence
+
+from repro.core.types import ExplanationSet
+
+
+@dataclass(frozen=True)
+class CounterfactualStats:
+    """Aggregate quality statistics over a batch of explanation runs."""
+
+    requests: int
+    found: int
+    mean_size: float
+    mean_candidates: float
+    mean_ranker_calls: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.found / self.requests if self.requests else 0.0
+
+
+def summarize_runs(runs: Sequence[ExplanationSet]) -> CounterfactualStats:
+    """Summarise explanation sets produced by repeated explainer calls."""
+    sizes = [
+        explanation.size
+        for run in runs
+        for explanation in run.explanations
+        if hasattr(explanation, "size")
+    ]
+    return CounterfactualStats(
+        requests=len(runs),
+        found=sum(1 for run in runs if len(run) > 0),
+        mean_size=mean(sizes) if sizes else 0.0,
+        mean_candidates=(
+            mean(run.candidates_evaluated for run in runs) if runs else 0.0
+        ),
+        mean_ranker_calls=(
+            mean(run.ranker_calls for run in runs) if runs else 0.0
+        ),
+    )
+
+
+def validity_rate(
+    explanations: Iterable, is_valid: Callable[[object], bool]
+) -> float:
+    """Fraction of explanations passing an independent validity check."""
+    items = list(explanations)
+    if not items:
+        return 0.0
+    return sum(1 for explanation in items if is_valid(explanation)) / len(items)
+
+
+def minimality_violations(
+    explanation_sets: Sequence[frozenset],
+    is_valid_subset: Callable[[frozenset], bool],
+) -> int:
+    """Count explanations with a valid *strict* subset (minimality breaches).
+
+    Exhaustively re-checks every proper non-empty subset against the
+    model via ``is_valid_subset`` (explanation sets are small — the
+    search is size-major, so sizes rarely exceed 3). The paper's
+    enumeration order should make this return 0 for the first
+    explanation of every request.
+    """
+    from itertools import combinations
+
+    violations = 0
+    for full in explanation_sets:
+        elements = sorted(full)
+        found_valid_subset = False
+        for size in range(1, len(elements)):
+            for subset in combinations(elements, size):
+                if is_valid_subset(frozenset(subset)):
+                    found_valid_subset = True
+                    break
+            if found_valid_subset:
+                break
+        if found_valid_subset:
+            violations += 1
+    return violations
+
+
+def explanation_cost(run: ExplanationSet) -> dict[str, float]:
+    """Cost summary of one explanation request."""
+    return {
+        "explanations": float(len(run)),
+        "candidates_evaluated": float(run.candidates_evaluated),
+        "ranker_calls": float(run.ranker_calls),
+        "budget_exhausted": float(run.budget_exhausted),
+    }

@@ -1,0 +1,133 @@
+"""Batch evaluation harness: explanation studies over query sets.
+
+The demo explains one document at a time; for quantitative evaluation
+(and the ablation benchmarks) we sweep an explainer over many (query,
+document) instances and aggregate success rate, explanation size, and
+search cost. This is the scaffolding a full paper evaluation would use
+on LETOR/MS MARCO-scale data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.engine import CredenceEngine
+from repro.core.types import ExplanationSet
+from repro.errors import RankingError
+from repro.eval.cf_metrics import CounterfactualStats, summarize_runs
+from repro.eval.reporting import Table
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class StudyInstance:
+    """One (query, doc_id) explanation request."""
+
+    query: str
+    doc_id: str
+
+
+@dataclass
+class StudyResult:
+    """Aggregated outcome of one explainer study."""
+
+    name: str
+    runs: list[ExplanationSet] = field(default_factory=list)
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def stats(self) -> CounterfactualStats:
+        return summarize_runs(self.runs)
+
+    def as_row(self) -> list:
+        stats = self.stats
+        return [
+            self.name,
+            stats.requests,
+            f"{stats.success_rate:.0%}",
+            stats.mean_size,
+            stats.mean_candidates,
+            stats.mean_ranker_calls,
+            self.errors,
+            self.elapsed_seconds,
+        ]
+
+
+STUDY_HEADERS = (
+    "study", "requests", "success", "mean size", "mean candidates",
+    "mean ranker calls", "errors", "seconds",
+)
+
+
+def rankable_instances(
+    engine: CredenceEngine, queries: Sequence[str], k: int = 10, per_query: int = 3
+) -> list[StudyInstance]:
+    """Build study instances: the bottom ``per_query`` ranked documents of
+    each query (the documents with a demotable rank)."""
+    require_positive(per_query, "per_query")
+    instances = []
+    for query in queries:
+        ranking = engine.rank(query, k=k)
+        for doc_id in ranking.doc_ids[-per_query:]:
+            instances.append(StudyInstance(query, doc_id))
+    return instances
+
+
+def run_document_cf_study(
+    engine: CredenceEngine,
+    instances: Sequence[StudyInstance],
+    k: int = 10,
+    n: int = 1,
+    name: str = "document-cf",
+) -> StudyResult:
+    """Sweep the sentence-removal explainer over ``instances``."""
+    require(bool(instances), "instances must be non-empty")
+    result = StudyResult(name=name)
+    watch = Stopwatch()
+    for instance in instances:
+        try:
+            with watch.measure():
+                run = engine.explain_document(
+                    instance.query, instance.doc_id, n=n, k=k
+                )
+            result.runs.append(run)
+        except RankingError:
+            result.errors += 1
+    result.elapsed_seconds = watch.elapsed
+    return result
+
+
+def run_query_cf_study(
+    engine: CredenceEngine,
+    instances: Sequence[StudyInstance],
+    k: int = 10,
+    n: int = 1,
+    threshold: int = 1,
+    name: str = "query-cf",
+) -> StudyResult:
+    """Sweep the query-augmentation explainer over ``instances``."""
+    require(bool(instances), "instances must be non-empty")
+    result = StudyResult(name=name)
+    watch = Stopwatch()
+    for instance in instances:
+        try:
+            with watch.measure():
+                run = engine.explain_query(
+                    instance.query, instance.doc_id, n=n, k=k, threshold=threshold
+                )
+            result.runs.append(run)
+        except RankingError:
+            result.errors += 1
+    result.elapsed_seconds = watch.elapsed
+    return result
+
+
+def study_table(results: Sequence[StudyResult], title: str = "") -> Table:
+    """Render study results as a report table."""
+    table = Table(list(STUDY_HEADERS), title=title)
+    for result in results:
+        table.add(*result.as_row())
+    return table

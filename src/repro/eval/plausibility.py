@@ -1,0 +1,59 @@
+"""Plausibility scoring for counterfactual perturbations.
+
+A perturbed document is *plausible* when it still reads like a document
+from the corpus. CREDENCE designs for plausibility structurally (whole
+sentences are removed; instance-based explanations are real documents);
+this module quantifies it so the eval harness can compare perturbation
+strategies: a corpus-fitted unigram language model scores text by
+per-term perplexity, and a perturbation's plausibility cost is the
+perplexity ratio of perturbed to original text (≈1 ⇒ as natural as the
+original).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.index.inverted import InvertedIndex
+from repro.utils.validation import require_positive
+
+
+class CorpusLanguageModel:
+    """Unigram LM with Lidstone smoothing, fitted to an index."""
+
+    def __init__(self, index: InvertedIndex, smoothing: float = 0.5):
+        require_positive(smoothing, "smoothing")
+        self.index = index
+        self.smoothing = smoothing
+        stats = index.stats()
+        self._total_terms = stats.total_terms
+        self._vocabulary_size = stats.unique_terms
+
+    def log_probability(self, term: str) -> float:
+        """Smoothed log P(term) under the corpus unigram distribution."""
+        count = self.index.collection_frequency(term)
+        numerator = count + self.smoothing
+        denominator = (
+            self._total_terms + self.smoothing * (self._vocabulary_size + 1)
+        )
+        return math.log(numerator / denominator)
+
+    def perplexity(self, text: str) -> float:
+        """Per-term perplexity of ``text``; infinity for empty text."""
+        terms = self.index.analyzer.analyze(text)
+        if not terms:
+            return float("inf")
+        log_likelihood = sum(self.log_probability(term) for term in terms)
+        return math.exp(-log_likelihood / len(terms))
+
+    def plausibility_ratio(self, original: str, perturbed: str) -> float:
+        """perplexity(perturbed) / perplexity(original).
+
+        ≈1 means the perturbation left the text as corpus-natural as it
+        was; ≫1 means the edit pushed it off-distribution.
+        """
+        original_perplexity = self.perplexity(original)
+        perturbed_perplexity = self.perplexity(perturbed)
+        if math.isinf(original_perplexity):
+            return float("inf")
+        return perturbed_perplexity / original_perplexity

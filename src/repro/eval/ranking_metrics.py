@@ -1,0 +1,109 @@
+"""Standard ranking-quality and rank-correlation metrics.
+
+Used by the ablation benchmarks to quantify how different rankers order
+the same corpus (the black-box generality study) and by tests as
+independent oracles for ranking behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.utils.validation import require, require_positive
+
+
+def precision_at_k(ranked_ids: Sequence[str], relevant: set[str], k: int) -> float:
+    """Fraction of the top-``k`` that is relevant."""
+    require_positive(k, "k")
+    top = ranked_ids[:k]
+    if not top:
+        return 0.0
+    return sum(1 for doc_id in top if doc_id in relevant) / len(top)
+
+
+def mrr(ranked_ids: Sequence[str], relevant: set[str]) -> float:
+    """Reciprocal rank of the first relevant document (0 if none)."""
+    for position, doc_id in enumerate(ranked_ids, start=1):
+        if doc_id in relevant:
+            return 1.0 / position
+    return 0.0
+
+
+def average_precision(ranked_ids: Sequence[str], relevant: set[str]) -> float:
+    """Mean of precision@i over relevant positions i."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for position, doc_id in enumerate(ranked_ids, start=1):
+        if doc_id in relevant:
+            hits += 1
+            total += hits / position
+    return total / len(relevant)
+
+
+def ndcg_at_k(
+    ranked_ids: Sequence[str], gains: Mapping[str, float], k: int
+) -> float:
+    """Normalised discounted cumulative gain with graded ``gains``."""
+    require_positive(k, "k")
+    dcg = sum(
+        gains.get(doc_id, 0.0) / math.log2(position + 1)
+        for position, doc_id in enumerate(ranked_ids[:k], start=1)
+    )
+    ideal_gains = sorted(gains.values(), reverse=True)[:k]
+    ideal = sum(
+        gain / math.log2(position + 1)
+        for position, gain in enumerate(ideal_gains, start=1)
+    )
+    return dcg / ideal if ideal > 0 else 0.0
+
+
+def kendall_tau(first: Sequence[str], second: Sequence[str]) -> float:
+    """Kendall's τ between two orderings of the same item set.
+
+    Raises if the two sequences are not permutations of each other.
+    """
+    require(set(first) == set(second), "orderings must cover the same items")
+    require(len(first) == len(set(first)), "orderings must not repeat items")
+    n = len(first)
+    if n < 2:
+        return 1.0
+    position = {doc_id: i for i, doc_id in enumerate(second)}
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if position[first[i]] < position[first[j]]:
+                concordant += 1
+            else:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+def rank_biased_overlap(
+    first: Sequence[str], second: Sequence[str], p: float = 0.9
+) -> float:
+    """Extrapolated rank-biased overlap, RBO_ext (Webber et al., 2010).
+
+    Top-weighted similarity of two (possibly different-membership) ranked
+    lists; ``p`` is the persistence parameter. The extrapolation assumes
+    the agreement at the evaluated depth continues, so two identical
+    finite lists score exactly 1.0.
+    """
+    require(0.0 < p < 1.0, "p must be in (0, 1)")
+    depth = max(len(first), len(second))
+    if depth == 0:
+        return 1.0
+    weighted_sum = 0.0
+    seen_first: set[str] = set()
+    seen_second: set[str] = set()
+    agreement = 0.0
+    for d in range(1, depth + 1):
+        if d <= len(first):
+            seen_first.add(first[d - 1])
+        if d <= len(second):
+            seen_second.add(second[d - 1])
+        agreement = len(seen_first & seen_second) / d
+        weighted_sum += agreement * (p**d)
+    return (1 - p) / p * weighted_sum + agreement * (p**depth)

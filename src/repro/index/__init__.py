@@ -1,0 +1,36 @@
+"""Retrieval substrate: a positional inverted index with collection stats.
+
+This package replaces the paper's Lucene/Pyserini/Anserini stack. It
+provides document storage, postings with positions, collection statistics
+(document frequency, collection frequency, average document length),
+ranked top-k retrieval with pluggable similarities, and JSON persistence.
+"""
+
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import Posting, PostingsList
+from repro.index.searcher import IndexSearcher, SearchHit
+from repro.index.similarity import (
+    Bm25Similarity,
+    DirichletSimilarity,
+    Similarity,
+    TfIdfSimilarity,
+)
+from repro.index.stats import CollectionStats
+from repro.index.storage import load_index, save_index
+
+__all__ = [
+    "Document",
+    "InvertedIndex",
+    "Posting",
+    "PostingsList",
+    "IndexSearcher",
+    "SearchHit",
+    "Bm25Similarity",
+    "DirichletSimilarity",
+    "Similarity",
+    "TfIdfSimilarity",
+    "CollectionStats",
+    "load_index",
+    "save_index",
+]

@@ -1,0 +1,57 @@
+"""The :class:`Document` record stored in the index/corpus.
+
+The paper's ranking function "assesses rank using only the body of each
+document" (§II-A); the title and metadata exist for display and dataset
+bookkeeping only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable corpus document.
+
+    Attributes:
+        doc_id: Unique, stable identifier within a corpus.
+        body: Full text used for ranking.
+        title: Optional display title (never used by rankers).
+        metadata: Free-form dataset annotations (e.g. ``{"fake_news": True}``).
+    """
+
+    doc_id: str
+    body: str
+    title: str = ""
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.doc_id:
+            raise ValueError("doc_id must be non-empty")
+
+    def with_body(self, body: str) -> "Document":
+        """Return a copy of this document with a replaced body.
+
+        Used by the counterfactual algorithms: a perturbed document keeps
+        the original identity so it can be *substituted* during re-ranking.
+        """
+        return Document(self.doc_id, body, self.title, dict(self.metadata))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "doc_id": self.doc_id,
+            "body": self.body,
+            "title": self.title,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Document":
+        return cls(
+            doc_id=payload["doc_id"],
+            body=payload["body"],
+            title=payload.get("title", ""),
+            metadata=dict(payload.get("metadata", {})),
+        )

@@ -1,0 +1,153 @@
+"""The in-memory positional inverted index.
+
+Supports incremental addition and removal of documents, per-document term
+vectors, and the collection statistics needed by lexical similarities and
+by CREDENCE's TF-IDF term-importance scoring.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.errors import DocumentNotFoundError
+from repro.index.document import Document
+from repro.index.postings import Posting, PostingsList
+from repro.index.stats import CollectionStats
+from repro.text.analyzer import Analyzer, default_analyzer
+
+
+class InvertedIndex:
+    """A positional inverted index over :class:`Document` bodies.
+
+    The index owns an :class:`Analyzer`; every component that needs to
+    agree with the index on tokenisation (rankers, explainers) should use
+    :attr:`analyzer` rather than constructing its own.
+    """
+
+    def __init__(self, analyzer: Analyzer | None = None):
+        self.analyzer = analyzer or default_analyzer()
+        self._documents: dict[str, Document] = {}
+        self._postings: dict[str, PostingsList] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._doc_term_freqs: dict[str, Counter[str]] = {}
+        self._total_terms = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_documents(
+        cls, documents: Iterable[Document], analyzer: Analyzer | None = None
+    ) -> "InvertedIndex":
+        index = cls(analyzer)
+        for document in documents:
+            index.add(document)
+        return index
+
+    def add(self, document: Document) -> None:
+        """Index ``document``; raises ``ValueError`` on duplicate ids."""
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate document id: {document.doc_id!r}")
+        terms = self.analyzer.analyze(document.body)
+        positions: dict[str, list[int]] = {}
+        for position, term in enumerate(terms):
+            positions.setdefault(term, []).append(position)
+
+        self._documents[document.doc_id] = document
+        self._doc_lengths[document.doc_id] = len(terms)
+        self._doc_term_freqs[document.doc_id] = Counter(terms)
+        self._total_terms += len(terms)
+        for term, term_positions in positions.items():
+            postings = self._postings.get(term)
+            if postings is None:
+                postings = self._postings[term] = PostingsList(term)
+            postings.add(
+                Posting(document.doc_id, len(term_positions), tuple(term_positions))
+            )
+
+    def remove(self, doc_id: str) -> Document:
+        """Remove and return a document; raises if absent."""
+        document = self._documents.pop(doc_id, None)
+        if document is None:
+            raise DocumentNotFoundError(doc_id)
+        self._total_terms -= self._doc_lengths.pop(doc_id)
+        term_freqs = self._doc_term_freqs.pop(doc_id)
+        for term in term_freqs:
+            postings = self._postings[term]
+            postings.remove(doc_id)
+            if len(postings) == 0:
+                del self._postings[term]
+        return document
+
+    def replace(self, document: Document) -> Document:
+        """Atomically swap a document body; returns the previous version."""
+        previous = self.remove(document.doc_id)
+        self.add(document)
+        return previous
+
+    # -- lookups -------------------------------------------------------------
+
+    def document(self, doc_id: str) -> Document:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise DocumentNotFoundError(doc_id) from None
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    @property
+    def doc_ids(self) -> list[str]:
+        return list(self._documents)
+
+    def postings(self, term: str) -> PostingsList | None:
+        """Postings for an *analyzed* term, or None if unindexed."""
+        return self._postings.get(term)
+
+    def terms(self) -> Iterator[str]:
+        return iter(self._postings)
+
+    # -- statistics ----------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        postings = self._postings.get(term)
+        return postings.document_frequency if postings else 0
+
+    def collection_frequency(self, term: str) -> int:
+        postings = self._postings.get(term)
+        return postings.collection_frequency if postings else 0
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        """Occurrences of analyzed ``term`` in document ``doc_id``."""
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(doc_id)
+        return self._doc_term_freqs[doc_id].get(term, 0)
+
+    def document_length(self, doc_id: str) -> int:
+        try:
+            return self._doc_lengths[doc_id]
+        except KeyError:
+            raise DocumentNotFoundError(doc_id) from None
+
+    def term_vector(self, doc_id: str) -> Counter[str]:
+        """The document's analyzed term-frequency vector (a copy)."""
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(doc_id)
+        return Counter(self._doc_term_freqs[doc_id])
+
+    def stats(self) -> CollectionStats:
+        return CollectionStats(
+            document_count=len(self._documents),
+            total_terms=self._total_terms,
+            unique_terms=len(self._postings),
+        )
+
+    @property
+    def average_document_length(self) -> float:
+        return self.stats().average_document_length

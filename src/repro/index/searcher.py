@@ -1,0 +1,168 @@
+"""Ranked and boolean retrieval over an :class:`InvertedIndex`.
+
+This is the Pyserini-searcher equivalent: analysed query → top-k hits
+under a pluggable :class:`Similarity`. Term-at-a-time accumulation scores
+only documents containing at least one query term; language-model
+similarities (which smooth absent terms) fall back to scoring every
+document.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import IndexStateError
+from repro.index.inverted import InvertedIndex
+from repro.index.similarity import (
+    Bm25Similarity,
+    FieldStats,
+    Similarity,
+    TermStats,
+)
+from repro.utils.heap import TopK
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One retrieval result: a document id, its score, and its 1-based rank."""
+
+    doc_id: str
+    score: float
+    rank: int
+
+
+class IndexSearcher:
+    """Executes queries against an index with a configurable similarity."""
+
+    def __init__(self, index: InvertedIndex, similarity: Similarity | None = None):
+        self.index = index
+        self.similarity = similarity or Bm25Similarity()
+
+    # -- internals -----------------------------------------------------------
+
+    def _field_stats(self) -> FieldStats:
+        stats = self.index.stats()
+        return FieldStats(
+            document_count=stats.document_count,
+            average_document_length=stats.average_document_length,
+            total_terms=stats.total_terms,
+        )
+
+    def _term_stats(self, term: str) -> TermStats:
+        return TermStats(
+            document_frequency=self.index.document_frequency(term),
+            collection_frequency=self.index.collection_frequency(term),
+        )
+
+    def _score_sparse(self, query_terms: list[str]) -> dict[str, float]:
+        """Term-at-a-time scores for documents matching ≥1 query term."""
+        field_stats = self._field_stats()
+        accumulator: dict[str, float] = defaultdict(float)
+        for term in query_terms:
+            postings = self.index.postings(term)
+            if postings is None:
+                continue
+            term_stats = self._term_stats(term)
+            for posting in postings:
+                accumulator[posting.doc_id] += self.similarity.score(
+                    posting.frequency,
+                    self.index.document_length(posting.doc_id),
+                    term_stats,
+                    field_stats,
+                )
+        return dict(accumulator)
+
+    def _score_dense(self, query_terms: list[str]) -> dict[str, float]:
+        """Score every document against every query term (LM smoothing)."""
+        field_stats = self._field_stats()
+        term_stats = {term: self._term_stats(term) for term in set(query_terms)}
+        scores: dict[str, float] = {}
+        for doc_id in self.index.doc_ids:
+            length = self.index.document_length(doc_id)
+            total = 0.0
+            for term in query_terms:
+                total += self.similarity.score(
+                    self.index.term_frequency(term, doc_id),
+                    length,
+                    term_stats[term],
+                    field_stats,
+                )
+            scores[doc_id] = total
+        return scores
+
+    # -- public API ----------------------------------------------------------
+
+    def score_all(self, query: str) -> dict[str, float]:
+        """Score the whole collection for ``query`` (analysed internally)."""
+        if len(self.index) == 0:
+            raise IndexStateError("cannot search an empty index")
+        query_terms = self.index.analyzer.analyze(query)
+        if self.similarity.needs_all_query_terms():
+            return self._score_dense(query_terms)
+        return self._score_sparse(query_terms)
+
+    def search(self, query: str, k: int = 10) -> list[SearchHit]:
+        """Return the top-``k`` hits for ``query``, best first.
+
+        Ties are broken by insertion (index) order, so results are
+        deterministic for a fixed corpus.
+        """
+        require_positive(k, "k")
+        scores = self.score_all(query)
+        top = TopK[str](k)
+        for doc_id in self.index.doc_ids:  # stable order for ties
+            if doc_id in scores:
+                top.push(scores[doc_id], doc_id)
+        return [
+            SearchHit(doc_id=doc_id, score=score, rank=rank)
+            for rank, (score, doc_id) in enumerate(top.items(), start=1)
+        ]
+
+    def search_phrase(self, phrase: str) -> list[str]:
+        """Exact-phrase retrieval using positional postings.
+
+        Returns ids of documents containing the analysed terms of
+        ``phrase`` as consecutive positions, in stable corpus order.
+        Single-term phrases degrade to term lookup; empty analysis
+        yields no results.
+        """
+        terms = self.index.analyzer.analyze(phrase)
+        if not terms:
+            return []
+        first_postings = self.index.postings(terms[0])
+        if first_postings is None:
+            return []
+        matches = []
+        for posting in first_postings:
+            doc_id = posting.doc_id
+            starts = set(posting.positions)
+            for offset, term in enumerate(terms[1:], start=1):
+                postings = self.index.postings(term)
+                entry = postings.get(doc_id) if postings else None
+                if entry is None:
+                    starts = set()
+                    break
+                positions = set(entry.positions)
+                starts = {start for start in starts if start + offset in positions}
+                if not starts:
+                    break
+            if starts:
+                matches.append(doc_id)
+        order = {doc_id: i for i, doc_id in enumerate(self.index.doc_ids)}
+        return sorted(matches, key=order.__getitem__)
+
+    def search_boolean(self, query: str, mode: str = "and") -> list[str]:
+        """Boolean retrieval: ids of documents matching all/any query terms."""
+        if mode not in {"and", "or"}:
+            raise ValueError(f"mode must be 'and' or 'or', got {mode!r}")
+        query_terms = self.index.analyzer.analyze(query)
+        if not query_terms:
+            return []
+        doc_sets = []
+        for term in set(query_terms):
+            postings = self.index.postings(term)
+            doc_sets.append({p.doc_id for p in postings} if postings else set())
+        combined: set[str] = set.intersection(*doc_sets) if mode == "and" else set.union(*doc_sets)
+        return [doc_id for doc_id in self.index.doc_ids if doc_id in combined]

@@ -1,0 +1,26 @@
+"""Collection statistics exposed by the index.
+
+These are the quantities every lexical similarity (BM25, TF-IDF, Dirichlet
+LM) and the paper's TF-IDF term-importance scoring consume. They are kept
+incrementally up to date as documents are added/removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CollectionStats:
+    """A snapshot of global index statistics."""
+
+    document_count: int
+    total_terms: int
+    unique_terms: int
+
+    @property
+    def average_document_length(self) -> float:
+        """Mean analyzed document length (avgdl); 0.0 for an empty index."""
+        if self.document_count == 0:
+            return 0.0
+        return self.total_terms / self.document_count

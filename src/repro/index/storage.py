@@ -1,0 +1,53 @@
+"""JSON persistence for indexes and corpora.
+
+The on-disk format stores the documents plus the analyzer configuration;
+postings are rebuilt on load (analysis is deterministic), which keeps the
+format small, versioned, and forward-compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.text.analyzer import Analyzer
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: InvertedIndex, path: str | Path) -> None:
+    """Serialise ``index`` (documents + analyzer config) to ``path``."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "analyzer": {
+            "lowercase": index.analyzer.lowercase,
+            "remove_stopwords": index.analyzer.remove_stopwords,
+            "stem": index.analyzer.stem,
+            "min_token_length": index.analyzer.min_token_length,
+        },
+        "documents": [document.to_dict() for document in index],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, ensure_ascii=False, indent=None)
+
+
+def load_index(path: str | Path) -> InvertedIndex:
+    """Load an index previously written by :func:`save_index`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported index format version: {version!r}")
+    analyzer_config = payload["analyzer"]
+    analyzer = Analyzer(
+        lowercase=analyzer_config["lowercase"],
+        remove_stopwords=analyzer_config["remove_stopwords"],
+        stem=analyzer_config["stem"],
+        min_token_length=analyzer_config["min_token_length"],
+    )
+    documents = (Document.from_dict(raw) for raw in payload["documents"])
+    return InvertedIndex.from_documents(documents, analyzer)

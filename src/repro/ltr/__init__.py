@@ -1,0 +1,47 @@
+"""Learning-to-rank substrate and feature-space counterfactuals.
+
+The paper's stated future work is to "explain ranking models that
+support richer sets of features (e.g., user preferences)" (§II-A). This
+package implements that extension end to end:
+
+* LETOR-style query–document feature vectors, including *non-textual*
+  document priors (popularity, freshness) of the kind user-preference
+  rankers consume (:mod:`repro.ltr.features`);
+* trainable LTR models — pointwise linear and pairwise RankNet — plus a
+  synthetic LETOR dataset generator (:mod:`repro.ltr.models`,
+  :mod:`repro.ltr.dataset`);
+* :class:`~repro.ltr.ranker.LtrRanker`, a full :class:`repro.ranking.Ranker`,
+  so the four §II explainers work on LTR models unchanged;
+* :class:`~repro.ltr.feature_cf.FeatureCounterfactualExplainer` — minimal
+  changes to *mutable* (non-textual) features that demote a document
+  beyond k: "had this article been less popular / older, it would not
+  have been relevant."
+"""
+
+from repro.ltr.dataset import (
+    LetorExample,
+    assign_priors,
+    load_letor,
+    save_letor,
+    synthetic_letor_dataset,
+)
+from repro.ltr.feature_cf import FeatureChange, FeatureCounterfactual, FeatureCounterfactualExplainer
+from repro.ltr.features import LETOR_FEATURE_NAMES, LetorFeatureExtractor
+from repro.ltr.models import LinearLtrModel, RankNetLtrModel
+from repro.ltr.ranker import LtrRanker
+
+__all__ = [
+    "LetorExample",
+    "assign_priors",
+    "load_letor",
+    "save_letor",
+    "synthetic_letor_dataset",
+    "FeatureChange",
+    "FeatureCounterfactual",
+    "FeatureCounterfactualExplainer",
+    "LETOR_FEATURE_NAMES",
+    "LetorFeatureExtractor",
+    "LinearLtrModel",
+    "RankNetLtrModel",
+    "LtrRanker",
+]

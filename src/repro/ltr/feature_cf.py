@@ -1,0 +1,222 @@
+"""Feature-space counterfactual explanations for feature-based rankers.
+
+The CREDENCE §II-C/§II-D algorithms perturb *text*. Feature-based
+rankers (the paper's future-work target: "richer sets of features,
+e.g., user preferences") also consume non-textual evidence — document
+priors like popularity or freshness. This explainer answers:
+
+    *which minimal set of changes to the document's mutable features
+    would demote it beyond k?*
+
+producing explanations such as "had this article's popularity been 0.25
+instead of 0.9, it would not have ranked top-10."
+
+The search re-uses the CREDENCE recipe: candidate changes are scored by
+expected score drop (model sensitivity × feature delta), candidate
+*sets* are enumerated size-major / score-descending via
+:func:`repro.utils.iteration.ordered_subsets` — so the first valid
+counterfactual is minimal in the number of features touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RankingError
+from repro.ltr.features import MUTABLE_FEATURES, LetorVector
+from repro.ltr.ranker import LtrRanker
+from repro.ranking.base import Ranking
+from repro.ranking.rerank import candidate_pool
+from repro.core.types import ExplanationSet
+from repro.core.validity import is_non_relevant
+from repro.utils.iteration import ordered_subsets
+from repro.utils.validation import require, require_positive
+
+#: Default grid of values a mutable prior may take.
+DEFAULT_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True)
+class FeatureChange:
+    """One feature set to a new value."""
+
+    feature: str
+    old: float
+    new: float
+
+    def describe(self) -> str:
+        return f"{self.feature}: {self.old:g} → {self.new:g}"
+
+
+@dataclass(frozen=True)
+class FeatureCounterfactual:
+    """A minimal set of feature changes demoting the document beyond k."""
+
+    doc_id: str
+    query: str
+    k: int
+    changes: tuple[FeatureChange, ...]
+    original_rank: int
+    new_rank: int
+
+    @property
+    def size(self) -> int:
+        return len(self.changes)
+
+    def to_dict(self) -> dict:
+        return {
+            "doc_id": self.doc_id,
+            "query": self.query,
+            "k": self.k,
+            "changes": [
+                {"feature": c.feature, "old": c.old, "new": c.new}
+                for c in self.changes
+            ],
+            "original_rank": self.original_rank,
+            "new_rank": self.new_rank,
+        }
+
+
+@dataclass
+class FeatureCounterfactualExplainer:
+    """Minimal mutable-feature counterfactuals over an :class:`LtrRanker`.
+
+    Args:
+        ranker: the feature-based model to explain.
+        mutable_features: which features may be changed (defaults to the
+            non-textual document priors).
+        grid: candidate values per feature.
+        max_changes: cap on how many features one explanation may touch.
+        max_evaluations: budget on candidate re-rankings.
+    """
+
+    ranker: LtrRanker
+    mutable_features: tuple[str, ...] = MUTABLE_FEATURES
+    grid: tuple[float, ...] = DEFAULT_GRID
+    max_changes: int | None = None
+    max_evaluations: int = 2000
+    _sensitivity: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        require(bool(self.mutable_features), "need at least one mutable feature")
+        require(len(self.grid) >= 2, "grid needs at least two values")
+        require_positive(self.max_evaluations, "max_evaluations")
+
+    # -- internals -------------------------------------------------------------
+
+    def _candidate_changes(self, vector: LetorVector) -> list[tuple[FeatureChange, float]]:
+        """All single-feature changes, scored by expected score drop."""
+        from repro.ltr.features import LETOR_FEATURE_NAMES
+
+        named = vector.as_dict()
+        sensitivity = self.ranker.model.feature_sensitivity()
+        by_name = dict(zip(LETOR_FEATURE_NAMES, sensitivity))
+        base_score = self.ranker.score_vector(vector)
+        changes = []
+        for feature in self.mutable_features:
+            current = named[feature]
+            for value in self.grid:
+                if value == current:
+                    continue
+                # Expected drop: first-order estimate refined by one probe.
+                probed = self.ranker.score_vector(vector.replace({feature: value}))
+                drop = base_score - probed
+                if drop <= 0:
+                    continue  # this change would promote, not demote
+                priority = drop + 1e-9 * by_name.get(feature, 0.0)
+                changes.append((FeatureChange(feature, current, value), priority))
+        return changes
+
+    def _rank_with_vector(
+        self,
+        query: str,
+        pool: list,
+        doc_id: str,
+        vector: LetorVector,
+    ) -> Ranking:
+        scored = []
+        for document in pool:
+            if document.doc_id == doc_id:
+                scored.append((doc_id, self.ranker.score_vector(vector)))
+            else:
+                scored.append(
+                    (document.doc_id, self.ranker.score_document(query, document))
+                )
+        return Ranking.from_scores(scored)
+
+    # -- public API --------------------------------------------------------------
+
+    def explain(
+        self, query: str, doc_id: str, n: int = 1, k: int = 10
+    ) -> ExplanationSet[FeatureCounterfactual]:
+        """Find up to ``n`` minimal feature-change counterfactuals."""
+        require_positive(n, "n")
+        require_positive(k, "k")
+        pool = candidate_pool(self.ranker, query, k)
+        by_id = {document.doc_id: document for document in pool}
+        if doc_id not in by_id:
+            raise RankingError(f"document {doc_id!r} is not in the top-{k} pool")
+        instance = by_id[doc_id]
+        baseline_vector = self.ranker.features.extract(query, instance)
+        baseline = self._rank_with_vector(query, pool, doc_id, baseline_vector)
+        original_rank = baseline.rank_of(doc_id)
+        if original_rank is None or is_non_relevant(original_rank, k):
+            raise RankingError(
+                f"document {doc_id!r} is already non-relevant (rank {original_rank})"
+            )
+
+        candidates = self._candidate_changes(baseline_vector)
+        result: ExplanationSet[FeatureCounterfactual] = ExplanationSet()
+        if not candidates:
+            result.search_exhausted = True
+            return result
+        items = [change for change, _ in candidates]
+        scores = [priority for _, priority in candidates]
+        max_size = min(
+            self.max_changes or len(self.mutable_features),
+            len(self.mutable_features),
+        )
+
+        for subset, _ in ordered_subsets(items, scores, max_size=max_size):
+            touched = [change.feature for change in subset]
+            if len(set(touched)) != len(touched):
+                continue  # two values for the same feature — not a valid edit
+            if result.candidates_evaluated >= self.max_evaluations:
+                result.budget_exhausted = True
+                return result
+            perturbed = baseline_vector.replace(
+                {change.feature: change.new for change in subset}
+            )
+            ranking = self._rank_with_vector(query, pool, doc_id, perturbed)
+            result.candidates_evaluated += 1
+            result.ranker_calls += len(pool)
+            new_rank = ranking.rank_of(doc_id)
+            if new_rank is not None and is_non_relevant(new_rank, k):
+                result.explanations.append(
+                    FeatureCounterfactual(
+                        doc_id=doc_id,
+                        query=query,
+                        k=k,
+                        changes=tuple(sorted(subset, key=lambda c: c.feature)),
+                        original_rank=original_rank,
+                        new_rank=new_rank,
+                    )
+                )
+                if len(result.explanations) >= n:
+                    return result
+        result.search_exhausted = True
+        return result
+
+    def is_valid(
+        self, query: str, doc_id: str, changes: tuple[FeatureChange, ...], k: int = 10
+    ) -> bool:
+        """Independently re-check a change set's validity."""
+        pool = candidate_pool(self.ranker, query, k)
+        by_id = {document.doc_id: document for document in pool}
+        instance = by_id[doc_id]
+        vector = self.ranker.features.extract(query, instance).replace(
+            {change.feature: change.new for change in changes}
+        )
+        ranking = self._rank_with_vector(query, pool, doc_id, vector)
+        new_rank = ranking.rank_of(doc_id)
+        return new_rank is not None and is_non_relevant(new_rank, k)

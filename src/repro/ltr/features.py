@@ -1,0 +1,153 @@
+"""LETOR-style query–document feature vectors.
+
+The first eight features are classic LETOR lexical-match statistics
+computed from the index; the last three are *document priors* — the
+"richer features (e.g., user preferences)" of the paper's future-work
+remark. Priors live in document metadata (``popularity``, ``freshness``
+in ``[0, 1]``) and are exactly the features a feature-space
+counterfactual may legitimately mutate: they describe the document's
+standing, not its text.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.similarity import Bm25Similarity, DirichletSimilarity, FieldStats, TermStats
+
+LETOR_FEATURE_NAMES = (
+    "sum_tf",
+    "sum_normalized_tf",
+    "sum_idf",
+    "sum_tfidf",
+    "bm25",
+    "lm_dirichlet",
+    "covered_term_ratio",
+    "log_doc_length",
+    # document priors (mutable, non-textual)
+    "popularity",
+    "freshness",
+    "authority",
+)
+
+#: Features a counterfactual may change without touching the text.
+MUTABLE_FEATURES = ("popularity", "freshness", "authority")
+
+
+@dataclass(frozen=True)
+class LetorVector:
+    """A named LETOR feature vector for one (query, document) pair."""
+
+    values: tuple[float, ...]
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=np.float64)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(LETOR_FEATURE_NAMES, self.values))
+
+    def replace(self, changes: Mapping[str, float]) -> "LetorVector":
+        """A copy with the named features overwritten."""
+        unknown = set(changes) - set(LETOR_FEATURE_NAMES)
+        if unknown:
+            raise KeyError(f"unknown features: {sorted(unknown)}")
+        updated = dict(self.as_dict())
+        updated.update(changes)
+        return LetorVector(tuple(updated[name] for name in LETOR_FEATURE_NAMES))
+
+
+class LetorFeatureExtractor:
+    """Extracts :data:`LETOR_FEATURE_NAMES` for (query, document) pairs."""
+
+    def __init__(self, index: InvertedIndex):
+        self.index = index
+        self._bm25 = Bm25Similarity()
+        self._lm = DirichletSimilarity()
+
+    @property
+    def dimension(self) -> int:
+        return len(LETOR_FEATURE_NAMES)
+
+    def _field_stats(self) -> FieldStats:
+        stats = self.index.stats()
+        return FieldStats(
+            document_count=stats.document_count,
+            average_document_length=stats.average_document_length,
+            total_terms=stats.total_terms,
+        )
+
+    def _priors(self, document: Document) -> tuple[float, float, float]:
+        metadata = document.metadata
+        return (
+            float(metadata.get("popularity", 0.5)),
+            float(metadata.get("freshness", 0.5)),
+            float(metadata.get("authority", 0.5)),
+        )
+
+    def extract(self, query: str, document: Document) -> LetorVector:
+        """Feature vector for a corpus document (priors from metadata)."""
+        return self._extract(query, document.body, self._priors(document))
+
+    def extract_text(
+        self, query: str, body: str, priors: tuple[float, float, float] = (0.5, 0.5, 0.5)
+    ) -> LetorVector:
+        """Feature vector for arbitrary text with explicit priors."""
+        return self._extract(query, body, priors)
+
+    def _extract(
+        self, query: str, body: str, priors: tuple[float, float, float]
+    ) -> LetorVector:
+        analyzer = self.index.analyzer
+        query_terms = analyzer.analyze(query)
+        doc_terms = analyzer.analyze(body)
+        counts = Counter(doc_terms)
+        doc_length = len(doc_terms)
+        field_stats = self._field_stats()
+
+        sum_tf = 0.0
+        sum_normalized_tf = 0.0
+        sum_idf = 0.0
+        sum_tfidf = 0.0
+        bm25 = 0.0
+        lm = 0.0
+        covered = 0
+        distinct_query_terms = set(query_terms)
+        for term in query_terms:
+            term_frequency = counts.get(term, 0)
+            df = self.index.document_frequency(term)
+            term_stats = TermStats(
+                document_frequency=df,
+                collection_frequency=self.index.collection_frequency(term),
+            )
+            idf = math.log(
+                (field_stats.document_count + 1.0) / (df + 1.0)
+            ) + 1.0
+            sum_tf += term_frequency
+            if doc_length:
+                sum_normalized_tf += term_frequency / doc_length
+            sum_idf += idf
+            sum_tfidf += term_frequency * idf
+            bm25 += self._bm25.score(term_frequency, doc_length, term_stats, field_stats)
+            lm += self._lm.score(term_frequency, doc_length, term_stats, field_stats)
+        if distinct_query_terms:
+            covered = sum(1 for term in distinct_query_terms if counts.get(term))
+
+        values = (
+            sum_tf,
+            sum_normalized_tf,
+            sum_idf,
+            sum_tfidf,
+            bm25,
+            lm,
+            covered / len(distinct_query_terms) if distinct_query_terms else 0.0,
+            math.log1p(doc_length),
+            *priors,
+        )
+        return LetorVector(values)

@@ -1,0 +1,147 @@
+"""Trainable LTR models: pointwise linear and pairwise RankNet.
+
+Both models expose ``score(vector) -> float`` over LETOR feature vectors
+and a ``feature_sensitivity()`` estimate used by the feature-space
+counterfactual search to order candidate feature changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ltr.dataset import LetorExample
+from repro.utils.rng import default_rng
+from repro.utils.validation import require, require_positive
+
+
+@dataclass
+class LinearLtrModel:
+    """Pointwise linear regression on graded relevance labels."""
+
+    weights: np.ndarray
+    bias: float
+    feature_mean: np.ndarray
+    feature_scale: np.ndarray
+
+    @classmethod
+    def fit(cls, examples: list[LetorExample], l2: float = 1e-3) -> "LinearLtrModel":
+        """Ridge-regress labels on standardized features."""
+        require(bool(examples), "examples must be non-empty")
+        require_positive(l2, "l2")
+        matrix = np.stack([example.features for example in examples])
+        labels = np.array([example.label for example in examples], dtype=np.float64)
+        mean = matrix.mean(axis=0)
+        scale = matrix.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        standardized = (matrix - mean) / scale
+        dimension = standardized.shape[1]
+        gram = standardized.T @ standardized + l2 * np.eye(dimension)
+        weights = np.linalg.solve(gram, standardized.T @ (labels - labels.mean()))
+        return cls(
+            weights=weights,
+            bias=float(labels.mean()),
+            feature_mean=mean,
+            feature_scale=scale,
+        )
+
+    def score(self, features: np.ndarray) -> float:
+        standardized = (features - self.feature_mean) / self.feature_scale
+        return float(self.weights @ standardized + self.bias)
+
+    def feature_sensitivity(self) -> np.ndarray:
+        """|∂score/∂feature| in raw-feature units."""
+        return np.abs(self.weights / self.feature_scale)
+
+
+@dataclass
+class RankNetLtrModel:
+    """Pairwise RankNet with one hidden tanh layer."""
+
+    w1: np.ndarray
+    b1: np.ndarray
+    w2: np.ndarray
+    b2: float
+    feature_mean: np.ndarray
+    feature_scale: np.ndarray
+
+    @classmethod
+    def fit(
+        cls,
+        examples: list[LetorExample],
+        hidden: int = 12,
+        epochs: int = 30,
+        learning_rate: float = 0.02,
+        seed: int | None = None,
+    ) -> "RankNetLtrModel":
+        """Train on preference pairs formed within each query group."""
+        require(bool(examples), "examples must be non-empty")
+        require_positive(hidden, "hidden")
+        rng = default_rng(seed)
+
+        matrix = np.stack([example.features for example in examples])
+        mean = matrix.mean(axis=0)
+        scale = matrix.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+
+        by_query: dict[str, list[int]] = {}
+        for position, example in enumerate(examples):
+            by_query.setdefault(example.query_id, []).append(position)
+        pairs: list[tuple[int, int]] = []
+        for positions in by_query.values():
+            for i in positions:
+                for j in positions:
+                    if examples[i].label > examples[j].label:
+                        pairs.append((i, j))
+        if not pairs:
+            raise TrainingError("no preference pairs: labels are constant per query")
+
+        dimension = matrix.shape[1]
+        model = cls(
+            w1=rng.normal(0.0, 0.3, size=(hidden, dimension)),
+            b1=np.zeros(hidden),
+            w2=rng.normal(0.0, 0.3, size=hidden),
+            b2=0.0,
+            feature_mean=mean,
+            feature_scale=scale,
+        )
+        standardized = (matrix - mean) / scale
+
+        order = np.arange(len(pairs))
+        for _ in range(epochs):
+            rng.shuffle(order)
+            for pair_index in order:
+                winner, loser = pairs[int(pair_index)]
+                score_w, cache_w = model._forward(standardized[winner])
+                score_l, cache_l = model._forward(standardized[loser])
+                upstream = -1.0 / (1.0 + np.exp(score_w - score_l))
+                model._apply_gradients(cache_w, upstream, learning_rate)
+                model._apply_gradients(cache_l, -upstream, learning_rate)
+        return model
+
+    def _forward(self, standardized: np.ndarray):
+        hidden_pre = self.w1 @ standardized + self.b1
+        hidden = np.tanh(hidden_pre)
+        return float(self.w2 @ hidden + self.b2), (standardized, hidden)
+
+    def _apply_gradients(self, cache, upstream: float, learning_rate: float) -> None:
+        standardized, hidden = cache
+        grad_w2 = upstream * hidden
+        delta = upstream * self.w2 * (1.0 - hidden**2)
+        self.w2 -= learning_rate * grad_w2
+        self.b2 -= learning_rate * upstream
+        self.w1 -= learning_rate * np.outer(delta, standardized)
+        self.b1 -= learning_rate * delta
+
+    def score(self, features: np.ndarray) -> float:
+        standardized = (features - self.feature_mean) / self.feature_scale
+        score, _ = self._forward(standardized)
+        return score
+
+    def feature_sensitivity(self) -> np.ndarray:
+        """First-order sensitivity |∂score/∂feature| at the feature mean."""
+        hidden = np.tanh(self.b1)  # standardized input = 0 at the mean
+        jacobian = (self.w2 * (1.0 - hidden**2)) @ self.w1
+        return np.abs(jacobian / self.feature_scale)

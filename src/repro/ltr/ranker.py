@@ -1,0 +1,69 @@
+"""`LtrRanker`: a feature-based ranking model as a standard `Ranker`.
+
+Because it implements the same two-method surface every other ranker
+does, all four CREDENCE explainers work on LTR models unchanged — and
+additionally the feature-space explainer
+(:mod:`repro.ltr.feature_cf`) can reason about its non-textual features.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.ltr.features import LetorFeatureExtractor, LetorVector
+from repro.ranking.base import Ranker, Ranking
+from repro.utils.validation import require_positive
+
+
+class LtrModel(Protocol):
+    """Anything that scores a LETOR feature vector."""
+
+    def score(self, features: np.ndarray) -> float: ...
+
+    def feature_sensitivity(self) -> np.ndarray: ...
+
+
+class LtrRanker(Ranker):
+    """Ranks documents by a trained LTR model over LETOR features."""
+
+    def __init__(self, index: InvertedIndex, model: LtrModel):
+        super().__init__(index)
+        self.model = model
+        self.features = LetorFeatureExtractor(index)
+
+    @property
+    def name(self) -> str:
+        return f"LTR({type(self.model).__name__})"
+
+    def score_document(self, query: str, document: Document) -> float:
+        """Score a document record (priors read from its metadata)."""
+        return self.model.score(self.features.extract(query, document).as_array())
+
+    def score_vector(self, vector: LetorVector) -> float:
+        """Score an explicit feature vector (the feature-CF hook)."""
+        return self.model.score(vector.as_array())
+
+    def score_text(self, query: str, body: str) -> float:
+        """Score arbitrary text with neutral (0.5) priors."""
+        return self.model.score(self.features.extract_text(query, body).as_array())
+
+    def rank(self, query: str, k: int) -> Ranking:
+        require_positive(k, "k")
+        scored = [
+            (document.doc_id, self.score_document(query, document))
+            for document in self.index
+        ]
+        return Ranking.from_scores(scored).top(min(k, len(scored)))
+
+    def rank_candidates(self, query: str, candidates) -> Ranking:
+        # Override the text-only base implementation so candidate documents
+        # keep their metadata priors during substitution re-ranking.
+        scored = [
+            (document.doc_id, self.score_document(query, document))
+            for document in candidates
+        ]
+        return Ranking.from_scores(scored)

@@ -1,0 +1,19 @@
+"""BM25 ranker (Anserini's default first-stage retriever)."""
+
+from __future__ import annotations
+
+from repro.index.inverted import InvertedIndex
+from repro.index.similarity import Bm25Similarity
+from repro.ranking.lexical import LexicalRanker
+
+
+class Bm25Ranker(LexicalRanker):
+    """Okapi BM25 with Anserini's default parameters (k1=0.9, b=0.4)."""
+
+    def __init__(self, index: InvertedIndex, k1: float = 0.9, b: float = 0.4):
+        super().__init__(index, Bm25Similarity(k1=k1, b=b))
+
+    @property
+    def name(self) -> str:
+        similarity: Bm25Similarity = self.similarity  # type: ignore[assignment]
+        return f"BM25(k1={similarity.k1}, b={similarity.b})"

@@ -1,0 +1,90 @@
+"""Score caching and invocation counting around a black-box ranker.
+
+Counterfactual search re-scores the same (query, text) pairs often — the
+unperturbed top-k documents are re-ranked against every candidate
+perturbation. :class:`ScoreCache` memoises those scores;
+:class:`CountingRanker` counts true ranker invocations, giving the
+efficiency benchmarks their cost metric (ranker calls, the dominant cost
+when the ranker is a neural model).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.ranking.base import Ranker, Ranking
+from repro.utils.validation import require_positive
+
+
+def _text_key(text: str) -> str:
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+class CountingRanker(Ranker):
+    """Transparent wrapper that counts scoring and ranking calls."""
+
+    def __init__(self, inner: Ranker):
+        super().__init__(inner.index)
+        self.inner = inner
+        self.score_calls = 0
+        self.rank_calls = 0
+
+    @property
+    def name(self) -> str:
+        return f"Counting({self.inner.name})"
+
+    def reset(self) -> None:
+        self.score_calls = 0
+        self.rank_calls = 0
+
+    def rank(self, query: str, k: int) -> Ranking:
+        self.rank_calls += 1
+        return self.inner.rank(query, k)
+
+    def score_text(self, query: str, body: str) -> float:
+        self.score_calls += 1
+        return self.inner.score_text(query, body)
+
+
+class ScoreCache(Ranker):
+    """Memoises ``score_text`` by (query, sha1(text)).
+
+    The cache is bounded: when ``max_entries`` is exceeded the oldest
+    half is discarded (simple segmented eviction — predictable and
+    allocation-free compared to per-hit LRU bookkeeping).
+    """
+
+    def __init__(self, inner: Ranker, max_entries: int = 100_000):
+        require_positive(max_entries, "max_entries")
+        super().__init__(inner.index)
+        self.inner = inner
+        self.max_entries = max_entries
+        self._cache: dict[tuple[str, str], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def name(self) -> str:
+        return f"Cached({self.inner.name})"
+
+    def rank(self, query: str, k: int) -> Ranking:
+        return self.inner.rank(query, k)
+
+    def score_text(self, query: str, body: str) -> float:
+        key = (query, _text_key(body))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        score = self.inner.score_text(query, body)
+        if len(self._cache) >= self.max_entries:
+            for stale in list(self._cache)[: self.max_entries // 2]:
+                del self._cache[stale]
+        self._cache[key] = score
+        return score
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,149 @@
+"""Query–document feature extraction for the neural reranker.
+
+The neural ranker is a *cross-scorer* like monoT5: it looks at a (query,
+document) pair jointly and emits one relevance score. Its input is this
+feature vector — a mixture of lexical-match evidence (BM25, TF-IDF, LM),
+coverage statistics, and an optional semantic-similarity channel supplied
+by an embedding model. The explainers never see these features; they
+treat the ranker as a black box.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.index.inverted import InvertedIndex
+from repro.index.similarity import (
+    Bm25Similarity,
+    DirichletSimilarity,
+    FieldStats,
+    TermStats,
+    TfIdfSimilarity,
+)
+from repro.text.ngrams import ngrams
+
+#: Signature of the optional semantic channel: (query, body) -> similarity.
+SemanticScorer = Callable[[str, str], float]
+
+FEATURE_NAMES = (
+    "bm25",
+    "tfidf",
+    "lm_dirichlet",
+    "coverage",
+    "matched_terms",
+    "match_density",
+    "log_doc_length",
+    "sum_idf_matched",
+    "max_idf_matched",
+    "bigram_matches",
+    "semantic",
+)
+
+
+@dataclass(frozen=True)
+class QueryDocumentFeatures:
+    """A named view over one extracted feature vector."""
+
+    values: tuple[float, ...]
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=np.float64)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(FEATURE_NAMES, self.values))
+
+
+class FeatureExtractor:
+    """Extracts :data:`FEATURE_NAMES` for (query, document-text) pairs."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        semantic_scorer: SemanticScorer | None = None,
+    ):
+        self.index = index
+        self.semantic_scorer = semantic_scorer
+        self._bm25 = Bm25Similarity()
+        self._tfidf = TfIdfSimilarity()
+        self._lm = DirichletSimilarity()
+
+    @property
+    def dimension(self) -> int:
+        return len(FEATURE_NAMES)
+
+    def _field_stats(self) -> FieldStats:
+        stats = self.index.stats()
+        return FieldStats(
+            document_count=stats.document_count,
+            average_document_length=stats.average_document_length,
+            total_terms=stats.total_terms,
+        )
+
+    def extract(self, query: str, body: str) -> QueryDocumentFeatures:
+        analyzer = self.index.analyzer
+        query_terms = analyzer.analyze(query)
+        doc_term_list = analyzer.analyze(body)
+        doc_terms = Counter(doc_term_list)
+        doc_length = len(doc_term_list)
+        field_stats = self._field_stats()
+
+        bm25 = tfidf = lm = 0.0
+        matched: set[str] = set()
+        matched_tf = 0
+        idfs: list[float] = []
+        for term in query_terms:
+            term_frequency = doc_terms.get(term, 0)
+            term_stats = TermStats(
+                document_frequency=self.index.document_frequency(term),
+                collection_frequency=self.index.collection_frequency(term),
+            )
+            bm25 += self._bm25.score(
+                term_frequency, doc_length, term_stats, field_stats
+            )
+            tfidf += self._tfidf.score(
+                term_frequency, doc_length, term_stats, field_stats
+            )
+            lm += self._lm.score(term_frequency, doc_length, term_stats, field_stats)
+            if term_frequency > 0:
+                matched.add(term)
+                matched_tf += term_frequency
+                idfs.append(
+                    self._bm25.idf(
+                        term_stats.document_frequency, field_stats.document_count
+                    )
+                )
+
+        distinct_query_terms = set(query_terms)
+        coverage = len(matched) / len(distinct_query_terms) if distinct_query_terms else 0.0
+        density = matched_tf / doc_length if doc_length else 0.0
+
+        query_bigrams = set(ngrams(query_terms, 2)) if len(query_terms) > 1 else set()
+        doc_bigrams = set(ngrams(doc_term_list, 2)) if len(doc_term_list) > 1 else set()
+        bigram_matches = float(len(query_bigrams & doc_bigrams))
+
+        semantic = (
+            self.semantic_scorer(query, body) if self.semantic_scorer else 0.0
+        )
+
+        values = (
+            bm25,
+            tfidf,
+            lm,
+            coverage,
+            float(len(matched)),
+            density,
+            math.log1p(doc_length),
+            sum(idfs),
+            max(idfs) if idfs else 0.0,
+            bigram_matches,
+            semantic,
+        )
+        return QueryDocumentFeatures(values)
+
+    def extract_array(self, query: str, body: str) -> np.ndarray:
+        return self.extract(query, body).as_array()

@@ -1,0 +1,64 @@
+"""Shared machinery for lexical (similarity-based) rankers.
+
+A :class:`LexicalRanker` ranks indexed documents through the
+:class:`IndexSearcher` and scores *arbitrary* text by analysing it on the
+fly and applying the same similarity with the index's collection
+statistics. Substituted/perturbed documents are deliberately scored
+against the *original* collection statistics — the same behaviour as the
+demo, which re-ranks edited documents without re-indexing the corpus.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.index.inverted import InvertedIndex
+from repro.index.searcher import IndexSearcher
+from repro.index.similarity import FieldStats, Similarity, TermStats
+from repro.ranking.base import RankedDocument, Ranker, Ranking
+from repro.utils.validation import require_positive
+
+
+class LexicalRanker(Ranker):
+    """Ranker backed by an index similarity (BM25 / TF-IDF / LM)."""
+
+    def __init__(self, index: InvertedIndex, similarity: Similarity):
+        super().__init__(index)
+        self.similarity = similarity
+        self._searcher = IndexSearcher(index, similarity)
+
+    def rank(self, query: str, k: int) -> Ranking:
+        require_positive(k, "k")
+        hits = self._searcher.search(query, k)
+        return Ranking(
+            [
+                RankedDocument(doc_id=hit.doc_id, score=hit.score, rank=hit.rank)
+                for hit in hits
+            ]
+        )
+
+    def score_text(self, query: str, body: str) -> float:
+        query_terms = self.index.analyzer.analyze(query)
+        if not query_terms:
+            return 0.0
+        doc_terms = Counter(self.index.analyzer.analyze(body))
+        doc_length = sum(doc_terms.values())
+        stats = self.index.stats()
+        field_stats = FieldStats(
+            document_count=stats.document_count,
+            average_document_length=stats.average_document_length,
+            total_terms=stats.total_terms,
+        )
+        score = 0.0
+        for term in query_terms:
+            term_frequency = doc_terms.get(term, 0)
+            if term_frequency == 0 and not self.similarity.needs_all_query_terms():
+                continue
+            term_stats = TermStats(
+                document_frequency=self.index.document_frequency(term),
+                collection_frequency=self.index.collection_frequency(term),
+            )
+            score += self.similarity.score(
+                term_frequency, doc_length, term_stats, field_stats
+            )
+        return score

@@ -1,0 +1,19 @@
+"""Query-likelihood language-model ranker with Dirichlet smoothing."""
+
+from __future__ import annotations
+
+from repro.index.inverted import InvertedIndex
+from repro.index.similarity import DirichletSimilarity
+from repro.ranking.lexical import LexicalRanker
+
+
+class DirichletLmRanker(LexicalRanker):
+    """Zhai–Lafferty query likelihood with Dirichlet prior ``mu``."""
+
+    def __init__(self, index: InvertedIndex, mu: float = 1000.0):
+        super().__init__(index, DirichletSimilarity(mu=mu))
+
+    @property
+    def name(self) -> str:
+        similarity: DirichletSimilarity = self.similarity  # type: ignore[assignment]
+        return f"QL-Dirichlet(mu={similarity.mu})"

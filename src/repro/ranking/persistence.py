@@ -1,0 +1,65 @@
+"""Persistence for the trained neural reranker (MLP weights).
+
+Same ``.npz`` + JSON-header format as the embedding models; the loaded
+ranker must be re-attached to an index built from the same corpus (the
+scorer's collection statistics come from the index, not the file).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.index.inverted import InvertedIndex
+from repro.ranking.features import SemanticScorer
+from repro.ranking.neural import MlpWeights, NeuralReranker
+
+FORMAT_VERSION = 1
+
+
+def save_neural_ranker(ranker: NeuralReranker, path: str | Path) -> None:
+    """Serialise MLP weights (not the index) to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {"format_version": FORMAT_VERSION, "kind": "neural_reranker",
+              "b3": ranker.weights.b3}
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        w1=ranker.weights.w1,
+        b1=ranker.weights.b1,
+        w2=ranker.weights.w2,
+        b2=ranker.weights.b2,
+        w3=ranker.weights.w3,
+        feature_mean=ranker.weights.feature_mean,
+        feature_scale=ranker.weights.feature_scale,
+    )
+
+
+def load_neural_ranker(
+    path: str | Path,
+    index: InvertedIndex,
+    semantic_scorer: SemanticScorer | None = None,
+) -> NeuralReranker:
+    """Load weights written by :func:`save_neural_ranker` onto ``index``."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format version: {header.get('format_version')!r}"
+            )
+        if header.get("kind") != "neural_reranker":
+            raise ValueError(f"expected a neural_reranker file, got {header.get('kind')!r}")
+        weights = MlpWeights(
+            w1=data["w1"],
+            b1=data["b1"],
+            w2=data["w2"],
+            b2=data["b2"],
+            w3=data["w3"],
+            b3=float(header["b3"]),
+            feature_mean=data["feature_mean"],
+            feature_scale=data["feature_scale"],
+        )
+    return NeuralReranker(index, weights, semantic_scorer)

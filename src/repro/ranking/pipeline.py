@@ -1,0 +1,49 @@
+"""First-stage retrieval + neural reranking, the architecture in Fig. 1.
+
+The demo ranks with "Pyserini BM25 retrieval → monoT5 rerank"; here the
+same two-stage shape is :class:`RetrieveRerankPipeline`, itself a
+:class:`Ranker` so the explainers remain oblivious to its structure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.ranking.base import Ranker, Ranking
+from repro.utils.validation import require_positive
+
+
+class RetrieveRerankPipeline(Ranker):
+    """Compose a candidate-generating ranker with a reranking scorer.
+
+    ``rank(q, k)`` retrieves ``max(depth, k)`` candidates with the first
+    stage, rescores each with the reranker, and returns the top ``k``.
+    ``score_text`` delegates to the reranker, so perturbation checks see
+    the reranker's (final-stage) behaviour — exactly what the user of the
+    demo observes.
+    """
+
+    def __init__(self, first_stage: Ranker, reranker: Ranker, depth: int = 50):
+        if first_stage.index is not reranker.index:
+            raise ConfigurationError(
+                "first stage and reranker must share one index"
+            )
+        require_positive(depth, "depth")
+        super().__init__(first_stage.index)
+        self.first_stage = first_stage
+        self.reranker = reranker
+        self.depth = depth
+
+    @property
+    def name(self) -> str:
+        return f"{self.first_stage.name} >> {self.reranker.name}"
+
+    def rank(self, query: str, k: int) -> Ranking:
+        require_positive(k, "k")
+        depth = min(max(self.depth, k), len(self.index))
+        candidates = self.first_stage.rank(query, depth)
+        documents = [self.index.document(doc_id) for doc_id in candidates.doc_ids]
+        reranked = self.reranker.rank_candidates(query, documents)
+        return reranked.top(min(k, len(reranked)))
+
+    def score_text(self, query: str, body: str) -> float:
+        return self.reranker.score_text(query, body)

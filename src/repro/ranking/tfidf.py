@@ -1,0 +1,14 @@
+"""TF-IDF ranker (vector-space baseline)."""
+
+from __future__ import annotations
+
+from repro.index.inverted import InvertedIndex
+from repro.index.similarity import TfIdfSimilarity
+from repro.ranking.lexical import LexicalRanker
+
+
+class TfIdfRanker(LexicalRanker):
+    """Log-tf × smooth-idf accumulation ranker."""
+
+    def __init__(self, index: InvertedIndex, sublinear_tf: bool = True):
+        super().__init__(index, TfIdfSimilarity(sublinear_tf=sublinear_tf))

@@ -1,0 +1,33 @@
+"""Text-analysis substrate: the Lucene-analyzer equivalent.
+
+Provides tokenisation with character offsets, sentence segmentation,
+stopword filtering, Porter stemming, and the :class:`Analyzer` pipeline
+that the index, rankers, embeddings, and counterfactual explainers all
+share. Keeping one analyzer instance shared across components guarantees
+that "term" means the same thing everywhere — a correctness requirement
+for perturbation-based explanations.
+"""
+
+from repro.text.analyzer import Analyzer, default_analyzer
+from repro.text.ngrams import ngrams
+from repro.text.sentences import Sentence, split_sentences
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword
+from repro.text.tokenizer import Token, tokenize
+from repro.text.unicode import normalize_text
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "Analyzer",
+    "default_analyzer",
+    "ngrams",
+    "Sentence",
+    "split_sentences",
+    "PorterStemmer",
+    "ENGLISH_STOPWORDS",
+    "is_stopword",
+    "Token",
+    "tokenize",
+    "normalize_text",
+    "Vocabulary",
+]

@@ -1,0 +1,20 @@
+"""n-gram extraction, used by topic labelling and the synthetic corpus."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+from repro.utils.validation import require_positive
+
+T = TypeVar("T")
+
+
+def ngrams(tokens: Sequence[T], n: int) -> Iterator[tuple[T, ...]]:
+    """Yield contiguous ``n``-grams of ``tokens``.
+
+    >>> list(ngrams(["a", "b", "c"], 2))
+    [('a', 'b'), ('b', 'c')]
+    """
+    require_positive(n, "n")
+    for i in range(len(tokens) - n + 1):
+        yield tuple(tokens[i : i + n])

@@ -1,0 +1,117 @@
+"""Rule-based sentence segmentation with character offsets.
+
+CREDENCE's document counterfactuals (§II-C) remove whole *sentences* so
+perturbed documents remain grammatical; the segmenter is therefore part of
+the explanation semantics, not just plumbing. We segment on terminal
+punctuation with a small abbreviation list and require the next sentence
+to start with a plausible sentence opener, and we keep exact spans so a
+sentence can be excised from (or highlighted in) the original text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Abbreviations that end with a period but do not end a sentence.
+_ABBREVIATIONS = frozenset(
+    {
+        "dr", "mr", "mrs", "ms", "prof", "sr", "jr", "st", "vs", "etc",
+        "e.g", "i.e", "u.s", "u.k", "inc", "ltd", "co", "corp", "no",
+        "fig", "al", "dept", "est", "approx", "jan", "feb", "mar", "apr",
+        "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec",
+    }
+)
+
+_BOUNDARY_RE = re.compile(r"[.!?]+[\"')\]]*")
+_WORD_BEFORE_RE = re.compile(r"([A-Za-z][A-Za-z.]*)$")
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """A sentence and its ``[start, end)`` span in the source text."""
+
+    text: str
+    start: int
+    end: int
+    index: int
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _is_abbreviation(text_before: str) -> bool:
+    match = _WORD_BEFORE_RE.search(text_before)
+    if match is None:
+        return False
+    word = match.group(1).rstrip(".").casefold()
+    if word in _ABBREVIATIONS:
+        return True
+    # Single capital letter (middle initials: "John F. Kennedy").
+    return len(word) == 1
+
+
+def _looks_like_opener(text_after: str) -> bool:
+    stripped = text_after.lstrip()
+    if not stripped:
+        return True
+    first = stripped[0]
+    return first.isupper() or first.isdigit() or first in "\"'(["
+
+
+def split_sentences(text: str) -> list[Sentence]:
+    """Split ``text`` into sentences with exact source spans.
+
+    Newlines (paragraph breaks) also terminate sentences, so headline-style
+    corpora segment sensibly.
+
+    >>> [s.text for s in split_sentences("It spread. Dr. Wu spoke.")]
+    ['It spread.', 'Dr. Wu spoke.']
+    """
+    boundaries: list[int] = []
+    for match in _BOUNDARY_RE.finditer(text):
+        end = match.end()
+        before = text[: match.start()]
+        after = text[end:]
+        if match.group().startswith(".") and _is_abbreviation(before):
+            continue
+        # Decimal numbers: a period flanked by digits is not a boundary.
+        if (
+            match.group().startswith(".")
+            and match.start() > 0
+            and text[match.start() - 1].isdigit()
+            and end < len(text)
+            and text[end].isdigit()
+        ):
+            continue
+        if not _looks_like_opener(after):
+            continue
+        boundaries.append(end)
+    # Hard breaks at blank lines.
+    for match in re.finditer(r"\n\s*\n", text):
+        boundaries.append(match.start())
+    boundaries = sorted(set(boundaries))
+
+    sentences: list[Sentence] = []
+    cursor = 0
+    for boundary in boundaries + [len(text)]:
+        raw = text[cursor:boundary]
+        stripped = raw.strip()
+        if stripped:
+            start = cursor + (len(raw) - len(raw.lstrip()))
+            sentences.append(
+                Sentence(stripped, start, start + len(stripped), len(sentences))
+            )
+        cursor = boundary
+    return sentences
+
+
+def remove_sentences(text: str, indices: set[int] | frozenset[int]) -> str:
+    """Return ``text`` with the sentences at ``indices`` excised.
+
+    Whitespace between surviving sentences is normalised to a single space
+    (or preserved newline), keeping the perturbed document readable.
+    """
+    sentences = split_sentences(text)
+    survivors = [s for s in sentences if s.index not in indices]
+    return " ".join(s.text for s in survivors)

@@ -1,0 +1,27 @@
+"""English stopword list (Lucene/Anserini-compatible superset).
+
+The list combines Lucene's classic 33-word English set with the common
+extension used by IR toolkits; it is deliberately conservative so content
+terms like ``outbreak`` or ``5g`` always survive analysis.
+"""
+
+from __future__ import annotations
+
+ENGLISH_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an and are as at be but by for if in into is it no not of on or such
+    that the their then there these they this to was will with
+    am been being do does did doing have has had having he her hers him his
+    i me my mine our ours ourselves she so than them themselves those through
+    too until up upon us we were what when where which while who whom why you
+    your yours yourself itself its about above after again against all any
+    because before below between both down during each few from further here
+    how more most other out over own same some under very s t can just don
+    should now
+    """.split()
+)
+
+
+def is_stopword(term: str) -> bool:
+    """Return True if ``term`` (already case-folded) is an English stopword."""
+    return term in ENGLISH_STOPWORDS

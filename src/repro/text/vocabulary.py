@@ -1,0 +1,104 @@
+"""Bidirectional term ↔ integer-id mapping used by embeddings and LDA."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.errors import TermNotFoundError
+from repro.utils.validation import require_non_negative
+
+
+class Vocabulary:
+    """Assigns stable dense integer ids to terms.
+
+    Ids are assigned in first-seen order, so building a vocabulary from the
+    same corpus always yields the same mapping.
+    """
+
+    def __init__(self, terms: Iterable[str] = ()):
+        self._term_to_id: dict[str, int] = {}
+        self._id_to_term: list[str] = []
+        self._frequencies: Counter[str] = Counter()
+        for term in terms:
+            self.add(term)
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[Iterable[str]],
+        min_count: int = 1,
+        max_size: int | None = None,
+    ) -> "Vocabulary":
+        """Build a vocabulary from tokenised documents.
+
+        Terms occurring fewer than ``min_count`` times are dropped; if
+        ``max_size`` is given, only the most frequent terms are kept
+        (ties broken alphabetically for determinism).
+        """
+        require_non_negative(min_count, "min_count")
+        counts: Counter[str] = Counter()
+        for document in documents:
+            counts.update(document)
+        kept = [
+            (term, count) for term, count in counts.items() if count >= min_count
+        ]
+        kept.sort(key=lambda pair: (-pair[1], pair[0]))
+        if max_size is not None:
+            kept = kept[:max_size]
+        vocabulary = cls()
+        for term, count in kept:
+            vocabulary.add(term)
+            vocabulary._frequencies[term] = count
+        return vocabulary
+
+    def add(self, term: str) -> int:
+        """Add ``term`` if new; return its id."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            term_id = len(self._id_to_term)
+            self._term_to_id[term] = term_id
+            self._id_to_term.append(term)
+        self._frequencies[term] += 1
+        return term_id
+
+    def id_of(self, term: str) -> int:
+        """Return the id of ``term``; raise :class:`TermNotFoundError` if absent."""
+        try:
+            return self._term_to_id[term]
+        except KeyError:
+            raise TermNotFoundError(term) from None
+
+    def get(self, term: str, default: int | None = None) -> int | None:
+        return self._term_to_id.get(term, default)
+
+    def term_of(self, term_id: int) -> str:
+        if not 0 <= term_id < len(self._id_to_term):
+            raise TermNotFoundError(f"<id {term_id}>")
+        return self._id_to_term[term_id]
+
+    def frequency(self, term: str) -> int:
+        return self._frequencies.get(term, 0)
+
+    def encode(self, terms: Iterable[str], skip_unknown: bool = True) -> list[int]:
+        """Map terms to ids, silently dropping unknown terms by default."""
+        ids = []
+        for term in terms:
+            term_id = self._term_to_id.get(term)
+            if term_id is not None:
+                ids.append(term_id)
+            elif not skip_unknown:
+                raise TermNotFoundError(term)
+        return ids
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        return [self.term_of(term_id) for term_id in ids]
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)

@@ -1,0 +1,11 @@
+"""Topic-modeling substrate: Latent Dirichlet Allocation.
+
+Replaces the demo's scikit-learn LDA. The Builder page's "browse topics"
+modal fits a topic model over the current top-k documents so users can
+discover relevance-driving terms to perturb.
+"""
+
+from repro.topics.lda import LdaModel, train_lda
+from repro.topics.summaries import Topic, TopicSummary, summarize_topics
+
+__all__ = ["LdaModel", "train_lda", "Topic", "TopicSummary", "summarize_topics"]

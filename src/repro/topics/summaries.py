@@ -1,0 +1,54 @@
+"""Human-readable topic summaries for the Builder's Browse Topics modal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topics.lda import LdaModel
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One topic: an id and its top weighted terms."""
+
+    topic_id: int
+    terms: tuple[tuple[str, float], ...]
+
+    @property
+    def label(self) -> str:
+        """A display label: the topic's top three terms."""
+        return " / ".join(term for term, _ in self.terms[:3])
+
+
+@dataclass(frozen=True)
+class TopicSummary:
+    """All topics fitted over a document set."""
+
+    topics: tuple[Topic, ...]
+
+    def __iter__(self):
+        return iter(self.topics)
+
+    def __len__(self) -> int:
+        return len(self.topics)
+
+    def to_dicts(self) -> list[dict]:
+        return [
+            {
+                "topic_id": topic.topic_id,
+                "label": topic.label,
+                "terms": [
+                    {"term": term, "weight": weight} for term, weight in topic.terms
+                ],
+            }
+            for topic in self.topics
+        ]
+
+
+def summarize_topics(model: LdaModel, terms_per_topic: int = 10) -> TopicSummary:
+    """Summarise a fitted model as display-ready :class:`Topic` records."""
+    topics = tuple(
+        Topic(topic_id=t, terms=tuple(model.top_terms(t, terms_per_topic)))
+        for t in range(model.num_topics)
+    )
+    return TopicSummary(topics)

@@ -1,0 +1,33 @@
+"""Shared utilities: seeded RNG, timing, top-k heaps, ordered iteration."""
+
+from repro.utils.heap import TopK
+from repro.utils.iteration import (
+    batched,
+    ordered_subsets,
+    ranked_pairs,
+    take,
+)
+from repro.utils.rng import default_rng, spawn_rng
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+__all__ = [
+    "TopK",
+    "batched",
+    "ordered_subsets",
+    "ranked_pairs",
+    "take",
+    "default_rng",
+    "spawn_rng",
+    "Stopwatch",
+    "timed",
+    "require",
+    "require_positive",
+    "require_probability",
+    "require_type",
+]

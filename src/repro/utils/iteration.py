@@ -1,0 +1,124 @@
+"""Iteration utilities, including the ordered subset enumerator at the heart
+of CREDENCE's counterfactual search.
+
+Both counterfactual algorithms in the paper (§II-C sentence removal, §II-D
+query augmentation) iterate candidate perturbations *first* in increasing
+order of size and *then*, within a size, in decreasing order of summed
+importance score. Enumerating by size guarantees that the first valid
+perturbation found is minimal; enumerating by score within a size finds
+valid perturbations early. :func:`ordered_subsets` implements exactly that
+order, lazily, so callers can stop as soon as they have enough
+explanations without materialising the combinatorial space.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+from repro.utils.validation import require, require_non_negative
+
+T = TypeVar("T")
+
+
+def take(n: int, iterable: Iterable[T]) -> list[T]:
+    """Return the first ``n`` items of ``iterable`` as a list."""
+    require_non_negative(n, "n")
+    return list(itertools.islice(iterable, n))
+
+
+def batched(iterable: Iterable[T], batch_size: int) -> Iterator[list[T]]:
+    """Yield successive lists of up to ``batch_size`` items.
+
+    >>> list(batched([1, 2, 3, 4, 5], batch_size=2))
+    [[1, 2], [3, 4], [5]]
+    """
+    require(batch_size > 0, "batch_size must be positive")
+    batch: list[T] = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def ranked_pairs(items: Sequence[T]) -> Iterator[tuple[T, T]]:
+    """Yield all ordered pairs ``(a, b)`` with ``a`` before ``b`` in ``items``."""
+    for i, first in enumerate(items):
+        for second in items[i + 1 :]:
+            yield first, second
+
+
+def _fixed_size_subsets_by_score(
+    scores: Sequence[float], size: int
+) -> Iterator[tuple[int, ...]]:
+    """Yield index tuples of ``size`` elements in non-increasing total-score
+    order, assuming ``scores`` is sorted non-increasing.
+
+    Lazy best-first search over the combination lattice: the top state is
+    the first ``size`` indices; each state's successors bump one chosen
+    index to the next free slot, which can only lower (or keep) the sum.
+    """
+    count = len(scores)
+    if size == 0:
+        yield ()
+        return
+    if size > count:
+        return
+    start = tuple(range(size))
+    heap = [(-sum(scores[i] for i in start), start)]
+    seen = {start}
+    while heap:
+        negative_sum, state = heapq.heappop(heap)
+        yield state
+        for position in range(size):
+            bumped = state[position] + 1
+            limit = state[position + 1] if position + 1 < size else count
+            if bumped >= limit:
+                continue
+            successor = state[:position] + (bumped,) + state[position + 1 :]
+            if successor in seen:
+                continue
+            seen.add(successor)
+            new_sum = (
+                -negative_sum - scores[state[position]] + scores[bumped]
+            )
+            heapq.heappush(heap, (-new_sum, successor))
+
+
+def ordered_subsets(
+    items: Sequence[T],
+    scores: Sequence[float],
+    max_size: int | None = None,
+    min_size: int = 1,
+) -> Iterator[tuple[tuple[T, ...], float]]:
+    """Enumerate subsets of ``items`` size-major, score-minor.
+
+    Yields ``(subset, total_score)`` pairs ordered first by subset size
+    (ascending, starting at ``min_size``) and, within each size, by the sum
+    of the subset's ``scores`` (descending). Ties within a size are broken
+    deterministically by the items' positions in ``items``.
+
+    This is the enumeration order specified by CREDENCE §II-C/§II-D; the
+    size-major order is what guarantees minimality of the first valid
+    counterfactual found by a consumer.
+    """
+    require(len(items) == len(scores), "items and scores must align")
+    require_non_negative(min_size, "min_size")
+    if max_size is None:
+        max_size = len(items)
+    max_size = min(max_size, len(items))
+
+    # Sort once, descending by score; stable on original position for ties.
+    order = sorted(range(len(items)), key=lambda i: (-scores[i], i))
+    sorted_items = [items[i] for i in order]
+    sorted_scores = [scores[i] for i in order]
+
+    for size in range(min_size, max_size + 1):
+        for index_tuple in _fixed_size_subsets_by_score(sorted_scores, size):
+            subset = tuple(sorted_items[i] for i in index_tuple)
+            total = sum(sorted_scores[i] for i in index_tuple)
+            yield subset, total

@@ -1,0 +1,58 @@
+"""Lightweight timing helpers used by the eval harness and the API layer."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time across repeated start/stop intervals."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @contextmanager
+    def measure(self):
+        """Context manager adding the enclosed duration to :attr:`elapsed`."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@contextmanager
+def timed():
+    """Yield a zero-arg callable returning seconds elapsed since entry.
+
+    >>> with timed() as elapsed:
+    ...     _ = sum(range(10))
+    >>> elapsed() >= 0.0
+    True
+    """
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start

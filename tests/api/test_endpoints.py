@@ -1,0 +1,162 @@
+"""Integration tests: every REST endpoint through the in-process client."""
+
+import pytest
+
+from repro.api.app import build_router
+from repro.api.client import InProcessClient
+from repro.datasets.covid import FAKE_NEWS_DOC_ID
+
+QUERY = "covid outbreak"
+
+
+@pytest.fixture(scope="module")
+def client(module_engine):
+    return InProcessClient(build_router(module_engine))
+
+
+@pytest.fixture(scope="module")
+def module_engine():
+    from repro.core.engine import CredenceEngine, EngineConfig
+    from repro.datasets.covid import covid_corpus
+
+    return CredenceEngine(covid_corpus(), EngineConfig(ranker="bm25", seed=5))
+
+
+class TestHealthAndDocuments:
+    def test_health(self, client):
+        response = client.get("/health")
+        assert response.status == 200
+        assert response.payload["status"] == "ok"
+        assert response.payload["documents"] > 0
+
+    def test_get_document(self, client):
+        response = client.get(f"/documents/{FAKE_NEWS_DOC_ID}")
+        assert response.status == 200
+        assert response.payload["doc_id"] == FAKE_NEWS_DOC_ID
+        assert "5G" in response.payload["body"]
+
+    def test_get_missing_document(self, client):
+        assert client.get("/documents/ghost").status == 404
+
+
+class TestRankEndpoint:
+    def test_rank_shape(self, client):
+        response = client.post("/rank", {"query": QUERY, "k": 10})
+        assert response.status == 200
+        ranking = response.payload["ranking"]
+        assert len(ranking) == 10
+        assert [entry["rank"] for entry in ranking] == list(range(1, 11))
+
+    def test_rank_rejects_bad_payload(self, client):
+        assert client.post("/rank", {"k": 10}).status == 400
+        assert client.post("/rank", {"query": "x", "k": -1}).status == 400
+
+
+class TestExplanationEndpoints:
+    def test_document_explanations(self, client):
+        response = client.post(
+            "/explanations/document",
+            {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID, "n": 1, "k": 10},
+        )
+        assert response.status == 200
+        explanation = response.payload["explanations"][0]
+        assert explanation["new_rank"] > 10
+        assert explanation["removed_sentences"]
+
+    def test_document_explanations_unranked_doc_400(self, client):
+        response = client.post(
+            "/explanations/document",
+            {"query": QUERY, "doc_id": "markets-0002", "n": 1, "k": 10},
+        )
+        assert response.status == 400
+
+    def test_query_explanations(self, client):
+        response = client.post(
+            "/explanations/query",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "n": 3,
+                "k": 10,
+                "threshold": 2,
+            },
+        )
+        assert response.status == 200
+        explanations = response.payload["explanations"]
+        assert len(explanations) == 3
+        assert all(e["new_rank"] <= 2 for e in explanations)
+
+    def test_instance_explanations_cosine(self, client):
+        response = client.post(
+            "/explanations/instance",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "n": 2,
+                "k": 10,
+                "method": "cosine_sampled",
+                "samples": 30,
+            },
+        )
+        assert response.status == 200
+        explanations = response.payload["explanations"]
+        assert len(explanations) == 2
+        assert all("counterfactual_body" in e for e in explanations)
+
+    def test_instance_explanations_doc2vec(self, client):
+        response = client.post(
+            "/explanations/instance",
+            {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID, "n": 1, "k": 10},
+        )
+        assert response.status == 200
+        assert response.payload["explanations"][0]["method"] == "doc2vec_nearest"
+
+
+class TestBuilderEndpoint:
+    def test_scripted_perturbations(self, client):
+        response = client.post(
+            "/builder/rerank",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "k": 10,
+                "perturbations": [
+                    {"type": "replace_term", "term": "covid", "replacement": "flu"},
+                    {"type": "remove_term", "term": "outbreak"},
+                ],
+            },
+        )
+        assert response.status == 200
+        payload = response.payload
+        assert payload["is_valid_counterfactual"] is True
+        assert payload["rank_after"] == 11
+        directions = {m["direction"] for m in payload["movements"]}
+        assert "revealed" in directions
+
+    def test_free_text_edit(self, client):
+        response = client.post(
+            "/builder/rerank",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "k": 10,
+                "edited_body": "nothing to see here",
+            },
+        )
+        assert response.status == 200
+        assert response.payload["is_valid_counterfactual"] is True
+
+    def test_invalid_payload_rejected(self, client):
+        response = client.post(
+            "/builder/rerank", {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID, "k": 10}
+        )
+        assert response.status == 400
+
+
+class TestTopicsEndpoint:
+    def test_topics(self, client):
+        response = client.post("/topics", {"query": QUERY, "k": 10, "num_topics": 3})
+        assert response.status == 200
+        topics = response.payload["topics"]
+        assert len(topics) == 3
+        assert all(topic["terms"] for topic in topics)

@@ -1,0 +1,63 @@
+"""Tests for the HTTP routing substrate."""
+
+import pytest
+
+from repro.api.http import HttpResponse, Request, Router
+from repro.errors import BadRequestError
+
+
+@pytest.fixture()
+def router():
+    r = Router()
+
+    @r.get("/items/{item_id}")
+    def get_item(request: Request):
+        return {"item": request.path_params["item_id"]}
+
+    @r.post("/items")
+    def create_item(request: Request):
+        return HttpResponse(201, {"created": request.body})
+
+    @r.get("/boom")
+    def boom(_: Request):
+        raise BadRequestError("expected failure")
+
+    @r.get("/crash")
+    def crash(_: Request):
+        raise ValueError("unexpected but mapped")
+
+    return r
+
+
+class TestRouting:
+    def test_path_params_extracted(self, router):
+        response = router.dispatch(Request("GET", "/items/42"))
+        assert response.status == 200
+        assert response.payload == {"item": "42"}
+
+    def test_post_with_body(self, router):
+        response = router.dispatch(Request("POST", "/items", body={"a": 1}))
+        assert response.status == 201
+        assert response.payload == {"created": {"a": 1}}
+
+    def test_unknown_path_404(self, router):
+        response = router.dispatch(Request("GET", "/nope"))
+        assert response.status == 404
+        assert response.payload["error"] == "NotFoundError"
+
+    def test_wrong_method_405(self, router):
+        response = router.dispatch(Request("POST", "/items/42"))
+        assert response.status == 405
+
+    def test_api_error_mapped(self, router):
+        response = router.dispatch(Request("GET", "/boom"))
+        assert response.status == 400
+        assert response.payload["detail"] == "expected failure"
+
+    def test_value_error_becomes_bad_request(self, router):
+        response = router.dispatch(Request("GET", "/crash"))
+        assert response.status == 400
+
+    def test_pattern_does_not_match_extra_segments(self, router):
+        response = router.dispatch(Request("GET", "/items/1/extra"))
+        assert response.status == 404

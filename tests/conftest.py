@@ -1,0 +1,88 @@
+"""Shared fixtures.
+
+Expensive artefacts (the covid corpus engine, a trained neural ranker, a
+Doc2Vec model) are session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.datasets.covid import covid_corpus, covid_training_queries
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+
+TINY_DOCS = [
+    Document(
+        "d1",
+        "The covid outbreak spread across the city. Hospitals filled quickly. "
+        "Officials promised more tests.",
+        metadata={"topic": "covid"},
+    ),
+    Document(
+        "d2",
+        "A new vaccine for covid was announced today by researchers. "
+        "Trials begin next month.",
+        metadata={"topic": "covid"},
+    ),
+    Document(
+        "d3",
+        "The flu season arrived early this year with many sick patients. "
+        "Clinics extended their hours.",
+        metadata={"topic": "flu"},
+    ),
+    Document(
+        "d4",
+        "Stock markets rallied as tech shares gained value. "
+        "Investors cheered the earnings reports.",
+        metadata={"topic": "finance"},
+    ),
+    Document(
+        "d5",
+        "Conspiracy theorists claim 5G towers caused the covid outbreak. "
+        "A microchip plot supposedly tracks citizens. "
+        "Experts dismissed the covid outbreak rumours.",
+        metadata={"topic": "conspiracy"},
+    ),
+    Document(
+        "d6",
+        "City officials denied rumours about the outbreak response. "
+        "A press briefing is scheduled for Monday.",
+        metadata={"topic": "covid"},
+    ),
+]
+
+
+@pytest.fixture()
+def tiny_docs() -> list[Document]:
+    return list(TINY_DOCS)
+
+
+@pytest.fixture()
+def tiny_index(tiny_docs) -> InvertedIndex:
+    return InvertedIndex.from_documents(tiny_docs)
+
+
+@pytest.fixture(scope="session")
+def covid_documents() -> list[Document]:
+    return covid_corpus()
+
+
+@pytest.fixture(scope="session")
+def bm25_engine(covid_documents) -> CredenceEngine:
+    """A BM25 engine over the covid corpus (fast; read-only)."""
+    config = EngineConfig(ranker="bm25", seed=5)
+    return CredenceEngine(covid_documents, config)
+
+
+@pytest.fixture(scope="session")
+def neural_engine(covid_documents) -> CredenceEngine:
+    """The demo neural pipeline engine (trained once per session)."""
+    config = EngineConfig(
+        ranker="neural",
+        training_queries=tuple(covid_training_queries()),
+        seed=5,
+        neural_epochs=15,  # faster than the demo default; same behaviourally
+    )
+    return CredenceEngine(covid_documents, config)

@@ -1,0 +1,109 @@
+"""Tests for the build-your-own counterfactual Builder (§III-C)."""
+
+import pytest
+
+from repro.core.builder import CounterfactualBuilder
+from repro.core.perturbations import RemoveTerm, ReplaceTerm
+from repro.datasets.covid import FAKE_NEWS_DOC_ID
+from repro.errors import RankingError
+from repro.ranking.bm25 import Bm25Ranker
+
+QUERY = "covid outbreak"
+
+
+@pytest.fixture(scope="module")
+def builder():
+    from repro.datasets.covid import covid_corpus
+    from repro.index.inverted import InvertedIndex
+
+    index = InvertedIndex.from_documents(covid_corpus())
+    return CounterfactualBuilder(Bm25Ranker(index))
+
+
+FIG5_EDITS = [
+    ReplaceTerm("covid-19", "flu"),
+    ReplaceTerm("covid", "flu"),
+    RemoveTerm("outbreak"),
+]
+
+
+class TestRank:
+    def test_rank_shows_top_k(self, builder):
+        ranking = builder.rank(QUERY, k=10)
+        assert len(ranking) == 10
+        assert FAKE_NEWS_DOC_ID in ranking
+
+
+class TestRerankEdited:
+    def test_gutting_query_terms_validates(self, builder):
+        result = builder.apply_and_rerank(QUERY, FAKE_NEWS_DOC_ID, FIG5_EDITS, k=10)
+        assert result.is_valid_counterfactual
+        assert result.rank_after == 11  # k + 1, as in Fig. 5
+        assert result.rank_before <= 10
+
+    def test_harmless_edit_is_invalid_counterfactual(self, builder):
+        result = builder.apply_and_rerank(
+            QUERY, FAKE_NEWS_DOC_ID, [ReplaceTerm("insiders", "sources")], k=10
+        )
+        assert not result.is_valid_counterfactual
+        assert result.rank_after == result.rank_before
+
+    def test_movements_cover_all_pool_documents(self, builder):
+        result = builder.apply_and_rerank(QUERY, FAKE_NEWS_DOC_ID, FIG5_EDITS, k=10)
+        assert len(result.movements) == len(result.new_ranking) == 11
+
+    def test_revealed_document_identified(self, builder):
+        """The originally hidden rank-11 document gets the orange plus."""
+        result = builder.apply_and_rerank(QUERY, FAKE_NEWS_DOC_ID, FIG5_EDITS, k=10)
+        revealed = result.revealed_doc_id
+        assert revealed is not None
+        baseline_top_k = set(result.original_ranking.top(10).doc_ids)
+        assert revealed not in baseline_top_k
+
+    def test_demoted_document_direction_is_lowered(self, builder):
+        result = builder.apply_and_rerank(QUERY, FAKE_NEWS_DOC_ID, FIG5_EDITS, k=10)
+        direction = {
+            movement.doc_id: movement.direction for movement in result.movements
+        }[FAKE_NEWS_DOC_ID]
+        assert direction == "lowered"
+
+    def test_others_raised_when_target_demoted(self, builder):
+        result = builder.apply_and_rerank(QUERY, FAKE_NEWS_DOC_ID, FIG5_EDITS, k=10)
+        raised = [m for m in result.movements if m.direction == "raised"]
+        assert raised  # documents below the target move up
+
+    def test_free_text_edit(self, builder):
+        result = builder.rerank_edited(
+            QUERY, FAKE_NEWS_DOC_ID, "completely unrelated replacement text", k=10
+        )
+        assert result.is_valid_counterfactual
+
+    def test_boosting_edit_raises_rank(self, builder):
+        result = builder.rerank_edited(
+            QUERY,
+            FAKE_NEWS_DOC_ID,
+            "covid outbreak covid outbreak covid outbreak covid outbreak report",
+            k=10,
+        )
+        assert result.rank_after < result.rank_before
+        assert not result.is_valid_counterfactual
+
+    def test_to_dict_serialisable(self, builder):
+        import json
+
+        result = builder.apply_and_rerank(QUERY, FAKE_NEWS_DOC_ID, FIG5_EDITS, k=10)
+        payload = result.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["is_valid_counterfactual"] is True
+
+
+class TestErrorCases:
+    def test_unranked_document_rejected(self, builder):
+        with pytest.raises(RankingError):
+            builder.rerank_edited(QUERY, "markets-0002", "text", k=10)
+
+    def test_invalid_k(self, builder):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            builder.rank(QUERY, k=0)

@@ -1,0 +1,85 @@
+"""Tests for sentence and term importance scoring."""
+
+import pytest
+
+from repro.core.importance import TfIdfTermImportance, sentence_importance_scores
+from repro.text.analyzer import default_analyzer
+from repro.text.sentences import split_sentences
+
+ANALYZER = default_analyzer()
+
+
+class TestSentenceImportance:
+    def test_counts_query_term_occurrences(self):
+        sentences = split_sentences(
+            "The covid outbreak spread. Markets closed early. Covid again."
+        )
+        scores = sentence_importance_scores(ANALYZER, "covid outbreak", sentences)
+        assert scores == [2.0, 0.0, 1.0]
+
+    def test_repeated_terms_count_by_default(self):
+        sentences = split_sentences("Covid covid covid everywhere.")
+        scores = sentence_importance_scores(ANALYZER, "covid", sentences)
+        assert scores == [3.0]
+
+    def test_distinct_mode_counts_each_term_once(self):
+        sentences = split_sentences("Covid covid outbreak here.")
+        scores = sentence_importance_scores(
+            ANALYZER, "covid outbreak", sentences, distinct=True
+        )
+        assert scores == [2.0]
+
+    def test_stemming_conflates_variants(self):
+        sentences = split_sentences("The outbreaks were spreading.")
+        scores = sentence_importance_scores(ANALYZER, "outbreak", sentences)
+        assert scores == [1.0]
+
+    def test_empty_query(self):
+        sentences = split_sentences("Some text here.")
+        assert sentence_importance_scores(ANALYZER, "", sentences) == [0.0]
+
+    def test_paper_example_first_and_last_score_two(self):
+        """Fig. 2: the first and last sentences each mention covid and
+        outbreak, scoring 2 apiece; their pair scores 4."""
+        from repro.datasets.covid import _FAKE_NEWS_BODY
+
+        sentences = split_sentences(_FAKE_NEWS_BODY)
+        scores = sentence_importance_scores(ANALYZER, "covid outbreak", sentences)
+        assert scores[0] == 2.0
+        assert scores[-1] == 2.0
+        assert all(score == 0.0 for score in scores[1:-1])
+
+
+class TestTfIdfTermImportance:
+    @pytest.fixture()
+    def importance(self):
+        instance = (
+            "covid outbreak 5g 5g microchip towers covid conspiracy secret"
+        )
+        ranked = [
+            "covid outbreak hospital cases",
+            "covid outbreak doctors spread",
+            "covid vaccine trial outbreak",
+            instance,
+        ]
+        return TfIdfTermImportance.build(ANALYZER, instance, ranked)
+
+    def test_exclusive_terms_score_highest(self, importance):
+        # '5g' and 'microchip' appear only in the instance document.
+        assert importance.score("5g") > importance.score("covid")
+        assert importance.score("microchip") > importance.score("outbreak")
+
+    def test_frequency_raises_score(self, importance):
+        # '5g' occurs twice, 'microchip' once; same exclusivity.
+        assert importance.score("5g") > importance.score("microchip")
+
+    def test_absent_term_scores_zero(self, importance):
+        assert importance.score("zzz") == 0.0
+
+    def test_document_frequency_over_ranked_list(self, importance):
+        assert importance.document_frequency("covid") == 4
+        assert importance.document_frequency("5g") == 1
+
+    def test_score_surface_analyzes_first(self, importance):
+        assert importance.score_surface("5G") == importance.score("5g")
+        assert importance.score_surface("the") == 0.0

@@ -1,0 +1,55 @@
+"""Property-based tests for perturbation application.
+
+Perturbations feed text back into the analyzer; these properties pin the
+contract between the two: a removed/replaced term must vanish from the
+*analyzed* view of the perturbed text, on arbitrary generated documents.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.perturbations import RemoveTerm, ReplaceTerm
+from repro.text.analyzer import Analyzer
+
+# Surface words that survive analysis unchanged (no stemming collisions),
+# so properties can reason about exact term identity.
+WORDS = st.sampled_from(
+    ["covid", "flu", "tower", "microchip", "plot", "secret", "network", "5g"]
+)
+ANALYZER = Analyzer(stem=False, remove_stopwords=False)
+
+documents = st.lists(WORDS, min_size=1, max_size=30).map(" ".join)
+
+
+@settings(max_examples=80, deadline=None)
+@given(body=documents, term=WORDS)
+def test_remove_term_eliminates_every_occurrence(body, term):
+    perturbed = RemoveTerm(term).apply(body)
+    assert term not in ANALYZER.analyze(perturbed)
+
+
+@settings(max_examples=80, deadline=None)
+@given(body=documents, term=WORDS)
+def test_remove_term_touches_nothing_else(body, term):
+    original_terms = [t for t in ANALYZER.analyze(body) if t != term]
+    perturbed_terms = ANALYZER.analyze(RemoveTerm(term).apply(body))
+    assert perturbed_terms == original_terms
+
+
+@settings(max_examples=80, deadline=None)
+@given(body=documents, term=WORDS, replacement=WORDS)
+def test_replace_term_substitutes_in_place(body, term, replacement):
+    if term == replacement:
+        return
+    original_terms = ANALYZER.analyze(body)
+    perturbed_terms = ANALYZER.analyze(ReplaceTerm(term, replacement).apply(body))
+    expected = [replacement if t == term else t for t in original_terms]
+    assert perturbed_terms == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(body=documents, term=WORDS)
+def test_remove_is_idempotent(body, term):
+    once = RemoveTerm(term).apply(body)
+    twice = RemoveTerm(term).apply(once)
+    assert once == twice

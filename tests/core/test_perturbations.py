@@ -1,0 +1,117 @@
+"""Tests for scriptable document perturbations."""
+
+import pytest
+
+from repro.core.perturbations import (
+    AppendText,
+    CompositePerturbation,
+    RemoveSentences,
+    RemoveTerm,
+    ReplaceTerm,
+    apply_all,
+)
+from repro.errors import ConfigurationError
+
+
+class TestReplaceTerm:
+    def test_replaces_whole_tokens(self):
+        assert ReplaceTerm("covid", "flu").apply("the covid wave") == "the flu wave"
+
+    def test_case_insensitive(self):
+        assert ReplaceTerm("covid", "flu").apply("COVID Covid covid") == "flu flu flu"
+
+    def test_does_not_match_inside_hyphenated_token(self):
+        """Replacing 'covid' must not mangle 'covid-19' (Fig. 5 treats them
+        as distinct replacements)."""
+        result = ReplaceTerm("covid", "flu").apply("covid and covid-19 differ")
+        assert result == "flu and covid-19 differ"
+
+    def test_hyphenated_term_replaced_whole(self):
+        result = ReplaceTerm("covid-19", "flu").apply("the covid-19 cases")
+        assert result == "the flu cases"
+
+    def test_punctuation_preserved(self):
+        assert ReplaceTerm("covid", "flu").apply("covid, covid.") == "flu, flu."
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplaceTerm("", "x")
+
+    def test_describe(self):
+        assert "covid" in ReplaceTerm("covid", "flu").describe()
+
+
+class TestRemoveTerm:
+    def test_removes_and_tidies_spaces(self):
+        assert RemoveTerm("outbreak").apply("the outbreak grew") == "the grew"
+
+    def test_punctuation_tidied(self):
+        assert RemoveTerm("outbreak").apply("an outbreak, they said") == "an, they said"
+
+    def test_case_insensitive(self):
+        assert "Outbreak" not in RemoveTerm("outbreak").apply("The Outbreak spread")
+
+    def test_no_match_no_change(self):
+        assert RemoveTerm("zzz").apply("plain text") == "plain text"
+
+
+class TestRemoveSentences:
+    def test_removes_by_index(self):
+        perturbation = RemoveSentences((1,))
+        assert perturbation.apply("Keep one. Drop two. Keep three.") == (
+            "Keep one. Keep three."
+        )
+
+    def test_out_of_range_index_ignored(self):
+        assert RemoveSentences((9,)).apply("Only one.") == "Only one."
+
+
+class TestAppendText:
+    def test_appends_with_separator(self):
+        assert AppendText("More.").apply("Original.") == "Original. More."
+
+    def test_appends_to_empty(self):
+        assert AppendText("Only.").apply("") == "Only."
+
+
+class TestComposition:
+    def test_composite_applies_in_order(self):
+        composite = CompositePerturbation.of(
+            ReplaceTerm("covid", "flu"), RemoveTerm("outbreak")
+        )
+        result = composite.apply("the covid outbreak spread")
+        assert "covid" not in result
+        assert "outbreak" not in result
+        assert "flu" in result
+
+    def test_composite_describe_joins(self):
+        composite = CompositePerturbation.of(
+            ReplaceTerm("a", "b"), RemoveTerm("c")
+        )
+        assert ";" in composite.describe()
+
+    def test_apply_all(self):
+        result = apply_all(
+            "covid covid-19 outbreak",
+            [ReplaceTerm("covid-19", "flu"), ReplaceTerm("covid", "flu")],
+        )
+        assert result == "flu flu outbreak"
+
+    def test_fig5_perturbation_eliminates_query_terms(self):
+        """The Fig. 5 edit: covid/covid-19 → flu, outbreak removed."""
+        body = (
+            "Insiders reveal the covid outbreak was staged. "
+            "The covid-19 papers prove it. Wake up: the covid outbreak is a lie."
+        )
+        edited = apply_all(
+            body,
+            [
+                ReplaceTerm("covid-19", "flu"),
+                ReplaceTerm("covid", "flu"),
+                RemoveTerm("outbreak"),
+            ],
+        )
+        lowered = edited.lower()
+        assert "covid" not in lowered
+        assert "outbreak" not in lowered
+        assert "flu" in lowered

@@ -1,0 +1,147 @@
+"""Tests for counterfactual query explanations (§II-D)."""
+
+import itertools
+
+import pytest
+
+from repro.core.query_cf import CounterfactualQueryExplainer
+from repro.datasets.covid import FAKE_NEWS_DOC_ID
+from repro.errors import ConfigurationError, RankingError
+from repro.ranking.bm25 import Bm25Ranker
+
+QUERY = "covid outbreak"
+
+
+@pytest.fixture(scope="module")
+def ranker():
+    from repro.datasets.covid import covid_corpus
+    from repro.index.inverted import InvertedIndex
+
+    return Bm25Ranker(InvertedIndex.from_documents(covid_corpus()))
+
+
+@pytest.fixture(scope="module")
+def explainer(ranker):
+    return CounterfactualQueryExplainer(ranker)
+
+
+class TestCandidateTerms:
+    def test_query_terms_excluded(self, explainer, ranker):
+        ranking = ranker.rank(QUERY, 10)
+        ranked_docs = [ranker.index.document(d) for d in ranking.doc_ids]
+        instance = ranker.index.document(FAKE_NEWS_DOC_ID)
+        candidates = explainer.candidate_terms(QUERY, instance, ranked_docs)
+        surfaces = [term for term, _ in candidates]
+        assert "covid" not in surfaces
+        assert "outbreak" not in surfaces
+
+    def test_conspiracy_terms_scored_highest(self, explainer, ranker):
+        """The paper: '5G' and 'microchip' get top TF-IDF because they do
+        not appear in the other nine relevant documents."""
+        ranking = ranker.rank(QUERY, 10)
+        ranked_docs = [ranker.index.document(d) for d in ranking.doc_ids]
+        instance = ranker.index.document(FAKE_NEWS_DOC_ID)
+        candidates = explainer.candidate_terms(QUERY, instance, ranked_docs)
+        top_terms = [term for term, _ in candidates[:4]]
+        assert "5g" in top_terms
+        assert "microchip" in top_terms
+
+    def test_scores_sorted_descending(self, explainer, ranker):
+        ranking = ranker.rank(QUERY, 10)
+        ranked_docs = [ranker.index.document(d) for d in ranking.doc_ids]
+        instance = ranker.index.document(FAKE_NEWS_DOC_ID)
+        scores = [s for _, s in explainer.candidate_terms(QUERY, instance, ranked_docs)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_candidate_cap_respected(self, ranker):
+        capped = CounterfactualQueryExplainer(ranker, max_candidate_terms=5)
+        ranking = ranker.rank(QUERY, 10)
+        ranked_docs = [ranker.index.document(d) for d in ranking.doc_ids]
+        instance = ranker.index.document(FAKE_NEWS_DOC_ID)
+        assert len(capped.candidate_terms(QUERY, instance, ranked_docs)) == 5
+
+
+class TestValidityOfResults:
+    def test_explanations_reach_threshold(self, explainer):
+        result = explainer.explain(QUERY, FAKE_NEWS_DOC_ID, n=3, k=10, threshold=2)
+        assert len(result) == 3
+        for explanation in result:
+            assert explanation.new_rank <= 2
+            # Independent re-check through the ranker.
+            verified = explainer.rank_under_augmentation(
+                QUERY, FAKE_NEWS_DOC_ID, explanation.added_terms, k=10
+            )
+            assert verified == explanation.new_rank
+
+    def test_augmented_query_appends_terms(self, explainer):
+        explanation = explainer.explain(
+            QUERY, FAKE_NEWS_DOC_ID, n=1, k=10, threshold=2
+        )[0]
+        assert explanation.augmented_query.startswith(QUERY)
+        for term in explanation.added_terms:
+            assert term in explanation.augmented_query
+
+    def test_paper_scenario_5g_first(self, explainer):
+        """Fig. 3: the '5g' augmentation is explored first and suffices."""
+        explanation = explainer.explain(
+            QUERY, FAKE_NEWS_DOC_ID, n=1, k=10, threshold=2
+        )[0]
+        assert explanation.added_terms == ("5g",)
+
+    def test_threshold_one_needs_stronger_augmentation(self, explainer):
+        result = explainer.explain(QUERY, FAKE_NEWS_DOC_ID, n=1, k=10, threshold=1)
+        explanation = result[0]
+        assert explanation.new_rank == 1
+        assert "5g" in explanation.added_terms
+
+
+class TestMinimality:
+    def test_first_explanation_is_minimal(self, explainer):
+        explanation = explainer.explain(
+            QUERY, FAKE_NEWS_DOC_ID, n=1, k=10, threshold=1
+        )[0]
+        added = explanation.added_terms
+        for size in range(1, len(added)):
+            for subset in itertools.combinations(added, size):
+                rank = explainer.rank_under_augmentation(
+                    QUERY, FAKE_NEWS_DOC_ID, subset, k=10
+                )
+                assert rank is None or rank > 1, (
+                    f"strict subset {subset} reaches the threshold: not minimal"
+                )
+
+
+class TestSearchControls:
+    def test_size_major_emission(self, explainer):
+        result = explainer.explain(QUERY, FAKE_NEWS_DOC_ID, n=5, k=10, threshold=2)
+        sizes = [e.size for e in result]
+        assert sizes == sorted(sizes)
+
+    def test_budget_partial_results(self, ranker):
+        tight = CounterfactualQueryExplainer(ranker, max_evaluations=1)
+        result = tight.explain(QUERY, FAKE_NEWS_DOC_ID, n=10, k=10, threshold=1)
+        assert result.budget_exhausted
+        assert result.candidates_evaluated == 1
+
+    def test_max_terms_bounds_subsets(self, ranker):
+        capped = CounterfactualQueryExplainer(ranker, max_terms=1, max_evaluations=50)
+        result = capped.explain(QUERY, FAKE_NEWS_DOC_ID, n=3, k=10, threshold=2)
+        assert all(e.size == 1 for e in result)
+
+    def test_cost_accounting(self, explainer):
+        result = explainer.explain(QUERY, FAKE_NEWS_DOC_ID, n=1, k=10, threshold=2)
+        assert result.ranker_calls == result.candidates_evaluated * 10  # k pool
+
+
+class TestErrorCases:
+    def test_unranked_document_rejected(self, explainer):
+        with pytest.raises(RankingError):
+            explainer.explain(QUERY, "markets-0002", n=1, k=10, threshold=2)
+
+    def test_threshold_beyond_k_rejected(self, explainer):
+        with pytest.raises(ConfigurationError):
+            explainer.explain(QUERY, FAKE_NEWS_DOC_ID, n=1, k=10, threshold=11)
+
+    def test_invalid_n(self, explainer):
+        with pytest.raises(ConfigurationError):
+            explainer.explain(QUERY, FAKE_NEWS_DOC_ID, n=0, k=10, threshold=1)

@@ -1,0 +1,101 @@
+"""Tests for explanation records and validity predicates."""
+
+import json
+
+import pytest
+
+from repro.core.types import (
+    ExplanationSet,
+    InstanceExplanation,
+    QueryAugmentationExplanation,
+    SentenceRemovalExplanation,
+)
+from repro.core.validity import is_non_relevant, meets_threshold
+from repro.errors import ConfigurationError
+from repro.text.sentences import Sentence
+
+
+class TestValidityPredicates:
+    def test_non_relevant_beyond_k(self):
+        assert is_non_relevant(11, 10)
+        assert not is_non_relevant(10, 10)
+        assert not is_non_relevant(1, 10)
+
+    def test_meets_threshold(self):
+        assert meets_threshold(1, 2)
+        assert meets_threshold(2, 2)
+        assert not meets_threshold(3, 2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            is_non_relevant(0, 10)
+        with pytest.raises(ConfigurationError):
+            meets_threshold(1, 0)
+
+
+class TestSentenceRemovalExplanation:
+    @pytest.fixture()
+    def explanation(self):
+        return SentenceRemovalExplanation(
+            doc_id="d",
+            query="covid outbreak",
+            k=10,
+            removed_sentences=(
+                Sentence("First.", 0, 6, 0),
+                Sentence("Last.", 10, 15, 4),
+            ),
+            importance=4.0,
+            original_rank=3,
+            new_rank=11,
+            perturbed_body="middle only",
+        )
+
+    def test_derived_fields(self, explanation):
+        assert explanation.removed_indices == (0, 4)
+        assert explanation.size == 2
+
+    def test_json_roundtrip(self, explanation):
+        payload = explanation.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["removed_sentences"] == ["First.", "Last."]
+
+
+class TestQueryAugmentationExplanation:
+    def test_augmented_query_composition(self):
+        explanation = QueryAugmentationExplanation(
+            doc_id="d",
+            original_query="covid outbreak",
+            added_terms=("5g", "microchip"),
+            score=9.0,
+            threshold=1,
+            original_rank=3,
+            new_rank=1,
+        )
+        assert explanation.augmented_query == "covid outbreak 5g microchip"
+        assert explanation.size == 2
+        assert explanation.to_dict()["augmented_query"] == explanation.augmented_query
+
+
+class TestInstanceExplanation:
+    def test_percent_rounding(self):
+        explanation = InstanceExplanation(
+            doc_id="a",
+            counterfactual_doc_id="b",
+            similarity=0.7512,
+            method="doc2vec_nearest",
+            query="q",
+            k=10,
+        )
+        assert explanation.similarity_percent == 75.1
+
+
+class TestExplanationSet:
+    def test_container_protocol(self):
+        result = ExplanationSet(explanations=[1, 2, 3])
+        assert len(result) == 3
+        assert result[0] == 1
+        assert list(result) == [1, 2, 3]
+
+    def test_complete_flag(self):
+        assert ExplanationSet().complete
+        assert not ExplanationSet(budget_exhausted=True).complete

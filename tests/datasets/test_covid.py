@@ -1,0 +1,105 @@
+"""Tests for the synthetic COVID-19 Articles corpus — the scenario anchors."""
+
+import pytest
+
+from repro.datasets.covid import (
+    DEMO_QUERY,
+    FAKE_NEWS_DOC_ID,
+    NEAR_COPY_DOC_ID,
+    covid_corpus,
+    covid_training_queries,
+)
+from repro.errors import ConfigurationError
+from repro.text.analyzer import default_analyzer
+from repro.text.sentences import split_sentences
+
+
+class TestCorpusStructure:
+    def test_deterministic(self):
+        first = covid_corpus()
+        second = covid_corpus()
+        assert [d.doc_id for d in first] == [d.doc_id for d in second]
+        assert [d.body for d in first] == [d.body for d in second]
+
+    def test_anchor_documents_present(self):
+        ids = {d.doc_id for d in covid_corpus()}
+        assert FAKE_NEWS_DOC_ID in ids
+        assert NEAR_COPY_DOC_ID in ids
+        assert "covid-genuine-01" in ids
+        assert "flu-outbreak-01" in ids
+
+    def test_unique_ids(self):
+        ids = [d.doc_id for d in covid_corpus()]
+        assert len(ids) == len(set(ids))
+
+    def test_filler_size_controls_corpus(self):
+        small = covid_corpus(filler_size=0)
+        large = covid_corpus(filler_size=30)
+        assert len(large) - len(small) == 30
+
+    def test_negative_filler_rejected(self):
+        with pytest.raises(ConfigurationError):
+            covid_corpus(filler_size=-1)
+
+    def test_fake_news_metadata(self):
+        corpus = {d.doc_id: d for d in covid_corpus()}
+        assert corpus[FAKE_NEWS_DOC_ID].metadata["fake_news"] is True
+        assert corpus["covid-genuine-01"].metadata["fake_news"] is False
+
+
+class TestScenarioProperties:
+    """The structural facts the demo scenario (§III) depends on."""
+
+    def test_fake_article_first_and_last_sentences_carry_query_terms(self):
+        corpus = {d.doc_id: d for d in covid_corpus()}
+        analyzer = default_analyzer()
+        query_terms = set(analyzer.analyze(DEMO_QUERY))
+        sentences = split_sentences(corpus[FAKE_NEWS_DOC_ID].body)
+        first_terms = set(analyzer.analyze(sentences[0].text))
+        last_terms = set(analyzer.analyze(sentences[-1].text))
+        assert query_terms <= first_terms
+        assert query_terms <= last_terms
+
+    def test_conspiracy_terms_exclusive_to_fake_article(self):
+        analyzer = default_analyzer()
+        for document in covid_corpus():
+            terms = analyzer.analyze_unique(document.body)
+            if document.doc_id in (FAKE_NEWS_DOC_ID, NEAR_COPY_DOC_ID):
+                assert "5g" in terms
+                assert "microchip" in terms
+            elif document.metadata.get("topic") == "covid":
+                assert "5g" not in terms
+                assert "microchip" not in terms
+
+    def test_near_copy_lacks_query_terms(self):
+        corpus = {d.doc_id: d for d in covid_corpus()}
+        analyzer = default_analyzer()
+        near_copy_terms = analyzer.analyze_unique(corpus[NEAR_COPY_DOC_ID].body)
+        assert "covid" not in near_copy_terms
+        assert "outbreak" not in near_copy_terms
+
+    def test_near_copy_shares_most_content_with_fake_article(self):
+        corpus = {d.doc_id: d for d in covid_corpus()}
+        analyzer = default_analyzer()
+        fake_terms = analyzer.analyze_unique(corpus[FAKE_NEWS_DOC_ID].body)
+        copy_terms = analyzer.analyze_unique(corpus[NEAR_COPY_DOC_ID].body)
+        overlap = len(fake_terms & copy_terms) / len(fake_terms | copy_terms)
+        assert overlap > 0.6
+
+    def test_peripheral_articles_mention_outbreak_without_covid(self):
+        analyzer = default_analyzer()
+        peripherals = [
+            d for d in covid_corpus() if d.metadata.get("topic") == "outbreak-peripheral"
+        ]
+        assert peripherals
+        for document in peripherals:
+            terms = analyzer.analyze_unique(document.body)
+            assert "outbreak" in terms
+            assert "covid" not in terms
+
+
+class TestTrainingQueries:
+    def test_non_empty_and_include_demo_query(self):
+        queries = covid_training_queries()
+        assert DEMO_QUERY in queries
+        assert len(queries) >= 5

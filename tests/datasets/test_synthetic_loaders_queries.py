@@ -1,0 +1,101 @@
+"""Tests for the generic corpus generator, JSONL loaders, and query sampling."""
+
+import pytest
+
+from repro.datasets.loaders import load_jsonl, save_jsonl
+from repro.datasets.queries import sample_queries
+from repro.datasets.synthetic import DEFAULT_TOPICS, TopicSpec, synthetic_corpus
+from repro.errors import ConfigurationError
+
+
+class TestSyntheticCorpus:
+    def test_size(self):
+        assert len(synthetic_corpus(size=25, seed=1)) == 25
+
+    def test_deterministic(self):
+        a = synthetic_corpus(size=10, seed=3)
+        b = synthetic_corpus(size=10, seed=3)
+        assert [d.body for d in a] == [d.body for d in b]
+
+    def test_seeds_differ(self):
+        a = synthetic_corpus(size=10, seed=1)
+        b = synthetic_corpus(size=10, seed=2)
+        assert [d.body for d in a] != [d.body for d in b]
+
+    def test_topics_rotate(self):
+        corpus = synthetic_corpus(size=10, seed=1)
+        topics = {d.metadata["topic"] for d in corpus}
+        assert len(topics) == min(10, len(DEFAULT_TOPICS))
+
+    def test_home_topic_vocabulary_present(self):
+        corpus = synthetic_corpus(size=10, seed=4)
+        for document in corpus:
+            topic = next(
+                t for t in DEFAULT_TOPICS if t.name == document.metadata["topic"]
+            )
+            body = document.body.lower()
+            assert any(term in body for term in topic.vocabulary)
+
+    def test_sentence_count_range(self):
+        from repro.text.sentences import split_sentences
+
+        corpus = synthetic_corpus(size=20, sentences_per_doc=(2, 4), seed=5)
+        for document in corpus:
+            assert 2 <= len(split_sentences(document.body)) <= 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_corpus(size=0)
+        with pytest.raises(ConfigurationError):
+            synthetic_corpus(sentences_per_doc=(5, 2))
+        with pytest.raises(ConfigurationError):
+            TopicSpec("thin", ("a", "b"))
+
+
+class TestJsonlLoaders:
+    def test_roundtrip(self, tiny_docs, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        count = save_jsonl(tiny_docs, path)
+        assert count == len(tiny_docs)
+        loaded = load_jsonl(path)
+        assert loaded == tiny_docs
+
+    def test_blank_lines_skipped(self, tiny_docs, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl(tiny_docs[:2], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_jsonl(path)) == 2
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"doc_id": "a", "body": "x"}\nnot json\n')
+        with pytest.raises(ValueError, match="broken.jsonl:2"):
+            load_jsonl(path)
+
+    def test_parent_directory_created(self, tiny_docs, tmp_path):
+        nested = tmp_path / "a" / "b" / "c.jsonl"
+        save_jsonl(tiny_docs, nested)
+        assert nested.exists()
+
+
+class TestSampleQueries:
+    def test_count_and_determinism(self, covid_documents):
+        a = sample_queries(covid_documents, count=5, seed=1)
+        b = sample_queries(covid_documents, count=5, seed=1)
+        assert a == b
+        assert len(a) == 5
+
+    def test_queries_hit_the_corpus(self, covid_documents):
+        from repro.index.inverted import InvertedIndex
+        from repro.index.searcher import IndexSearcher
+
+        index = InvertedIndex.from_documents(covid_documents)
+        searcher = IndexSearcher(index)
+        for query in sample_queries(covid_documents, count=8, seed=2):
+            assert searcher.search(query, k=1), f"query {query!r} matches nothing"
+
+    def test_term_range_respected(self, covid_documents):
+        queries = sample_queries(
+            covid_documents, count=6, terms_per_query=(2, 2), seed=3
+        )
+        assert all(len(q.split()) == 2 for q in queries)

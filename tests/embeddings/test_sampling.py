@@ -1,0 +1,59 @@
+"""Tests for negative-sampling machinery."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.sampling import UnigramTable, sigmoid
+from repro.errors import ConfigurationError
+from repro.utils.rng import default_rng
+
+
+class TestUnigramTable:
+    def test_samples_in_range(self):
+        table = UnigramTable(np.array([5.0, 3.0, 1.0]))
+        samples = table.sample(default_rng(1), 100)
+        assert samples.min() >= 0
+        assert samples.max() <= 2
+
+    def test_frequency_proportionality(self):
+        table = UnigramTable(np.array([1000.0, 1.0]))
+        samples = table.sample(default_rng(1), 2000)
+        # The heavy item must dominate (power 0.75 softens but keeps order).
+        assert (samples == 0).mean() > 0.8
+
+    def test_power_flattens(self):
+        counts = np.array([1000.0, 1.0])
+        sharp = UnigramTable(counts, power=1.0)
+        flat = UnigramTable(counts, power=0.25)
+        rng_a, rng_b = default_rng(2), default_rng(2)
+        share_sharp = (sharp.sample(rng_a, 3000) == 0).mean()
+        share_flat = (flat.sample(rng_b, 3000) == 0).mean()
+        assert share_flat < share_sharp
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnigramTable(np.array([]))
+
+    def test_all_zero_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnigramTable(np.array([0.0, 0.0]))
+
+    def test_deterministic(self):
+        table = UnigramTable(np.array([2.0, 3.0, 4.0]))
+        a = table.sample(default_rng(9), 50)
+        b = table.sample(default_rng(9), 50)
+        assert (a == b).all()
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_extremes_are_stable(self):
+        assert sigmoid(1000.0) == pytest.approx(1.0)
+        assert sigmoid(-1000.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_vectorised(self):
+        values = sigmoid(np.array([-1.0, 0.0, 1.0]))
+        assert values.shape == (3,)
+        assert (np.diff(values) > 0).all()

@@ -1,0 +1,100 @@
+"""Tests for BM25/TF-IDF document vectors and cosine/KNN."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.similarity import CosineKnn, cosine_similarity
+from repro.embeddings.vectorizers import Bm25Vectorizer, TfIdfVectorizer
+from repro.errors import ConfigurationError
+
+
+class TestCosineSimilarity:
+    def test_identical_dense(self):
+        assert cosine_similarity([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_orthogonal_dense(self):
+        assert cosine_similarity([1.0, 0.0], [0.0, 1.0]) == pytest.approx(0.0)
+
+    def test_opposite_dense(self):
+        assert cosine_similarity([1.0], [-1.0]) == pytest.approx(-1.0)
+
+    def test_zero_vector_is_zero(self):
+        assert cosine_similarity([0.0, 0.0], [1.0, 1.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cosine_similarity([1.0], [1.0, 2.0])
+
+    def test_sparse_vectors(self):
+        a = {"covid": 2.0, "outbreak": 1.0}
+        b = {"covid": 2.0, "outbreak": 1.0}
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_sparse_disjoint(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_sparse_empty(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+    def test_sparse_matches_dense(self):
+        sparse = cosine_similarity({"x": 3.0, "y": 4.0}, {"x": 4.0, "y": 3.0})
+        dense = cosine_similarity([3.0, 4.0], [4.0, 3.0])
+        assert sparse == pytest.approx(dense)
+
+
+class TestVectorizers:
+    def test_bm25_vector_nonzero_for_content_terms(self, tiny_index):
+        vector = Bm25Vectorizer(tiny_index).vector("d5")
+        assert vector.get("microchip", 0.0) > 0.0
+        assert vector.get("covid", 0.0) > 0.0
+
+    def test_rare_terms_weigh_more(self, tiny_index):
+        vector = Bm25Vectorizer(tiny_index).vector("d5")
+        # 'microchip' is unique to d5; 'covid' appears in three documents.
+        assert vector["microchip"] > vector["covid"] / 2  # idf dominates
+
+    def test_vector_for_text_matches_vector_for_same_body(self, tiny_index):
+        vectorizer = Bm25Vectorizer(tiny_index)
+        body = tiny_index.document("d5").body
+        assert vectorizer.vector_for_text(body) == vectorizer.vector("d5")
+
+    def test_all_vectors_cover_corpus(self, tiny_index):
+        assert set(Bm25Vectorizer(tiny_index).all_vectors()) == set(tiny_index.doc_ids)
+
+    def test_tfidf_variant_works(self, tiny_index):
+        vector = TfIdfVectorizer(tiny_index).vector("d5")
+        assert vector.get("microchip", 0.0) > 0.0
+
+    def test_near_duplicate_bodies_have_high_cosine(self, tiny_index):
+        vectorizer = Bm25Vectorizer(tiny_index)
+        a = vectorizer.vector("d5")
+        b = vectorizer.vector_for_text(
+            "Conspiracy theorists claim 5G towers caused the illness. "
+            "A microchip plot supposedly tracks citizens."
+        )
+        c = vectorizer.vector("d4")
+        assert cosine_similarity(a, b) > cosine_similarity(a, c)
+
+
+class TestCosineKnn:
+    def test_nearest_ordering(self):
+        matrix = np.array([[1.0, 0.0], [0.9, 0.1], [0.0, 1.0]])
+        knn = CosineKnn(["a", "b", "c"], matrix)
+        result = knn.nearest(np.array([1.0, 0.0]), n=2)
+        assert [label for label, _ in result] == ["a", "b"]
+
+    def test_exclusions(self):
+        matrix = np.eye(3)
+        knn = CosineKnn(["a", "b", "c"], matrix)
+        result = knn.nearest(np.array([1.0, 0.0, 0.0]), n=3, exclude={"a"})
+        assert "a" not in [label for label, _ in result]
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CosineKnn(["a"], np.eye(2))
+
+    def test_zero_rows_handled(self):
+        matrix = np.array([[0.0, 0.0], [1.0, 0.0]])
+        knn = CosineKnn(["zero", "one"], matrix)
+        result = knn.nearest(np.array([1.0, 0.0]), n=2)
+        assert result[0][0] == "one"

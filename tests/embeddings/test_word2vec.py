@@ -1,0 +1,61 @@
+"""Tests for skip-gram word2vec."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.word2vec import train_word2vec
+from repro.errors import TermNotFoundError, TrainingError
+
+CORPUS = [
+    "covid outbreak city hospital cases".split(),
+    "covid outbreak spread hospital doctors".split(),
+    "covid vaccine trial doctors results".split(),
+    "market stocks rally investors shares".split(),
+    "market stocks earnings investors trading".split(),
+    "storm rainfall flooding forecast winds".split(),
+] * 4
+
+
+@pytest.fixture(scope="module")
+def model():
+    return train_word2vec(CORPUS, dimension=24, epochs=12, seed=5)
+
+
+class TestTraining:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(TrainingError):
+            train_word2vec([[]])
+
+    def test_deterministic(self):
+        a = train_word2vec(CORPUS[:6], dimension=8, epochs=2, seed=4)
+        b = train_word2vec(CORPUS[:6], dimension=8, epochs=2, seed=4)
+        assert np.allclose(a.w_in, b.w_in)
+
+    def test_min_count_prunes(self):
+        model = train_word2vec(CORPUS + [["rareterm", "covid"]], min_count=2, epochs=1)
+        assert "rareterm" not in model
+
+    def test_dimension(self, model):
+        assert model.dimension == 24
+        assert model.vector("covid").shape == (24,)
+
+
+class TestSimilarityStructure:
+    def test_topically_related_terms_closer(self, model):
+        neighbours = [term for term, _ in model.most_similar("stocks", n=3)]
+        assert "investors" in neighbours or "market" in neighbours or "earnings" in neighbours
+
+    def test_unknown_term_raises(self, model):
+        with pytest.raises(TermNotFoundError):
+            model.vector("nonexistent")
+
+    def test_text_vector_mean(self, model):
+        combined = model.text_vector(["covid", "outbreak"])
+        manual = (model.vector("covid") + model.vector("outbreak")) / 2
+        assert np.allclose(combined, manual)
+
+    def test_text_vector_unknown_terms_zero(self, model):
+        assert not model.text_vector(["qqq", "zzz"]).any()
+
+    def test_most_similar_excludes_self(self, model):
+        assert "covid" not in [t for t, _ in model.most_similar("covid", n=5)]

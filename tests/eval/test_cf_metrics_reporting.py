@@ -1,0 +1,107 @@
+"""Tests for counterfactual metrics and table rendering."""
+
+import pytest
+
+from repro.core.types import ExplanationSet, QueryAugmentationExplanation
+from repro.eval.cf_metrics import (
+    explanation_cost,
+    minimality_violations,
+    summarize_runs,
+    validity_rate,
+)
+from repro.eval.reporting import Table, format_table
+
+
+def make_run(sizes: list[int], candidates: int = 10) -> ExplanationSet:
+    run = ExplanationSet(
+        explanations=[
+            QueryAugmentationExplanation(
+                doc_id="d",
+                original_query="q",
+                added_terms=tuple(f"t{j}" for j in range(size)),
+                score=1.0,
+                threshold=1,
+                original_rank=3,
+                new_rank=1,
+            )
+            for size in sizes
+        ]
+    )
+    run.candidates_evaluated = candidates
+    run.ranker_calls = candidates * 10
+    return run
+
+
+class TestSummarizeRuns:
+    def test_aggregates(self):
+        stats = summarize_runs([make_run([1, 2]), make_run([3]), make_run([])])
+        assert stats.requests == 3
+        assert stats.found == 2
+        assert stats.mean_size == pytest.approx(2.0)
+        assert stats.mean_candidates == 10.0
+        assert stats.success_rate == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        stats = summarize_runs([])
+        assert stats.requests == 0
+        assert stats.success_rate == 0.0
+
+
+class TestValidityRate:
+    def test_rate(self):
+        assert validity_rate([1, 2, 3, 4], lambda x: x % 2 == 0) == 0.5
+
+    def test_empty(self):
+        assert validity_rate([], lambda x: True) == 0.0
+
+
+class TestMinimalityViolations:
+    def test_detects_valid_subset(self):
+        # {a, b} has valid subset {a} → violation.
+        explanations = [frozenset({"a", "b"})]
+        assert minimality_violations(explanations, lambda s: s == frozenset({"a"})) == 1
+
+    def test_minimal_sets_pass(self):
+        explanations = [frozenset({"a", "b"})]
+        assert minimality_violations(explanations, lambda s: False) == 0
+
+    def test_singletons_always_minimal(self):
+        explanations = [frozenset({"a"})]
+        assert minimality_violations(explanations, lambda s: True) == 0
+
+    def test_checks_all_subset_sizes(self):
+        # Only the 1-element subset {c} is valid inside {a, b, c}.
+        explanations = [frozenset({"a", "b", "c"})]
+        assert minimality_violations(explanations, lambda s: s == frozenset({"c"})) == 1
+
+
+class TestExplanationCost:
+    def test_fields(self):
+        cost = explanation_cost(make_run([1]))
+        assert cost["explanations"] == 1.0
+        assert cost["candidates_evaluated"] == 10.0
+        assert cost["ranker_calls"] == 100.0
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"], [["bm25", 1.2345], ["lm", 10.0]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "1.234" in text  # floats rendered at 3 decimals
+
+    def test_table_builder(self):
+        table = Table(["a", "b"], title="demo")
+        table.add(1, 2).add(3, 4)
+        rendered = table.render()
+        assert rendered.startswith("demo")
+        assert "3" in rendered
+
+    def test_row_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Table(["a", "b"]).add(1)
+
+    def test_markdown_render(self):
+        markdown = Table(["x"], title="t").add(1).render_markdown()
+        assert "| x |" in markdown
+        assert "**t**" in markdown

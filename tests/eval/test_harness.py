@@ -1,0 +1,60 @@
+"""Tests for the batch evaluation harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.harness import (
+    STUDY_HEADERS,
+    StudyInstance,
+    rankable_instances,
+    run_document_cf_study,
+    run_query_cf_study,
+    study_table,
+)
+
+QUERIES = ["covid outbreak", "flu season", "vaccine trial"]
+
+
+class TestRankableInstances:
+    def test_builds_per_query_instances(self, bm25_engine):
+        instances = rankable_instances(bm25_engine, QUERIES, k=5, per_query=2)
+        assert len(instances) == len(QUERIES) * 2
+        assert all(isinstance(i, StudyInstance) for i in instances)
+
+    def test_instances_are_ranked_documents(self, bm25_engine):
+        instances = rankable_instances(bm25_engine, ["covid outbreak"], k=5)
+        ranking = bm25_engine.rank("covid outbreak", k=5)
+        for instance in instances:
+            assert instance.doc_id in ranking
+
+
+class TestStudies:
+    @pytest.fixture(scope="class")
+    def instances(self, bm25_engine):
+        return rankable_instances(bm25_engine, QUERIES, k=5, per_query=2)
+
+    def test_document_study_aggregates(self, bm25_engine, instances):
+        result = run_document_cf_study(bm25_engine, instances, k=5)
+        stats = result.stats
+        assert stats.requests + result.errors == len(instances)
+        assert 0.0 <= stats.success_rate <= 1.0
+        assert result.elapsed_seconds > 0
+
+    def test_query_study_aggregates(self, bm25_engine, instances):
+        result = run_query_cf_study(bm25_engine, instances, k=5, threshold=1)
+        assert result.stats.requests + result.errors == len(instances)
+
+    def test_empty_instances_rejected(self, bm25_engine):
+        with pytest.raises(ConfigurationError):
+            run_document_cf_study(bm25_engine, [])
+
+    def test_study_table_renders(self, bm25_engine, instances):
+        results = [
+            run_document_cf_study(bm25_engine, instances, k=5),
+            run_query_cf_study(bm25_engine, instances, k=5, threshold=1),
+        ]
+        rendered = study_table(results, title="study").render()
+        assert "document-cf" in rendered
+        assert "query-cf" in rendered
+        for header in STUDY_HEADERS[:3]:
+            assert header in rendered

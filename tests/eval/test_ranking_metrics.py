@@ -1,0 +1,94 @@
+"""Tests for ranking metrics against hand-computed values."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.ranking_metrics import (
+    average_precision,
+    kendall_tau,
+    mrr,
+    ndcg_at_k,
+    precision_at_k,
+    rank_biased_overlap,
+)
+
+RANKED = ["a", "b", "c", "d", "e"]
+
+
+class TestPrecisionAtK:
+    def test_basic(self):
+        assert precision_at_k(RANKED, {"a", "c"}, k=2) == 0.5
+        assert precision_at_k(RANKED, {"a", "c"}, k=3) == pytest.approx(2 / 3)
+
+    def test_empty_ranked(self):
+        assert precision_at_k([], {"a"}, k=5) == 0.0
+
+
+class TestMrr:
+    def test_first_hit_position(self):
+        assert mrr(RANKED, {"c"}) == pytest.approx(1 / 3)
+        assert mrr(RANKED, {"a", "e"}) == 1.0
+
+    def test_no_hit(self):
+        assert mrr(RANKED, {"zz"}) == 0.0
+
+
+class TestAveragePrecision:
+    def test_hand_computed(self):
+        # relevant at positions 1 and 3 → (1/1 + 2/3) / 2
+        assert average_precision(RANKED, {"a", "c"}) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+    def test_no_relevant(self):
+        assert average_precision(RANKED, set()) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], gains, k=3) == pytest.approx(1.0)
+
+    def test_worst_ordering_below_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], gains, k=3) < 1.0
+
+    def test_empty_gains(self):
+        assert ndcg_at_k(RANKED, {}, k=3) == 0.0
+
+
+class TestKendallTau:
+    def test_identical_orderings(self):
+        assert kendall_tau(RANKED, RANKED) == 1.0
+
+    def test_reversed_orderings(self):
+        assert kendall_tau(RANKED, RANKED[::-1]) == -1.0
+
+    def test_single_swap(self):
+        swapped = ["b", "a", "c", "d", "e"]
+        assert kendall_tau(RANKED, swapped) == pytest.approx(1 - 2 * 1 / 10)
+
+    def test_different_membership_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau(["a"], ["b"])
+
+
+class TestRbo:
+    def test_identical_lists_score_one(self):
+        assert rank_biased_overlap(RANKED, RANKED) == pytest.approx(1.0)
+
+    def test_disjoint_lists(self):
+        assert rank_biased_overlap(["a", "b"], ["x", "y"]) == 0.0
+
+    def test_top_weightedness(self):
+        # Agreement at the top matters more than at the bottom.
+        top_agree = rank_biased_overlap(["a", "b", "x"], ["a", "b", "y"])
+        bottom_agree = rank_biased_overlap(["x", "a", "b"], ["y", "a", "b"])
+        assert top_agree > bottom_agree
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            rank_biased_overlap(["a"], ["a"], p=1.0)
+
+    def test_empty_lists(self):
+        assert rank_biased_overlap([], []) == 1.0

@@ -1,0 +1,38 @@
+"""Tests for the Document record."""
+
+import pytest
+
+from repro.index.document import Document
+
+
+class TestDocument:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Document("", "body")
+
+    def test_with_body_preserves_identity(self):
+        original = Document("d1", "old", title="T", metadata={"x": 1})
+        perturbed = original.with_body("new")
+        assert perturbed.doc_id == "d1"
+        assert perturbed.body == "new"
+        assert perturbed.title == "T"
+        assert perturbed.metadata == {"x": 1}
+
+    def test_with_body_does_not_mutate_original(self):
+        original = Document("d1", "old")
+        original.with_body("new")
+        assert original.body == "old"
+
+    def test_dict_roundtrip(self):
+        original = Document("d1", "body text", title="T", metadata={"k": "v"})
+        assert Document.from_dict(original.to_dict()) == original
+
+    def test_from_dict_defaults(self):
+        document = Document.from_dict({"doc_id": "d", "body": "b"})
+        assert document.title == ""
+        assert document.metadata == {}
+
+    def test_frozen(self):
+        document = Document("d1", "body")
+        with pytest.raises(AttributeError):
+            document.body = "changed"

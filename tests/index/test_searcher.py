@@ -1,0 +1,80 @@
+"""Tests for ranked and boolean retrieval."""
+
+import pytest
+
+from repro.errors import ConfigurationError, IndexStateError
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.searcher import IndexSearcher
+from repro.index.similarity import DirichletSimilarity
+
+
+class TestRankedSearch:
+    def test_most_relevant_first(self, tiny_index):
+        hits = IndexSearcher(tiny_index).search("covid outbreak", k=3)
+        assert hits[0].doc_id in {"d1", "d5"}
+        assert [h.rank for h in hits] == [1, 2, 3]
+
+    def test_scores_descending(self, tiny_index):
+        hits = IndexSearcher(tiny_index).search("covid outbreak", k=6)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_only_matching_docs_returned(self, tiny_index):
+        hits = IndexSearcher(tiny_index).search("microchip", k=10)
+        assert [h.doc_id for h in hits] == ["d5"]
+
+    def test_k_limits_results(self, tiny_index):
+        assert len(IndexSearcher(tiny_index).search("covid", k=2)) == 2
+
+    def test_no_match_returns_empty(self, tiny_index):
+        assert IndexSearcher(tiny_index).search("xylophone", k=5) == []
+
+    def test_empty_index_raises(self):
+        searcher = IndexSearcher(InvertedIndex())
+        with pytest.raises(IndexStateError):
+            searcher.search("anything")
+
+    def test_invalid_k(self, tiny_index):
+        with pytest.raises(ConfigurationError):
+            IndexSearcher(tiny_index).search("covid", k=0)
+
+    def test_deterministic_tie_break(self):
+        docs = [Document(f"d{i}", "same exact text here") for i in range(5)]
+        index = InvertedIndex.from_documents(docs)
+        hits = IndexSearcher(index).search("exact text", k=5)
+        assert [h.doc_id for h in hits] == [f"d{i}" for i in range(5)]
+
+    def test_lm_scores_every_document(self, tiny_index):
+        searcher = IndexSearcher(tiny_index, DirichletSimilarity())
+        hits = searcher.search("covid outbreak", k=10)
+        assert len(hits) == len(tiny_index)  # smoothing ranks all docs
+
+    def test_score_all_matches_search_order(self, tiny_index):
+        searcher = IndexSearcher(tiny_index)
+        scores = searcher.score_all("covid outbreak")
+        hits = searcher.search("covid outbreak", k=3)
+        for hit in hits:
+            assert scores[hit.doc_id] == pytest.approx(hit.score)
+
+
+class TestBooleanSearch:
+    def test_and_semantics(self, tiny_index):
+        result = IndexSearcher(tiny_index).search_boolean("covid outbreak", mode="and")
+        assert set(result) == {"d1", "d5"}
+
+    def test_or_semantics(self, tiny_index):
+        result = IndexSearcher(tiny_index).search_boolean("covid outbreak", mode="or")
+        assert {"d1", "d2", "d5", "d6"} <= set(result)
+
+    def test_empty_query(self, tiny_index):
+        assert IndexSearcher(tiny_index).search_boolean("the of and") == []
+
+    def test_invalid_mode(self, tiny_index):
+        with pytest.raises(ValueError):
+            IndexSearcher(tiny_index).search_boolean("covid", mode="xor")
+
+    def test_results_in_corpus_order(self, tiny_index):
+        result = IndexSearcher(tiny_index).search_boolean("covid", mode="or")
+        positions = [tiny_index.doc_ids.index(doc_id) for doc_id in result]
+        assert positions == sorted(positions)

@@ -1,0 +1,119 @@
+"""Tests for the pluggable similarities (BM25 / TF-IDF / Dirichlet LM)."""
+
+import math
+
+import pytest
+
+from repro.index.similarity import (
+    Bm25Similarity,
+    DirichletSimilarity,
+    FieldStats,
+    TermStats,
+    TfIdfSimilarity,
+)
+
+FIELD = FieldStats(document_count=100, average_document_length=50.0, total_terms=5000)
+
+
+def stats(df: int, cf: int | None = None) -> TermStats:
+    return TermStats(document_frequency=df, collection_frequency=cf or df)
+
+
+class TestBm25:
+    def test_zero_tf_scores_zero(self):
+        assert Bm25Similarity().score(0, 50, stats(10), FIELD) == 0.0
+
+    def test_zero_df_scores_zero(self):
+        assert Bm25Similarity().score(3, 50, stats(0, 0), FIELD) == 0.0
+
+    def test_idf_always_positive(self):
+        similarity = Bm25Similarity()
+        # Even a term in every document keeps a positive Lucene idf.
+        assert similarity.idf(100, 100) > 0.0
+
+    def test_monotone_in_tf(self):
+        similarity = Bm25Similarity()
+        scores = [similarity.score(tf, 50, stats(10), FIELD) for tf in (1, 2, 5, 20)]
+        assert scores == sorted(scores)
+
+    def test_tf_saturation(self):
+        similarity = Bm25Similarity(k1=0.9)
+        gain_low = similarity.score(2, 50, stats(10), FIELD) - similarity.score(
+            1, 50, stats(10), FIELD
+        )
+        gain_high = similarity.score(21, 50, stats(10), FIELD) - similarity.score(
+            20, 50, stats(10), FIELD
+        )
+        assert gain_high < gain_low
+
+    def test_rare_terms_weigh_more(self):
+        similarity = Bm25Similarity()
+        rare = similarity.score(1, 50, stats(1), FIELD)
+        common = similarity.score(1, 50, stats(90), FIELD)
+        assert rare > common
+
+    def test_length_normalisation_penalises_long_docs(self):
+        similarity = Bm25Similarity(b=0.75)
+        short = similarity.score(1, 10, stats(10), FIELD)
+        long = similarity.score(1, 200, stats(10), FIELD)
+        assert short > long
+
+    def test_b_zero_ignores_length(self):
+        similarity = Bm25Similarity(b=0.0)
+        assert similarity.score(1, 10, stats(10), FIELD) == pytest.approx(
+            similarity.score(1, 500, stats(10), FIELD)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Bm25Similarity(b=1.5)
+
+    def test_anserini_defaults(self):
+        similarity = Bm25Similarity()
+        assert similarity.k1 == 0.9
+        assert similarity.b == 0.4
+
+
+class TestTfIdf:
+    def test_zero_tf_zero(self):
+        assert TfIdfSimilarity().score(0, 10, stats(5), FIELD) == 0.0
+
+    def test_sublinear_tf(self):
+        similarity = TfIdfSimilarity(sublinear_tf=True)
+        linear = TfIdfSimilarity(sublinear_tf=False)
+        assert similarity.score(10, 50, stats(5), FIELD) < linear.score(
+            10, 50, stats(5), FIELD
+        )
+
+    def test_idf_smooth_positive(self):
+        assert TfIdfSimilarity().idf(100, 100) > 0.0
+
+
+class TestDirichlet:
+    def test_needs_all_query_terms(self):
+        assert DirichletSimilarity().needs_all_query_terms()
+        assert not Bm25Similarity().needs_all_query_terms()
+
+    def test_absent_term_contributes_smoothing_mass(self):
+        similarity = DirichletSimilarity(mu=1000)
+        score = similarity.score(0, 50, stats(10, 40), FIELD)
+        assert score < 0.0  # a log-probability
+
+    def test_present_term_beats_absent(self):
+        similarity = DirichletSimilarity(mu=1000)
+        present = similarity.score(3, 50, stats(10, 40), FIELD)
+        absent = similarity.score(0, 50, stats(10, 40), FIELD)
+        assert present > absent
+
+    def test_oov_term_ignored(self):
+        assert DirichletSimilarity().score(0, 50, stats(0, 0), FIELD) == 0.0
+
+    def test_mu_must_be_positive(self):
+        with pytest.raises(Exception):
+            DirichletSimilarity(mu=0)
+
+    def test_matches_formula(self):
+        similarity = DirichletSimilarity(mu=500)
+        term = stats(10, 40)
+        expected = math.log((3 + 500 * (40 / 5000)) / (50 + 500))
+        assert similarity.score(3, 50, term, FIELD) == pytest.approx(expected)

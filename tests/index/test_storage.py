@@ -1,0 +1,62 @@
+"""Tests for index persistence."""
+
+import json
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.index.searcher import IndexSearcher
+from repro.index.storage import load_index, save_index
+from repro.text.analyzer import Analyzer
+
+
+class TestRoundTrip:
+    def test_documents_preserved(self, tiny_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(tiny_index, path)
+        loaded = load_index(path)
+        assert {d.doc_id for d in loaded} == {d.doc_id for d in tiny_index}
+        assert loaded.document("d1") == tiny_index.document("d1")
+
+    def test_statistics_preserved(self, tiny_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(tiny_index, path)
+        loaded = load_index(path)
+        assert loaded.stats() == tiny_index.stats()
+        for term in tiny_index.terms():
+            assert loaded.document_frequency(term) == tiny_index.document_frequency(term)
+
+    def test_search_results_preserved(self, tiny_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(tiny_index, path)
+        loaded = load_index(path)
+        original_hits = IndexSearcher(tiny_index).search("covid outbreak", k=5)
+        loaded_hits = IndexSearcher(loaded).search("covid outbreak", k=5)
+        assert [h.doc_id for h in original_hits] == [h.doc_id for h in loaded_hits]
+        for a, b in zip(original_hits, loaded_hits):
+            assert a.score == pytest.approx(b.score)
+
+    def test_analyzer_config_preserved(self, tiny_docs, tmp_path):
+        analyzer = Analyzer(stem=False, remove_stopwords=False)
+        index = InvertedIndex.from_documents(tiny_docs, analyzer)
+        path = tmp_path / "surface.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.analyzer.stem is False
+        assert loaded.analyzer.remove_stopwords is False
+
+    def test_parent_directories_created(self, tiny_index, tmp_path):
+        nested = tmp_path / "deep" / "dir" / "index.json"
+        save_index(tiny_index, nested)
+        assert nested.exists()
+
+
+class TestFormat:
+    def test_unknown_version_rejected(self, tiny_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(tiny_index, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_index(path)

@@ -1,0 +1,151 @@
+"""Property-based invariants of the counterfactual search over arbitrary
+synthetic corpora and multiple black-box rankers.
+
+These are the library's strongest guarantees:
+
+* every returned explanation is *valid* (independently re-checked);
+* the first explanation per request is *minimal* (no valid strict subset);
+* rankings are permutations with contiguous ranks;
+* the engine is deterministic under a seed.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.document_cf import CounterfactualDocumentExplainer
+from repro.core.query_cf import CounterfactualQueryExplainer
+from repro.datasets.synthetic import synthetic_corpus
+from repro.index.inverted import InvertedIndex
+from repro.ranking.bm25 import Bm25Ranker
+from repro.ranking.lm import DirichletLmRanker
+from repro.ranking.tfidf import TfIdfRanker
+
+RANKERS = {
+    "bm25": Bm25Ranker,
+    "tfidf": TfIdfRanker,
+    "lm": DirichletLmRanker,
+}
+
+_INDEX_CACHE: dict[int, InvertedIndex] = {}
+
+
+def corpus_index(seed: int) -> InvertedIndex:
+    if seed not in _INDEX_CACHE:
+        _INDEX_CACHE[seed] = InvertedIndex.from_documents(
+            synthetic_corpus(size=30, seed=seed)
+        )
+    return _INDEX_CACHE[seed]
+
+
+QUERIES = [
+    "virus hospital patients",
+    "markets stocks investors",
+    "storm rainfall forecast",
+    "software platform users",
+]
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(0, 3),
+    query=st.sampled_from(QUERIES),
+    ranker_name=st.sampled_from(sorted(RANKERS)),
+    k=st.integers(3, 8),
+)
+def test_rankings_are_contiguous_permutations(seed, query, ranker_name, k):
+    ranker = RANKERS[ranker_name](corpus_index(seed))
+    ranking = ranker.rank(query, k)
+    ranks = [entry.rank for entry in ranking]
+    assert ranks == list(range(1, len(ranking) + 1))
+    assert len(set(ranking.doc_ids)) == len(ranking)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(0, 2),
+    query=st.sampled_from(QUERIES),
+    ranker_name=st.sampled_from(sorted(RANKERS)),
+)
+def test_document_cf_valid_and_minimal(seed, query, ranker_name):
+    """For whichever top-ranked document, the first sentence-removal
+    explanation must be independently valid and subset-minimal."""
+    k = 5
+    ranker = RANKERS[ranker_name](corpus_index(seed))
+    ranking = ranker.rank(query, k)
+    if len(ranking) == 0:
+        return
+    doc_id = ranking.doc_ids[0]
+    explainer = CounterfactualDocumentExplainer(ranker, max_evaluations=300)
+    result = explainer.explain(query, doc_id, n=1, k=k)
+    if len(result) == 0:
+        return  # no counterfactual within budget — nothing to verify
+    explanation = result[0]
+    removed = set(explanation.removed_indices)
+    assert explainer.is_valid(query, doc_id, removed, k=k)
+    for size in range(1, len(removed)):
+        for subset in itertools.combinations(removed, size):
+            assert not explainer.is_valid(query, doc_id, set(subset), k=k)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(0, 2),
+    query=st.sampled_from(QUERIES),
+    ranker_name=st.sampled_from(sorted(RANKERS)),
+)
+def test_query_cf_valid_and_minimal(seed, query, ranker_name):
+    k, threshold = 6, 1
+    ranker = RANKERS[ranker_name](corpus_index(seed))
+    ranking = ranker.rank(query, k)
+    if len(ranking) < 3:
+        return
+    doc_id = ranking.doc_ids[2]  # explain a mid-ranked document
+    explainer = CounterfactualQueryExplainer(ranker, max_evaluations=300)
+    result = explainer.explain(query, doc_id, n=1, k=k, threshold=threshold)
+    if len(result) == 0:
+        return
+    explanation = result[0]
+    verified = explainer.rank_under_augmentation(
+        query, doc_id, explanation.added_terms, k=k
+    )
+    assert verified is not None and verified <= threshold
+    for size in range(1, len(explanation.added_terms)):
+        for subset in itertools.combinations(explanation.added_terms, size):
+            rank = explainer.rank_under_augmentation(query, doc_id, subset, k=k)
+            assert rank is None or rank > threshold
+
+
+def test_engine_fully_deterministic_under_seed():
+    from repro.core.engine import CredenceEngine, EngineConfig
+    from repro.datasets.covid import covid_corpus, covid_training_queries
+
+    def build():
+        return CredenceEngine(
+            covid_corpus(),
+            EngineConfig(
+                ranker="neural",
+                training_queries=tuple(covid_training_queries()),
+                seed=21,
+                neural_epochs=4,
+            ),
+        )
+
+    first = build().rank("covid outbreak", k=10)
+    second = build().rank("covid outbreak", k=10)
+    assert first.doc_ids == second.doc_ids
+    assert [e.score for e in first] == pytest.approx([e.score for e in second])

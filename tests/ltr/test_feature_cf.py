@@ -1,0 +1,119 @@
+"""Tests for feature-space counterfactuals (the future-work extension)."""
+
+import itertools
+
+import pytest
+
+from repro.datasets.synthetic import synthetic_corpus
+from repro.errors import ConfigurationError, RankingError
+from repro.index.inverted import InvertedIndex
+from repro.ltr.dataset import assign_priors, synthetic_letor_dataset
+from repro.ltr.feature_cf import FeatureChange, FeatureCounterfactualExplainer
+from repro.ltr.models import LinearLtrModel
+from repro.ltr.ranker import LtrRanker
+
+QUERY = "virus hospital patients"
+K = 10
+
+
+@pytest.fixture(scope="module")
+def ranker():
+    corpus = assign_priors(synthetic_corpus(size=100, seed=3), seed=7)
+    examples = synthetic_letor_dataset(
+        corpus,
+        [QUERY, "markets stocks investors", "storm rainfall forecast",
+         "software platform users", "match season team"],
+        seed=11,
+    )
+    model = LinearLtrModel.fit(examples)
+    return LtrRanker(InvertedIndex.from_documents(corpus), model)
+
+
+@pytest.fixture(scope="module")
+def explainer(ranker):
+    return FeatureCounterfactualExplainer(ranker)
+
+
+@pytest.fixture(scope="module")
+def target(ranker):
+    return ranker.rank(QUERY, K).doc_ids[-1]  # the rank-k document
+
+
+class TestValidity:
+    def test_explanation_demotes_beyond_k(self, explainer, target):
+        result = explainer.explain(QUERY, target, n=1, k=K)
+        assert len(result) == 1
+        explanation = result[0]
+        assert explanation.new_rank > K
+        assert explainer.is_valid(QUERY, target, explanation.changes, k=K)
+
+    def test_changes_touch_only_mutable_features(self, explainer, target):
+        explanation = explainer.explain(QUERY, target, n=1, k=K)[0]
+        for change in explanation.changes:
+            assert change.feature in explainer.mutable_features
+            assert change.new in explainer.grid
+
+    def test_each_feature_changed_at_most_once(self, explainer, target):
+        result = explainer.explain(QUERY, target, n=3, k=K)
+        for explanation in result:
+            touched = [change.feature for change in explanation.changes]
+            assert len(touched) == len(set(touched))
+
+    def test_to_dict_serialisable(self, explainer, target):
+        import json
+
+        payload = explainer.explain(QUERY, target, n=1, k=K)[0].to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestMinimality:
+    def test_first_explanation_is_minimal(self, explainer, target):
+        explanation = explainer.explain(QUERY, target, n=1, k=K)[0]
+        changes = explanation.changes
+        for size in range(1, len(changes)):
+            for subset in itertools.combinations(changes, size):
+                assert not explainer.is_valid(QUERY, target, subset, k=K), (
+                    f"strict subset {subset} is valid: not minimal"
+                )
+
+
+class TestSearchControls:
+    def test_budget(self, ranker, target):
+        tight = FeatureCounterfactualExplainer(ranker, max_evaluations=1)
+        result = tight.explain(QUERY, target, n=10, k=K)
+        assert result.budget_exhausted or len(result) >= 1
+
+    def test_max_changes_bounds_size(self, ranker, target):
+        capped = FeatureCounterfactualExplainer(ranker, max_changes=1)
+        result = capped.explain(QUERY, target, n=2, k=K)
+        assert all(e.size == 1 for e in result)
+
+    def test_custom_grid(self, ranker, target):
+        explainer = FeatureCounterfactualExplainer(ranker, grid=(0.0, 1.0))
+        result = explainer.explain(QUERY, target, n=1, k=K)
+        for explanation in result:
+            assert all(change.new in (0.0, 1.0) for change in explanation.changes)
+
+    def test_invalid_configuration(self, ranker):
+        with pytest.raises(ConfigurationError):
+            FeatureCounterfactualExplainer(ranker, mutable_features=())
+        with pytest.raises(ConfigurationError):
+            FeatureCounterfactualExplainer(ranker, grid=(0.5,))
+
+
+class TestErrorCases:
+    def test_unranked_document_rejected(self, explainer, ranker):
+        non_relevant = [
+            doc_id
+            for doc_id in ranker.index.doc_ids
+            if doc_id not in set(ranker.rank(QUERY, K + 1).doc_ids)
+        ]
+        with pytest.raises(RankingError):
+            explainer.explain(QUERY, non_relevant[0], n=1, k=K)
+
+
+class TestFeatureChange:
+    def test_describe(self):
+        change = FeatureChange("popularity", 0.9, 0.25)
+        assert "popularity" in change.describe()
+        assert "0.9" in change.describe()

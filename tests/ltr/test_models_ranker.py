@@ -1,0 +1,124 @@
+"""Tests for LTR models and the LtrRanker."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_corpus
+from repro.errors import ConfigurationError, TrainingError
+from repro.eval.ranking_metrics import ndcg_at_k
+from repro.index.inverted import InvertedIndex
+from repro.ltr.dataset import assign_priors, synthetic_letor_dataset
+from repro.ltr.models import LinearLtrModel, RankNetLtrModel
+from repro.ltr.ranker import LtrRanker
+
+QUERIES = [
+    "virus hospital patients",
+    "markets stocks investors",
+    "storm rainfall forecast",
+    "software platform users",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return assign_priors(synthetic_corpus(size=60, seed=3), seed=7)
+
+
+@pytest.fixture(scope="module")
+def examples(corpus):
+    return synthetic_letor_dataset(corpus, QUERIES, seed=11)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return InvertedIndex.from_documents(corpus)
+
+
+@pytest.fixture(scope="module")
+def linear(examples):
+    return LinearLtrModel.fit(examples)
+
+
+@pytest.fixture(scope="module")
+def ranknet(examples):
+    return RankNetLtrModel.fit(examples, epochs=10, seed=3)
+
+
+class TestLinearModel:
+    def test_requires_examples(self):
+        with pytest.raises(ConfigurationError):
+            LinearLtrModel.fit([])
+
+    def test_learns_label_signal(self, linear, examples):
+        relevant = [e for e in examples if e.label == 2.0]
+        irrelevant = [e for e in examples if e.label == 0.0]
+        mean_relevant = np.mean([linear.score(e.features) for e in relevant])
+        mean_irrelevant = np.mean([linear.score(e.features) for e in irrelevant])
+        assert mean_relevant > mean_irrelevant
+
+    def test_sensitivity_shape(self, linear, examples):
+        assert linear.feature_sensitivity().shape == examples[0].features.shape
+        assert (linear.feature_sensitivity() >= 0).all()
+
+
+class TestRankNetModel:
+    def test_requires_preference_pairs(self, examples):
+        constant = [e for e in examples if e.label == 1.0][:5]
+        with pytest.raises(TrainingError):
+            RankNetLtrModel.fit(constant, epochs=1)
+
+    def test_deterministic_under_seed(self, examples):
+        a = RankNetLtrModel.fit(examples[:60], epochs=2, seed=5)
+        b = RankNetLtrModel.fit(examples[:60], epochs=2, seed=5)
+        assert a.score(examples[0].features) == pytest.approx(
+            b.score(examples[0].features)
+        )
+
+    def test_learns_label_signal(self, ranknet, examples):
+        relevant = [e for e in examples if e.label == 2.0]
+        irrelevant = [e for e in examples if e.label == 0.0]
+        mean_relevant = np.mean([ranknet.score(e.features) for e in relevant])
+        mean_irrelevant = np.mean([ranknet.score(e.features) for e in irrelevant])
+        assert mean_relevant > mean_irrelevant
+
+
+class TestLtrRanker:
+    @pytest.fixture(scope="class", params=["linear", "ranknet"])
+    def ranker(self, request, index, linear, ranknet):
+        model = linear if request.param == "linear" else ranknet
+        return LtrRanker(index, model)
+
+    def test_rank_is_contiguous(self, ranker):
+        ranking = ranker.rank("virus hospital patients", k=10)
+        assert [entry.rank for entry in ranking] == list(range(1, len(ranking) + 1))
+
+    def test_ranking_quality_beats_random(self, ranker, examples):
+        """nDCG of the LTR order over judged docs must beat label-agnostic order."""
+        query = "virus hospital patients"
+        judged = {
+            e.doc_id: e.label for e in examples if e.query == query
+        }
+        ranking = ranker.rank(query, k=len(ranker.index))
+        ranked_judged = [d for d in ranking.doc_ids if d in judged]
+        score = ndcg_at_k(ranked_judged, judged, k=10)
+        assert score > 0.5
+
+    def test_score_text_uses_neutral_priors(self, ranker):
+        score = ranker.score_text("virus", "virus hospital report")
+        assert isinstance(score, float)
+
+    def test_rank_candidates_keeps_priors(self, ranker, index):
+        documents = list(index)[:6]
+        ranking = ranker.rank_candidates("virus hospital", documents)
+        assert len(ranking) == 6
+
+    def test_explainers_work_on_ltr_ranker(self, ranker):
+        """Black-box generality: the §II explainers run on LTR unchanged."""
+        from repro.core.document_cf import CounterfactualDocumentExplainer
+
+        query = "virus hospital patients"
+        ranking = ranker.rank(query, k=6)
+        explainer = CounterfactualDocumentExplainer(ranker, max_evaluations=400)
+        result = explainer.explain(query, ranking.doc_ids[-1], n=1, k=6)
+        # Either a counterfactual is found or the space was fully searched.
+        assert len(result) == 1 or result.search_exhausted

@@ -1,0 +1,107 @@
+"""Tests for Ranking / RankedDocument / RankingFunction."""
+
+import pytest
+
+from repro.errors import RankingError
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.ranking.base import RankedDocument, Ranking, RankingFunction
+from repro.ranking.bm25 import Bm25Ranker
+
+
+def make_ranking(*doc_ids: str) -> Ranking:
+    return Ranking(
+        [
+            RankedDocument(doc_id=doc_id, score=float(len(doc_ids) - i), rank=i + 1)
+            for i, doc_id in enumerate(doc_ids)
+        ]
+    )
+
+
+class TestRanking:
+    def test_rank_of(self):
+        ranking = make_ranking("a", "b", "c")
+        assert ranking.rank_of("b") == 2
+        assert ranking.rank_of("zz") is None
+
+    def test_contiguous_ranks_enforced(self):
+        with pytest.raises(RankingError):
+            Ranking([RankedDocument("a", 1.0, 2)])
+
+    def test_duplicate_docs_rejected(self):
+        with pytest.raises(RankingError):
+            Ranking(
+                [
+                    RankedDocument("a", 2.0, 1),
+                    RankedDocument("a", 1.0, 2),
+                ]
+            )
+
+    def test_from_scores_orders_descending(self):
+        ranking = Ranking.from_scores([("a", 1.0), ("b", 3.0), ("c", 2.0)])
+        assert ranking.doc_ids == ["b", "c", "a"]
+
+    def test_from_scores_tie_break_is_input_order(self):
+        ranking = Ranking.from_scores([("first", 1.0), ("second", 1.0)])
+        assert ranking.doc_ids == ["first", "second"]
+
+    def test_top(self):
+        ranking = make_ranking("a", "b", "c")
+        assert ranking.top(2).doc_ids == ["a", "b"]
+
+    def test_entry_and_score(self):
+        ranking = make_ranking("a", "b")
+        assert ranking.entry("b").rank == 2
+        assert ranking.score_of("a") == 2.0
+        with pytest.raises(RankingError):
+            ranking.entry("zz")
+
+    def test_container_protocol(self):
+        ranking = make_ranking("a", "b")
+        assert "a" in ranking
+        assert len(ranking) == 2
+        assert ranking[0].doc_id == "a"
+
+    def test_to_dicts(self):
+        payload = make_ranking("a").to_dicts()
+        assert payload == [{"doc_id": "a", "score": 1.0, "rank": 1}]
+
+
+class TestRankingFunction:
+    @pytest.fixture()
+    def ranker(self, tiny_index):
+        return Bm25Ranker(tiny_index)
+
+    def test_rank_within_counts_calls(self, ranker, tiny_docs):
+        function = RankingFunction(ranker)
+        rank = function.rank_within("covid outbreak", "d1", tiny_docs)
+        assert rank >= 1
+        assert function.calls == len(tiny_docs)
+
+    def test_missing_candidate_raises(self, ranker, tiny_docs):
+        function = RankingFunction(ranker)
+        with pytest.raises(RankingError):
+            function.rank_within("covid", "not-there", tiny_docs)
+
+    def test_last_ranking_exposed(self, ranker, tiny_docs):
+        function = RankingFunction(ranker)
+        function.rank_within("covid", "d1", tiny_docs)
+        assert function.last_ranking is not None
+        assert len(function.last_ranking) == len(tiny_docs)
+
+    def test_reset(self, ranker, tiny_docs):
+        function = RankingFunction(ranker)
+        function.rank_within("covid", "d1", tiny_docs)
+        function.reset()
+        assert function.calls == 0
+        assert function.last_ranking is None
+
+    def test_substituted_document_changes_rank(self, ranker, tiny_docs):
+        function = RankingFunction(ranker)
+        baseline = function.rank_within("covid outbreak", "d1", tiny_docs)
+        gutted = [
+            Document("d1", "nothing relevant here") if d.doc_id == "d1" else d
+            for d in tiny_docs
+        ]
+        perturbed = function.rank_within("covid outbreak", "d1", gutted)
+        assert perturbed > baseline

@@ -1,0 +1,66 @@
+"""Tests shared across lexical rankers (BM25 / TF-IDF / Dirichlet LM)."""
+
+import pytest
+
+from repro.errors import RankingError
+from repro.ranking.bm25 import Bm25Ranker
+from repro.ranking.lm import DirichletLmRanker
+from repro.ranking.tfidf import TfIdfRanker
+
+RANKER_TYPES = [Bm25Ranker, TfIdfRanker, DirichletLmRanker]
+
+
+@pytest.fixture(params=RANKER_TYPES, ids=lambda t: t.__name__)
+def ranker(request, tiny_index):
+    return request.param(tiny_index)
+
+
+class TestLexicalRankers:
+    def test_rank_returns_valid_ranking(self, ranker):
+        ranking = ranker.rank("covid outbreak", k=4)
+        assert [e.rank for e in ranking] == list(range(1, len(ranking) + 1))
+
+    def test_query_matching_docs_on_top(self, ranker):
+        ranking = ranker.rank("microchip", k=3)
+        assert ranking[0].doc_id == "d5"
+
+    def test_score_text_matches_indexed_scoring(self, ranker, tiny_docs):
+        # Scoring the document's own body must reproduce its ranked score.
+        ranking = ranker.rank("covid outbreak", k=6)
+        for entry in ranking:
+            body = next(d.body for d in tiny_docs if d.doc_id == entry.doc_id)
+            assert ranker.score_text("covid outbreak", body) == pytest.approx(
+                entry.score, abs=1e-9
+            )
+
+    def test_score_text_accepts_unindexed_text(self, ranker):
+        score = ranker.score_text("covid outbreak", "a fresh covid outbreak report")
+        assert isinstance(score, float)
+
+    def test_empty_query_scores_zero(self, ranker):
+        assert ranker.score_text("", "covid text") == 0.0
+
+    def test_rank_candidates_orders_by_score_text(self, ranker, tiny_docs):
+        ranking = ranker.rank_candidates("covid outbreak", tiny_docs)
+        scores = [ranker.score_text("covid outbreak", d.body) for d in tiny_docs]
+        expected_best = tiny_docs[scores.index(max(scores))].doc_id
+        assert ranking[0].doc_id == expected_best
+
+    def test_rank_candidates_empty_rejected(self, ranker):
+        with pytest.raises(RankingError):
+            ranker.rank_candidates("covid", [])
+
+    def test_removing_query_terms_lowers_score(self, ranker, tiny_docs):
+        original = tiny_docs[0].body
+        gutted = original.replace("covid", "").replace("outbreak", "")
+        assert ranker.score_text("covid outbreak", gutted) < ranker.score_text(
+            "covid outbreak", original
+        )
+
+
+class TestRankerNames:
+    def test_bm25_name_includes_parameters(self, tiny_index):
+        assert "k1=0.9" in Bm25Ranker(tiny_index).name
+
+    def test_lm_name_includes_mu(self, tiny_index):
+        assert "mu=1000" in DirichletLmRanker(tiny_index).name

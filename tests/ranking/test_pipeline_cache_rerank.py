@@ -1,0 +1,178 @@
+"""Tests for the retrieve-rerank pipeline, caching, and substitution."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RankingError
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.ranking.base import Ranker, Ranking
+from repro.ranking.bm25 import Bm25Ranker
+from repro.ranking.cache import CountingRanker, ScoreCache
+from repro.ranking.pipeline import RetrieveRerankPipeline
+from repro.ranking.rerank import (
+    RankMovement,
+    candidate_pool,
+    movements,
+    rank_with_substitution,
+)
+from repro.ranking.tfidf import TfIdfRanker
+
+
+class _ReverseRanker(Ranker):
+    """A reranker that inverts lexical order — for observing pipeline flow."""
+
+    def __init__(self, index):
+        super().__init__(index)
+        self._inner = Bm25Ranker(index)
+
+    def rank(self, query, k):
+        return Ranking.from_scores(
+            [
+                (entry.doc_id, -entry.score)
+                for entry in self._inner.rank(query, len(self.index))
+            ]
+        ).top(k)
+
+    def score_text(self, query, body):
+        return -self._inner.score_text(query, body)
+
+
+class TestPipeline:
+    def test_reranker_controls_final_order(self, tiny_index):
+        pipeline = RetrieveRerankPipeline(
+            Bm25Ranker(tiny_index), _ReverseRanker(tiny_index), depth=6
+        )
+        bm25_order = Bm25Ranker(tiny_index).rank("covid outbreak", 4).doc_ids
+        pipeline_order = pipeline.rank("covid outbreak", 4).doc_ids
+        assert pipeline_order != bm25_order
+
+    def test_depth_bounds_candidates(self, tiny_index):
+        pipeline = RetrieveRerankPipeline(
+            Bm25Ranker(tiny_index), TfIdfRanker(tiny_index), depth=2
+        )
+        # With depth=2 only the two best first-stage docs can appear...
+        first_stage_top2 = set(Bm25Ranker(tiny_index).rank("covid", 2).doc_ids)
+        result = set(pipeline.rank("covid", 2).doc_ids)
+        assert result <= first_stage_top2
+
+    def test_k_larger_than_depth_widens_retrieval(self, tiny_index):
+        pipeline = RetrieveRerankPipeline(
+            Bm25Ranker(tiny_index), TfIdfRanker(tiny_index), depth=1
+        )
+        assert len(pipeline.rank("covid", 3)) == 3
+
+    def test_score_text_delegates_to_reranker(self, tiny_index):
+        reranker = TfIdfRanker(tiny_index)
+        pipeline = RetrieveRerankPipeline(Bm25Ranker(tiny_index), reranker)
+        assert pipeline.score_text("covid", "covid text") == pytest.approx(
+            reranker.score_text("covid", "covid text")
+        )
+
+    def test_mismatched_indexes_rejected(self, tiny_index, tiny_docs):
+        other = InvertedIndex.from_documents(tiny_docs)
+        with pytest.raises(ConfigurationError):
+            RetrieveRerankPipeline(Bm25Ranker(tiny_index), TfIdfRanker(other))
+
+    def test_name_composes(self, tiny_index):
+        pipeline = RetrieveRerankPipeline(
+            Bm25Ranker(tiny_index), TfIdfRanker(tiny_index)
+        )
+        assert ">>" in pipeline.name
+
+
+class TestCountingRanker:
+    def test_counts(self, tiny_index):
+        counter = CountingRanker(Bm25Ranker(tiny_index))
+        counter.rank("covid", 3)
+        counter.score_text("covid", "text")
+        counter.score_text("covid", "text")
+        assert counter.rank_calls == 1
+        assert counter.score_calls == 2
+        counter.reset()
+        assert counter.score_calls == 0
+
+    def test_transparent(self, tiny_index):
+        inner = Bm25Ranker(tiny_index)
+        counter = CountingRanker(inner)
+        assert counter.rank("covid", 3).doc_ids == inner.rank("covid", 3).doc_ids
+
+
+class TestScoreCache:
+    def test_hit_avoids_inner_call(self, tiny_index):
+        counter = CountingRanker(Bm25Ranker(tiny_index))
+        cache = ScoreCache(counter)
+        first = cache.score_text("covid", "some text")
+        second = cache.score_text("covid", "some text")
+        assert first == second
+        assert counter.score_calls == 1
+        assert cache.hits == 1
+
+    def test_distinct_queries_not_conflated(self, tiny_index):
+        cache = ScoreCache(Bm25Ranker(tiny_index))
+        a = cache.score_text("covid", "covid text")
+        b = cache.score_text("outbreak", "covid text")
+        assert a != pytest.approx(b)
+
+    def test_eviction_keeps_working(self, tiny_index):
+        cache = ScoreCache(Bm25Ranker(tiny_index), max_entries=4)
+        for i in range(10):
+            cache.score_text("covid", f"text variant {i}")
+        assert cache.score_text("covid", "text variant 9") is not None
+
+    def test_hit_rate(self, tiny_index):
+        cache = ScoreCache(Bm25Ranker(tiny_index))
+        assert cache.hit_rate == 0.0
+        cache.score_text("covid", "x")
+        cache.score_text("covid", "x")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestSubstitution:
+    def test_substitution_changes_rank(self, tiny_index, tiny_docs):
+        ranker = Bm25Ranker(tiny_index)
+        replacement = Document("d1", "nothing about the topic at all")
+        ranking = rank_with_substitution(ranker, "covid outbreak", tiny_docs, replacement)
+        original = ranker.rank_candidates("covid outbreak", tiny_docs)
+        assert ranking.rank_of("d1") > original.rank_of("d1")
+
+    def test_unknown_replacement_rejected(self, tiny_index, tiny_docs):
+        ranker = Bm25Ranker(tiny_index)
+        with pytest.raises(RankingError):
+            rank_with_substitution(
+                ranker, "covid", tiny_docs, Document("ghost", "body")
+            )
+
+    def test_movements_directions(self):
+        before = Ranking.from_scores([("a", 3.0), ("b", 2.0), ("c", 1.0)])
+        after = Ranking.from_scores(
+            [("b", 4.0), ("a", 3.0), ("c", 1.0), ("d", 0.5)]
+        )
+        report = {m.doc_id: m.direction for m in movements(before, after)}
+        assert report == {
+            "b": "raised",
+            "a": "lowered",
+            "c": "unchanged",
+            "d": "revealed",
+        }
+
+    def test_movement_factory(self):
+        assert RankMovement.of("x", None, 11).direction == "revealed"
+        assert RankMovement.of("x", 3, 1).direction == "raised"
+        assert RankMovement.of("x", 1, 3).direction == "lowered"
+        assert RankMovement.of("x", 2, 2).direction == "unchanged"
+
+
+class TestCandidatePool:
+    def test_pool_has_k_plus_one(self, tiny_index):
+        pool = candidate_pool(Bm25Ranker(tiny_index), "covid outbreak", k=3)
+        assert len(pool) == 4
+
+    def test_pool_padded_when_retrieval_dry(self, tiny_index):
+        # Only one document matches "microchip"; pool must still reach k+1.
+        pool = candidate_pool(Bm25Ranker(tiny_index), "microchip", k=3)
+        assert len(pool) == 4
+        assert pool[0].doc_id == "d5"
+
+    def test_pool_capped_by_corpus(self, tiny_index):
+        pool = candidate_pool(Bm25Ranker(tiny_index), "covid", k=100)
+        assert len(pool) == len(tiny_index)

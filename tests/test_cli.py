@@ -1,0 +1,117 @@
+"""Tests for the command-line interface (in-process, no subprocesses)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.covid import DEMO_QUERY, FAKE_NEWS_DOC_ID
+from repro.datasets.loaders import save_jsonl
+
+
+class TestRank:
+    def test_rank_prints_table(self, capsys):
+        code = main(["rank", "--query", DEMO_QUERY, "--k", "5"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len(captured.out.strip().splitlines()) == 5
+
+    def test_rank_json_output(self, capsys):
+        code = main(["rank", "--query", DEMO_QUERY, "--k", "3", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(payload["ranking"]) == 3
+
+    def test_rank_custom_corpus(self, capsys, tmp_path, tiny_docs):
+        corpus = tmp_path / "docs.jsonl"
+        save_jsonl(tiny_docs, corpus)
+        code = main(
+            ["rank", "--corpus", str(corpus), "--query", "covid", "--k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 2
+        assert "d5" in out  # the doc mentioning covid twice ranks first
+
+
+class TestExplainCommands:
+    def test_explain_document(self, capsys):
+        code = main(
+            [
+                "explain-document",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "removing sentence(s)" in out
+
+    def test_explain_query(self, capsys):
+        code = main(
+            [
+                "explain-query",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--n", "2",
+                "--threshold", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert DEMO_QUERY in out
+
+    def test_explain_instance_cosine(self, capsys):
+        code = main(
+            [
+                "explain-instance",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--method", "cosine_sampled",
+                "--samples", "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "%" in out
+
+
+class TestBuilder:
+    def test_builder_valid_edit(self, capsys):
+        code = main(
+            [
+                "builder",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--replace", "covid=flu",
+                "--remove", "outbreak",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VALID" in out
+
+    def test_builder_requires_edits(self):
+        with pytest.raises(SystemExit):
+            main(["builder", "--query", DEMO_QUERY, "--doc", FAKE_NEWS_DOC_ID])
+
+    def test_builder_bad_replace_spec(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "builder",
+                    "--query", DEMO_QUERY,
+                    "--doc", FAKE_NEWS_DOC_ID,
+                    "--replace", "justaterm",
+                ]
+            )
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,64 @@
+"""Tests for the public package surface: imports, __all__, version."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.api",
+    "repro.core",
+    "repro.datasets",
+    "repro.embeddings",
+    "repro.eval",
+    "repro.index",
+    "repro.ltr",
+    "repro.ranking",
+    "repro.text",
+    "repro.topics",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_version_matches_pyproject():
+    import tomllib
+    from pathlib import Path
+
+    import repro
+
+    pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+    with pyproject.open("rb") as handle:
+        declared = tomllib.load(handle)["project"]["version"]
+    assert repro.__version__ == declared
+
+
+def test_top_level_quickstart_symbols():
+    import repro
+
+    assert callable(repro.demo_engine)
+    assert isinstance(repro.DEMO_QUERY, str)
+    assert repro.DEMO_K == 10
+
+
+def test_errors_have_common_base():
+    from repro import errors
+
+    for name in dir(errors):
+        attr = getattr(errors, name)
+        if isinstance(attr, type) and issubclass(attr, Exception):
+            if attr is not errors.ReproError:
+                assert issubclass(attr, errors.ReproError), name

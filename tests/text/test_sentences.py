@@ -1,0 +1,83 @@
+"""Tests for sentence segmentation — part of the explanation semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.sentences import remove_sentences, split_sentences
+
+
+class TestSplitSentences:
+    def test_simple_split(self):
+        texts = [s.text for s in split_sentences("One fact. Another fact.")]
+        assert texts == ["One fact.", "Another fact."]
+
+    def test_abbreviations_do_not_split(self):
+        texts = [s.text for s in split_sentences("Dr. Wu spoke. He left.")]
+        assert texts == ["Dr. Wu spoke.", "He left."]
+
+    def test_initials_do_not_split(self):
+        texts = [s.text for s in split_sentences("John F. Kennedy spoke. Done.")]
+        assert texts == ["John F. Kennedy spoke.", "Done."]
+
+    def test_question_and_exclamation(self):
+        texts = [s.text for s in split_sentences("Really? Yes! Fine.")]
+        assert texts == ["Really?", "Yes!", "Fine."]
+
+    def test_decimal_numbers_not_split(self):
+        texts = [s.text for s in split_sentences("It rose 3.5 percent. Wow.")]
+        assert texts == ["It rose 3.5 percent.", "Wow."]
+
+    def test_blank_line_is_boundary(self):
+        texts = [s.text for s in split_sentences("headline without period\n\nBody text.")]
+        assert texts == ["headline without period", "Body text."]
+
+    def test_no_terminal_punctuation(self):
+        texts = [s.text for s in split_sentences("no punctuation at all")]
+        assert texts == ["no punctuation at all"]
+
+    def test_empty_text(self):
+        assert split_sentences("") == []
+
+    def test_whitespace_only(self):
+        assert split_sentences("   \n  ") == []
+
+    def test_indices_sequential(self):
+        sentences = split_sentences("First one. Second one. Third one.")
+        assert [s.index for s in sentences] == [0, 1, 2]
+
+    def test_single_capitals_treated_as_initials(self):
+        # "A. B. C." reads as initials, not three sentences — by design.
+        assert len(split_sentences("A. B. C.")) == 1
+
+    def test_spans_point_into_source(self):
+        text = "First thing happened. Second thing followed!  Third? "
+        for sentence in split_sentences(text):
+            assert text[sentence.start : sentence.end] == sentence.text
+
+    @given(st.text(alphabet=st.sampled_from("ab .!?\n"), max_size=120))
+    def test_spans_valid_and_ordered_on_arbitrary_text(self, text):
+        sentences = split_sentences(text)
+        previous_end = 0
+        for sentence in sentences:
+            assert text[sentence.start : sentence.end] == sentence.text
+            assert sentence.start >= previous_end
+            previous_end = sentence.end
+
+
+class TestRemoveSentences:
+    def test_removes_by_index(self):
+        text = "Keep me. Drop me. Keep me too."
+        assert remove_sentences(text, {1}) == "Keep me. Keep me too."
+
+    def test_remove_nothing(self):
+        text = "One. Two."
+        assert remove_sentences(text, set()) == "One. Two."
+
+    def test_remove_everything(self):
+        assert remove_sentences("One. Two.", {0, 1}) == ""
+
+    def test_removal_eliminates_terms(self):
+        text = "The covid outbreak grew. Markets fell."
+        remaining = remove_sentences(text, {0})
+        assert "covid" not in remaining
+        assert "Markets" in remaining

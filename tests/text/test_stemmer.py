@@ -1,0 +1,116 @@
+"""Tests for the Porter stemmer against classic reference pairs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stemmer import PorterStemmer
+
+STEMMER = PorterStemmer()
+
+# Reference pairs from Porter's original paper and the canonical test set.
+REFERENCE = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", REFERENCE)
+def test_reference_pairs(word, expected):
+    assert STEMMER.stem(word) == expected
+
+
+class TestStemmerBehaviour:
+    def test_short_words_untouched(self):
+        assert STEMMER.stem("is") == "is"
+        assert STEMMER.stem("be") == "be"
+
+    def test_idempotent_on_reference_set(self):
+        # Stemming a stem should usually be stable; check the reference set.
+        for _, stem in REFERENCE:
+            twice = STEMMER.stem(STEMMER.stem(stem))
+            assert twice == STEMMER.stem(stem)
+
+    def test_domain_terms_conflate(self):
+        assert STEMMER.stem("outbreaks") == STEMMER.stem("outbreak")
+        assert STEMMER.stem("vaccines") == STEMMER.stem("vaccine")
+        assert STEMMER.stem("spreading") == STEMMER.stem("spread")
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), max_size=20))
+    def test_never_crashes_or_grows(self, word):
+        result = STEMMER.stem(word)
+        assert isinstance(result, str)
+        assert len(result) <= len(word) + 1  # only +e restorations grow

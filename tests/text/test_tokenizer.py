@@ -1,0 +1,56 @@
+"""Tests for the offset-preserving tokenizer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import Token, token_texts, tokenize
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert token_texts("Hello brave world") == ["Hello", "brave", "world"]
+
+    def test_hyphenated_token_stays_whole(self):
+        assert token_texts("The COVID-19 outbreak") == ["The", "COVID-19", "outbreak"]
+
+    def test_apostrophes_kept(self):
+        assert token_texts("don't panic") == ["don't", "panic"]
+
+    def test_numbers_and_alphanumerics(self):
+        assert token_texts("5G towers, 42 cases") == ["5G", "towers", "42", "cases"]
+
+    def test_punctuation_dropped(self):
+        assert token_texts("wait... what?!") == ["wait", "what"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_offsets_point_back_into_source(self):
+        text = "The covid-19 outbreak grew."
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_offsets_strictly_increasing(self):
+        tokens = tokenize("a b c d")
+        starts = [t.start for t in tokens]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+
+    def test_internal_dots_kept(self):
+        assert token_texts("the u.s. economy") == ["the", "u.s", "economy"]
+
+    @given(st.text(max_size=200))
+    def test_all_spans_valid_on_arbitrary_text(self, text):
+        for token in tokenize(text):
+            assert 0 <= token.start < token.end <= len(text)
+            assert text[token.start : token.end] == token.text
+
+
+class TestToken:
+    def test_span_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Token("abc", 0, 2)
+
+    def test_str_is_surface(self):
+        assert str(Token("hi", 0, 2)) == "hi"

@@ -1,0 +1,80 @@
+"""Tests for the term↔id vocabulary."""
+
+import pytest
+
+from repro.errors import TermNotFoundError
+from repro.text.vocabulary import Vocabulary
+
+
+class TestVocabulary:
+    def test_first_seen_order(self):
+        vocabulary = Vocabulary(["b", "a", "b", "c"])
+        assert vocabulary.id_of("b") == 0
+        assert vocabulary.id_of("a") == 1
+        assert vocabulary.id_of("c") == 2
+
+    def test_roundtrip(self):
+        vocabulary = Vocabulary(["x", "y"])
+        for term in ["x", "y"]:
+            assert vocabulary.term_of(vocabulary.id_of(term)) == term
+
+    def test_unknown_term_raises(self):
+        with pytest.raises(TermNotFoundError):
+            Vocabulary().id_of("missing")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(TermNotFoundError):
+            Vocabulary(["a"]).term_of(5)
+
+    def test_get_with_default(self):
+        assert Vocabulary().get("nope") is None
+        assert Vocabulary().get("nope", -1) == -1
+
+    def test_contains_and_len(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert "a" in vocabulary
+        assert "z" not in vocabulary
+        assert len(vocabulary) == 2
+
+    def test_frequency_counts_adds(self):
+        vocabulary = Vocabulary(["a", "a", "b"])
+        assert vocabulary.frequency("a") == 2
+        assert vocabulary.frequency("b") == 1
+        assert vocabulary.frequency("zzz") == 0
+
+    def test_encode_skips_unknown(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert vocabulary.encode(["a", "zzz", "b"]) == [0, 1]
+
+    def test_encode_strict_raises(self):
+        vocabulary = Vocabulary(["a"])
+        with pytest.raises(TermNotFoundError):
+            vocabulary.encode(["zzz"], skip_unknown=False)
+
+    def test_decode(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert vocabulary.decode([1, 0]) == ["b", "a"]
+
+
+class TestFromDocuments:
+    def test_min_count_filters(self):
+        vocabulary = Vocabulary.from_documents(
+            [["a", "a", "b"], ["a", "c"]], min_count=2
+        )
+        assert "a" in vocabulary
+        assert "b" not in vocabulary
+
+    def test_max_size_keeps_most_frequent(self):
+        vocabulary = Vocabulary.from_documents(
+            [["a"] * 3 + ["b"] * 2 + ["c"]], max_size=2
+        )
+        assert set(vocabulary) == {"a", "b"}
+
+    def test_deterministic_tie_break(self):
+        first = list(Vocabulary.from_documents([["b", "a"]], max_size=2))
+        second = list(Vocabulary.from_documents([["b", "a"]], max_size=2))
+        assert first == second == ["a", "b"]  # alphabetical on tied counts
+
+    def test_frequencies_recorded(self):
+        vocabulary = Vocabulary.from_documents([["a", "a"], ["a", "b"]])
+        assert vocabulary.frequency("a") == 3

@@ -1,0 +1,68 @@
+"""Unit tests for the bounded top-k heap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.heap import TopK
+
+
+class TestTopK:
+    def test_keeps_best_k(self):
+        top = TopK[str](2)
+        top.extend([(1.0, "a"), (3.0, "b"), (2.0, "c")])
+        assert top.items() == [(3.0, "b"), (2.0, "c")]
+
+    def test_under_capacity_keeps_everything(self):
+        top = TopK[str](10)
+        top.extend([(1.0, "a"), (2.0, "b")])
+        assert len(top) == 2
+
+    def test_push_reports_acceptance(self):
+        top = TopK[str](1)
+        assert top.push(1.0, "a") is True
+        assert top.push(0.5, "b") is False
+        assert top.push(2.0, "c") is True
+
+    def test_ties_prefer_earlier_insertion(self):
+        top = TopK[str](2)
+        top.extend([(1.0, "first"), (1.0, "second"), (1.0, "third")])
+        assert [item for _, item in top.items()] == ["first", "second"]
+
+    def test_threshold_is_none_under_capacity(self):
+        top = TopK[str](3)
+        top.push(5.0, "a")
+        assert top.threshold is None
+
+    def test_threshold_is_kth_best(self):
+        top = TopK[str](2)
+        top.extend([(5.0, "a"), (3.0, "b"), (4.0, "c")])
+        assert top.threshold == 4.0
+
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ConfigurationError):
+            TopK(0)
+
+    def test_iteration_matches_items(self):
+        top = TopK[int](3)
+        top.extend([(float(i), i) for i in range(6)])
+        assert list(top) == top.items()
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=50))
+    def test_matches_sorted_reference(self, scores):
+        k = 5
+        top = TopK[int](k)
+        for i, score in enumerate(scores):
+            top.push(score, i)
+        kept_scores = [score for score, _ in top.items()]
+        expected = sorted(scores, reverse=True)[:k]
+        assert kept_scores == expected
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=60))
+    def test_result_is_sorted_descending(self, scores):
+        top = TopK[int](7)
+        for i, score in enumerate(scores):
+            top.push(float(score), i)
+        result = [score for score, _ in top.items()]
+        assert result == sorted(result, reverse=True)

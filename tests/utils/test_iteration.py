@@ -1,0 +1,128 @@
+"""Tests for iteration utilities — the minimality-critical enumerator."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.iteration import batched, ordered_subsets, ranked_pairs, take
+
+
+class TestTake:
+    def test_takes_prefix(self):
+        assert take(2, iter([1, 2, 3])) == [1, 2]
+
+    def test_short_iterable(self):
+        assert take(5, [1]) == [1]
+
+    def test_zero(self):
+        assert take(0, [1, 2]) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            take(-1, [])
+
+
+class TestBatched:
+    def test_even_batches(self):
+        assert list(batched([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(batched([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_empty(self):
+        assert list(batched([], 3)) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            list(batched([1], 0))
+
+
+class TestRankedPairs:
+    def test_pairs_in_order(self):
+        assert list(ranked_pairs(["a", "b", "c"])) == [
+            ("a", "b"), ("a", "c"), ("b", "c"),
+        ]
+
+    def test_single_item_no_pairs(self):
+        assert list(ranked_pairs(["a"])) == []
+
+
+class TestOrderedSubsets:
+    def test_exact_order_small_case(self):
+        subsets = list(ordered_subsets(["s0", "s1", "s2"], [2.0, 1.0, 2.0]))
+        assert subsets == [
+            (("s0",), 2.0),
+            (("s2",), 2.0),
+            (("s1",), 1.0),
+            (("s0", "s2"), 4.0),
+            (("s0", "s1"), 3.0),
+            (("s2", "s1"), 3.0),
+            (("s0", "s2", "s1"), 5.0),
+        ]
+
+    def test_max_size_limits_enumeration(self):
+        subsets = list(ordered_subsets(list("abcd"), [4, 3, 2, 1], max_size=2))
+        assert max(len(s) for s, _ in subsets) == 2
+        assert len(subsets) == 4 + 6
+
+    def test_min_size_skips_small_subsets(self):
+        subsets = list(ordered_subsets(list("abc"), [3, 2, 1], min_size=2))
+        assert min(len(s) for s, _ in subsets) == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(ordered_subsets(["a"], [1.0, 2.0]))
+
+    def test_empty_items(self):
+        assert list(ordered_subsets([], [])) == []
+
+    def test_lazy_early_exit(self):
+        # Enumerating only the first element of a large space must be cheap.
+        items = list(range(40))
+        scores = [float(i) for i in items]
+        generator = ordered_subsets(items, scores)
+        first, score = next(generator)
+        assert first == (39,)
+        assert score == 39.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=7,
+        )
+    )
+    def test_complete_and_size_major_and_score_sorted(self, scores):
+        items = list(range(len(scores)))
+        emitted = list(ordered_subsets(items, scores))
+
+        # Completeness: every non-empty subset appears exactly once.
+        expected = set()
+        for size in range(1, len(items) + 1):
+            expected.update(itertools.combinations(items, size))
+        seen = [tuple(sorted(subset)) for subset, _ in emitted]
+        assert sorted(seen) == sorted(expected)
+        assert len(seen) == len(set(seen))
+
+        # Size-major order.
+        sizes = [len(subset) for subset, _ in emitted]
+        assert sizes == sorted(sizes)
+
+        # Score order within each size: non-increasing.
+        for size in set(sizes):
+            sums = [score for subset, score in emitted if len(subset) == size]
+            assert all(a >= b - 1e-9 for a, b in zip(sums, sums[1:]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=6
+        )
+    )
+    def test_reported_score_matches_subset(self, scores):
+        items = list(range(len(scores)))
+        for subset, total in ordered_subsets(items, scores):
+            assert total == pytest.approx(sum(scores[i] for i in subset))

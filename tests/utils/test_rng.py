@@ -1,0 +1,38 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.utils.rng import DEFAULT_SEED, default_rng, spawn_rng
+
+
+class TestDefaultRng:
+    def test_same_seed_same_stream(self):
+        assert default_rng(42).integers(0, 1000) == default_rng(42).integers(0, 1000)
+
+    def test_different_seeds_diverge(self):
+        a = default_rng(1).integers(0, 2**31)
+        b = default_rng(2).integers(0, 2**31)
+        assert a != b
+
+    def test_none_uses_library_default(self):
+        a = default_rng(None).integers(0, 2**31)
+        b = default_rng(DEFAULT_SEED).integers(0, 2**31)
+        assert a == b
+
+    def test_existing_generator_passthrough(self):
+        rng = np.random.default_rng(7)
+        assert default_rng(rng) is rng
+
+
+class TestSpawnRng:
+    def test_children_deterministic(self):
+        a = spawn_rng(default_rng(3), "doc2vec").integers(0, 2**31)
+        b = spawn_rng(default_rng(3), "doc2vec").integers(0, 2**31)
+        assert a == b
+
+    def test_labels_give_independent_streams(self):
+        parent = default_rng(3)
+        a = spawn_rng(parent, "a")
+        parent = default_rng(3)
+        b = spawn_rng(parent, "b")
+        assert a.integers(0, 2**31) != b.integers(0, 2**31)

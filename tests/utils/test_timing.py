@@ -1,0 +1,48 @@
+"""Tests for timing helpers."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        first = watch.elapsed
+        with watch.measure():
+            pass
+        assert watch.elapsed >= first
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+
+def test_timed_yields_monotonic_clock():
+    with timed() as elapsed:
+        first = elapsed()
+        second = elapsed()
+    assert 0.0 <= first <= second

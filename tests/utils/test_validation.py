@@ -1,0 +1,59 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ConfigurationError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestNumericChecks:
+    def test_positive_accepts(self):
+        require_positive(0.1, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_positive_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            require_positive(value, "x")
+
+    def test_non_negative_accepts_zero(self):
+        require_non_negative(0, "x")
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-1e-9, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_probability_accepts(self, value):
+        require_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_probability_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            require_probability(value, "p")
+
+
+class TestRequireType:
+    def test_accepts_instance(self):
+        require_type("x", str, "value")
+
+    def test_accepts_tuple_of_types(self):
+        require_type(3, (int, float), "value")
+
+    def test_rejects_with_both_names_in_message(self):
+        with pytest.raises(ConfigurationError, match="value must be str"):
+            require_type(3, str, "value")
