@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.explain import ExplainRequest
 from repro.datasets.covid import DEMO_QUERY
 from repro.eval.ranking_metrics import kendall_tau, rank_biased_overlap
 from repro.eval.reporting import Table
@@ -35,7 +36,10 @@ def test_a4_document_cf_across_rankers(
         doc_id = ranking.doc_ids[-1]
 
     def run():
-        return engine.explain_document(DEMO_QUERY, doc_id, n=1, k=K)
+        return engine.explain(
+            ExplainRequest(DEMO_QUERY, doc_id,
+                           strategy="document/sentence-removal", k=K)
+        ).result
 
     result = benchmark(run)
 

@@ -24,7 +24,42 @@ def client(engine):
 
 ENDPOINT_CASES = [
     ("health", "GET", "/health", None),
+    ("strategies", "GET", "/strategies", None),
     ("rank", "POST", "/rank", {"query": DEMO_QUERY, "k": K}),
+    (
+        "explain_unified",
+        "POST",
+        "/explanations",
+        {
+            "query": DEMO_QUERY,
+            "doc_id": FAKE_NEWS_DOC_ID,
+            "strategy": "document/sentence-removal",
+            "n": 1,
+            "k": K,
+        },
+    ),
+    (
+        "explain_batch",
+        "POST",
+        "/explanations/batch",
+        {
+            "requests": [
+                {
+                    "query": DEMO_QUERY,
+                    "doc_id": FAKE_NEWS_DOC_ID,
+                    "strategy": "document/sentence-removal",
+                    "k": K,
+                },
+                {
+                    "query": DEMO_QUERY,
+                    "doc_id": FAKE_NEWS_DOC_ID,
+                    "strategy": "instance/cosine",
+                    "samples": 30,
+                    "k": K,
+                },
+            ]
+        },
+    ),
     (
         "explain_document",
         "POST",

@@ -10,19 +10,23 @@ times the explanation search.
 
 from __future__ import annotations
 
+from repro.core.explain import ExplainRequest
 from repro.datasets.covid import DEMO_QUERY, FAKE_NEWS_DOC_ID
 from repro.eval.reporting import Table
 
 K = 10
+
+REQUEST = ExplainRequest(
+    DEMO_QUERY, FAKE_NEWS_DOC_ID, strategy="document/sentence-removal", k=K
+)
 
 
 def test_fig2_artifact(engine, capsys, benchmark):
     """Regenerate and print the Fig. 2 explanation."""
     ranking = engine.rank(DEMO_QUERY, k=K)
     original_rank = ranking.rank_of(FAKE_NEWS_DOC_ID)
-    result = benchmark(
-        lambda: engine.explain_document(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)
-    )
+    response = benchmark(lambda: engine.explain(REQUEST))
+    result = response.result
     explanation = result[0]
 
     table = Table(
@@ -53,7 +57,7 @@ def test_fig2_latency(engine, benchmark):
     """Time one n=1 sentence-removal explanation request."""
 
     def run():
-        return engine.explain_document(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)
+        return engine.explain(REQUEST)
 
     result = benchmark(run)
     assert len(result) == 1

@@ -8,6 +8,7 @@ the conspiracy terms are exclusive to the article (top TF-IDF).
 
 from __future__ import annotations
 
+from repro.core.explain import ExplainRequest
 from repro.datasets.covid import DEMO_QUERY, FAKE_NEWS_DOC_ID
 from repro.eval.reporting import Table
 
@@ -15,16 +16,17 @@ K = 10
 N = 7
 THRESHOLD = 2
 
+REQUEST = ExplainRequest(
+    DEMO_QUERY, FAKE_NEWS_DOC_ID, strategy="query/augmentation",
+    n=N, k=K, threshold=THRESHOLD,
+)
+
 
 def test_fig3_artifact(engine, capsys, benchmark):
     """Regenerate and print the Fig. 3 table of augmented queries."""
     ranking = engine.rank(DEMO_QUERY, k=K)
     original_rank = ranking.rank_of(FAKE_NEWS_DOC_ID)
-    result = benchmark(
-        lambda: engine.explain_query(
-            DEMO_QUERY, FAKE_NEWS_DOC_ID, n=N, k=K, threshold=THRESHOLD
-        )
-    )
+    result = benchmark(lambda: engine.explain(REQUEST))
 
     table = Table(
         ["augmented query", "rank before", "rank after"],
@@ -35,8 +37,9 @@ def test_fig3_artifact(engine, capsys, benchmark):
     )
     for explanation in result:
         table.add(explanation.augmented_query, original_rank, explanation.new_rank)
-    rank_one = engine.explain_query(
-        DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K, threshold=1
+    rank_one = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="query/augmentation", n=1, k=K, threshold=1)
     )
     for explanation in rank_one:
         table.add(explanation.augmented_query + "  (threshold 1)", original_rank,
@@ -57,9 +60,7 @@ def test_fig3_latency(engine, benchmark):
     """Time the n=7 query-augmentation request from the demo."""
 
     def run():
-        return engine.explain_query(
-            DEMO_QUERY, FAKE_NEWS_DOC_ID, n=N, k=K, threshold=THRESHOLD
-        )
+        return engine.explain(REQUEST)
 
     result = benchmark(run)
     assert len(result) == N

@@ -9,22 +9,24 @@ documents.
 
 from __future__ import annotations
 
+from repro.core.explain import ExplainRequest
 from repro.datasets.covid import DEMO_QUERY, FAKE_NEWS_DOC_ID, NEAR_COPY_DOC_ID
 from repro.eval.reporting import Table
 
 K = 10
 
+DOC2VEC_REQUEST = ExplainRequest(
+    DEMO_QUERY, FAKE_NEWS_DOC_ID, strategy="instance/doc2vec", k=K
+)
+
 
 def test_fig4_artifact(engine, capsys, benchmark):
     """Regenerate and print the Fig. 4 instance explanation."""
     engine.doc2vec  # train once, outside the timed region
-    doc2vec_result = benchmark(
-        lambda: engine.explain_instance_doc2vec(
-            DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K
-        )
-    )
-    cosine_result = engine.explain_instance_cosine(
-        DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K, samples=500
+    doc2vec_result = benchmark(lambda: engine.explain(DOC2VEC_REQUEST))
+    cosine_result = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="instance/cosine", k=K, samples=500)
     )
     ranking = engine.rank(DEMO_QUERY, k=K)
 
@@ -58,7 +60,7 @@ def test_fig4_doc2vec_latency(engine, benchmark):
     engine.doc2vec  # ensure the one-off training cost is excluded
 
     def run():
-        return engine.explain_instance_doc2vec(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)
+        return engine.explain(DOC2VEC_REQUEST)
 
     result = benchmark(run)
     assert len(result) == 1
@@ -68,8 +70,9 @@ def test_fig4_cosine_sampled_latency(engine, benchmark):
     """Time a cosine-sampled request at the demo's default s=50."""
 
     def run():
-        return engine.explain_instance_cosine(
-            DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K, samples=50
+        return engine.explain(
+            ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                           strategy="instance/cosine", k=K, samples=50)
         )
 
     result = benchmark(run)

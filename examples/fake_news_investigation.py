@@ -11,7 +11,7 @@ Run with::
     python examples/fake_news_investigation.py
 """
 
-from repro import DEMO_QUERY, FAKE_NEWS_DOC_ID, demo_engine
+from repro import DEMO_QUERY, FAKE_NEWS_DOC_ID, ExplainRequest, demo_engine
 from repro.core.perturbations import RemoveTerm, ReplaceTerm
 from repro.text.sentences import split_sentences
 
@@ -33,7 +33,10 @@ def main() -> None:
         print(f"  [{sentence.index}] {sentence.text}")
 
     banner("Fig. 2 — why is it relevant? (sentence-removal counterfactual)")
-    result = engine.explain_document(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)
+    result = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="document/sentence-removal", k=K)
+    )
     explanation = result[0]
     print(
         "The ranker stops considering the article relevant once these "
@@ -49,13 +52,15 @@ def main() -> None:
     )
 
     banner("Fig. 3 — which queries would promote it? (query augmentation)")
-    query_cf = engine.explain_query(
-        DEMO_QUERY, FAKE_NEWS_DOC_ID, n=7, k=K, threshold=2
+    query_cf = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="query/augmentation", n=7, k=K, threshold=2)
     )
     for explanation in query_cf:
         print(f"  {explanation.augmented_query!r:48} -> rank {explanation.new_rank}")
-    strongest = engine.explain_query(
-        DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K, threshold=1
+    strongest = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="query/augmentation", n=1, k=K, threshold=1)
     )[0]
     print(
         f"  {strongest.augmented_query!r:48} -> rank {strongest.new_rank}  "
@@ -68,7 +73,10 @@ def main() -> None:
     )
 
     banner("Fig. 4 — are there similar articles hiding below the top-10?")
-    instance = engine.explain_instance_doc2vec(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)[0]
+    instance = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="instance/doc2vec", k=K)
+    )[0]
     print(
         f"Doc2Vec Nearest finds {instance.counterfactual_doc_id} at "
         f"{instance.similarity_percent}% similarity — a near copy of the "
@@ -76,8 +84,9 @@ def main() -> None:
         "covid/outbreak:"
     )
     print(f"  {engine.document(instance.counterfactual_doc_id).body[:160]}...")
-    cosine = engine.explain_instance_cosine(
-        DEMO_QUERY, FAKE_NEWS_DOC_ID, n=3, k=K, samples=50
+    cosine = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="instance/cosine", n=3, k=K, samples=50)
     )
     print("Cosine Sampled (BM25-score vectors, s=50) agrees:")
     for explanation in cosine:

@@ -13,10 +13,10 @@ Run with::
     python examples/feature_counterfactuals.py
 """
 
+from repro import CredenceEngine, ExplainRequest
 from repro.datasets import synthetic_corpus
 from repro.index import InvertedIndex
 from repro.ltr import (
-    FeatureCounterfactualExplainer,
     LinearLtrModel,
     LtrRanker,
     assign_priors,
@@ -44,7 +44,12 @@ def main() -> None:
     model = LinearLtrModel.fit(examples)
     ranker = LtrRanker(InvertedIndex.from_documents(corpus), model)
 
-    ranking = ranker.rank(QUERY, k=K)
+    # Injecting the LTR ranker into the engine unlocks the feature-space
+    # strategy on the unified surface alongside the textual ones.
+    engine = CredenceEngine(corpus, ranker=ranker)
+    print(f"Strategies available for this ranker: {engine.available_strategies()}")
+
+    ranking = engine.rank(QUERY, k=K)
     print(f"\nTop-{K} for {QUERY!r} under {ranker.name}:")
     for entry in ranking:
         document = ranker.index.document(entry.doc_id)
@@ -57,9 +62,9 @@ def main() -> None:
     # The classic CREDENCE explainers work on the LTR model unchanged.
     target = ranking.doc_ids[-1]
     print(f"\nClassic sentence-removal counterfactual for {target} still works:")
-    from repro.core.document_cf import CounterfactualDocumentExplainer
-
-    text_cf = CounterfactualDocumentExplainer(ranker).explain(QUERY, target, n=1, k=K)
+    text_cf = engine.explain(
+        ExplainRequest(QUERY, target, strategy="document/sentence-removal", k=K)
+    )
     if len(text_cf):
         explanation = text_cf[0]
         print(
@@ -69,10 +74,13 @@ def main() -> None:
     else:
         print("  (no sentence-removal counterfactual exists for this document)")
 
-    # The new capability: counterfactuals in feature space.
+    # The new capability: counterfactuals in feature space, through the
+    # same explain() entry point as every other strategy.
     print(f"\nFeature-space counterfactuals for {target}:")
-    explainer = FeatureCounterfactualExplainer(ranker)
-    result = explainer.explain(QUERY, target, n=3, k=K)
+    response = engine.explain(
+        ExplainRequest(QUERY, target, strategy="features/ltr", n=3, k=K)
+    )
+    result = response.result
     for explanation in result:
         changes = "; ".join(change.describe() for change in explanation.changes)
         print(

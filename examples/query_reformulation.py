@@ -11,7 +11,7 @@ Run with::
     python examples/query_reformulation.py
 """
 
-from repro import CredenceEngine, Document, EngineConfig
+from repro import CredenceEngine, Document, EngineConfig, ExplainRequest
 
 ARTICLES = [
     Document(
@@ -83,7 +83,10 @@ def main() -> None:
     rank = ranking.rank_of(TARGET)
     print(f"\n{TARGET} ranks only {rank}/{K}. Why — and what query finds it?")
 
-    result = engine.explain_query(QUERY, TARGET, n=5, k=K, threshold=1)
+    result = engine.explain(
+        ExplainRequest(QUERY, TARGET, strategy="query/augmentation",
+                       n=5, k=K, threshold=1)
+    )
     print("\nMinimal query augmentations that put it at rank 1:")
     for explanation in result:
         print(

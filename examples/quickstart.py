@@ -5,7 +5,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import DEMO_QUERY, FAKE_NEWS_DOC_ID, demo_engine
+from repro import DEMO_QUERY, FAKE_NEWS_DOC_ID, ExplainRequest, demo_engine
 from repro.core.perturbations import RemoveTerm, ReplaceTerm
 
 K = 10
@@ -23,7 +23,12 @@ def main() -> None:
         print(f"  {entry.rank:>2}. {entry.doc_id:<24} {entry.score:8.3f}{marker}")
 
     # 2. Counterfactual document: which sentences keep it relevant?
-    document_cf = engine.explain_document(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)
+    # Every explanation family goes through the one explain() entry point,
+    # selected by strategy name (engine.available_strategies() lists them).
+    document_cf = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="document/sentence-removal", k=K)
+    )
     explanation = document_cf[0]
     print(
         f"\nRemoving {explanation.size} sentence(s) demotes the fake article "
@@ -33,13 +38,19 @@ def main() -> None:
         print(f"  - {sentence.text}")
 
     # 3. Counterfactual query: which queries would promote it?
-    query_cf = engine.explain_query(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=3, k=K, threshold=2)
+    query_cf = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="query/augmentation", n=3, k=K, threshold=2)
+    )
     print("\nQueries that raise the fake article to rank <= 2:")
     for explanation in query_cf:
         print(f"  {explanation.augmented_query!r:45} -> rank {explanation.new_rank}")
 
     # 4. Instance-based: a real, similar, non-relevant document.
-    instance_cf = engine.explain_instance_doc2vec(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)
+    instance_cf = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="instance/doc2vec", k=K)
+    )
     instance = instance_cf[0]
     print(
         f"\nNearest non-relevant instance: {instance.counterfactual_doc_id} "

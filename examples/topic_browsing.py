@@ -11,7 +11,7 @@ Run with::
     python examples/topic_browsing.py
 """
 
-from repro import DEMO_QUERY, FAKE_NEWS_DOC_ID, demo_engine
+from repro import DEMO_QUERY, FAKE_NEWS_DOC_ID, ExplainRequest, demo_engine
 from repro.core.perturbations import RemoveTerm
 
 K = 10
@@ -59,7 +59,10 @@ def main() -> None:
             "\nTopic terms alone were not enough — fall back to the "
             "automatic sentence-removal explanation:"
         )
-        explanation = engine.explain_document(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1, k=K)[0]
+        explanation = engine.explain(
+            ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                           strategy="document/sentence-removal", k=K)
+        )[0]
         for sentence in explanation.removed_sentences:
             print(f"  ~~{sentence.text}~~")
         print(

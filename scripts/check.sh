@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo gate: the tier-1 test suite plus a benchmark smoke pass.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full test suite =="
+python -m pytest -x -q
+
+echo
+echo "== smoke: API dispatch benchmark (overhead budget < 5%) =="
+python -m pytest -q benchmarks/bench_api_dispatch.py
+
+echo
+echo "check.sh: all green"

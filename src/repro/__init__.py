@@ -5,19 +5,33 @@ rankers: minimal sentence removals that demote a document, minimal query
 augmentations that promote it, similar non-relevant instances, and
 interactive build-your-own perturbations.
 
-Quickstart::
+Quickstart — every explanation family goes through one call::
 
-    from repro import demo_engine, DEMO_QUERY, FAKE_NEWS_DOC_ID
+    from repro import ExplainRequest, demo_engine, DEMO_QUERY, FAKE_NEWS_DOC_ID
 
     engine = demo_engine()
     ranking = engine.rank(DEMO_QUERY, k=10)
-    explanations = engine.explain_document(DEMO_QUERY, FAKE_NEWS_DOC_ID, n=1)
+    response = engine.explain(
+        ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID,
+                       strategy="document/sentence-removal")
+    )
+    for explanation in response:
+        print(explanation.to_dict())
 
-See :mod:`repro.core` for the explainers, :mod:`repro.api` for the REST
-service, and DESIGN.md for the system inventory.
+Strategies (``engine.available_strategies()``):
+``document/sentence-removal``, ``document/greedy``,
+``query/augmentation``, ``instance/doc2vec``, ``instance/cosine``, and
+``features/ltr`` for feature-based rankers. Batch traffic goes through
+``engine.explain_batch([...])``, which shares caches across items and
+reports per-item latency.
+
+See :mod:`repro.core` for the explainers and registry, :mod:`repro.api`
+for the REST service, and docs/API.md for the request/response model.
 """
 
 from repro.core.engine import CredenceEngine, EngineConfig
+from repro.core.explain import ExplainRequest, ExplainResponse
+from repro.core.registry import DEFAULT_REGISTRY, available_strategies
 from repro.demo import (
     DEMO_K,
     DEMO_QUERY,
@@ -34,6 +48,10 @@ __version__ = "1.0.0"
 __all__ = [
     "CredenceEngine",
     "EngineConfig",
+    "ExplainRequest",
+    "ExplainResponse",
+    "DEFAULT_REGISTRY",
+    "available_strategies",
     "DEMO_K",
     "DEMO_QUERY",
     "DEMO_SEED",

@@ -1,15 +1,20 @@
 """REST endpoints: the CREDENCE service surface (Fig. 1).
 
 Binds a :class:`~repro.core.engine.CredenceEngine` to the routes the demo
-UI calls:
+UI calls. Explanation traffic goes through one generic route carrying
+the strategy name in the body; the pre-redesign per-family routes remain
+as thin delegations for older clients.
 
 ====================================  =======================================
 ``GET  /health``                      liveness + corpus stats
+``GET  /strategies``                  explanation-strategy introspection
 ``GET  /documents/{doc_id}``          fetch a document body for display
 ``POST /rank``                        the Explanations/Builder rank button
-``POST /explanations/document``       sentence-removal counterfactuals
-``POST /explanations/query``          query-augmentation counterfactuals
-``POST /explanations/instance``       Doc2Vec Nearest / Cosine Sampled
+``POST /explanations``                any explanation strategy (unified)
+``POST /explanations/batch``          many requests, per-item results
+``POST /explanations/document``       legacy: sentence-removal CFs
+``POST /explanations/query``          legacy: query-augmentation CFs
+``POST /explanations/instance``       legacy: Doc2Vec Nearest / Cosine Sampled
 ``POST /builder/rerank``              build-your-own re-rank + movements
 ``POST /topics``                      Browse Topics over the current top-k
 ====================================  =======================================
@@ -25,14 +30,40 @@ from repro.api.schemas import (
     QueryExplanationRequest,
     RankRequest,
     TopicsRequest,
+    parse_explain_batch,
+    parse_explain_request,
 )
 from repro.core.engine import CredenceEngine
+from repro.core.explain import ExplainRequest, ExplainResponse
 from repro.errors import (
     BadRequestError,
+    ConfigurationError,
     DocumentNotFoundError,
     NotFoundError,
     RankingError,
 )
+
+
+def _run_explain(engine: CredenceEngine, request: ExplainRequest) -> ExplainResponse:
+    """Dispatch one request, mapping library errors to HTTP 400.
+
+    ``ConfigurationError`` covers unknown/unavailable strategies and
+    invalid parameter combinations; ``RankingError`` covers instance
+    documents outside the top-k.
+    """
+    try:
+        return engine.explain(request)
+    except (RankingError, ConfigurationError) as error:
+        raise BadRequestError(str(error)) from None
+
+
+def _attach_instance_bodies(engine: CredenceEngine, payload: dict) -> dict:
+    """Attach the counterfactual bodies the UI renders beneath the prompt."""
+    for explanation in payload.get("explanations", []):
+        if "counterfactual_doc_id" in explanation:
+            document = engine.document(explanation["counterfactual_doc_id"])
+            explanation["counterfactual_body"] = document.body
+    return payload
 
 
 def register_endpoints(router: Router, engine: CredenceEngine) -> Router:
@@ -46,7 +77,12 @@ def register_endpoints(router: Router, engine: CredenceEngine) -> Router:
             "ranker": engine.ranker.name,
             "documents": stats.document_count,
             "unique_terms": stats.unique_terms,
+            "strategies": list(engine.available_strategies()),
         }
+
+    @router.get("/strategies")
+    def strategies(_: Request):
+        return {"strategies": engine.registry.describe(engine)}
 
     @router.get("/documents/{doc_id}")
     def get_document(request: Request):
@@ -67,56 +103,76 @@ def register_endpoints(router: Router, engine: CredenceEngine) -> Router:
             "ranking": ranking.to_dicts(),
         }
 
+    # -- unified explanation surface ------------------------------------------
+
+    @router.post("/explanations")
+    def explain(request: Request):
+        parsed = parse_explain_request(request.body)
+        response = _run_explain(engine, parsed)
+        return _attach_instance_bodies(engine, response.to_dict())
+
+    @router.post("/explanations/batch")
+    def explain_batch(request: Request):
+        parsed = parse_explain_batch(request.body)
+        responses = engine.explain_batch(parsed)
+        return {
+            "count": len(responses),
+            "responses": [
+                _attach_instance_bodies(engine, response.to_dict())
+                if response.ok
+                else response.to_dict()
+                for response in responses
+            ],
+        }
+
+    # -- legacy per-family routes (thin delegations) ---------------------------
+
     @router.post("/explanations/document")
     def explain_document(request: Request):
         parsed = DocumentExplanationRequest.parse(request.body)
-        try:
-            result = engine.explain_document(
-                parsed.query, parsed.doc_id, n=parsed.n, k=parsed.k
-            )
-        except RankingError as error:
-            raise BadRequestError(str(error)) from None
-        return result.to_dict()
+        response = _run_explain(
+            engine,
+            ExplainRequest(
+                parsed.query,
+                parsed.doc_id,
+                strategy="document/sentence-removal",
+                n=parsed.n,
+                k=parsed.k,
+            ),
+        )
+        return response.result.to_dict()
 
     @router.post("/explanations/query")
     def explain_query(request: Request):
         parsed = QueryExplanationRequest.parse(request.body)
-        try:
-            result = engine.explain_query(
+        response = _run_explain(
+            engine,
+            ExplainRequest(
                 parsed.query,
                 parsed.doc_id,
+                strategy="query/augmentation",
                 n=parsed.n,
                 k=parsed.k,
                 threshold=parsed.threshold,
-            )
-        except RankingError as error:
-            raise BadRequestError(str(error)) from None
-        return result.to_dict()
+            ),
+        )
+        return response.result.to_dict()
 
     @router.post("/explanations/instance")
     def explain_instance(request: Request):
         parsed = InstanceExplanationRequest.parse(request.body)
-        try:
-            if parsed.method == "doc2vec_nearest":
-                result = engine.explain_instance_doc2vec(
-                    parsed.query, parsed.doc_id, n=parsed.n, k=parsed.k
-                )
-            else:
-                result = engine.explain_instance_cosine(
-                    parsed.query,
-                    parsed.doc_id,
-                    n=parsed.n,
-                    k=parsed.k,
-                    samples=parsed.samples,
-                )
-        except RankingError as error:
-            raise BadRequestError(str(error)) from None
-        payload = result.to_dict()
-        # Attach the counterfactual bodies the UI renders beneath the prompt.
-        for explanation in payload["explanations"]:
-            document = engine.document(explanation["counterfactual_doc_id"])
-            explanation["counterfactual_body"] = document.body
-        return payload
+        response = _run_explain(
+            engine,
+            ExplainRequest(
+                parsed.query,
+                parsed.doc_id,
+                strategy=parsed.method,  # legacy alias, resolved by registry
+                n=parsed.n,
+                k=parsed.k,
+                samples=parsed.samples,
+            ),
+        )
+        return _attach_instance_bodies(engine, response.result.to_dict())
 
     @router.post("/builder/rerank")
     def builder_rerank(request: Request):

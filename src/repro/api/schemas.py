@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.core.explain import DEFAULT_STRATEGY, ExplainRequest
 from repro.core.perturbations import (
     AppendText,
     Perturbation,
@@ -102,6 +103,56 @@ class QueryExplanationRequest:
         if request.threshold > request.k:
             raise BadRequestError("'threshold' must be within the top-k")
         return request
+
+
+def parse_explain_request(body: Any) -> ExplainRequest:
+    """Parse the generic ``POST /explanations`` body into an
+    :class:`~repro.core.explain.ExplainRequest`.
+
+    The strategy name is validated later against the engine's registry
+    (so plug-in strategies work without touching this module); this
+    parser only enforces field shapes. Unknown fields are rejected so a
+    typo'd or legacy-shaped body (e.g. ``method``) cannot silently fall
+    back to the default strategy.
+    """
+    data = _require_mapping(body)
+    known = {"query", "doc_id", "strategy", "n", "k", "threshold", "samples", "extra"}
+    unknown = set(data) - known
+    if unknown:
+        raise BadRequestError(
+            f"unknown request field(s): {', '.join(sorted(unknown))}"
+        )
+    strategy = data.get("strategy", DEFAULT_STRATEGY)
+    if not isinstance(strategy, str) or not strategy.strip():
+        raise BadRequestError("'strategy' must be a non-empty string")
+    extra = data.get("extra", {})
+    if not isinstance(extra, Mapping):
+        raise BadRequestError("'extra' must be a JSON object")
+    return ExplainRequest(
+        query=_string_field(data, "query"),
+        doc_id=_string_field(data, "doc_id"),
+        strategy=strategy,
+        n=_int_field(data, "n", 1, maximum=100),
+        k=_int_field(data, "k", 10),
+        threshold=_int_field(data, "threshold", 1),
+        samples=_int_field(data, "samples", 50),
+        extra=dict(extra),
+    )
+
+
+#: Cap on how many items one ``POST /explanations/batch`` may carry.
+MAX_BATCH_ITEMS = 100
+
+
+def parse_explain_batch(body: Any) -> list[ExplainRequest]:
+    """Parse ``POST /explanations/batch``: ``{"requests": [...]}``."""
+    data = _require_mapping(body)
+    raw = data.get("requests")
+    if not isinstance(raw, list) or not raw:
+        raise BadRequestError("'requests' must be a non-empty list")
+    if len(raw) > MAX_BATCH_ITEMS:
+        raise BadRequestError(f"'requests' must carry <= {MAX_BATCH_ITEMS} items")
+    return [parse_explain_request(item) for item in raw]
 
 
 #: Instance-based explanation types exposed in the UI dropdown (§III-B).

@@ -1,22 +1,28 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
 Headless access to the CREDENCE workflow over any JSONL corpus (or the
-bundled demo corpus):
+bundled demo corpus). Every explanation family runs through one
+``explain`` command with a ``--strategy`` name:
 
 .. code-block:: bash
 
     python -m repro.cli rank --query "covid outbreak" --k 10
-    python -m repro.cli explain-document --query "covid outbreak" \
-        --doc covid-fake-5g
-    python -m repro.cli explain-query --query "covid outbreak" \
-        --doc covid-fake-5g --n 7 --threshold 2
-    python -m repro.cli explain-instance --query "covid outbreak" \
-        --doc covid-fake-5g --method cosine_sampled
+    python -m repro.cli strategies
+    python -m repro.cli explain --query "covid outbreak" \
+        --doc covid-fake-5g --strategy document/sentence-removal
+    python -m repro.cli explain --query "covid outbreak" \
+        --doc covid-fake-5g --strategy query/augmentation --n 7 --threshold 2
+    python -m repro.cli explain --query "covid outbreak" \
+        --doc covid-fake-5g --strategy instance/cosine --samples 30
     python -m repro.cli builder --query "covid outbreak" \
         --doc covid-fake-5g --replace covid=flu --remove outbreak
     python -m repro.cli serve --port 8091
     python -m repro.cli rank --corpus my_docs.jsonl --ranker bm25 \
         --query "anything"
+
+The pre-redesign per-family subcommands (``explain-document``,
+``explain-query``, ``explain-instance``) remain as thin delegations to
+``explain``.
 """
 
 from __future__ import annotations
@@ -26,10 +32,13 @@ import json
 import sys
 
 from repro.core.engine import CredenceEngine, EngineConfig, RANKER_CHOICES
+from repro.core.explain import ExplainRequest, ExplainResponse
 from repro.core.perturbations import Perturbation, RemoveTerm, ReplaceTerm
+from repro.core.registry import DEFAULT_REGISTRY, STRATEGY_ALIASES
 from repro.datasets.loaders import load_jsonl
 from repro.datasets.queries import sample_queries
 from repro.demo import demo_engine
+from repro.errors import ReproError
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -76,53 +85,122 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_explain_document(args: argparse.Namespace) -> int:
-    engine = _build_engine(args)
-    result = engine.explain_document(args.query, args.doc, n=args.n, k=args.k)
-    if not result.explanations:
-        _emit(args, result.to_dict(), "no counterfactual found")
-        return 1
+# -- unified explain command ---------------------------------------------------
+
+
+def _render_sentence_removal(response: ExplainResponse) -> str:
     lines = []
-    for explanation in result:
+    for explanation in response:
         lines.append(
             f"rank {explanation.original_rank} -> {explanation.new_rank} by "
             f"removing sentence(s) {list(explanation.removed_indices)}:"
         )
         lines.extend(f"  - {s.text}" for s in explanation.removed_sentences)
-    _emit(args, result.to_dict(), "\n".join(lines))
+    return "\n".join(lines) or "no counterfactual found"
+
+
+def _render_query_augmentation(response: ExplainResponse) -> str:
+    lines = [
+        f"{e.augmented_query!r}: rank {e.original_rank} -> {e.new_rank}"
+        for e in response
+    ]
+    return "\n".join(lines) or "no counterfactual found"
+
+
+def _render_instance(response: ExplainResponse) -> str:
+    lines = [
+        f"{e.counterfactual_doc_id:<30} {e.similarity_percent:6.1f}% ({e.method})"
+        for e in response
+    ]
+    return "\n".join(lines) or "no instances found"
+
+
+def _render_feature_changes(response: ExplainResponse) -> str:
+    lines = []
+    for explanation in response:
+        changed = ", ".join(change.describe() for change in explanation.changes)
+        lines.append(
+            f"rank {explanation.original_rank} -> {explanation.new_rank} by "
+            f"setting {changed}"
+        )
+    return "\n".join(lines) or "no counterfactual found"
+
+
+#: Text renderer per strategy; strategies without one fall back to JSON.
+_RENDERERS = {
+    "document/sentence-removal": _render_sentence_removal,
+    "document/greedy": _render_sentence_removal,
+    "query/augmentation": _render_query_augmentation,
+    "instance/doc2vec": _render_instance,
+    "instance/cosine": _render_instance,
+    "features/ltr": _render_feature_changes,
+}
+
+
+def _strategy_choices() -> list[str]:
+    return [*DEFAULT_REGISTRY.names(), *sorted(STRATEGY_ALIASES)]
+
+
+def _run_explain(
+    args: argparse.Namespace, strategy: str, legacy_payload: bool = False
+) -> int:
+    """Build the engine, dispatch one request, and render the result.
+
+    ``legacy_payload`` keeps the pre-redesign JSON shape (the bare
+    :class:`~repro.core.types.ExplanationSet`) for the delegating
+    per-family subcommands; the ``explain`` command emits the
+    strategy-tagged envelope.
+    """
+    engine = _build_engine(args)
+    request = ExplainRequest(
+        query=args.query,
+        doc_id=args.doc,
+        strategy=strategy,
+        n=args.n,
+        k=args.k,
+        threshold=getattr(args, "threshold", 1),
+        samples=getattr(args, "samples", 50),
+    )
+    response = engine.explain(request)
+    renderer = _RENDERERS.get(response.strategy)
+    text = (
+        renderer(response)
+        if renderer is not None
+        else json.dumps(response.to_dict(), ensure_ascii=False, indent=2)
+    )
+    payload = response.result.to_dict() if legacy_payload else response.to_dict()
+    _emit(args, payload, text)
+    return 0 if response.explanations else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    return _run_explain(args, args.strategy)
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    records = engine.registry.describe(engine)
+    lines = []
+    for record in records:
+        marker = "" if record.get("available", True) else "  (unavailable)"
+        lines.append(f"{record['name']:<28} {record['description']}{marker}")
+    _emit(args, {"strategies": records}, "\n".join(lines))
     return 0
+
+
+# -- legacy per-family commands (delegations) ----------------------------------
+
+
+def _cmd_explain_document(args: argparse.Namespace) -> int:
+    return _run_explain(args, "document/sentence-removal", legacy_payload=True)
 
 
 def _cmd_explain_query(args: argparse.Namespace) -> int:
-    engine = _build_engine(args)
-    result = engine.explain_query(
-        args.query, args.doc, n=args.n, k=args.k, threshold=args.threshold
-    )
-    if not result.explanations:
-        _emit(args, result.to_dict(), "no counterfactual found")
-        return 1
-    lines = [
-        f"{e.augmented_query!r}: rank {e.original_rank} -> {e.new_rank}"
-        for e in result
-    ]
-    _emit(args, result.to_dict(), "\n".join(lines))
-    return 0
+    return _run_explain(args, "query/augmentation", legacy_payload=True)
 
 
 def _cmd_explain_instance(args: argparse.Namespace) -> int:
-    engine = _build_engine(args)
-    if args.method == "doc2vec_nearest":
-        result = engine.explain_instance_doc2vec(args.query, args.doc, n=args.n, k=args.k)
-    else:
-        result = engine.explain_instance_cosine(
-            args.query, args.doc, n=args.n, k=args.k, samples=args.samples
-        )
-    lines = [
-        f"{e.counterfactual_doc_id:<30} {e.similarity_percent:6.1f}% ({e.method})"
-        for e in result
-    ]
-    _emit(args, result.to_dict(), "\n".join(lines) or "no instances found")
-    return 0 if result.explanations else 1
+    return _run_explain(args, args.method, legacy_payload=True)
 
 
 def _parse_edits(args: argparse.Namespace) -> list[Perturbation]:
@@ -192,6 +270,33 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--query", required=True)
     rank.set_defaults(handler=_cmd_rank)
 
+    explain = commands.add_parser(
+        "explain", help="run any explanation strategy (see 'strategies')"
+    )
+    _add_common(explain)
+    explain.add_argument("--query", required=True)
+    explain.add_argument("--doc", required=True)
+    explain.add_argument(
+        "--strategy",
+        default="document/sentence-removal",
+        choices=_strategy_choices(),
+        help="explanation strategy name (default document/sentence-removal)",
+    )
+    explain.add_argument("--n", type=int, default=1)
+    explain.add_argument(
+        "--threshold", type=int, default=1, help="target rank (query strategies)"
+    )
+    explain.add_argument(
+        "--samples", type=int, default=50, help="sample count (instance/cosine)"
+    )
+    explain.set_defaults(handler=_cmd_explain)
+
+    strategies = commands.add_parser(
+        "strategies", help="list the registered explanation strategies"
+    )
+    _add_common(strategies)
+    strategies.set_defaults(handler=_cmd_strategies)
+
     doc_cf = commands.add_parser(
         "explain-document", help="minimal sentence removals demoting a document"
     )
@@ -255,7 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        # Library errors (unranked document, unavailable strategy, bad
+        # parameter combinations) are user errors here, not crashes.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

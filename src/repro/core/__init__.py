@@ -1,23 +1,45 @@
 """CREDENCE's contribution: counterfactual explanations for rankers.
 
-Four explanation families over a black-box ranker ``M``:
+Four explanation families over a black-box ranker ``M``, unified behind
+one request/response surface:
 
-* :class:`CounterfactualDocumentExplainer` — minimal sentence removals
-  that push a document out of the top-k (§II-C, Fig. 2).
-* :class:`CounterfactualQueryExplainer` — minimal query augmentations
-  that raise a document above a rank threshold (§II-D, Fig. 3).
-* :class:`Doc2VecNearestExplainer` / :class:`CosineSampledExplainer` —
-  real non-relevant documents similar to the instance (§II-E, Fig. 4).
+* ``document/sentence-removal`` / ``document/greedy`` — minimal sentence
+  removals that push a document out of the top-k (§II-C, Fig. 2).
+* ``query/augmentation`` — minimal query augmentations that raise a
+  document above a rank threshold (§II-D, Fig. 3).
+* ``instance/doc2vec`` / ``instance/cosine`` — real non-relevant
+  documents similar to the instance (§II-E, Fig. 4).
+* ``features/ltr`` — minimal mutable-feature changes for feature-based
+  rankers (the paper's future-work extension).
 * :class:`CounterfactualBuilder` — interactive build-your-own
   perturbations with substitution re-ranking (§III-C, Fig. 5).
 
-:class:`CredenceEngine` wires a corpus, ranker, and all explainers into
+The unified API::
+
+    from repro.core import CredenceEngine, ExplainRequest
+
+    response = engine.explain(
+        ExplainRequest("covid outbreak", "covid-fake-5g",
+                       strategy="query/augmentation", n=3, threshold=2)
+    )
+    responses = engine.explain_batch([...])      # shared caches, per-item timing
+    engine.available_strategies()                # introspection
+
+Strategies live in :data:`~repro.core.registry.DEFAULT_REGISTRY`; new
+ones plug in with ``@DEFAULT_REGISTRY.register("family/name")``.
+:class:`CredenceEngine` wires a corpus, ranker, and the registry into
 the one object the API layer and examples use.
 """
 
 from repro.core.builder import BuilderResult, CounterfactualBuilder
 from repro.core.document_cf import CounterfactualDocumentExplainer
 from repro.core.engine import CredenceEngine, EngineConfig
+from repro.core.explain import (
+    DEFAULT_STRATEGY,
+    Explainer,
+    ExplainRequest,
+    ExplainResponse,
+)
 from repro.core.greedy import GreedyDocumentExplainer
 from repro.core.importance import (
     TfIdfTermImportance,
@@ -36,6 +58,12 @@ from repro.core.perturbations import (
     ReplaceTerm,
 )
 from repro.core.query_cf import CounterfactualQueryExplainer
+from repro.core.registry import (
+    DEFAULT_REGISTRY,
+    ExplainerRegistry,
+    StrategySpec,
+    available_strategies,
+)
 from repro.core.types import (
     ExplanationSet,
     InstanceExplanation,
@@ -49,6 +77,14 @@ __all__ = [
     "CounterfactualBuilder",
     "CredenceEngine",
     "EngineConfig",
+    "DEFAULT_REGISTRY",
+    "DEFAULT_STRATEGY",
+    "Explainer",
+    "ExplainRequest",
+    "ExplainResponse",
+    "ExplainerRegistry",
+    "StrategySpec",
+    "available_strategies",
     "GreedyDocumentExplainer",
     "TfIdfTermImportance",
     "sentence_importance_scores",
@@ -61,6 +97,7 @@ __all__ = [
     "RemoveTerm",
     "ReplaceTerm",
     "CounterfactualQueryExplainer",
+    "CounterfactualDocumentExplainer",
     "ExplanationSet",
     "InstanceExplanation",
     "QueryAugmentationExplanation",

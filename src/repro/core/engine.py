@@ -6,11 +6,14 @@ to — the Python equivalent of the running CREDENCE service in Fig. 1.
 
 from __future__ import annotations
 
+import logging
+import warnings
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.embeddings.doc2vec import Doc2Vec, train_doc2vec
 from repro.embeddings.vectorizers import Bm25Vectorizer, TfIdfVectorizer
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
 from repro.ranking.base import Ranker, Ranking
@@ -22,9 +25,10 @@ from repro.ranking.pipeline import RetrieveRerankPipeline
 from repro.ranking.tfidf import TfIdfRanker
 from repro.core.builder import BuilderResult, CounterfactualBuilder
 from repro.core.document_cf import CounterfactualDocumentExplainer
-from repro.core.instance_cf import CosineSampledExplainer, Doc2VecNearestExplainer
+from repro.core.explain import ExplainRequest, ExplainResponse
 from repro.core.perturbations import Perturbation
 from repro.core.query_cf import CounterfactualQueryExplainer
+from repro.core.registry import DEFAULT_REGISTRY, ExplainerRegistry
 from repro.core.types import (
     ExplanationSet,
     InstanceExplanation,
@@ -33,7 +37,10 @@ from repro.core.types import (
 )
 from repro.topics.lda import train_lda
 from repro.topics.summaries import TopicSummary, summarize_topics
+from repro.utils.timing import timed
 from repro.utils.validation import require, require_positive
+
+logger = logging.getLogger(__name__)
 
 #: Ranker factory names accepted by :class:`EngineConfig`.
 RANKER_CHOICES = ("bm25", "tfidf", "lm", "neural")
@@ -77,20 +84,37 @@ class EngineConfig:
 
 
 class CredenceEngine:
-    """The assembled CREDENCE system over one corpus."""
+    """The assembled CREDENCE system over one corpus.
+
+    Ranker precedence: an explicitly passed ``ranker`` object always
+    wins. When both ``config`` and ``ranker`` are given, the config's
+    ``ranker``/``training_queries`` fields are ignored for ranker
+    construction (a warning is logged); every other config field
+    (seed, caching, Doc2Vec sizing) still applies.
+    """
 
     def __init__(
         self,
         documents: list[Document],
         config: EngineConfig | None = None,
         ranker: Ranker | None = None,
+        registry: ExplainerRegistry | None = None,
     ):
         require(bool(documents), "documents must be non-empty")
         self.config = config or EngineConfig(
             ranker="bm25"
         )
+        self.registry = registry or DEFAULT_REGISTRY
         self.index = InvertedIndex.from_documents(documents)
         if ranker is not None:
+            if config is not None:
+                logger.warning(
+                    "CredenceEngine got both an explicit ranker (%s) and a "
+                    "config naming ranker=%r; the explicit ranker takes "
+                    "precedence and the config's ranker field is ignored",
+                    type(ranker).__name__,
+                    config.ranker,
+                )
             base_ranker = ranker
         else:
             base_ranker = self._build_ranker()
@@ -159,37 +183,139 @@ class CredenceEngine:
     def document(self, doc_id: str) -> Document:
         return self.index.document(doc_id)
 
-    # -- the four explanation families ------------------------------------------
+    # -- the unified explanation API ---------------------------------------------
+
+    def explain(
+        self, request: ExplainRequest | None = None, /, **kwargs
+    ) -> ExplainResponse:
+        """Run one explanation request through the strategy registry.
+
+        Accepts either a prepared :class:`ExplainRequest` or its fields
+        as keyword arguments::
+
+            engine.explain(ExplainRequest(query, doc_id, strategy="query/augmentation"))
+            engine.explain(query=query, doc_id=doc_id, strategy="instance/doc2vec")
+
+        The explainer for the strategy is built lazily on first use and
+        memoised per engine. Returns a strategy-tagged
+        :class:`ExplainResponse` with wall-clock timing; unknown
+        strategies raise :class:`~repro.errors.UnknownStrategyError` and
+        search failures propagate (``RankingError`` etc.).
+        """
+        if request is None:
+            request = ExplainRequest(**kwargs)
+        elif kwargs:
+            raise ConfigurationError(
+                "pass either an ExplainRequest or keyword fields, not both"
+            )
+        explainer = self.registry.get(self, request.strategy)
+        with timed() as elapsed:
+            result = explainer.explain(request)
+        return ExplainResponse(
+            strategy=self.registry.resolve(request.strategy),
+            query=request.query,
+            doc_id=request.doc_id,
+            result=result,
+            elapsed_seconds=elapsed(),
+        )
+
+    def explain_batch(
+        self, requests: Iterable[ExplainRequest]
+    ) -> list[ExplainResponse]:
+        """Run many explanation requests, amortising shared state.
+
+        All items share this engine's analysis, score cache, and the
+        memoised per-strategy explainers, so a batch over one query is
+        substantially cheaper than cold single calls. Responses preserve
+        request order and carry per-item latency; a failing item yields
+        a response with :attr:`ExplainResponse.error` set instead of
+        aborting the batch.
+        """
+        responses: list[ExplainResponse] = []
+        for request in requests:
+            require(
+                isinstance(request, ExplainRequest),
+                "explain_batch items must be ExplainRequest instances",
+            )
+            with timed() as elapsed:
+                try:
+                    responses.append(self.explain(request))
+                except ReproError as error:
+                    responses.append(
+                        ExplainResponse.from_error(request, error, elapsed())
+                    )
+        return responses
+
+    def available_strategies(self) -> tuple[str, ...]:
+        """Strategy names applicable to this engine's ranker."""
+        return self.registry.available_strategies(self)
+
+    # -- the four explanation families (deprecated shims) -------------------------
+
+    def _deprecated(self, old: str, strategy: str) -> None:
+        warnings.warn(
+            f"CredenceEngine.{old}() is deprecated; use "
+            f"engine.explain(ExplainRequest(..., strategy={strategy!r}))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     def explain_document(
         self, query: str, doc_id: str, n: int = 1, k: int = 10
     ) -> ExplanationSet[SentenceRemovalExplanation]:
-        """Sentence-removal counterfactuals (Fig. 2)."""
-        return self.document_explainer.explain(query, doc_id, n=n, k=k)
+        """Sentence-removal counterfactuals (Fig. 2). Deprecated shim for
+        :meth:`explain` with ``strategy="document/sentence-removal"``."""
+        self._deprecated("explain_document", "document/sentence-removal")
+        return self.explain(
+            ExplainRequest(
+                query, doc_id, strategy="document/sentence-removal", n=n, k=k
+            )
+        ).result
 
     def explain_query(
         self, query: str, doc_id: str, n: int = 1, k: int = 10, threshold: int = 1
     ) -> ExplanationSet[QueryAugmentationExplanation]:
-        """Query-augmentation counterfactuals (Fig. 3)."""
-        return self.query_explainer.explain(
-            query, doc_id, n=n, k=k, threshold=threshold
-        )
+        """Query-augmentation counterfactuals (Fig. 3). Deprecated shim for
+        :meth:`explain` with ``strategy="query/augmentation"``."""
+        self._deprecated("explain_query", "query/augmentation")
+        return self.explain(
+            ExplainRequest(
+                query,
+                doc_id,
+                strategy="query/augmentation",
+                n=n,
+                k=k,
+                threshold=threshold,
+            )
+        ).result
 
     def explain_instance_doc2vec(
         self, query: str, doc_id: str, n: int = 1, k: int = 10
     ) -> ExplanationSet[InstanceExplanation]:
-        """Doc2Vec Nearest instance counterfactuals (Fig. 4)."""
-        explainer = Doc2VecNearestExplainer(self.ranker, self.doc2vec)
-        return explainer.explain(query, doc_id, n=n, k=k)
+        """Doc2Vec Nearest instance counterfactuals (Fig. 4). Deprecated
+        shim for :meth:`explain` with ``strategy="instance/doc2vec"``."""
+        self._deprecated("explain_instance_doc2vec", "instance/doc2vec")
+        return self.explain(
+            ExplainRequest(query, doc_id, strategy="instance/doc2vec", n=n, k=k)
+        ).result
 
     def explain_instance_cosine(
         self, query: str, doc_id: str, n: int = 1, k: int = 10, samples: int = 50
     ) -> ExplanationSet[InstanceExplanation]:
-        """Cosine Sampled instance counterfactuals (Fig. 4 variant)."""
-        explainer = CosineSampledExplainer(
-            self.ranker, self.bm25_vectorizer, seed=self.config.seed
-        )
-        return explainer.explain(query, doc_id, n=n, k=k, samples=samples)
+        """Cosine Sampled instance counterfactuals (Fig. 4 variant).
+        Deprecated shim for :meth:`explain` with
+        ``strategy="instance/cosine"``."""
+        self._deprecated("explain_instance_cosine", "instance/cosine")
+        return self.explain(
+            ExplainRequest(
+                query,
+                doc_id,
+                strategy="instance/cosine",
+                n=n,
+                k=k,
+                samples=samples,
+            )
+        ).result
 
     def build_counterfactual(
         self,

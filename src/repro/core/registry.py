@@ -1,0 +1,310 @@
+"""The explainer registry: named strategies over a `CredenceEngine`.
+
+Strategies are registered by name with a decorator::
+
+    @DEFAULT_REGISTRY.register(
+        "document/sentence-removal",
+        description="minimal sentence removals demoting the document",
+    )
+    def _build(engine):
+        return _BoundExplainer(
+            "document/sentence-removal",
+            lambda r: engine.document_explainer.explain(
+                r.query, r.doc_id, n=r.n, k=r.k
+            ),
+        )
+
+and constructed *lazily, once per engine*: the first request for a
+strategy runs its factory (which may train a Doc2Vec model or build a
+vectorizer) and the instance is memoised against the engine, so repeated
+requests — and every item of a batch — reuse the same heavy state.
+
+A strategy may declare an availability predicate; ``features/ltr`` for
+example only applies when the engine's ranker is an
+:class:`~repro.ltr.ranker.LtrRanker`. Unknown names raise
+:class:`~repro.errors.UnknownStrategyError`; registered-but-inapplicable
+names raise :class:`~repro.errors.StrategyUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.explain import Explainer, ExplainRequest
+from repro.core.types import ExplanationSet
+from repro.errors import (
+    ConfigurationError,
+    StrategyUnavailableError,
+    UnknownStrategyError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.core.engine import CredenceEngine
+
+#: Legacy spellings accepted wherever a strategy name is expected
+#: (the pre-redesign REST ``method`` field and engine method names).
+STRATEGY_ALIASES = {
+    "doc2vec_nearest": "instance/doc2vec",
+    "cosine_sampled": "instance/cosine",
+}
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """One registered strategy: its factory plus metadata."""
+
+    name: str
+    factory: Callable[["CredenceEngine"], Explainer]
+    description: str = ""
+    available: Callable[["CredenceEngine"], str | None] | None = None
+    """``None`` (always available) or a predicate returning ``None`` when
+    applicable and a human-readable reason string when not."""
+
+    def unavailable_reason(self, engine: "CredenceEngine") -> str | None:
+        return None if self.available is None else self.available(engine)
+
+
+class ExplainerRegistry:
+    """Maps strategy names to explainer factories, memoised per engine."""
+
+    def __init__(self):
+        self._specs: dict[str, StrategySpec] = {}
+        self._instances: "weakref.WeakKeyDictionary[CredenceEngine, dict[str, Explainer]]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        *,
+        description: str = "",
+        available: Callable[["CredenceEngine"], str | None] | None = None,
+    ):
+        """Decorator registering ``factory(engine) -> Explainer`` as ``name``."""
+        if not name or not name.strip():
+            raise ConfigurationError("strategy name must be non-empty")
+
+        def decorate(factory: Callable[["CredenceEngine"], Explainer]):
+            if name in self._specs:
+                raise ConfigurationError(
+                    f"strategy {name!r} is already registered"
+                )
+            self._specs[name] = StrategySpec(
+                name=name,
+                factory=factory,
+                description=description,
+                available=available,
+            )
+            return factory
+
+        return decorate
+
+    # -- introspection --------------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        """Every registered strategy name, sorted."""
+        return tuple(sorted(self._specs))
+
+    def resolve(self, name: str) -> str:
+        """Canonicalise ``name`` (legacy aliases), raising on unknown."""
+        canonical = STRATEGY_ALIASES.get(name, name)
+        if canonical not in self._specs:
+            raise UnknownStrategyError(name, self.names())
+        return canonical
+
+    def spec(self, name: str) -> StrategySpec:
+        return self._specs[self.resolve(name)]
+
+    def available_strategies(
+        self, engine: "CredenceEngine | None" = None
+    ) -> tuple[str, ...]:
+        """Registered names, filtered to those applicable to ``engine``."""
+        if engine is None:
+            return self.names()
+        return tuple(
+            name
+            for name in self.names()
+            if self._specs[name].unavailable_reason(engine) is None
+        )
+
+    def describe(self, engine: "CredenceEngine | None" = None) -> list[dict]:
+        """Introspection records for ``GET /strategies`` and the CLI."""
+        records = []
+        for name in self.names():
+            spec = self._specs[name]
+            record = {"name": name, "description": spec.description}
+            if engine is not None:
+                reason = spec.unavailable_reason(engine)
+                record["available"] = reason is None
+                if reason is not None:
+                    record["unavailable_reason"] = reason
+            records.append(record)
+        return records
+
+    # -- construction ---------------------------------------------------------
+
+    def get(self, engine: "CredenceEngine", name: str) -> Explainer:
+        """The memoised explainer for ``(engine, name)``, built on first use."""
+        canonical = self.resolve(name)
+        cache = self._instances.setdefault(engine, {})
+        if canonical not in cache:
+            spec = self._specs[canonical]
+            reason = spec.unavailable_reason(engine)
+            if reason is not None:
+                raise StrategyUnavailableError(canonical, reason)
+            cache[canonical] = spec.factory(engine)
+        return cache[canonical]
+
+
+@dataclass(frozen=True)
+class _BoundExplainer:
+    """Adapts a legacy per-family ``explain(...)`` signature to the
+    uniform :class:`~repro.core.explain.Explainer` protocol."""
+
+    strategy: str
+    run: Callable[[ExplainRequest], ExplanationSet]
+
+    def explain(self, request: ExplainRequest) -> ExplanationSet:
+        return self.run(request)
+
+
+def ltr_ranker_of(engine: "CredenceEngine"):
+    """The engine's :class:`~repro.ltr.ranker.LtrRanker`, unwrapping the
+    score cache, or ``None`` when the active ranker is not feature-based."""
+    from repro.ltr.ranker import LtrRanker
+    from repro.ranking.cache import ScoreCache
+
+    ranker = engine.ranker
+    if isinstance(ranker, ScoreCache):
+        ranker = ranker.inner
+    return ranker if isinstance(ranker, LtrRanker) else None
+
+
+def _requires_ltr(engine: "CredenceEngine") -> str | None:
+    if ltr_ranker_of(engine) is None:
+        return "the engine's ranker is not an LtrRanker (no mutable features)"
+    return None
+
+
+#: The process-wide registry holding the built-in strategies. Plug-in
+#: strategies register here too (or construct a private registry).
+DEFAULT_REGISTRY = ExplainerRegistry()
+
+
+@DEFAULT_REGISTRY.register(
+    "document/sentence-removal",
+    description=(
+        "minimal sentence removals demoting the document beyond k "
+        "(exhaustive size-major search, §II-C / Fig. 2)"
+    ),
+)
+def _document_sentence_removal(engine: "CredenceEngine") -> Explainer:
+    # Close over the explainer, not the engine: memoised instances are the
+    # registry's WeakKeyDictionary *values*, so capturing the engine (the
+    # key) would strongly reference it and pin it for process lifetime.
+    explainer = engine.document_explainer
+    return _BoundExplainer(
+        "document/sentence-removal",
+        lambda r: explainer.explain(r.query, r.doc_id, n=r.n, k=r.k),
+    )
+
+
+@DEFAULT_REGISTRY.register(
+    "document/greedy",
+    description=(
+        "grow-then-prune sentence removals for long documents "
+        "(subset-minimal, single explanation)"
+    ),
+)
+def _document_greedy(engine: "CredenceEngine") -> Explainer:
+    from repro.core.greedy import GreedyDocumentExplainer
+
+    explainer = GreedyDocumentExplainer(engine.ranker)
+    return _BoundExplainer(
+        "document/greedy",
+        lambda r: explainer.explain(r.query, r.doc_id, n=r.n, k=r.k),
+    )
+
+
+@DEFAULT_REGISTRY.register(
+    "query/augmentation",
+    description=(
+        "minimal query augmentations raising the document to rank "
+        "<= threshold (§II-D / Fig. 3)"
+    ),
+)
+def _query_augmentation(engine: "CredenceEngine") -> Explainer:
+    explainer = engine.query_explainer  # not `engine` — see sentence-removal
+    return _BoundExplainer(
+        "query/augmentation",
+        lambda r: explainer.explain(
+            r.query, r.doc_id, n=r.n, k=r.k, threshold=r.threshold
+        ),
+    )
+
+
+@DEFAULT_REGISTRY.register(
+    "instance/doc2vec",
+    description=(
+        "nearest non-relevant corpus documents in Doc2Vec space "
+        "(§II-E / Fig. 4, 'Doc2Vec Nearest')"
+    ),
+)
+def _instance_doc2vec(engine: "CredenceEngine") -> Explainer:
+    from repro.core.instance_cf import Doc2VecNearestExplainer
+
+    explainer = Doc2VecNearestExplainer(engine.ranker, engine.doc2vec)
+    return _BoundExplainer(
+        "instance/doc2vec",
+        lambda r: explainer.explain(r.query, r.doc_id, n=r.n, k=r.k),
+    )
+
+
+@DEFAULT_REGISTRY.register(
+    "instance/cosine",
+    description=(
+        "cosine-similar sampled non-relevant documents over BM25 "
+        "score vectors (§II-E / Fig. 4, 'Cosine Sampled')"
+    ),
+)
+def _instance_cosine(engine: "CredenceEngine") -> Explainer:
+    from repro.core.instance_cf import CosineSampledExplainer
+
+    explainer = CosineSampledExplainer(
+        engine.ranker, engine.bm25_vectorizer, seed=engine.config.seed
+    )
+    return _BoundExplainer(
+        "instance/cosine",
+        lambda r: explainer.explain(
+            r.query, r.doc_id, n=r.n, k=r.k, samples=r.samples
+        ),
+    )
+
+
+@DEFAULT_REGISTRY.register(
+    "features/ltr",
+    description=(
+        "minimal mutable-feature changes demoting the document beyond k "
+        "(feature-based rankers only)"
+    ),
+    available=_requires_ltr,
+)
+def _features_ltr(engine: "CredenceEngine") -> Explainer:
+    from repro.ltr.feature_cf import FeatureCounterfactualExplainer
+
+    explainer = FeatureCounterfactualExplainer(ltr_ranker_of(engine))
+    return _BoundExplainer(
+        "features/ltr",
+        lambda r: explainer.explain(r.query, r.doc_id, n=r.n, k=r.k),
+    )
+
+
+def available_strategies(
+    engine: "CredenceEngine | None" = None,
+) -> tuple[str, ...]:
+    """Module-level convenience over :data:`DEFAULT_REGISTRY`."""
+    return DEFAULT_REGISTRY.available_strategies(engine)

@@ -45,6 +45,36 @@ class RankingError(ReproError):
     """A ranking operation failed (e.g. ranking over an empty candidate set)."""
 
 
+class UnknownStrategyError(ConfigurationError):
+    """An explanation strategy name is not registered.
+
+    Carries the requested name and the registered alternatives so API
+    layers can render an actionable message.
+    """
+
+    def __init__(self, strategy: str, known: tuple[str, ...] = ()):
+        known = tuple(known)
+        message = f"unknown explanation strategy: {strategy!r}"
+        if known:
+            message += f" (registered: {', '.join(known)})"
+        super().__init__(message)
+        self.strategy = strategy
+        self.known = known
+
+
+class StrategyUnavailableError(ConfigurationError):
+    """A registered strategy cannot run against the current engine.
+
+    Example: ``features/ltr`` requires the engine's ranker to be an
+    :class:`~repro.ltr.ranker.LtrRanker`.
+    """
+
+    def __init__(self, strategy: str, reason: str):
+        super().__init__(f"strategy {strategy!r} is unavailable: {reason}")
+        self.strategy = strategy
+        self.reason = reason
+
+
 class ExplanationBudgetExceeded(ReproError):
     """A counterfactual search exhausted its ranker-call budget.
 

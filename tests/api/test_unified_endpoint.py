@@ -1,0 +1,236 @@
+"""Integration tests for the unified explanation routes:
+``POST /explanations``, ``POST /explanations/batch``, ``GET /strategies``,
+and legacy-route equivalence."""
+
+import pytest
+
+from repro.api.app import build_router
+from repro.api.client import InProcessClient
+from repro.datasets.covid import FAKE_NEWS_DOC_ID
+
+QUERY = "covid outbreak"
+
+
+@pytest.fixture(scope="module")
+def module_engine():
+    from repro.core.engine import CredenceEngine, EngineConfig
+    from repro.datasets.covid import covid_corpus
+
+    return CredenceEngine(covid_corpus(), EngineConfig(ranker="bm25", seed=5))
+
+
+@pytest.fixture(scope="module")
+def client(module_engine):
+    return InProcessClient(build_router(module_engine))
+
+
+class TestStrategiesEndpoint:
+    def test_lists_strategies_with_availability(self, client):
+        response = client.get("/strategies")
+        assert response.status == 200
+        records = {
+            record["name"]: record
+            for record in response.payload["strategies"]
+        }
+        assert records["document/sentence-removal"]["available"] is True
+        assert records["features/ltr"]["available"] is False
+        assert records["query/augmentation"]["description"]
+
+    def test_health_reports_available_strategies(self, client):
+        payload = client.get("/health").payload
+        assert "document/sentence-removal" in payload["strategies"]
+        assert "features/ltr" not in payload["strategies"]
+
+
+class TestUnifiedExplanations:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            "document/sentence-removal",
+            "document/greedy",
+            "query/augmentation",
+            "instance/doc2vec",
+            "instance/cosine",
+        ],
+    )
+    def test_each_strategy_reachable(self, client, strategy):
+        response = client.post(
+            "/explanations",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "strategy": strategy,
+                "samples": 30,
+            },
+        )
+        assert response.status == 200
+        payload = response.payload
+        assert payload["strategy"] == strategy
+        assert payload["explanations"]
+        assert payload["elapsed_seconds"] >= 0.0
+
+    def test_default_strategy(self, client):
+        response = client.post(
+            "/explanations", {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID}
+        )
+        assert response.status == 200
+        assert response.payload["strategy"] == "document/sentence-removal"
+
+    def test_instance_strategy_attaches_bodies(self, client):
+        response = client.post(
+            "/explanations",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "strategy": "instance/cosine",
+                "n": 2,
+                "samples": 30,
+            },
+        )
+        assert response.status == 200
+        for explanation in response.payload["explanations"]:
+            assert explanation["counterfactual_body"]
+
+    def test_unknown_strategy_400(self, client):
+        response = client.post(
+            "/explanations",
+            {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID, "strategy": "magic"},
+        )
+        assert response.status == 400
+        assert "unknown explanation strategy" in response.payload["detail"]
+
+    def test_unavailable_strategy_400(self, client):
+        response = client.post(
+            "/explanations",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "strategy": "features/ltr",
+            },
+        )
+        assert response.status == 400
+        assert "unavailable" in response.payload["detail"]
+
+    def test_unranked_document_400(self, client):
+        response = client.post(
+            "/explanations", {"query": QUERY, "doc_id": "markets-0002"}
+        )
+        assert response.status == 400
+
+    def test_unknown_field_rejected_not_ignored(self, client):
+        # The legacy instance-route shape must not silently run the
+        # default strategy on the unified route.
+        response = client.post(
+            "/explanations",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "method": "cosine_sampled",
+            },
+        )
+        assert response.status == 400
+        assert "unknown request field" in response.payload["detail"]
+        assert "method" in response.payload["detail"]
+
+    def test_invalid_shapes_400(self, client):
+        assert client.post("/explanations", {"query": QUERY}).status == 400
+        assert (
+            client.post(
+                "/explanations",
+                {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID, "strategy": 3},
+            ).status
+            == 400
+        )
+        assert (
+            client.post(
+                "/explanations",
+                {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID, "n": 0},
+            ).status
+            == 400
+        )
+
+
+class TestBatchEndpoint:
+    def test_batch_preserves_order_and_isolates_errors(self, client):
+        response = client.post(
+            "/explanations/batch",
+            {
+                "requests": [
+                    {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID},
+                    {"query": QUERY, "doc_id": "ghost-doc"},
+                    {
+                        "query": QUERY,
+                        "doc_id": FAKE_NEWS_DOC_ID,
+                        "strategy": "instance/cosine",
+                        "samples": 30,
+                    },
+                ]
+            },
+        )
+        assert response.status == 200
+        payload = response.payload
+        assert payload["count"] == 3
+        first, second, third = payload["responses"]
+        assert first["strategy"] == "document/sentence-removal"
+        assert first["explanations"]
+        assert "error" in second and "RankingError" in second["error"]
+        assert third["strategy"] == "instance/cosine"
+        assert all(
+            "counterfactual_body" in e for e in third["explanations"]
+        )
+
+    def test_batch_requires_requests(self, client):
+        assert client.post("/explanations/batch", {}).status == 400
+        assert (
+            client.post("/explanations/batch", {"requests": []}).status == 400
+        )
+
+    def test_batch_item_cap(self, client):
+        item = {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID}
+        response = client.post(
+            "/explanations/batch", {"requests": [item] * 101}
+        )
+        assert response.status == 400
+
+
+class TestLegacyRouteEquivalence:
+    def test_document_route_matches_unified(self, client):
+        legacy = client.post(
+            "/explanations/document",
+            {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID, "n": 1, "k": 10},
+        )
+        unified = client.post(
+            "/explanations",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "strategy": "document/sentence-removal",
+                "n": 1,
+                "k": 10,
+            },
+        )
+        assert legacy.status == unified.status == 200
+        assert legacy.payload["explanations"] == unified.payload["explanations"]
+
+    def test_instance_route_accepts_legacy_method_names(self, client):
+        legacy = client.post(
+            "/explanations/instance",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "method": "cosine_sampled",
+                "samples": 30,
+            },
+        )
+        unified = client.post(
+            "/explanations",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "strategy": "cosine_sampled",
+                "samples": 30,
+            },
+        )
+        assert legacy.status == unified.status == 200
+        assert unified.payload["strategy"] == "instance/cosine"
+        assert legacy.payload["explanations"] == unified.payload["explanations"]

@@ -46,6 +46,35 @@ class TestConstruction:
         )
         assert "TfIdf" in engine.ranker.name
 
+    def test_explicit_ranker_with_config_warns_and_wins(
+        self, covid_documents, bm25_engine, caplog
+    ):
+        import logging
+
+        from repro.ranking.tfidf import TfIdfRanker
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.engine"):
+            engine = CredenceEngine(
+                covid_documents,
+                EngineConfig(ranker="bm25", seed=5),
+                ranker=TfIdfRanker(bm25_engine.index),
+            )
+        assert "TfIdf" in engine.ranker.name  # the explicit ranker wins
+        assert "precedence" in caplog.text
+
+    def test_explicit_ranker_without_config_does_not_warn(
+        self, covid_documents, bm25_engine, caplog
+    ):
+        import logging
+
+        from repro.ranking.tfidf import TfIdfRanker
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.engine"):
+            CredenceEngine(
+                covid_documents, ranker=TfIdfRanker(bm25_engine.index)
+            )
+        assert not caplog.records
+
     def test_cache_wrapping_controlled_by_config(self, covid_documents):
         cached = CredenceEngine(
             covid_documents, EngineConfig(ranker="bm25", cache_scores=True)

@@ -76,6 +76,115 @@ class TestExplainCommands:
         assert "%" in out
 
 
+class TestUnifiedExplain:
+    def test_explain_document_strategy(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--strategy", "document/sentence-removal",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "removing sentence(s)" in out
+
+    def test_explain_query_strategy(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--strategy", "query/augmentation",
+                "--n", "2",
+                "--threshold", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert DEMO_QUERY in out
+
+    def test_explain_instance_alias_strategy(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--strategy", "cosine_sampled",
+                "--samples", "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "%" in out
+
+    def test_explain_json_envelope(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--strategy", "instance/cosine",
+                "--samples", "30",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["strategy"] == "instance/cosine"
+        assert payload["elapsed_seconds"] >= 0.0
+        assert payload["explanations"]
+
+    def test_unknown_strategy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "explain",
+                    "--query", DEMO_QUERY,
+                    "--doc", FAKE_NEWS_DOC_ID,
+                    "--strategy", "magic/crystal",
+                ]
+            )
+
+    def test_unavailable_strategy_clean_error(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--strategy", "features/ltr",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "unavailable" in captured.err
+
+    def test_unranked_document_clean_error(self, capsys):
+        code = main(
+            ["explain", "--query", DEMO_QUERY, "--doc", "markets-0002"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not in the top-10" in captured.err
+
+    def test_strategies_listing(self, capsys):
+        code = main(["strategies"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "document/sentence-removal" in out
+        assert "query/augmentation" in out
+        assert "(unavailable)" in out  # features/ltr under a lexical ranker
+
+    def test_strategies_json(self, capsys):
+        code = main(["strategies", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        names = {record["name"] for record in payload["strategies"]}
+        assert "instance/doc2vec" in names
+
+
 class TestBuilder:
     def test_builder_valid_edit(self, capsys):
         code = main(
