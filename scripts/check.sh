@@ -11,8 +11,16 @@ echo "== tier-1: full test suite =="
 python -m pytest -x -q
 
 echo
+echo "== scoring-session equivalence (session == naive re-ranking) =="
+python -m pytest -q tests/ranking/test_session_equivalence.py
+
+echo
 echo "== smoke: API dispatch benchmark (overhead budget < 5%) =="
 python -m pytest -q benchmarks/bench_api_dispatch.py
+
+echo
+echo "== smoke: counterfactual scoring-session speedup =="
+CF_SESSION_SMOKE=1 python -m pytest -q benchmarks/bench_cf_session.py
 
 echo
 echo "check.sh: all green"

@@ -83,21 +83,22 @@ class CounterfactualBuilder:
 
     ranker: Ranker
 
-    def _candidate_pool(self, query: str, k: int) -> tuple[Ranking, list[Document]]:
-        """The top k+1 documents and their baseline candidate ranking.
+    def _pool_session(self, query: str, k: int):
+        """A scoring session over the top k+1 documents, plus its baseline.
 
         The ranking shown to the user is over the top-k; the pool carries
         one extra document so a demoted edit has somewhere to fall and the
-        hidden (k+1)-th document can be revealed.
+        hidden (k+1)-th document can be revealed. The session lets the
+        substitution re-rank reuse the baseline's pool scores.
         """
         documents = candidate_pool(self.ranker, query, k)
-        baseline = self.ranker.rank_candidates(query, documents)
-        return baseline, documents
+        session = self.ranker.scoring_session(query, documents)
+        return session, session.baseline(), documents
 
     def rank(self, query: str, k: int) -> Ranking:
         """The top-k ranking displayed on the Builder page."""
         require_positive(k, "k")
-        baseline, _ = self._candidate_pool(query, k)
+        _, baseline, _ = self._pool_session(query, k)
         return baseline.top(min(k, len(baseline)))
 
     def rerank_edited(
@@ -105,7 +106,7 @@ class CounterfactualBuilder:
     ) -> BuilderResult:
         """Substitute an edited body for ``doc_id`` and re-rank the pool."""
         require_positive(k, "k")
-        baseline, documents = self._candidate_pool(query, k)
+        session, baseline, documents = self._pool_session(query, k)
         rank_before = baseline.rank_of(doc_id)
         if rank_before is None or rank_before > k:
             raise RankingError(
@@ -113,7 +114,9 @@ class CounterfactualBuilder:
             )
         original = self.ranker.index.document(doc_id)
         edited = original.with_body(edited_body)
-        new_ranking = rank_with_substitution(self.ranker, query, documents, edited)
+        new_ranking = rank_with_substitution(
+            self.ranker, query, documents, edited, session=session
+        )
         rank_after = new_ranking.rank_of(doc_id)
         if rank_after is None:  # substitution preserves membership
             raise RankingError("edited document missing from re-ranking")

@@ -20,9 +20,8 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, ExplanationBudgetExceeded, RankingError
 from repro.index.document import Document
-from repro.ranking.base import Ranker, Ranking
+from repro.ranking.base import Ranker
 from repro.ranking.rerank import candidate_pool
-from repro.text.sentences import split_sentences
 from repro.core.importance import sentence_importance_scores
 from repro.core.types import ExplanationSet, SentenceRemovalExplanation
 from repro.core.validity import is_non_relevant
@@ -82,13 +81,12 @@ class CounterfactualDocumentExplainer:
         require_positive(n, "n")
         require_positive(k, "k")
         candidates = self._candidate_documents(query, k)
-        by_id = {document.doc_id: document for document in candidates}
-        if doc_id not in by_id:
+        session = self.ranker.scoring_session(query, candidates)
+        if doc_id not in session:
             raise RankingError(
                 f"document {doc_id!r} is not in the top-{k} for {query!r}"
             )
-        instance = by_id[doc_id]
-        baseline = self.ranker.rank_candidates(query, candidates)
+        baseline = session.baseline()
         original_rank = baseline.rank_of(doc_id)
         if original_rank is None or is_non_relevant(original_rank, k):
             raise RankingError(
@@ -96,11 +94,14 @@ class CounterfactualDocumentExplainer:
                 f"(rank {original_rank}) for {query!r}"
             )
 
-        sentences = split_sentences(instance.body)
+        sentences = session.sentences(doc_id)
         if len(sentences) <= 1:
             # Removing the only sentence leaves an empty document; the paper
             # perturbs multi-sentence articles.
-            return ExplanationSet(search_exhausted=True)
+            return ExplanationSet(
+                search_exhausted=True,
+                physical_scorings=session.physical_scorings,
+            )
         analyzer = self.ranker.index.analyzer
         importance = sentence_importance_scores(analyzer, query, sentences)
         max_size = min(
@@ -109,58 +110,46 @@ class CounterfactualDocumentExplainer:
         )
 
         result: ExplanationSet[SentenceRemovalExplanation] = ExplanationSet()
-        for subset, subset_score in ordered_subsets(
-            sentences, importance, max_size=max_size
-        ):
-            if result.candidates_evaluated >= self.max_evaluations:
-                result.budget_exhausted = True
-                if self.raise_on_budget:
-                    raise ExplanationBudgetExceeded(
-                        f"evaluated {result.candidates_evaluated} candidates "
-                        f"without finding {n} explanations",
-                        partial_results=result.explanations,
-                    )
-                return result
-            removed_indices = {sentence.index for sentence in subset}
-            survivors = [
-                sentence.text
-                for sentence in sentences
-                if sentence.index not in removed_indices
-            ]
-            perturbed_body = " ".join(survivors)
-            perturbed = instance.with_body(perturbed_body)
-            reranked = self._rerank_with(query, candidates, perturbed)
-            result.candidates_evaluated += 1
-            result.ranker_calls += len(candidates)
-            new_rank = reranked.rank_of(doc_id)
-            if new_rank is not None and is_non_relevant(new_rank, k):
-                result.explanations.append(
-                    SentenceRemovalExplanation(
-                        doc_id=doc_id,
-                        query=query,
-                        k=k,
-                        removed_sentences=tuple(
-                            sorted(subset, key=lambda s: s.index)
-                        ),
-                        importance=subset_score,
-                        original_rank=original_rank,
-                        new_rank=new_rank,
-                        perturbed_body=perturbed_body,
-                    )
-                )
-                if len(result.explanations) >= n:
+        try:
+            for subset, subset_score in ordered_subsets(
+                sentences, importance, max_size=max_size
+            ):
+                if result.candidates_evaluated >= self.max_evaluations:
+                    result.budget_exhausted = True
+                    if self.raise_on_budget:
+                        raise ExplanationBudgetExceeded(
+                            f"evaluated {result.candidates_evaluated} candidates "
+                            f"without finding {n} explanations",
+                            partial_results=result.explanations,
+                        )
                     return result
-        result.search_exhausted = True
-        return result
-
-    def _rerank_with(
-        self, query: str, candidates: list[Document], perturbed: Document
-    ) -> Ranking:
-        substituted = [
-            perturbed if document.doc_id == perturbed.doc_id else document
-            for document in candidates
-        ]
-        return self.ranker.rank_candidates(query, substituted)
+                removed_indices = {sentence.index for sentence in subset}
+                new_rank = session.rank_without_sentences(doc_id, removed_indices)
+                result.candidates_evaluated += 1
+                result.ranker_calls += len(candidates)
+                if new_rank is not None and is_non_relevant(new_rank, k):
+                    result.explanations.append(
+                        SentenceRemovalExplanation(
+                            doc_id=doc_id,
+                            query=query,
+                            k=k,
+                            removed_sentences=tuple(
+                                sorted(subset, key=lambda s: s.index)
+                            ),
+                            importance=subset_score,
+                            original_rank=original_rank,
+                            new_rank=new_rank,
+                            perturbed_body=session.body_without_sentences(
+                                doc_id, removed_indices
+                            ),
+                        )
+                    )
+                    if len(result.explanations) >= n:
+                        return result
+            result.search_exhausted = True
+            return result
+        finally:
+            result.physical_scorings = session.physical_scorings
 
     # -- verification (used by tests and the eval harness) --------------------
 
@@ -169,13 +158,8 @@ class CounterfactualDocumentExplainer:
     ) -> bool:
         """Independently check a removal set's counterfactual validity."""
         candidates = self._candidate_documents(query, k)
-        by_id = {document.doc_id: document for document in candidates}
-        if doc_id not in by_id:
+        session = self.ranker.scoring_session(query, candidates)
+        if doc_id not in session:
             raise ConfigurationError(f"{doc_id!r} is not in the candidate pool")
-        instance = by_id[doc_id]
-        sentences = split_sentences(instance.body)
-        survivors = [s.text for s in sentences if s.index not in removed_indices]
-        perturbed = instance.with_body(" ".join(survivors))
-        reranked = self._rerank_with(query, candidates, perturbed)
-        new_rank = reranked.rank_of(doc_id)
+        new_rank = session.rank_without_sentences(doc_id, removed_indices)
         return new_rank is not None and is_non_relevant(new_rank, k)

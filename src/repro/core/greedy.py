@@ -25,10 +25,8 @@ from repro.core.importance import sentence_importance_scores
 from repro.core.types import ExplanationSet, SentenceRemovalExplanation
 from repro.core.validity import is_non_relevant
 from repro.errors import RankingError
-from repro.index.document import Document
 from repro.ranking.base import Ranker
 from repro.ranking.rerank import candidate_pool
-from repro.text.sentences import Sentence, split_sentences
 from repro.utils.validation import require_positive
 
 
@@ -52,23 +50,23 @@ class GreedyDocumentExplainer:
         require_positive(n, "n")
         require_positive(k, "k")
         pool = candidate_pool(self.ranker, query, k)
-        by_id = {document.doc_id: document for document in pool}
-        if doc_id not in by_id:
+        session = self.ranker.scoring_session(query, pool)
+        if doc_id not in session:
             raise RankingError(
                 f"document {doc_id!r} is not in the top-{k} for {query!r}"
             )
-        instance = by_id[doc_id]
-        baseline = self.ranker.rank_candidates(query, pool)
+        baseline = session.baseline()
         original_rank = baseline.rank_of(doc_id)
         if original_rank is None or is_non_relevant(original_rank, k):
             raise RankingError(
                 f"document {doc_id!r} is already non-relevant for {query!r}"
             )
 
-        sentences = split_sentences(instance.body)
+        sentences = session.sentences(doc_id)
         result: ExplanationSet[SentenceRemovalExplanation] = ExplanationSet()
         if len(sentences) <= 1:
             result.search_exhausted = True
+            result.physical_scorings = session.physical_scorings
             return result
         importance = sentence_importance_scores(
             self.ranker.index.analyzer, query, sentences
@@ -78,21 +76,11 @@ class GreedyDocumentExplainer:
         )
 
         def rank_without(removed: set[int]) -> int | None:
-            survivors = [
-                sentence.text
-                for sentence in sentences
-                if sentence.index not in removed
-            ]
-            if not survivors:
-                return None
-            perturbed = instance.with_body(" ".join(survivors))
-            substituted = [
-                perturbed if document.doc_id == doc_id else document
-                for document in pool
-            ]
+            if len(removed) >= len(sentences):
+                return None  # no survivors would remain
             result.candidates_evaluated += 1
             result.ranker_calls += len(pool)
-            return self.ranker.rank_candidates(query, substituted).rank_of(doc_id)
+            return session.rank_without_sentences(doc_id, removed)
 
         # -- grow ------------------------------------------------------------
         removed: set[int] = set()
@@ -107,6 +95,7 @@ class GreedyDocumentExplainer:
                 break
         if final_rank is None:
             result.search_exhausted = True
+            result.physical_scorings = session.physical_scorings
             return result
 
         # -- prune -----------------------------------------------------------
@@ -131,13 +120,10 @@ class GreedyDocumentExplainer:
                 importance=sum(importance[s.index] for s in removed_sentences),
                 original_rank=original_rank,
                 new_rank=final_rank,
-                perturbed_body=" ".join(
-                    sentence.text
-                    for sentence in sentences
-                    if sentence.index not in removed
-                ),
+                perturbed_body=session.body_without_sentences(doc_id, removed),
             )
         )
+        result.physical_scorings = session.physical_scorings
         return result
 
     def verify_against_exhaustive(

@@ -20,19 +20,39 @@ from repro.embeddings.doc2vec import Doc2Vec
 from repro.embeddings.similarity import cosine_similarity
 from repro.embeddings.vectorizers import Bm25Vectorizer, _StatisticVectorizer
 from repro.errors import RankingError
-from repro.ranking.base import Ranker
+from repro.ranking.base import Ranker, Ranking
 from repro.core.types import ExplanationSet, InstanceExplanation
 from repro.utils.rng import default_rng
 from repro.utils.validation import require, require_positive
 
 
-def _non_relevant_ids(ranker: Ranker, query: str, k: int) -> tuple[int, list[str]]:
-    """(rank of instance pool, ids of documents ranked k+1 and below)."""
+_RetrievalCache = dict[tuple[str, int, int], tuple[Ranking, list[str]]]
+
+
+def _non_relevant_ids(
+    ranker: Ranker,
+    query: str,
+    k: int,
+    cache: _RetrievalCache | None = None,
+) -> tuple[Ranking, list[str]]:
+    """(rank of instance pool, ids of documents ranked k+1 and below).
+
+    When ``cache`` is provided the full-corpus retrieval is memoized per
+    (query, k, index version), so explaining several documents for the
+    same query pays for retrieval once.
+    """
+    key = (query, k, ranker.index.version)
+    if cache is not None and key in cache:
+        return cache[key]
     ranking = ranker.rank(query, min(k, len(ranker.index)))
     relevant = set(ranking.doc_ids)
     non_relevant = [
         doc_id for doc_id in ranker.index.doc_ids if doc_id not in relevant
     ]
+    if cache is not None:
+        if len(cache) >= 32:  # bound the memo
+            cache.clear()
+        cache[key] = (ranking, non_relevant)
     return ranking, non_relevant
 
 
@@ -42,13 +62,16 @@ class Doc2VecNearestExplainer:
 
     ranker: Ranker
     model: Doc2Vec
+    _retrieval_cache: _RetrievalCache = field(default_factory=dict, repr=False)
 
     def explain(
         self, query: str, doc_id: str, n: int = 1, k: int = 10
     ) -> ExplanationSet[InstanceExplanation]:
         """The ``n`` most Doc2Vec-similar documents ranked beyond ``k``."""
         require_positive(n, "n")
-        ranking, non_relevant = _non_relevant_ids(self.ranker, query, k)
+        ranking, non_relevant = _non_relevant_ids(
+            self.ranker, query, k, self._retrieval_cache
+        )
         if doc_id not in ranking:
             raise RankingError(
                 f"document {doc_id!r} is not in the top-{k} for {query!r}"
@@ -92,6 +115,7 @@ class CosineSampledExplainer:
     _vector_cache: dict[str, dict[str, float]] = field(
         default_factory=dict, repr=False
     )
+    _retrieval_cache: _RetrievalCache = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
         if self.vectorizer is None:
@@ -113,7 +137,9 @@ class CosineSampledExplainer:
             n <= samples,
             "n must not exceed the sample count (the paper assumes n ≪ s)",
         )
-        ranking, non_relevant = _non_relevant_ids(self.ranker, query, k)
+        ranking, non_relevant = _non_relevant_ids(
+            self.ranker, query, k, self._retrieval_cache
+        )
         if doc_id not in ranking:
             raise RankingError(
                 f"document {doc_id!r} is not in the top-{k} for {query!r}"

@@ -20,11 +20,11 @@ scoring run on analyzed terms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ExplanationBudgetExceeded, RankingError
 from repro.index.document import Document
-from repro.ranking.base import Ranker
+from repro.ranking.base import Ranker, Ranking
 from repro.core.importance import TfIdfTermImportance
 from repro.core.types import ExplanationSet, QueryAugmentationExplanation
 from repro.core.validity import meets_threshold
@@ -51,11 +51,40 @@ class CounterfactualQueryExplainer:
     max_candidate_terms: int = 30
     max_evaluations: int = 2000
     raise_on_budget: bool = False
+    _retrieval_cache: dict[tuple[str, int, int], tuple[Ranking, list[Document]]] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self):
         require_positive(self.max_terms, "max_terms")
         require_positive(self.max_candidate_terms, "max_candidate_terms")
         require_positive(self.max_evaluations, "max_evaluations")
+
+    # -- retrieval ------------------------------------------------------------
+
+    def _original_top_k(
+        self, query: str, k: int
+    ) -> tuple[Ranking, list[Document]]:
+        """The original query's top-k ranking and documents, memoized.
+
+        Verification loops call this once per (query, k) instead of
+        re-running full corpus retrieval for every augmentation checked;
+        the index's mutation version keys the cache so corpus changes
+        invalidate it.
+        """
+        key = (query, k, self.ranker.index.version)
+        cached = self._retrieval_cache.get(key)
+        if cached is None:
+            ranking = self.ranker.rank(query, min(k, len(self.ranker.index)))
+            documents = [
+                self.ranker.index.document(ranked_id)
+                for ranked_id in ranking.doc_ids
+            ]
+            cached = (ranking, documents)
+            if len(self._retrieval_cache) >= 32:  # bound the memo
+                self._retrieval_cache.clear()
+            self._retrieval_cache[key] = cached
+        return cached
 
     # -- candidate terms ------------------------------------------------------
 
@@ -107,15 +136,12 @@ class CounterfactualQueryExplainer:
         require_positive(threshold, "threshold")
         require(threshold <= k, "threshold must be within the top-k")
 
-        ranking = self.ranker.rank(query, min(k, len(self.ranker.index)))
+        ranking, ranked_documents = self._original_top_k(query, k)
         if doc_id not in ranking:
             raise RankingError(
                 f"document {doc_id!r} is not in the top-{k} for {query!r}"
             )
         original_rank = ranking.rank_of(doc_id)
-        ranked_documents = [
-            self.ranker.index.document(ranked_id) for ranked_id in ranking.doc_ids
-        ]
         instance = self.ranker.index.document(doc_id)
 
         candidates = self.candidate_terms(query, instance, ranked_documents)
@@ -139,11 +165,18 @@ class CounterfactualQueryExplainer:
                     )
                 return result
             augmented_query = " ".join([query, *subset])
-            reranked = self.ranker.rank_candidates(
+            # One scoring session per augmented query over the *fixed*
+            # original top-k: the query analysis and statistics snapshot
+            # are per-session, but pool-document analyses are reused
+            # across sessions (index term vectors / extractor memos), so
+            # no candidate re-tokenizes any document text.
+            session = self.ranker.scoring_session(
                 augmented_query, ranked_documents
             )
+            reranked = session.baseline()
             result.candidates_evaluated += 1
             result.ranker_calls += len(ranked_documents)
+            result.physical_scorings += session.physical_scorings
             new_rank = reranked.rank_of(doc_id)
             if new_rank is not None and meets_threshold(new_rank, threshold):
                 result.explanations.append(
@@ -167,11 +200,13 @@ class CounterfactualQueryExplainer:
     def rank_under_augmentation(
         self, query: str, doc_id: str, added_terms: tuple[str, ...], k: int = 10
     ) -> int | None:
-        """Rank of ``doc_id`` among the original top-k under an augmentation."""
-        ranking = self.ranker.rank(query, min(k, len(self.ranker.index)))
-        ranked_documents = [
-            self.ranker.index.document(ranked_id) for ranked_id in ranking.doc_ids
-        ]
+        """Rank of ``doc_id`` among the original top-k under an augmentation.
+
+        The original top-k retrieval is memoized per (query, k), so a
+        verification sweep over many augmentations pays for corpus
+        retrieval once instead of once per call.
+        """
+        _, ranked_documents = self._original_top_k(query, k)
         augmented_query = " ".join([query, *added_terms])
-        reranked = self.ranker.rank_candidates(augmented_query, ranked_documents)
-        return reranked.rank_of(doc_id)
+        session = self.ranker.scoring_session(augmented_query, ranked_documents)
+        return session.baseline().rank_of(doc_id)

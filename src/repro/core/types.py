@@ -128,14 +128,19 @@ E = TypeVar("E")
 class ExplanationSet(Generic[E]):
     """The result of one explanation request.
 
-    Carries cost accounting (how many candidate perturbations were
-    evaluated, how many ranker scorings that required) and whether the
-    search ran out of budget before finding ``n`` explanations.
+    Carries cost accounting and whether the search ran out of budget
+    before finding ``n`` explanations. ``ranker_calls`` counts *logical*
+    scorings — one per pool document per candidate perturbation, the
+    paper's ``R(q, d, D, M)`` cost metric — while ``physical_scorings``
+    counts texts actually pushed through the model; incremental scoring
+    sessions make the latter far smaller (one changed document per
+    candidate instead of the whole pool).
     """
 
     explanations: list[E] = field(default_factory=list)
     candidates_evaluated: int = 0
     ranker_calls: int = 0
+    physical_scorings: int = 0
     budget_exhausted: bool = False
     search_exhausted: bool = False
 
@@ -158,6 +163,7 @@ class ExplanationSet(Generic[E]):
             "explanations": [e.to_dict() for e in self.explanations],
             "candidates_evaluated": self.candidates_evaluated,
             "ranker_calls": self.ranker_calls,
+            "physical_scorings": self.physical_scorings,
             "budget_exhausted": self.budget_exhausted,
             "search_exhausted": self.search_exhausted,
         }

@@ -32,6 +32,8 @@ class InvertedIndex:
         self._doc_lengths: dict[str, int] = {}
         self._doc_term_freqs: dict[str, Counter[str]] = {}
         self._total_terms = 0
+        self._version = 0
+        self._stats_cache: CollectionStats | None = None
 
     # -- construction -------------------------------------------------------
 
@@ -57,6 +59,8 @@ class InvertedIndex:
         self._doc_lengths[document.doc_id] = len(terms)
         self._doc_term_freqs[document.doc_id] = Counter(terms)
         self._total_terms += len(terms)
+        self._version += 1
+        self._stats_cache = None
         for term, term_positions in positions.items():
             postings = self._postings.get(term)
             if postings is None:
@@ -71,6 +75,8 @@ class InvertedIndex:
         if document is None:
             raise DocumentNotFoundError(doc_id)
         self._total_terms -= self._doc_lengths.pop(doc_id)
+        self._version += 1
+        self._stats_cache = None
         term_freqs = self._doc_term_freqs.pop(doc_id)
         for term in term_freqs:
             postings = self._postings[term]
@@ -141,12 +147,35 @@ class InvertedIndex:
             raise DocumentNotFoundError(doc_id)
         return Counter(self._doc_term_freqs[doc_id])
 
+    def term_frequencies(self, doc_id: str) -> Counter[str]:
+        """The document's term-frequency vector *without copying*.
+
+        The returned mapping is the index's live internal state: callers
+        must treat it as read-only. Scoring sessions use it to score
+        indexed documents without re-analyzing their bodies.
+        """
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(doc_id)
+        return self._doc_term_freqs[doc_id]
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped on every add/remove.
+
+        Components that memoize per-collection state (field statistics,
+        term statistics, prepared queries) key their caches on this value
+        so a corpus mutation invalidates them automatically.
+        """
+        return self._version
+
     def stats(self) -> CollectionStats:
-        return CollectionStats(
-            document_count=len(self._documents),
-            total_terms=self._total_terms,
-            unique_terms=len(self._postings),
-        )
+        if self._stats_cache is None:
+            self._stats_cache = CollectionStats(
+                document_count=len(self._documents),
+                total_terms=self._total_terms,
+                unique_terms=len(self._postings),
+            )
+        return self._stats_cache
 
     @property
     def average_document_length(self) -> float:

@@ -27,6 +27,7 @@ from repro.ltr.features import MUTABLE_FEATURES, LetorVector
 from repro.ltr.ranker import LtrRanker
 from repro.ranking.base import Ranking
 from repro.ranking.rerank import candidate_pool
+from repro.ranking.session import IncrementalScoringSession
 from repro.core.types import ExplanationSet
 from repro.core.validity import is_non_relevant
 from repro.utils.iteration import ordered_subsets
@@ -133,7 +134,14 @@ class FeatureCounterfactualExplainer:
         pool: list,
         doc_id: str,
         vector: LetorVector,
+        session: IncrementalScoringSession | None = None,
     ) -> Ranking:
+        if session is not None:
+            # Fixed pool scores are precomputed by the session; only the
+            # instance document's vector is re-scored per candidate.
+            return session.ranking_with_score(
+                doc_id, self.ranker.score_vector(vector)
+            )
         scored = []
         for document in pool:
             if document.doc_id == doc_id:
@@ -158,7 +166,15 @@ class FeatureCounterfactualExplainer:
             raise RankingError(f"document {doc_id!r} is not in the top-{k} pool")
         instance = by_id[doc_id]
         baseline_vector = self.ranker.features.extract(query, instance)
-        baseline = self._rank_with_vector(query, pool, doc_id, baseline_vector)
+        maybe_session = self.ranker.scoring_session(query, pool)
+        session = (
+            maybe_session
+            if isinstance(maybe_session, IncrementalScoringSession)
+            else None
+        )
+        baseline = self._rank_with_vector(
+            query, pool, doc_id, baseline_vector, session
+        )
         original_rank = baseline.rank_of(doc_id)
         if original_rank is None or is_non_relevant(original_rank, k):
             raise RankingError(
@@ -167,45 +183,59 @@ class FeatureCounterfactualExplainer:
 
         candidates = self._candidate_changes(baseline_vector)
         result: ExplanationSet[FeatureCounterfactual] = ExplanationSet()
-        if not candidates:
+        try:
+            if not candidates:
+                result.search_exhausted = True
+                return result
+            items = [change for change, _ in candidates]
+            scores = [priority for _, priority in candidates]
+            max_size = min(
+                self.max_changes or len(self.mutable_features),
+                len(self.mutable_features),
+            )
+
+            for subset, _ in ordered_subsets(items, scores, max_size=max_size):
+                touched = [change.feature for change in subset]
+                if len(set(touched)) != len(touched):
+                    continue  # two values for the same feature — not a valid edit
+                if result.candidates_evaluated >= self.max_evaluations:
+                    result.budget_exhausted = True
+                    return result
+                perturbed = baseline_vector.replace(
+                    {change.feature: change.new for change in subset}
+                )
+                ranking = self._rank_with_vector(
+                    query, pool, doc_id, perturbed, session
+                )
+                result.candidates_evaluated += 1
+                result.ranker_calls += len(pool)
+                new_rank = ranking.rank_of(doc_id)
+                if new_rank is not None and is_non_relevant(new_rank, k):
+                    result.explanations.append(
+                        FeatureCounterfactual(
+                            doc_id=doc_id,
+                            query=query,
+                            k=k,
+                            changes=tuple(sorted(subset, key=lambda c: c.feature)),
+                            original_rank=original_rank,
+                            new_rank=new_rank,
+                        )
+                    )
+                    if len(result.explanations) >= n:
+                        return result
             result.search_exhausted = True
             return result
-        items = [change for change, _ in candidates]
-        scores = [priority for _, priority in candidates]
-        max_size = min(
-            self.max_changes or len(self.mutable_features),
-            len(self.mutable_features),
-        )
-
-        for subset, _ in ordered_subsets(items, scores, max_size=max_size):
-            touched = [change.feature for change in subset]
-            if len(set(touched)) != len(touched):
-                continue  # two values for the same feature — not a valid edit
-            if result.candidates_evaluated >= self.max_evaluations:
-                result.budget_exhausted = True
-                return result
-            perturbed = baseline_vector.replace(
-                {change.feature: change.new for change in subset}
-            )
-            ranking = self._rank_with_vector(query, pool, doc_id, perturbed)
-            result.candidates_evaluated += 1
-            result.ranker_calls += len(pool)
-            new_rank = ranking.rank_of(doc_id)
-            if new_rank is not None and is_non_relevant(new_rank, k):
-                result.explanations.append(
-                    FeatureCounterfactual(
-                        doc_id=doc_id,
-                        query=query,
-                        k=k,
-                        changes=tuple(sorted(subset, key=lambda c: c.feature)),
-                        original_rank=original_rank,
-                        new_rank=new_rank,
-                    )
+        finally:
+            # Baseline plus one vector scoring per candidate; an
+            # incremental session scores the fixed pool once, the naive
+            # path re-scores it every evaluation.
+            vector_scorings = 1 + result.candidates_evaluated
+            if session is not None:
+                result.physical_scorings = (
+                    session.physical_scorings + vector_scorings
                 )
-                if len(result.explanations) >= n:
-                    return result
-        result.search_exhausted = True
-        return result
+            else:
+                result.physical_scorings = vector_scorings * len(pool)
 
     def is_valid(
         self, query: str, doc_id: str, changes: tuple[FeatureChange, ...], k: int = 10

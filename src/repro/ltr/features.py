@@ -63,6 +63,18 @@ class LetorVector:
         return LetorVector(tuple(updated[name] for name in LETOR_FEATURE_NAMES))
 
 
+@dataclass(frozen=True)
+class LetorPreparedQuery:
+    """One query's analysis plus the statistics LETOR extraction needs."""
+
+    query: str
+    terms: tuple[str, ...]
+    distinct: frozenset[str]
+    term_stats: Mapping[str, TermStats]
+    idf: Mapping[str, float]
+    field_stats: FieldStats
+
+
 class LetorFeatureExtractor:
     """Extracts :data:`LETOR_FEATURE_NAMES` for (query, document) pairs."""
 
@@ -70,6 +82,7 @@ class LetorFeatureExtractor:
         self.index = index
         self._bm25 = Bm25Similarity()
         self._lm = DirichletSimilarity()
+        self._prepared: tuple[int, str, LetorPreparedQuery] | None = None
 
     @property
     def dimension(self) -> int:
@@ -83,7 +96,7 @@ class LetorFeatureExtractor:
             total_terms=stats.total_terms,
         )
 
-    def _priors(self, document: Document) -> tuple[float, float, float]:
+    def priors(self, document: Document) -> tuple[float, float, float]:
         metadata = document.metadata
         return (
             float(metadata.get("popularity", 0.5)),
@@ -91,9 +104,49 @@ class LetorFeatureExtractor:
             float(metadata.get("authority", 0.5)),
         )
 
+    # Backwards-compatible private alias (pre-session callers).
+    _priors = priors
+
+    def prepare(self, query: str) -> LetorPreparedQuery:
+        """Analyze ``query`` once and snapshot its collection statistics.
+
+        Memoized per (query, index version) so scoring sessions and
+        repeated extractions share one analysis.
+        """
+        version = self.index.version
+        if self._prepared is not None:
+            cached_version, cached_query, prepared = self._prepared
+            if cached_version == version and cached_query == query:
+                return prepared
+        terms = tuple(self.index.analyzer.analyze(query))
+        field_stats = self._field_stats()
+        term_stats: dict[str, TermStats] = {}
+        idf: dict[str, float] = {}
+        for term in terms:
+            if term in term_stats:
+                continue
+            df = self.index.document_frequency(term)
+            term_stats[term] = TermStats(
+                document_frequency=df,
+                collection_frequency=self.index.collection_frequency(term),
+            )
+            idf[term] = math.log(
+                (field_stats.document_count + 1.0) / (df + 1.0)
+            ) + 1.0
+        prepared = LetorPreparedQuery(
+            query=query,
+            terms=terms,
+            distinct=frozenset(terms),
+            term_stats=term_stats,
+            idf=idf,
+            field_stats=field_stats,
+        )
+        self._prepared = (version, query, prepared)
+        return prepared
+
     def extract(self, query: str, document: Document) -> LetorVector:
         """Feature vector for a corpus document (priors from metadata)."""
-        return self._extract(query, document.body, self._priors(document))
+        return self._extract(query, document.body, self.priors(document))
 
     def extract_text(
         self, query: str, body: str, priors: tuple[float, float, float] = (0.5, 0.5, 0.5)
@@ -104,12 +157,24 @@ class LetorFeatureExtractor:
     def _extract(
         self, query: str, body: str, priors: tuple[float, float, float]
     ) -> LetorVector:
-        analyzer = self.index.analyzer
-        query_terms = analyzer.analyze(query)
-        doc_terms = analyzer.analyze(body)
-        counts = Counter(doc_terms)
-        doc_length = len(doc_terms)
-        field_stats = self._field_stats()
+        doc_terms = self.index.analyzer.analyze(body)
+        return self.extract_counts(
+            self.prepare(query), Counter(doc_terms), len(doc_terms), priors
+        )
+
+    def extract_counts(
+        self,
+        prepared: LetorPreparedQuery,
+        counts: Mapping[str, int],
+        doc_length: int,
+        priors: tuple[float, float, float],
+    ) -> LetorVector:
+        """The extraction kernel over an already-analyzed document.
+
+        Shared by the one-shot path and the LTR scoring session, so both
+        produce bit-identical vectors.
+        """
+        field_stats = prepared.field_stats
 
         sum_tf = 0.0
         sum_normalized_tf = 0.0
@@ -118,17 +183,10 @@ class LetorFeatureExtractor:
         bm25 = 0.0
         lm = 0.0
         covered = 0
-        distinct_query_terms = set(query_terms)
-        for term in query_terms:
+        for term in prepared.terms:
             term_frequency = counts.get(term, 0)
-            df = self.index.document_frequency(term)
-            term_stats = TermStats(
-                document_frequency=df,
-                collection_frequency=self.index.collection_frequency(term),
-            )
-            idf = math.log(
-                (field_stats.document_count + 1.0) / (df + 1.0)
-            ) + 1.0
+            term_stats = prepared.term_stats[term]
+            idf = prepared.idf[term]
             sum_tf += term_frequency
             if doc_length:
                 sum_normalized_tf += term_frequency / doc_length
@@ -136,8 +194,8 @@ class LetorFeatureExtractor:
             sum_tfidf += term_frequency * idf
             bm25 += self._bm25.score(term_frequency, doc_length, term_stats, field_stats)
             lm += self._lm.score(term_frequency, doc_length, term_stats, field_stats)
-        if distinct_query_terms:
-            covered = sum(1 for term in distinct_query_terms if counts.get(term))
+        if prepared.distinct:
+            covered = sum(1 for term in prepared.distinct if counts.get(term))
 
         values = (
             sum_tf,
@@ -146,7 +204,7 @@ class LetorFeatureExtractor:
             sum_tfidf,
             bm25,
             lm,
-            covered / len(distinct_query_terms) if distinct_query_terms else 0.0,
+            covered / len(prepared.distinct) if prepared.distinct else 0.0,
             math.log1p(doc_length),
             *priors,
         )

@@ -8,7 +8,8 @@ additionally the feature-space explainer
 
 from __future__ import annotations
 
-from typing import Protocol
+from collections import Counter
+from typing import Collection, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -16,6 +17,7 @@ from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
 from repro.ltr.features import LetorFeatureExtractor, LetorVector
 from repro.ranking.base import Ranker, Ranking
+from repro.ranking.session import IncrementalScoringSession
 from repro.utils.validation import require_positive
 
 
@@ -67,3 +69,58 @@ class LtrRanker(Ranker):
             for document in candidates
         ]
         return Ranking.from_scores(scored)
+
+    def scoring_session(
+        self, query: str, pool: Sequence[Document]
+    ) -> "LtrScoringSession":
+        return LtrScoringSession(self, query, pool)
+
+
+class LtrScoringSession(IncrementalScoringSession):
+    """Incremental pool re-ranking for feature-based rankers.
+
+    Mirrors :meth:`LtrRanker.rank_candidates`: pool documents are scored
+    with their metadata priors, and a substituted body keeps the pool
+    document's priors (exactly what ``Document.with_body`` preserves).
+    Indexed documents are featurized from the index's stored term
+    vectors; sentence-removal candidates reuse per-sentence term
+    counters, so no perturbation re-tokenizes unchanged text.
+    """
+
+    def __init__(self, ranker: LtrRanker, query: str, pool: Sequence[Document]):
+        super().__init__(ranker, query, pool)
+        self.ranker: LtrRanker
+        self._prepared = ranker.features.prepare(query)
+
+    def _score_counts(
+        self,
+        counts: Mapping[str, int],
+        doc_length: int,
+        priors: tuple[float, float, float],
+    ) -> float:
+        vector = self.ranker.features.extract_counts(
+            self._prepared, counts, doc_length, priors
+        )
+        return self.ranker.model.score(vector.as_array())
+
+    def _score_document(self, document: Document) -> float:
+        counts, length = self._indexed_doc_counts(document)
+        return self._score_counts(
+            counts, length, self.ranker.features.priors(document)
+        )
+
+    def _score_substituted(self, doc_id: str, body: str) -> float:
+        terms = self.ranker.index.analyzer.analyze(body)
+        return self._score_counts(
+            Counter(terms),
+            len(terms),
+            self.ranker.features.priors(self.document(doc_id)),
+        )
+
+    def _score_without_sentences(
+        self, doc_id: str, removed: Collection[int]
+    ) -> float:
+        counts, length = self._counts_without_sentences(doc_id, removed)
+        return self._score_counts(
+            counts, length, self.ranker.features.priors(self.document(doc_id))
+        )

@@ -16,9 +16,17 @@ from repro.ranking.lm import DirichletLmRanker
 from repro.ranking.neural import NeuralReranker, train_neural_ranker
 from repro.ranking.pipeline import RetrieveRerankPipeline
 from repro.ranking.rerank import rank_with_substitution
+from repro.ranking.session import (
+    IncrementalScoringSession,
+    NaiveScoringSession,
+    ScoringSession,
+)
 from repro.ranking.tfidf import TfIdfRanker
 
 __all__ = [
+    "IncrementalScoringSession",
+    "NaiveScoringSession",
+    "ScoringSession",
     "RankedDocument",
     "Ranker",
     "Ranking",

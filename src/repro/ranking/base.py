@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.errors import RankingError
 from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
 from repro.utils.validation import require_positive
+
+if TYPE_CHECKING:  # session imports base; keep the cycle type-only
+    from repro.ranking.session import ScoringSession
 
 
 @dataclass(frozen=True)
@@ -155,6 +158,25 @@ class Ranker(ABC):
         ]
         return Ranking.from_scores(scored)
 
+    def scoring_session(
+        self, query: str, pool: Sequence[Document]
+    ) -> "ScoringSession":
+        """Open an incremental re-ranking session over a fixed pool.
+
+        The counterfactual explainers drive their inner loops through
+        the returned :class:`~repro.ranking.session.ScoringSession` so
+        that each candidate perturbation re-scores only the changed
+        document. This default returns the generic
+        :class:`~repro.ranking.session.NaiveScoringSession`, which
+        preserves the exact pre-session behavior (a full
+        :meth:`rank_candidates` pass per candidate) for any third-party
+        ranker; the built-in rankers override it with O(1-changed-doc)
+        implementations.
+        """
+        from repro.ranking.session import NaiveScoringSession
+
+        return NaiveScoringSession(self, query, pool)
+
 
 @dataclass
 class RankingFunction:
@@ -162,11 +184,15 @@ class RankingFunction:
 
     Wraps a ranker and counts how many query–document scorings the
     counterfactual search performs — the cost metric reported by the
-    efficiency benchmarks.
+    efficiency benchmarks. ``calls`` counts *logical* scorings (one per
+    candidate document per evaluation, the paper's metric);
+    ``physical_scorings`` counts texts actually pushed through the
+    model, which scoring sessions make much smaller.
     """
 
     ranker: Ranker
     calls: int = 0
+    physical_scorings: int = 0
     _last_ranking: Ranking | None = field(default=None, repr=False)
 
     def rank_within(
@@ -174,6 +200,7 @@ class RankingFunction:
     ) -> int:
         """Rank of ``doc_id`` when ``candidates`` are ranked for ``query``."""
         self.calls += len(candidates)
+        self.physical_scorings += len(candidates)
         ranking = self.ranker.rank_candidates(query, candidates)
         self._last_ranking = ranking
         rank = ranking.rank_of(doc_id)
@@ -188,4 +215,5 @@ class RankingFunction:
 
     def reset(self) -> None:
         self.calls = 0
+        self.physical_scorings = 0
         self._last_ranking = None

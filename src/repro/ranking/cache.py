@@ -11,8 +11,11 @@ when the ranker is a neural model).
 from __future__ import annotations
 
 import hashlib
+from typing import Sequence
 
+from repro.index.document import Document
 from repro.ranking.base import Ranker, Ranking
+from repro.ranking.session import NaiveScoringSession, ScoringSession
 from repro.utils.validation import require_positive
 
 
@@ -44,6 +47,11 @@ class CountingRanker(Ranker):
     def score_text(self, query: str, body: str) -> float:
         self.score_calls += 1
         return self.inner.score_text(query, body)
+
+    # scoring_session deliberately stays the base-class naive fallback:
+    # CountingRanker exists to measure true black-box invocations, so it
+    # opts out of incremental reuse and counts one score_text per pool
+    # document per candidate, exactly as before sessions existed.
 
 
 class ScoreCache(Ranker):
@@ -83,6 +91,23 @@ class ScoreCache(Ranker):
                 del self._cache[stale]
         self._cache[key] = score
         return score
+
+    def scoring_session(
+        self, query: str, pool: Sequence[Document]
+    ) -> ScoringSession:
+        """Delegate to the wrapped ranker's incremental session.
+
+        An incremental session precomputes exactly the scores the cache
+        would have memoised, so layering the cache inside it would only
+        add hashing overhead. If the inner ranker has no incremental
+        session (a third-party black box on the naive fallback), keep
+        the naive session pointed at *this* ranker so every repeated
+        pool scoring still goes through the cache.
+        """
+        session = self.inner.scoring_session(query, pool)
+        if type(session) is NaiveScoringSession:
+            return NaiveScoringSession(self, query, pool)
+        return session
 
     @property
     def hit_rate(self) -> float:

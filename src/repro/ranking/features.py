@@ -6,6 +6,18 @@ feature vector — a mixture of lexical-match evidence (BM25, TF-IDF, LM),
 coverage statistics, and an optional semantic-similarity channel supplied
 by an embedding model. The explainers never see these features; they
 treat the ranker as a black box.
+
+Extraction is factored into two reusable halves so the counterfactual
+scoring sessions can amortize repeated work:
+
+* :meth:`FeatureExtractor.prepare` analyzes the query once and snapshots
+  field/term statistics (memoized per query and index version);
+* :class:`AnalyzedDocument` captures everything extraction needs about a
+  document's text (term list, counts, length, bigram set), memoized per
+  corpus document via :meth:`FeatureExtractor.document_data`.
+
+``extract(query, body)`` simply composes the two, so the one-shot path
+and the session path run the identical scoring kernel.
 """
 
 from __future__ import annotations
@@ -13,10 +25,11 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
 from repro.index.similarity import (
     Bm25Similarity,
@@ -58,6 +71,45 @@ class QueryDocumentFeatures:
         return dict(zip(FEATURE_NAMES, self.values))
 
 
+@dataclass(frozen=True)
+class PreparedQuery:
+    """One query's analysis plus the collection statistics it needs.
+
+    Snapshot semantics: term/field statistics are captured at
+    preparation time, so every document scored against the same prepared
+    query sees identical statistics (the unperturbed corpus, as the
+    counterfactual search requires).
+    """
+
+    query: str
+    terms: tuple[str, ...]
+    distinct: frozenset[str]
+    bigrams: frozenset[tuple[str, ...]]
+    term_stats: Mapping[str, TermStats]
+    idf: Mapping[str, float]
+    field_stats: FieldStats
+
+
+@dataclass(frozen=True)
+class AnalyzedDocument:
+    """A document body's analysis, sufficient for feature extraction."""
+
+    terms: tuple[str, ...]
+    counts: Mapping[str, int]
+    length: int
+    bigrams: frozenset[tuple[str, ...]]
+
+    @classmethod
+    def from_terms(cls, terms: Sequence[str]) -> "AnalyzedDocument":
+        terms = tuple(terms)
+        return cls(
+            terms=terms,
+            counts=Counter(terms),
+            length=len(terms),
+            bigrams=frozenset(ngrams(list(terms), 2)) if len(terms) > 1 else frozenset(),
+        )
+
+
 class FeatureExtractor:
     """Extracts :data:`FEATURE_NAMES` for (query, document-text) pairs."""
 
@@ -71,6 +123,11 @@ class FeatureExtractor:
         self._bm25 = Bm25Similarity()
         self._tfidf = TfIdfSimilarity()
         self._lm = DirichletSimilarity()
+        # Single-slot prepared-query memo + per-doc analysis memo, both
+        # invalidated by the index's mutation version.
+        self._prepared: tuple[int, str, PreparedQuery] | None = None
+        self._doc_data: dict[str, tuple[str, AnalyzedDocument]] = {}
+        self._doc_data_version = -1
 
     @property
     def dimension(self) -> int:
@@ -84,24 +141,81 @@ class FeatureExtractor:
             total_terms=stats.total_terms,
         )
 
-    def extract(self, query: str, body: str) -> QueryDocumentFeatures:
-        analyzer = self.index.analyzer
-        query_terms = analyzer.analyze(query)
-        doc_term_list = analyzer.analyze(body)
-        doc_terms = Counter(doc_term_list)
-        doc_length = len(doc_term_list)
+    # -- prepared inputs -----------------------------------------------------
+
+    def prepare(self, query: str) -> PreparedQuery:
+        """Analyze ``query`` and snapshot its collection statistics."""
+        version = self.index.version
+        if self._prepared is not None:
+            cached_version, cached_query, prepared = self._prepared
+            if cached_version == version and cached_query == query:
+                return prepared
+        terms = tuple(self.index.analyzer.analyze(query))
         field_stats = self._field_stats()
+        term_stats: dict[str, TermStats] = {}
+        idf: dict[str, float] = {}
+        for term in terms:
+            if term in term_stats:
+                continue
+            stats = TermStats(
+                document_frequency=self.index.document_frequency(term),
+                collection_frequency=self.index.collection_frequency(term),
+            )
+            term_stats[term] = stats
+            idf[term] = self._bm25.idf(
+                stats.document_frequency, field_stats.document_count
+            )
+        prepared = PreparedQuery(
+            query=query,
+            terms=terms,
+            distinct=frozenset(terms),
+            bigrams=(
+                frozenset(ngrams(list(terms), 2)) if len(terms) > 1 else frozenset()
+            ),
+            term_stats=term_stats,
+            idf=idf,
+            field_stats=field_stats,
+        )
+        self._prepared = (version, query, prepared)
+        return prepared
+
+    def analyze_document(self, body: str) -> AnalyzedDocument:
+        """Analyze arbitrary document text (no memoization)."""
+        return AnalyzedDocument.from_terms(self.index.analyzer.analyze(body))
+
+    def document_data(self, document: Document) -> AnalyzedDocument:
+        """Memoized analysis of a corpus document (keyed by id + body)."""
+        if self._doc_data_version != self.index.version:
+            self._doc_data = {}
+            self._doc_data_version = self.index.version
+        cached = self._doc_data.get(document.doc_id)
+        if cached is not None and cached[0] == document.body:
+            return cached[1]
+        data = self.analyze_document(document.body)
+        self._doc_data[document.doc_id] = (document.body, data)
+        return data
+
+    # -- extraction ----------------------------------------------------------
+
+    def extract_prepared(
+        self, prepared: PreparedQuery, doc: AnalyzedDocument, body: str
+    ) -> QueryDocumentFeatures:
+        """The extraction kernel over prepared inputs.
+
+        ``body`` is only consulted by the optional semantic channel; the
+        lexical features come entirely from the analyzed views.
+        """
+        doc_terms = doc.counts
+        doc_length = doc.length
+        field_stats = prepared.field_stats
 
         bm25 = tfidf = lm = 0.0
         matched: set[str] = set()
         matched_tf = 0
         idfs: list[float] = []
-        for term in query_terms:
+        for term in prepared.terms:
             term_frequency = doc_terms.get(term, 0)
-            term_stats = TermStats(
-                document_frequency=self.index.document_frequency(term),
-                collection_frequency=self.index.collection_frequency(term),
-            )
+            term_stats = prepared.term_stats[term]
             bm25 += self._bm25.score(
                 term_frequency, doc_length, term_stats, field_stats
             )
@@ -112,22 +226,16 @@ class FeatureExtractor:
             if term_frequency > 0:
                 matched.add(term)
                 matched_tf += term_frequency
-                idfs.append(
-                    self._bm25.idf(
-                        term_stats.document_frequency, field_stats.document_count
-                    )
-                )
+                idfs.append(prepared.idf[term])
 
-        distinct_query_terms = set(query_terms)
-        coverage = len(matched) / len(distinct_query_terms) if distinct_query_terms else 0.0
+        coverage = len(matched) / len(prepared.distinct) if prepared.distinct else 0.0
         density = matched_tf / doc_length if doc_length else 0.0
-
-        query_bigrams = set(ngrams(query_terms, 2)) if len(query_terms) > 1 else set()
-        doc_bigrams = set(ngrams(doc_term_list, 2)) if len(doc_term_list) > 1 else set()
-        bigram_matches = float(len(query_bigrams & doc_bigrams))
+        bigram_matches = float(len(prepared.bigrams & doc.bigrams))
 
         semantic = (
-            self.semantic_scorer(query, body) if self.semantic_scorer else 0.0
+            self.semantic_scorer(prepared.query, body)
+            if self.semantic_scorer
+            else 0.0
         )
 
         values = (
@@ -144,6 +252,11 @@ class FeatureExtractor:
             semantic,
         )
         return QueryDocumentFeatures(values)
+
+    def extract(self, query: str, body: str) -> QueryDocumentFeatures:
+        return self.extract_prepared(
+            self.prepare(query), self.analyze_document(body), body
+        )
 
     def extract_array(self, query: str, body: str) -> np.ndarray:
         return self.extract(query, body).as_array()

@@ -20,14 +20,21 @@ identical code paths and produces the same *kinds* of explanations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Collection, Sequence
 
 import numpy as np
 
 from repro.errors import TrainingError
+from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
 from repro.ranking.base import Ranker, Ranking
 from repro.ranking.bm25 import Bm25Ranker
-from repro.ranking.features import FeatureExtractor, SemanticScorer
+from repro.ranking.features import (
+    AnalyzedDocument,
+    FeatureExtractor,
+    SemanticScorer,
+)
+from repro.ranking.session import IncrementalScoringSession
 from repro.utils.rng import default_rng
 from repro.utils.validation import require, require_positive
 
@@ -107,10 +114,13 @@ class NeuralReranker(Ranker):
     def _standardize(self, raw: np.ndarray) -> np.ndarray:
         return (raw - self.weights.feature_mean) / self.weights.feature_scale
 
-    def score_text(self, query: str, body: str) -> float:
-        raw = self.features.extract_array(query, body)
-        score, _ = _forward(self.weights, self._standardize(raw))
+    def score_features(self, features) -> float:
+        """Score one extracted :class:`QueryDocumentFeatures`."""
+        score, _ = _forward(self.weights, self._standardize(features.as_array()))
         return score
+
+    def score_text(self, query: str, body: str) -> float:
+        return self.score_features(self.features.extract(query, body))
 
     def rank(self, query: str, k: int) -> Ranking:
         require_positive(k, "k")
@@ -119,6 +129,73 @@ class NeuralReranker(Ranker):
             for document in self.index
         ]
         return Ranking.from_scores(scored).top(min(k, len(scored)))
+
+    def scoring_session(
+        self, query: str, pool: Sequence[Document]
+    ) -> "NeuralScoringSession":
+        return NeuralScoringSession(self, query, pool)
+
+
+class NeuralScoringSession(IncrementalScoringSession):
+    """Incremental pool re-ranking for the neural cross-scorer.
+
+    The query is prepared once (analysis + statistics snapshot), fixed
+    pool documents are featurized from memoized analyses, and a
+    sentence-removal candidate rebuilds the perturbed document's feature
+    inputs from precomputed per-sentence term lists — no tokenization or
+    stemming on the hot path.
+    """
+
+    def __init__(self, ranker: NeuralReranker, query: str, pool: Sequence[Document]):
+        super().__init__(ranker, query, pool)
+        self.ranker: NeuralReranker
+        self._prepared = ranker.features.prepare(query)
+        self._sentence_terms: dict[str, list[tuple[str, ...]]] = {}
+
+    def _score_analyzed(self, doc: AnalyzedDocument, body: str) -> float:
+        features = self.ranker.features.extract_prepared(
+            self._prepared, doc, body
+        )
+        return self.ranker.score_features(features)
+
+    def _score_document(self, document: Document) -> float:
+        return self._score_analyzed(
+            self.ranker.features.document_data(document), document.body
+        )
+
+    def _score_substituted(self, doc_id: str, body: str) -> float:
+        return self._score_analyzed(
+            self.ranker.features.analyze_document(body), body
+        )
+
+    def _sentence_term_lists(self, doc_id: str) -> list[tuple[str, ...]]:
+        cached = self._sentence_terms.get(doc_id)
+        if cached is None:
+            analyzer = self.ranker.index.analyzer
+            cached = [
+                tuple(analyzer.analyze(sentence.text))
+                for sentence in self.sentences(doc_id)
+            ]
+            self._sentence_terms[doc_id] = cached
+        return cached
+
+    def _score_without_sentences(
+        self, doc_id: str, removed: Collection[int]
+    ) -> float:
+        term_lists = self._sentence_term_lists(doc_id)
+        survivors: list[str] = []
+        for index, terms in enumerate(term_lists):
+            if index not in removed:
+                survivors.extend(terms)
+        doc = AnalyzedDocument.from_terms(survivors)
+        # The raw surviving text is only needed by the optional semantic
+        # channel; skip the join when that channel is off.
+        body = (
+            self.body_without_sentences(doc_id, removed)
+            if self.ranker.features.semantic_scorer
+            else ""
+        )
+        return self._score_analyzed(doc, body)
 
 
 def train_neural_ranker(

@@ -7,8 +7,12 @@ same two-stage shape is :class:`RetrieveRerankPipeline`, itself a
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.errors import ConfigurationError
+from repro.index.document import Document
 from repro.ranking.base import Ranker, Ranking
+from repro.ranking.session import ScoringSession
 from repro.utils.validation import require_positive
 
 
@@ -47,3 +51,16 @@ class RetrieveRerankPipeline(Ranker):
 
     def score_text(self, query: str, body: str) -> float:
         return self.reranker.score_text(query, body)
+
+    def rank_candidates(self, query: str, candidates: Sequence[Document]) -> Ranking:
+        # Delegate to the reranker's own candidate ranking (as rank()
+        # already does), so explicit-candidate scoring uses the same
+        # conventions as retrieval-time reranking.
+        return self.reranker.rank_candidates(query, candidates)
+
+    def scoring_session(
+        self, query: str, pool: Sequence[Document]
+    ) -> ScoringSession:
+        """Delegate to the final stage: perturbation checks see the
+        reranker's behaviour, exactly like :meth:`score_text`."""
+        return self.reranker.scoring_session(query, pool)

@@ -14,6 +14,7 @@ from typing import Sequence
 from repro.errors import RankingError
 from repro.index.document import Document
 from repro.ranking.base import Ranker, Ranking
+from repro.ranking.session import ScoringSession
 
 
 @dataclass(frozen=True)
@@ -66,25 +67,48 @@ def rank_with_substitution(
     query: str,
     candidates: Sequence[Document],
     replacement: Document,
+    session: ScoringSession | None = None,
 ) -> Ranking:
     """Re-rank ``candidates`` with ``replacement`` swapped in by doc id.
+
+    Driven by a :class:`~repro.ranking.session.ScoringSession`, so only
+    the replacement document is re-scored. Callers that already hold a
+    session for (query, candidates) — e.g. the Builder, which ranks the
+    baseline first — pass it in to reuse the precomputed pool scores.
+
+    Sessions substitute *text*, preserving the pool document's title and
+    metadata (the ``Document.with_body`` contract every explainer uses).
+    A replacement that changes more than its body — e.g. different
+    metadata priors for a feature-based ranker — falls back to a full
+    naive re-rank so its non-textual fields are honoured exactly as
+    before.
 
     Raises :class:`RankingError` if the replacement's id is not among the
     candidates (a substitution must replace something).
     """
-    substituted = []
-    found = False
-    for document in candidates:
-        if document.doc_id == replacement.doc_id:
-            substituted.append(replacement)
-            found = True
-        else:
-            substituted.append(document)
-    if not found:
+    original = next(
+        (
+            document
+            for document in candidates
+            if document.doc_id == replacement.doc_id
+        ),
+        None,
+    )
+    if original is None:
         raise RankingError(
             f"replacement {replacement.doc_id!r} does not match any candidate"
         )
-    return ranker.rank_candidates(query, substituted)
+    if replacement != original.with_body(replacement.body):
+        # The replacement carries its own title/metadata: re-rank the
+        # explicitly substituted pool so those fields are scored.
+        substituted = [
+            replacement if document.doc_id == replacement.doc_id else document
+            for document in candidates
+        ]
+        return ranker.rank_candidates(query, substituted)
+    if session is None:
+        session = ranker.scoring_session(query, candidates)
+    return session.ranking_with_substitution(replacement.doc_id, replacement.body)
 
 
 def movements(before: Ranking, after: Ranking) -> list[RankMovement]:

@@ -1,0 +1,349 @@
+"""Incremental re-ranking sessions over a fixed candidate pool.
+
+The counterfactual search is a loop of substituted-document re-rankings:
+"the edited document is substituted for the original, then re-ranked
+alongside the other top k+1 documents". Only one document changes per
+candidate, yet the naive path re-analyzes and re-scores the entire pool
+from raw text every time. A :class:`ScoringSession` is the fix: a
+per-(query, pool) object obtained from :meth:`Ranker.scoring_session`
+that
+
+* analyzes the query and snapshots collection statistics once,
+* scores every unperturbed pool document once,
+* re-scores **only** the perturbed document per candidate and finds its
+  rank by bisecting into the presorted fixed-pool scores, and
+* for sentence-removal perturbations, derives the perturbed document's
+  term statistics from precomputed per-sentence analyses instead of
+  re-tokenizing the surviving text.
+
+Two accounting notions are kept distinct: *logical* scorings (what the
+paper's cost metric ``R(q, d, D, M)`` counts — one per pool document per
+candidate, reported as ``ranker_calls``) and *physical* scorings (texts
+actually pushed through the model, exposed as
+:attr:`ScoringSession.physical_scorings`).
+
+:class:`NaiveScoringSession` is the generic fallback for third-party
+rankers: it reproduces the pre-session behavior exactly by re-ranking
+the whole substituted pool through :meth:`Ranker.rank_candidates`.
+
+Sessions snapshot collection statistics lazily at first scoring and
+assume the index does not mutate while they are alive; create a fresh
+session after any corpus change (explainers already create one session
+per request, so this holds naturally).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import Counter
+from typing import TYPE_CHECKING, Collection, Mapping, Sequence
+
+from repro.errors import RankingError
+from repro.index.document import Document
+from repro.text.sentences import Sentence, split_sentences
+
+if TYPE_CHECKING:  # avoid a circular import with ranking.base
+    from repro.ranking.base import Ranker, Ranking
+
+
+class ScoringSession:
+    """Re-ranking primitive for one query over one fixed candidate pool.
+
+    Subclasses implement :meth:`baseline`, :meth:`rank_with_substitution`,
+    :meth:`ranking_with_substitution`, and :meth:`rank_without_sentences`.
+    The base class provides pool bookkeeping and memoized sentence
+    segmentation (shared by every perturbation of the same document).
+    """
+
+    def __init__(self, ranker: "Ranker", query: str, pool: Sequence[Document]):
+        if not pool:
+            raise RankingError("cannot open a scoring session on an empty pool")
+        self.ranker = ranker
+        self.query = query
+        self.pool: list[Document] = list(pool)
+        self._position: dict[str, int] = {
+            document.doc_id: position
+            for position, document in enumerate(self.pool)
+        }
+        if len(self._position) != len(self.pool):
+            raise RankingError("scoring session pool contains duplicate doc ids")
+        #: Texts actually pushed through the underlying model so far.
+        self.physical_scorings = 0
+        self._sentences: dict[str, list[Sentence]] = {}
+
+    # -- pool access ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pool)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._position
+
+    def position_of(self, doc_id: str) -> int:
+        position = self._position.get(doc_id)
+        if position is None:
+            raise RankingError(f"document {doc_id!r} is not in the session pool")
+        return position
+
+    def document(self, doc_id: str) -> Document:
+        return self.pool[self.position_of(doc_id)]
+
+    # -- sentence bookkeeping ------------------------------------------------
+
+    def sentences(self, doc_id: str) -> list[Sentence]:
+        """The pool document's sentences (memoized per session)."""
+        cached = self._sentences.get(doc_id)
+        if cached is None:
+            cached = split_sentences(self.document(doc_id).body)
+            self._sentences[doc_id] = cached
+        return cached
+
+    def body_without_sentences(self, doc_id: str, removed: Collection[int]) -> str:
+        """The document body with the sentences at ``removed`` excised.
+
+        Matches the explainers' perturbation exactly: surviving sentence
+        texts joined with single spaces, in source order.
+        """
+        return " ".join(
+            sentence.text
+            for sentence in self.sentences(doc_id)
+            if sentence.index not in removed
+        )
+
+    # -- the session surface -------------------------------------------------
+
+    def baseline(self) -> "Ranking":
+        """Ranking of the unperturbed pool under the session query."""
+        raise NotImplementedError
+
+    def rank_with_substitution(self, doc_id: str, body: str) -> int:
+        """Rank of ``doc_id`` after substituting ``body`` for its text.
+
+        Only the substituted document is re-scored; every other pool
+        document keeps its precomputed score (identity and metadata of
+        the pool document are preserved, mirroring ``Document.with_body``).
+        """
+        raise NotImplementedError
+
+    def ranking_with_substitution(self, doc_id: str, body: str) -> "Ranking":
+        """Full pool ranking after substituting ``body`` for ``doc_id``."""
+        raise NotImplementedError
+
+    def rank_without_sentences(self, doc_id: str, removed: Collection[int]) -> int:
+        """Rank of ``doc_id`` after removing the sentences at ``removed``."""
+        raise NotImplementedError
+
+
+class NaiveScoringSession(ScoringSession):
+    """Generic fallback preserving the exact pre-session behavior.
+
+    Every call re-ranks the full substituted pool through the black-box
+    :meth:`Ranker.rank_candidates`, so third-party rankers (including
+    stateful or non-deterministic ones) observe the same sequence of
+    scoring requests they always did.
+    """
+
+    def _substituted_pool(self, doc_id: str, body: str) -> list[Document]:
+        position = self.position_of(doc_id)
+        substituted = list(self.pool)
+        substituted[position] = substituted[position].with_body(body)
+        return substituted
+
+    def baseline(self) -> "Ranking":
+        self.physical_scorings += len(self.pool)
+        return self.ranker.rank_candidates(self.query, self.pool)
+
+    def ranking_with_substitution(self, doc_id: str, body: str) -> "Ranking":
+        substituted = self._substituted_pool(doc_id, body)
+        self.physical_scorings += len(self.pool)
+        return self.ranker.rank_candidates(self.query, substituted)
+
+    def rank_with_substitution(self, doc_id: str, body: str) -> int:
+        rank = self.ranking_with_substitution(doc_id, body).rank_of(doc_id)
+        if rank is None:  # substitution preserves membership
+            raise RankingError(f"{doc_id!r} missing from substituted ranking")
+        return rank
+
+    def rank_without_sentences(self, doc_id: str, removed: Collection[int]) -> int:
+        return self.rank_with_substitution(
+            doc_id, self.body_without_sentences(doc_id, removed)
+        )
+
+
+class IncrementalScoringSession(ScoringSession):
+    """Shared machinery for sessions that re-score only the changed doc.
+
+    Fixed-pool scores are computed once (lazily) and presorted; a
+    perturbed document's rank is then one scoring plus an O(log k)
+    bisection. Subclasses provide the two scoring hooks:
+
+    * :meth:`_score_document` — an unperturbed pool document;
+    * :meth:`_score_substituted` — arbitrary replacement text for a pool
+      document (collection statistics stay those of the unperturbed
+      corpus, as everywhere else in the counterfactual search);
+
+    and may override :meth:`_score_without_sentences` with a
+    per-sentence incremental path.
+    """
+
+    def __init__(self, ranker: "Ranker", query: str, pool: Sequence[Document]):
+        super().__init__(ranker, query, pool)
+        self._scores: list[float] | None = None
+        self._sorted_keys: list[tuple[float, int]] = []
+        self._keys_excluding: dict[int, list[tuple[float, int]]] = {}
+        #: per-doc ([sentence Counter], [sentence length], total Counter,
+        #: total length), built on first sentence removal for that doc.
+        self._counter_sentences: dict[
+            str, tuple[list[Counter], list[int], Counter, int]
+        ] = {}
+
+    # -- shared analyzed-document plumbing -----------------------------------
+
+    def _indexed_doc_counts(self, document: Document) -> tuple[Mapping[str, int], int]:
+        """(term counts, length) for a pool document, reusing the index.
+
+        Documents stored in the index with an unchanged body are read
+        straight from its term vectors (no re-analysis, no copy); anything
+        else is analyzed once.
+        """
+        index = self.ranker.index
+        if document.doc_id in index:
+            stored = index.document(document.doc_id)
+            if stored.body == document.body:
+                return (
+                    index.term_frequencies(document.doc_id),
+                    index.document_length(document.doc_id),
+                )
+        counts = Counter(index.analyzer.analyze(document.body))
+        return counts, sum(counts.values())
+
+    def _counter_sentence_data(
+        self, doc_id: str
+    ) -> tuple[list[Counter], list[int], Counter, int]:
+        cached = self._counter_sentences.get(doc_id)
+        if cached is None:
+            analyzer = self.ranker.index.analyzer
+            counters: list[Counter] = []
+            lengths: list[int] = []
+            for sentence in self.sentences(doc_id):
+                terms = analyzer.analyze(sentence.text)
+                counters.append(Counter(terms))
+                lengths.append(len(terms))
+            # Totals from the per-sentence analyses (not the raw body), so
+            # a removal subtraction equals the survivors' own analysis.
+            total = Counter()
+            for counter in counters:
+                total.update(counter)
+            cached = (counters, lengths, total, sum(lengths))
+            self._counter_sentences[doc_id] = cached
+        return cached
+
+    def _counts_without_sentences(
+        self, doc_id: str, removed: Collection[int]
+    ) -> tuple[Counter, int]:
+        """(term counts, length) of the document minus ``removed`` sentences.
+
+        One counter subtraction per removed sentence — never a
+        re-tokenization of the surviving text.
+        """
+        counters, lengths, total, total_length = self._counter_sentence_data(doc_id)
+        counts = Counter(total)
+        length = total_length
+        for index in removed:
+            counts.subtract(counters[index])
+            length -= lengths[index]
+        return counts, length
+
+    # -- scoring hooks -------------------------------------------------------
+
+    def _score_document(self, document: Document) -> float:
+        raise NotImplementedError
+
+    def _score_substituted(self, doc_id: str, body: str) -> float:
+        raise NotImplementedError
+
+    def _score_without_sentences(
+        self, doc_id: str, removed: Collection[int]
+    ) -> float:
+        return self._score_substituted(
+            doc_id, self.body_without_sentences(doc_id, removed)
+        )
+
+    # -- fixed-pool precomputation -------------------------------------------
+
+    def _ensure_scores(self) -> list[float]:
+        if self._scores is None:
+            self._scores = [
+                self._score_document(document) for document in self.pool
+            ]
+            self.physical_scorings += len(self.pool)
+            # Sort keys mirror Ranking.from_scores: descending score,
+            # ties broken by pool position.
+            self._sorted_keys = sorted(
+                (-score, position) for position, score in enumerate(self._scores)
+            )
+        return self._scores
+
+    def _rank_from_score(self, position: int, score: float) -> int:
+        """Rank the perturbed document's (score, position) key earns.
+
+        Equivalent to re-sorting the substituted pool: the rank is one
+        plus the number of fixed documents whose (-score, position) key
+        precedes the perturbed key — found by bisection into the
+        presorted fixed keys with the perturbed document's own key
+        removed.
+        """
+        keys = self._keys_excluding.get(position)
+        if keys is None:
+            keys = [key for key in self._sorted_keys if key[1] != position]
+            self._keys_excluding[position] = keys
+        return bisect_left(keys, (-score, position)) + 1
+
+    # -- the session surface -------------------------------------------------
+
+    def baseline(self) -> "Ranking":
+        from repro.ranking.base import Ranking
+
+        scores = self._ensure_scores()
+        return Ranking.from_scores(
+            [
+                (document.doc_id, score)
+                for document, score in zip(self.pool, scores)
+            ]
+        )
+
+    def rank_with_score(self, doc_id: str, score: float) -> int:
+        """Rank earned by an externally computed substitute score."""
+        self._ensure_scores()
+        return self._rank_from_score(self.position_of(doc_id), score)
+
+    def ranking_with_score(self, doc_id: str, score: float) -> "Ranking":
+        """Full pool ranking with an externally computed substitute score."""
+        from repro.ranking.base import Ranking
+
+        scores = list(self._ensure_scores())
+        scores[self.position_of(doc_id)] = score
+        return Ranking.from_scores(
+            [
+                (document.doc_id, value)
+                for document, value in zip(self.pool, scores)
+            ]
+        )
+
+    def rank_with_substitution(self, doc_id: str, body: str) -> int:
+        self._ensure_scores()
+        score = self._score_substituted(doc_id, body)
+        self.physical_scorings += 1
+        return self._rank_from_score(self.position_of(doc_id), score)
+
+    def ranking_with_substitution(self, doc_id: str, body: str) -> "Ranking":
+        self._ensure_scores()
+        score = self._score_substituted(doc_id, body)
+        self.physical_scorings += 1
+        return self.ranking_with_score(doc_id, score)
+
+    def rank_without_sentences(self, doc_id: str, removed: Collection[int]) -> int:
+        self._ensure_scores()
+        score = self._score_without_sentences(doc_id, removed)
+        self.physical_scorings += 1
+        return self._rank_from_score(self.position_of(doc_id), score)
