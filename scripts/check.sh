@@ -23,4 +23,12 @@ echo "== smoke: counterfactual scoring-session speedup =="
 CF_SESSION_SMOKE=1 python -m pytest -q benchmarks/bench_cf_session.py
 
 echo
+echo "== service layer: jobs, pool, store, parallel equivalence =="
+python -m pytest -q tests/service tests/api/test_jobs_endpoints.py
+
+echo
+echo "== smoke: service batch throughput (parallel + store) =="
+SERVICE_SMOKE=1 python -m pytest -q benchmarks/bench_service_throughput.py
+
+echo
 echo "check.sh: all green"

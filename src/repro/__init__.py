@@ -23,10 +23,13 @@ Strategies (``engine.available_strategies()``):
 ``query/augmentation``, ``instance/doc2vec``, ``instance/cosine``, and
 ``features/ltr`` for feature-based rankers. Batch traffic goes through
 ``engine.explain_batch([...])``, which shares caches across items and
-reports per-item latency.
+reports per-item latency — pass ``parallel=N`` to fan it out across the
+engine's explanation service (``engine.service()``: async jobs, a
+bounded worker pool, and a version-keyed result store).
 
 See :mod:`repro.core` for the explainers and registry, :mod:`repro.api`
-for the REST service, and docs/API.md for the request/response model.
+for the REST service, :mod:`repro.service` for the serving layer, and
+docs/API.md for the request/response model.
 """
 
 from repro.core.engine import CredenceEngine, EngineConfig
@@ -42,6 +45,12 @@ from repro.demo import (
 )
 from repro.errors import ReproError
 from repro.index.document import Document
+from repro.service import (
+    ExplainJob,
+    ExplanationService,
+    JobStatus,
+    ResultStore,
+)
 
 __version__ = "1.0.0"
 
@@ -60,5 +69,9 @@ __all__ = [
     "demo_engine",
     "ReproError",
     "Document",
+    "ExplainJob",
+    "ExplanationService",
+    "JobStatus",
+    "ResultStore",
     "__version__",
 ]

@@ -1,23 +1,43 @@
-"""Application wiring: engine → router → server."""
+"""Application wiring: engine → service → router → server."""
 
 from __future__ import annotations
 
 from repro.api.endpoints import register_endpoints
-from repro.api.http import ApiServer, Router
+from repro.api.http import MAX_BODY_BYTES, ApiServer, Router
 from repro.core.engine import CredenceEngine
 
 
-def build_router(engine: CredenceEngine) -> Router:
-    """A router with all CREDENCE endpoints bound to ``engine``."""
-    return register_endpoints(Router(), engine)
+def build_router(
+    engine: CredenceEngine, max_batch_items: int | None = None
+) -> Router:
+    """A router with all CREDENCE endpoints bound to ``engine``.
+
+    Uses the engine's memoised explanation service, so sync routes are
+    store-backed and ``/jobs`` traffic shares one worker pool.
+    """
+    return register_endpoints(
+        Router(), engine, max_batch_items=max_batch_items
+    )
 
 
 def serve(
-    engine: CredenceEngine, host: str = "127.0.0.1", port: int = 8091
+    engine: CredenceEngine,
+    host: str = "127.0.0.1",
+    port: int = 8091,
+    workers: int | None = None,
+    max_batch_items: int | None = None,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> ApiServer:
     """Start the CREDENCE service (non-blocking); returns the server.
 
-    Port 8091 mirrors the paper's deployment URL. Call ``.stop()`` when
+    Port 8091 mirrors the paper's deployment URL. ``workers`` sizes the
+    explanation worker pool (first construction wins; see
+    :meth:`CredenceEngine.service`); ``max_batch_items`` and
+    ``max_body_bytes`` bound batch/job payloads. Call ``.stop()`` when
     done, or use the returned server as a context manager.
     """
-    return ApiServer(build_router(engine), host=host, port=port).start()
+    engine.service(workers=workers)
+    router = build_router(engine, max_batch_items=max_batch_items)
+    return ApiServer(
+        router, host=host, port=port, max_body_bytes=max_body_bytes
+    ).start()

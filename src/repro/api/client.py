@@ -33,6 +33,10 @@ class InProcessClient:
         request = Request(method="POST", path=path, body=normalized)
         return self._router.dispatch(request)
 
+    def delete(self, path: str) -> HttpResponse:
+        request = Request(method="DELETE", path=path)
+        return self._router.dispatch(request)
+
 
 class HttpClient:
     """A tiny JSON HTTP client for a live server."""
@@ -64,3 +68,6 @@ class HttpClient:
 
     def post(self, path: str, body: Any = None) -> HttpResponse:
         return self._request("POST", path, body)
+
+    def delete(self, path: str) -> HttpResponse:
+        return self._request("DELETE", path)

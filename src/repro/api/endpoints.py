@@ -12,17 +12,28 @@ as thin delegations for older clients.
 ``POST /rank``                        the Explanations/Builder rank button
 ``POST /explanations``                any explanation strategy (unified)
 ``POST /explanations/batch``          many requests, per-item results
+``POST /jobs``                        submit an async explanation job (202)
+``GET  /jobs/{job_id}``               job status, progress, and results
+``DELETE /jobs/{job_id}``             cancel a running job
+``GET  /metrics``                     service counters, cache, latency
 ``POST /explanations/document``       legacy: sentence-removal CFs
 ``POST /explanations/query``          legacy: query-augmentation CFs
 ``POST /explanations/instance``       legacy: Doc2Vec Nearest / Cosine Sampled
 ``POST /builder/rerank``              build-your-own re-rank + movements
 ``POST /topics``                      Browse Topics over the current top-k
 ====================================  =======================================
+
+Synchronous explanation traffic runs through the engine's
+:class:`~repro.service.scheduler.ExplanationService`, so repeated
+queries are answered from the version-keyed result store, and the batch
+route fans out across the service's worker pool. ``POST /jobs`` returns
+immediately with a job id; poll ``GET /jobs/{id}`` for per-item
+progress.
 """
 
 from __future__ import annotations
 
-from repro.api.http import Request, Router
+from repro.api.http import HttpResponse, Request, Router
 from repro.api.schemas import (
     BuilderRequest,
     DocumentExplanationRequest,
@@ -32,6 +43,7 @@ from repro.api.schemas import (
     TopicsRequest,
     parse_explain_batch,
     parse_explain_request,
+    parse_job_submission,
 )
 from repro.core.engine import CredenceEngine
 from repro.core.explain import ExplainRequest, ExplainResponse
@@ -39,20 +51,25 @@ from repro.errors import (
     BadRequestError,
     ConfigurationError,
     DocumentNotFoundError,
+    JobNotFoundError,
     NotFoundError,
     RankingError,
 )
+from repro.service.scheduler import ExplanationService
 
 
-def _run_explain(engine: CredenceEngine, request: ExplainRequest) -> ExplainResponse:
+def _run_explain(
+    service: ExplanationService, request: ExplainRequest
+) -> ExplainResponse:
     """Dispatch one request, mapping library errors to HTTP 400.
 
     ``ConfigurationError`` covers unknown/unavailable strategies and
     invalid parameter combinations; ``RankingError`` covers instance
-    documents outside the top-k.
+    documents outside the top-k. Runs store-backed: a repeat of an
+    answered request returns the cached response.
     """
     try:
-        return engine.explain(request)
+        return service.explain(request)
     except (RankingError, ConfigurationError) as error:
         raise BadRequestError(str(error)) from None
 
@@ -66,8 +83,21 @@ def _attach_instance_bodies(engine: CredenceEngine, payload: dict) -> dict:
     return payload
 
 
-def register_endpoints(router: Router, engine: CredenceEngine) -> Router:
-    """Attach every CREDENCE endpoint for ``engine`` to ``router``."""
+def register_endpoints(
+    router: Router,
+    engine: CredenceEngine,
+    service: ExplanationService | None = None,
+    max_batch_items: int | None = None,
+) -> Router:
+    """Attach every CREDENCE endpoint for ``engine`` to ``router``.
+
+    ``service`` defaults to the engine's memoised
+    :meth:`~repro.core.engine.CredenceEngine.service`;
+    ``max_batch_items`` caps ``POST /explanations/batch`` and
+    ``POST /jobs`` item counts (None keeps the schema default).
+    """
+    if service is None:
+        service = engine.service()
 
     @router.get("/health")
     def health(_: Request):
@@ -108,13 +138,13 @@ def register_endpoints(router: Router, engine: CredenceEngine) -> Router:
     @router.post("/explanations")
     def explain(request: Request):
         parsed = parse_explain_request(request.body)
-        response = _run_explain(engine, parsed)
+        response = _run_explain(service, parsed)
         return _attach_instance_bodies(engine, response.to_dict())
 
     @router.post("/explanations/batch")
     def explain_batch(request: Request):
-        parsed = parse_explain_batch(request.body)
-        responses = engine.explain_batch(parsed)
+        parsed = parse_explain_batch(request.body, max_items=max_batch_items)
+        responses = service.run_batch(parsed)
         return {
             "count": len(responses),
             "responses": [
@@ -125,13 +155,50 @@ def register_endpoints(router: Router, engine: CredenceEngine) -> Router:
             ],
         }
 
+    # -- async jobs & observability --------------------------------------------
+
+    def _job_payload(job) -> dict:
+        payload = job.to_dict()
+        for response in payload["responses"]:
+            if response is not None and "error" not in response:
+                _attach_instance_bodies(engine, response)
+        return payload
+
+    @router.post("/jobs")
+    def submit_job(request: Request):
+        parsed = parse_job_submission(request.body, max_items=max_batch_items)
+        job = service.submit(parsed)
+        return HttpResponse(202, job.to_dict(include_responses=False))
+
+    @router.get("/jobs/{job_id}")
+    def job_status(request: Request):
+        job_id = request.path_params["job_id"]
+        try:
+            job = service.job(job_id)
+        except JobNotFoundError as error:
+            raise NotFoundError(str(error)) from None
+        return _job_payload(job)
+
+    @router.delete("/jobs/{job_id}")
+    def cancel_job(request: Request):
+        job_id = request.path_params["job_id"]
+        try:
+            job = service.cancel(job_id)
+        except JobNotFoundError as error:
+            raise NotFoundError(str(error)) from None
+        return job.to_dict(include_responses=False)
+
+    @router.get("/metrics")
+    def metrics(_: Request):
+        return service.metrics_snapshot()
+
     # -- legacy per-family routes (thin delegations) ---------------------------
 
     @router.post("/explanations/document")
     def explain_document(request: Request):
         parsed = DocumentExplanationRequest.parse(request.body)
         response = _run_explain(
-            engine,
+            service,
             ExplainRequest(
                 parsed.query,
                 parsed.doc_id,
@@ -146,7 +213,7 @@ def register_endpoints(router: Router, engine: CredenceEngine) -> Router:
     def explain_query(request: Request):
         parsed = QueryExplanationRequest.parse(request.body)
         response = _run_explain(
-            engine,
+            service,
             ExplainRequest(
                 parsed.query,
                 parsed.doc_id,
@@ -162,7 +229,7 @@ def register_endpoints(router: Router, engine: CredenceEngine) -> Router:
     def explain_instance(request: Request):
         parsed = InstanceExplanationRequest.parse(request.body)
         response = _run_explain(
-            engine,
+            service,
             ExplainRequest(
                 parsed.query,
                 parsed.doc_id,

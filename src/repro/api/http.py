@@ -76,6 +76,10 @@ class Router:
         """Decorator form of :meth:`add` for POST."""
         return self._decorator("POST", pattern)
 
+    def delete(self, pattern: str):
+        """Decorator form of :meth:`add` for DELETE."""
+        return self._decorator("DELETE", pattern)
+
     def _decorator(self, method: str, pattern: str):
         def register(handler: Handler) -> Handler:
             self.add(method, pattern, handler)
@@ -117,10 +121,16 @@ class Router:
         return HttpResponse(missing.status_code, missing.to_payload())
 
 
+#: Default request-body cap (bytes). A JSON explanation request is a few
+#: hundred bytes; anything near this is abuse, not traffic.
+MAX_BODY_BYTES = 1_048_576
+
+
 class _JsonRequestHandler(BaseHTTPRequestHandler):
     """Adapts :class:`BaseHTTPRequestHandler` to the router."""
 
     router: Router  # set by server factory
+    max_body_bytes: int = MAX_BODY_BYTES  # set by server factory
     protocol_version = "HTTP/1.1"
 
     def log_message(self, format, *args):  # silence default stderr logging
@@ -141,6 +151,22 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
         }
         body = None
         length = int(self.headers.get("Content-Length") or 0)
+        if length > self.max_body_bytes:
+            # Drain the body in bounded chunks (never buffering it) so
+            # the client finishes its send and sees a clean 400 rather
+            # than a broken pipe mid-upload.
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            error = BadRequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit"
+            )
+            self._respond(HttpResponse(error.status_code, error.to_payload()))
+            return
         if length:
             raw = self.rfile.read(length)
             try:
@@ -160,12 +186,25 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self):
         self._handle("POST")
 
+    def do_DELETE(self):
+        self._handle("DELETE")
+
 
 class ApiServer:
     """A threading HTTP server bound to a :class:`Router`."""
 
-    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 0):
-        handler = type("BoundHandler", (_JsonRequestHandler,), {"router": router})
+    def __init__(
+        self,
+        router: Router,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ):
+        handler = type(
+            "BoundHandler",
+            (_JsonRequestHandler,),
+            {"router": router, "max_body_bytes": max_body_bytes},
+        )
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 

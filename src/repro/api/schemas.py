@@ -140,19 +140,47 @@ def parse_explain_request(body: Any) -> ExplainRequest:
     )
 
 
-#: Cap on how many items one ``POST /explanations/batch`` may carry.
+#: Default cap on how many items one ``POST /explanations/batch`` or
+#: ``POST /jobs`` may carry; override per deployment via the
+#: ``max_batch_items`` parameter of :func:`repro.api.app.serve` /
+#: :func:`repro.api.endpoints.register_endpoints`.
 MAX_BATCH_ITEMS = 100
 
 
-def parse_explain_batch(body: Any) -> list[ExplainRequest]:
-    """Parse ``POST /explanations/batch``: ``{"requests": [...]}``."""
+def parse_explain_batch(
+    body: Any, max_items: int | None = None
+) -> list[ExplainRequest]:
+    """Parse ``POST /explanations/batch``: ``{"requests": [...]}``.
+
+    ``max_items`` overrides the module default cap; oversized batches
+    are a clean 400, not unbounded work.
+    """
+    cap = MAX_BATCH_ITEMS if max_items is None else max_items
     data = _require_mapping(body)
     raw = data.get("requests")
     if not isinstance(raw, list) or not raw:
         raise BadRequestError("'requests' must be a non-empty list")
-    if len(raw) > MAX_BATCH_ITEMS:
-        raise BadRequestError(f"'requests' must carry <= {MAX_BATCH_ITEMS} items")
+    if len(raw) > cap:
+        raise BadRequestError(f"'requests' must carry <= {cap} items")
     return [parse_explain_request(item) for item in raw]
+
+
+def parse_job_submission(
+    body: Any, max_items: int | None = None
+) -> list[ExplainRequest]:
+    """Parse ``POST /jobs``.
+
+    Accepts either the batch shape ``{"requests": [...]}`` or a single
+    request object ``{"request": {...}}``; the same item cap applies.
+    """
+    data = _require_mapping(body)
+    if "request" in data and "requests" in data:
+        raise BadRequestError(
+            "provide exactly one of 'request' or 'requests'"
+        )
+    if "request" in data:
+        return [parse_explain_request(data["request"])]
+    return parse_explain_batch(body, max_items=max_items)
 
 
 #: Instance-based explanation types exposed in the UI dropdown (§III-B).

@@ -16,9 +16,19 @@ bundled demo corpus). Every explanation family runs through one
         --doc covid-fake-5g --strategy instance/cosine --samples 30
     python -m repro.cli builder --query "covid outbreak" \
         --doc covid-fake-5g --replace covid=flu --remove outbreak
-    python -m repro.cli serve --port 8091
+    python -m repro.cli serve --port 8091 --workers 8
     python -m repro.cli rank --corpus my_docs.jsonl --ranker bm25 \
         --query "anything"
+
+Async jobs against a *running* service (``serve``) go through the
+``jobs`` subcommands:
+
+.. code-block:: bash
+
+    python -m repro.cli jobs submit --url http://127.0.0.1:8091 \
+        --query "covid outbreak" --doc covid-fake-5g --doc covid-who-report
+    python -m repro.cli jobs status job-1 --wait
+    python -m repro.cli jobs cancel job-1
 
 The pre-redesign per-family subcommands (``explain-document``,
 ``explain-query``, ``explain-instance``) remain as thin delegations to
@@ -250,12 +260,135 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api.app import serve
 
     engine = _build_engine(args)
-    server = serve(engine, host=args.host, port=args.port)
-    print(f"CREDENCE service on {server.url} (Ctrl-C to stop)")
+    server = serve(
+        engine, host=args.host, port=args.port, workers=args.workers
+    )
+    pool_size = engine.service().pool.worker_count
+    print(
+        f"CREDENCE service on {server.url} "
+        f"({pool_size} explanation workers, Ctrl-C to stop)"
+    )
     try:
         server._server.serve_forever()  # reuse the bound socket loop
     except KeyboardInterrupt:
         server.stop()
+        engine.service().shutdown(wait=True, cancel_pending=True)
+    return 0
+
+
+# -- async jobs against a running service --------------------------------------
+
+
+def _jobs_client(args: argparse.Namespace):
+    from repro.api.client import HttpClient
+
+    return HttpClient(args.url, timeout=args.timeout)
+
+
+def _render_job(payload: dict) -> str:
+    lines = [
+        f"{payload['job_id']}: {payload['status']} "
+        f"({payload['items_done']}/{payload['items_total']} items"
+        + (
+            f", {payload['items_skipped']} skipped)"
+            if payload.get("items_skipped")
+            else ")"
+        )
+    ]
+    for position, state in enumerate(payload.get("items", [])):
+        lines.append(f"  item {position}: {state}")
+    if payload.get("error"):
+        lines.append(f"  error: {payload['error']}")
+    return "\n".join(lines)
+
+
+def _job_exit_code(payload: dict) -> int:
+    return 0 if payload["status"] in ("pending", "running", "done") else 1
+
+
+def _with_connection_errors(handler):
+    """Map unreachable-service errors to a clean exit-2 message."""
+
+    def run(args: argparse.Namespace) -> int:
+        try:
+            return handler(args)
+        except OSError as error:  # URLError subclasses OSError
+            print(
+                f"error: cannot reach service at {args.url}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+
+    return run
+
+
+def _cmd_jobs_submit(args: argparse.Namespace) -> int:
+    requests = [
+        {
+            "query": args.query,
+            "doc_id": doc,
+            "strategy": args.strategy,
+            "n": args.n,
+            "k": args.k,
+            "threshold": args.threshold,
+            "samples": args.samples,
+        }
+        for doc in args.doc
+    ]
+    client = _jobs_client(args)
+    response = client.post("/jobs", {"requests": requests})
+    if response.status != 202:
+        print(f"error: {response.payload.get('detail')}", file=sys.stderr)
+        return 2
+    payload = response.payload
+    if args.wait:
+        response = _poll_job(client, payload["job_id"])
+        if response.status != 200:
+            print(f"error: {response.payload.get('detail')}", file=sys.stderr)
+            return 2
+        payload = response.payload
+    _emit(args, payload, _render_job(payload))
+    return _job_exit_code(payload)
+
+
+def _poll_job(client, job_id: str, interval: float = 0.2):
+    """Poll until the job is terminal (or the server errors); returns the
+    final HttpResponse — callers must check ``.status`` before rendering
+    (the job may 404 mid-poll if retention evicted it)."""
+    import time
+
+    while True:
+        response = client.get(f"/jobs/{job_id}")
+        if response.status != 200 or response.payload["status"] not in (
+            "pending",
+            "running",
+        ):
+            return response
+        time.sleep(interval)
+
+
+def _cmd_jobs_status(args: argparse.Namespace) -> int:
+    client = _jobs_client(args)
+    if args.wait:
+        response = _poll_job(client, args.job_id)
+    else:
+        response = client.get(f"/jobs/{args.job_id}")
+    if response.status != 200:
+        print(f"error: {response.payload.get('detail')}", file=sys.stderr)
+        return 2
+    payload = response.payload
+    _emit(args, payload, _render_job(payload))
+    return _job_exit_code(payload)
+
+
+def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
+    client = _jobs_client(args)
+    response = client.delete(f"/jobs/{args.job_id}")
+    if response.status != 200:
+        print(f"error: {response.payload.get('detail')}", file=sys.stderr)
+        return 2
+    payload = response.payload
+    _emit(args, payload, _render_job(payload))
     return 0
 
 
@@ -353,7 +486,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(serve_cmd)
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=8091)
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="explanation worker-pool size (default 4)",
+    )
     serve_cmd.set_defaults(handler=_cmd_serve)
+
+    jobs = commands.add_parser(
+        "jobs", help="async explanation jobs on a running service"
+    )
+    jobs_commands = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def _add_jobs_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--url",
+            default="http://127.0.0.1:8091",
+            help="base URL of a running 'serve' instance",
+        )
+        parser.add_argument("--timeout", type=float, default=30.0)
+        parser.add_argument("--json", action="store_true", help="emit raw JSON")
+
+    submit = jobs_commands.add_parser(
+        "submit", help="submit an async explanation job"
+    )
+    _add_jobs_common(submit)
+    submit.add_argument("--query", required=True)
+    submit.add_argument(
+        "--doc",
+        action="append",
+        required=True,
+        metavar="DOC_ID",
+        help="instance document (repeat for a batch job)",
+    )
+    submit.add_argument(
+        "--strategy",
+        default="document/sentence-removal",
+        choices=_strategy_choices(),
+    )
+    submit.add_argument("--n", type=int, default=1)
+    submit.add_argument("--k", type=int, default=10)
+    submit.add_argument("--threshold", type=int, default=1)
+    submit.add_argument("--samples", type=int, default=50)
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    submit.set_defaults(handler=_with_connection_errors(_cmd_jobs_submit))
+
+    status = jobs_commands.add_parser(
+        "status", help="show a job's progress and results"
+    )
+    _add_jobs_common(status)
+    status.add_argument("job_id")
+    status.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    status.set_defaults(handler=_with_connection_errors(_cmd_jobs_status))
+
+    cancel = jobs_commands.add_parser("cancel", help="cancel a running job")
+    _add_jobs_common(cancel)
+    cancel.add_argument("job_id")
+    cancel.set_defaults(handler=_with_connection_errors(_cmd_jobs_cancel))
 
     return parser
 

@@ -7,9 +7,10 @@ to — the Python equivalent of the running CREDENCE service in Fig. 1.
 from __future__ import annotations
 
 import logging
+import threading
 import warnings
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.embeddings.doc2vec import Doc2Vec, train_doc2vec
 from repro.embeddings.vectorizers import Bm25Vectorizer, TfIdfVectorizer
@@ -39,6 +40,9 @@ from repro.topics.lda import train_lda
 from repro.topics.summaries import TopicSummary, summarize_topics
 from repro.utils.timing import timed
 from repro.utils.validation import require, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.service.scheduler import ExplanationService
 
 logger = logging.getLogger(__name__)
 
@@ -127,6 +131,9 @@ class CredenceEngine:
         self.bm25_vectorizer = Bm25Vectorizer(self.index)
         self.tfidf_vectorizer = TfIdfVectorizer(self.index)
         self._doc2vec: Doc2Vec | None = None
+        self._doc2vec_lock = threading.Lock()
+        self._service: "ExplanationService | None" = None
+        self._service_lock = threading.Lock()
 
     # -- construction helpers -------------------------------------------------
 
@@ -159,18 +166,23 @@ class CredenceEngine:
     @property
     def doc2vec(self) -> Doc2Vec:
         """The Doc2Vec model, trained on first use (mirrors the demo's
-        per-corpus offline embedding step)."""
+        per-corpus offline embedding step). Thread-safe: concurrent first
+        accesses train once, not once per thread."""
         if self._doc2vec is None:
-            analyzed = {
-                document.doc_id: self.index.analyzer.analyze(document.body)
-                for document in self.index
-            }
-            self._doc2vec = train_doc2vec(
-                analyzed,
-                dimension=self.config.doc2vec_dimension,
-                epochs=self.config.doc2vec_epochs,
-                seed=self.config.seed,
-            )
+            with self._doc2vec_lock:
+                if self._doc2vec is None:
+                    analyzed = {
+                        document.doc_id: self.index.analyzer.analyze(
+                            document.body
+                        )
+                        for document in self.index
+                    }
+                    self._doc2vec = train_doc2vec(
+                        analyzed,
+                        dimension=self.config.doc2vec_dimension,
+                        epochs=self.config.doc2vec_epochs,
+                        seed=self.config.seed,
+                    )
         return self._doc2vec
 
     # -- ranking ---------------------------------------------------------------
@@ -220,7 +232,9 @@ class CredenceEngine:
         )
 
     def explain_batch(
-        self, requests: Iterable[ExplainRequest]
+        self,
+        requests: Iterable[ExplainRequest],
+        parallel: bool | int | None = None,
     ) -> list[ExplainResponse]:
         """Run many explanation requests, amortising shared state.
 
@@ -230,7 +244,20 @@ class CredenceEngine:
         request order and carry per-item latency; a failing item yields
         a response with :attr:`ExplainResponse.error` set instead of
         aborting the batch.
+
+        ``parallel`` fans the batch out across the engine's
+        :meth:`service` worker pool (results are identical to the
+        sequential path, and repeated requests hit the service's result
+        store): ``True`` uses the service's worker count, an int ≥ 2
+        sizes the pool on first use. ``None``/``False``/``1`` keep the
+        in-thread sequential loop.
         """
+        # `is True` first: True == 1, so an equality check would wrongly
+        # route the documented parallel=True mode to the sequential loop.
+        if parallel is True:
+            return self.service().run_batch(list(requests))
+        if parallel not in (None, False) and parallel != 1:
+            return self.service(workers=parallel).run_batch(list(requests))
         responses: list[ExplainResponse] = []
         for request in requests:
             require(
@@ -245,6 +272,40 @@ class CredenceEngine:
                         ExplainResponse.from_error(request, error, elapsed())
                     )
         return responses
+
+    # -- the explanation service (async jobs, pool, result store) ---------------
+
+    def service(self, workers: int | None = None) -> "ExplanationService":
+        """This engine's :class:`~repro.service.scheduler.ExplanationService`.
+
+        Built lazily and memoised; thread-safe (concurrent first calls
+        construct exactly one service). ``workers`` sizes the pool on
+        the construction call; passing a different size later keeps the
+        existing service and logs a warning — shut it down first
+        (``engine.service().shutdown()`` then ``engine._service = None``
+        is deliberate surgery, not an API).
+        """
+        if workers is not None:
+            require_positive(workers, "workers")
+        with self._service_lock:
+            if self._service is None:
+                from repro.service.scheduler import ExplanationService
+                from repro.service.workers import DEFAULT_WORKERS
+
+                self._service = ExplanationService(
+                    self, workers=workers or DEFAULT_WORKERS
+                )
+            elif (
+                workers is not None
+                and workers != self._service.pool.worker_count
+            ):
+                logger.warning(
+                    "engine.service(workers=%d) ignored: service already "
+                    "built with %d workers",
+                    workers,
+                    self._service.pool.worker_count,
+                )
+            return self._service
 
     def available_strategies(self) -> tuple[str, ...]:
         """Strategy names applicable to this engine's ranker."""

@@ -194,6 +194,6 @@ class ExplainResponse:
         }
         if self.error is not None:
             payload["error"] = self.error
-        else:
+        elif self.result is not None:
             payload.update(self.result.to_dict())
         return payload

@@ -28,6 +28,7 @@ names raise :class:`~repro.errors.StrategyUnavailableError`.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
@@ -74,6 +75,13 @@ class ExplainerRegistry:
         self._instances: "weakref.WeakKeyDictionary[CredenceEngine, dict[str, Explainer]]" = (
             weakref.WeakKeyDictionary()
         )
+        # _cache_lock guards the memoisation dicts only (held briefly);
+        # factories run under a per-(engine, strategy) lock instead, so
+        # concurrent first requests for one strategy build a single
+        # shared explainer without a slow factory (e.g. Doc2Vec
+        # training) blocking construction of unrelated strategies.
+        self._cache_lock = threading.Lock()
+        self._key_locks: dict[tuple[int, str], threading.Lock] = {}
 
     # -- registration ---------------------------------------------------------
 
@@ -148,16 +156,34 @@ class ExplainerRegistry:
     # -- construction ---------------------------------------------------------
 
     def get(self, engine: "CredenceEngine", name: str) -> Explainer:
-        """The memoised explainer for ``(engine, name)``, built on first use."""
+        """The memoised explainer for ``(engine, name)``, built on first use.
+
+        Thread-safe: concurrent first requests for one (engine,
+        strategy) build exactly one instance, and building it never
+        blocks requests for other strategies or engines.
+        """
         canonical = self.resolve(name)
-        cache = self._instances.setdefault(engine, {})
-        if canonical not in cache:
+        key = (id(engine), canonical)
+        with self._cache_lock:
+            cache = self._instances.setdefault(engine, {})
+            existing = cache.get(canonical)
+            if existing is not None:
+                return existing
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._cache_lock:
+                existing = cache.get(canonical)
+                if existing is not None:  # another thread built it
+                    return existing
             spec = self._specs[canonical]
             reason = spec.unavailable_reason(engine)
             if reason is not None:
                 raise StrategyUnavailableError(canonical, reason)
-            cache[canonical] = spec.factory(engine)
-        return cache[canonical]
+            instance = spec.factory(engine)
+            with self._cache_lock:
+                cache[canonical] = instance
+                self._key_locks.pop(key, None)  # published; lock not needed
+            return instance
 
 
 @dataclass(frozen=True)

@@ -87,6 +87,21 @@ class ExplanationBudgetExceeded(ReproError):
         self.partial_results = list(partial_results or [])
 
 
+class JobNotFoundError(ReproError, KeyError):
+    """An explanation-job id was requested that the service is not tracking.
+
+    Raised by :meth:`repro.service.scheduler.ExplanationService.job`;
+    the REST layer maps it to 404.
+    """
+
+    def __init__(self, job_id: str):
+        super().__init__(job_id)
+        self.job_id = job_id
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return f"unknown job id: {self.job_id!r}"
+
+
 class TrainingError(ReproError):
     """A model (embedding, LDA, neural ranker) failed to train."""
 

@@ -7,6 +7,7 @@ by CREDENCE's TF-IDF term-importance scoring.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Iterable, Iterator
 
@@ -34,6 +35,15 @@ class InvertedIndex:
         self._total_terms = 0
         self._version = 0
         self._stats_cache: CollectionStats | None = None
+        # Guards mutations, the memoized stats, and the multi-step read
+        # accessors: the service layer reads from worker threads while
+        # an admin path may add/remove documents. Locked reads can never
+        # observe a torn mid-mutation state; a document removed while an
+        # explanation is in flight surfaces as DocumentNotFoundError
+        # (captured as that item's error), never as an inconsistent
+        # lookup. Reentrant because stats() is called from locked
+        # sections of consumers holding their own locks.
+        self._lock = threading.RLock()
 
     # -- construction -------------------------------------------------------
 
@@ -48,48 +58,57 @@ class InvertedIndex:
 
     def add(self, document: Document) -> None:
         """Index ``document``; raises ``ValueError`` on duplicate ids."""
-        if document.doc_id in self._documents:
-            raise ValueError(f"duplicate document id: {document.doc_id!r}")
         terms = self.analyzer.analyze(document.body)
         positions: dict[str, list[int]] = {}
         for position, term in enumerate(terms):
             positions.setdefault(term, []).append(position)
 
-        self._documents[document.doc_id] = document
-        self._doc_lengths[document.doc_id] = len(terms)
-        self._doc_term_freqs[document.doc_id] = Counter(terms)
-        self._total_terms += len(terms)
-        self._version += 1
-        self._stats_cache = None
-        for term, term_positions in positions.items():
-            postings = self._postings.get(term)
-            if postings is None:
-                postings = self._postings[term] = PostingsList(term)
-            postings.add(
-                Posting(document.doc_id, len(term_positions), tuple(term_positions))
-            )
+        with self._lock:
+            if document.doc_id in self._documents:
+                raise ValueError(
+                    f"duplicate document id: {document.doc_id!r}"
+                )
+            self._documents[document.doc_id] = document
+            self._doc_lengths[document.doc_id] = len(terms)
+            self._doc_term_freqs[document.doc_id] = Counter(terms)
+            self._total_terms += len(terms)
+            self._version += 1
+            self._stats_cache = None
+            for term, term_positions in positions.items():
+                postings = self._postings.get(term)
+                if postings is None:
+                    postings = self._postings[term] = PostingsList(term)
+                postings.add(
+                    Posting(
+                        document.doc_id,
+                        len(term_positions),
+                        tuple(term_positions),
+                    )
+                )
 
     def remove(self, doc_id: str) -> Document:
         """Remove and return a document; raises if absent."""
-        document = self._documents.pop(doc_id, None)
-        if document is None:
-            raise DocumentNotFoundError(doc_id)
-        self._total_terms -= self._doc_lengths.pop(doc_id)
-        self._version += 1
-        self._stats_cache = None
-        term_freqs = self._doc_term_freqs.pop(doc_id)
-        for term in term_freqs:
-            postings = self._postings[term]
-            postings.remove(doc_id)
-            if len(postings) == 0:
-                del self._postings[term]
-        return document
+        with self._lock:
+            document = self._documents.pop(doc_id, None)
+            if document is None:
+                raise DocumentNotFoundError(doc_id)
+            self._total_terms -= self._doc_lengths.pop(doc_id)
+            self._version += 1
+            self._stats_cache = None
+            term_freqs = self._doc_term_freqs.pop(doc_id)
+            for term in term_freqs:
+                postings = self._postings[term]
+                postings.remove(doc_id)
+                if len(postings) == 0:
+                    del self._postings[term]
+            return document
 
     def replace(self, document: Document) -> Document:
         """Atomically swap a document body; returns the previous version."""
-        previous = self.remove(document.doc_id)
-        self.add(document)
-        return previous
+        with self._lock:
+            previous = self.remove(document.doc_id)
+            self.add(document)
+            return previous
 
     # -- lookups -------------------------------------------------------------
 
@@ -106,18 +125,21 @@ class InvertedIndex:
         return len(self._documents)
 
     def __iter__(self) -> Iterator[Document]:
-        return iter(self._documents.values())
+        with self._lock:  # snapshot: safe to iterate during mutation
+            return iter(list(self._documents.values()))
 
     @property
     def doc_ids(self) -> list[str]:
-        return list(self._documents)
+        with self._lock:
+            return list(self._documents)
 
     def postings(self, term: str) -> PostingsList | None:
         """Postings for an *analyzed* term, or None if unindexed."""
         return self._postings.get(term)
 
     def terms(self) -> Iterator[str]:
-        return iter(self._postings)
+        with self._lock:  # snapshot: safe to iterate during mutation
+            return iter(list(self._postings))
 
     # -- statistics ----------------------------------------------------------
 
@@ -131,9 +153,10 @@ class InvertedIndex:
 
     def term_frequency(self, term: str, doc_id: str) -> int:
         """Occurrences of analyzed ``term`` in document ``doc_id``."""
-        if doc_id not in self._documents:
-            raise DocumentNotFoundError(doc_id)
-        return self._doc_term_freqs[doc_id].get(term, 0)
+        with self._lock:
+            if doc_id not in self._documents:
+                raise DocumentNotFoundError(doc_id)
+            return self._doc_term_freqs[doc_id].get(term, 0)
 
     def document_length(self, doc_id: str) -> int:
         try:
@@ -143,9 +166,10 @@ class InvertedIndex:
 
     def term_vector(self, doc_id: str) -> Counter[str]:
         """The document's analyzed term-frequency vector (a copy)."""
-        if doc_id not in self._documents:
-            raise DocumentNotFoundError(doc_id)
-        return Counter(self._doc_term_freqs[doc_id])
+        with self._lock:
+            if doc_id not in self._documents:
+                raise DocumentNotFoundError(doc_id)
+            return Counter(self._doc_term_freqs[doc_id])
 
     def term_frequencies(self, doc_id: str) -> Counter[str]:
         """The document's term-frequency vector *without copying*.
@@ -154,9 +178,10 @@ class InvertedIndex:
         must treat it as read-only. Scoring sessions use it to score
         indexed documents without re-analyzing their bodies.
         """
-        if doc_id not in self._documents:
-            raise DocumentNotFoundError(doc_id)
-        return self._doc_term_freqs[doc_id]
+        with self._lock:
+            if doc_id not in self._documents:
+                raise DocumentNotFoundError(doc_id)
+            return self._doc_term_freqs[doc_id]
 
     @property
     def version(self) -> int:
@@ -169,13 +194,14 @@ class InvertedIndex:
         return self._version
 
     def stats(self) -> CollectionStats:
-        if self._stats_cache is None:
-            self._stats_cache = CollectionStats(
-                document_count=len(self._documents),
-                total_terms=self._total_terms,
-                unique_terms=len(self._postings),
-            )
-        return self._stats_cache
+        with self._lock:
+            if self._stats_cache is None:
+                self._stats_cache = CollectionStats(
+                    document_count=len(self._documents),
+                    total_terms=self._total_terms,
+                    unique_terms=len(self._postings),
+                )
+            return self._stats_cache
 
     @property
     def average_document_length(self) -> float:

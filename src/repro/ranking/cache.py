@@ -11,6 +11,7 @@ when the ranker is a neural model).
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Sequence
 
 from repro.index.document import Document
@@ -60,6 +61,12 @@ class ScoreCache(Ranker):
     The cache is bounded: when ``max_entries`` is exceeded the oldest
     half is discarded (simple segmented eviction — predictable and
     allocation-free compared to per-hit LRU bookkeeping).
+
+    Thread-safe: the cache dict and hit/miss counters are mutated under
+    a lock (the service layer scores from multiple worker threads), but
+    the wrapped ranker computes *outside* the lock so concurrent misses
+    on different texts don't serialise. Two threads racing the same
+    uncached key may both compute it — idempotent, so harmless.
     """
 
     def __init__(self, inner: Ranker, max_entries: int = 100_000):
@@ -68,6 +75,7 @@ class ScoreCache(Ranker):
         self.inner = inner
         self.max_entries = max_entries
         self._cache: dict[tuple[str, str], float] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -80,16 +88,18 @@ class ScoreCache(Ranker):
 
     def score_text(self, query: str, body: str) -> float:
         key = (query, _text_key(body))
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
         score = self.inner.score_text(query, body)
-        if len(self._cache) >= self.max_entries:
-            for stale in list(self._cache)[: self.max_entries // 2]:
-                del self._cache[stale]
-        self._cache[key] = score
+        with self._lock:
+            if len(self._cache) >= self.max_entries:
+                for stale in list(self._cache)[: self.max_entries // 2]:
+                    del self._cache[stale]
+            self._cache[key] = score
         return score
 
     def scoring_session(

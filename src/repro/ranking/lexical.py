@@ -18,6 +18,7 @@ unchanged text.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Collection, Mapping, Sequence
 
@@ -40,6 +41,7 @@ class LexicalRanker(Ranker):
         self._stats_version = -1
         self._field_stats: FieldStats | None = None
         self._term_stats: dict[str, TermStats] = {}
+        self._stats_lock = threading.Lock()
 
     def rank(self, query: str, k: int) -> Ranking:
         require_positive(k, "k")
@@ -57,17 +59,26 @@ class LexicalRanker(Ranker):
         Rebuilt only when the index's mutation version changes, so the
         per-call :meth:`score_text` path no longer re-fetches
         ``index.stats()`` and re-creates stats objects for every scoring.
+        The rebuild-and-return happens under a lock so concurrent
+        scorers never observe a torn (stats, cache) pair mid-rebuild.
         """
-        if self._stats_version != self.index.version:
-            stats = self.index.stats()
-            self._field_stats = FieldStats(
-                document_count=stats.document_count,
-                average_document_length=stats.average_document_length,
-                total_terms=stats.total_terms,
-            )
-            self._term_stats = {}
-            self._stats_version = self.index.version
-        return self._field_stats, self._term_stats
+        with self._stats_lock:
+            # Capture the version BEFORE reading stats: re-reading it
+            # afterwards could bind stats computed at version V to a
+            # concurrent writer's V+1, pinning stale collection stats
+            # until the next mutation. Capture-before is self-correcting:
+            # at worst one extra rebuild on the next call.
+            version = self.index.version
+            if self._stats_version != version:
+                stats = self.index.stats()
+                self._field_stats = FieldStats(
+                    document_count=stats.document_count,
+                    average_document_length=stats.average_document_length,
+                    total_terms=stats.total_terms,
+                )
+                self._term_stats = {}
+                self._stats_version = version
+            return self._field_stats, self._term_stats
 
     def _term_stats_for(
         self, term: str, cache: dict[str, TermStats]

@@ -1,0 +1,30 @@
+"""The explanation service layer: async jobs, worker pool, result store.
+
+Turns the per-request speed of the engine's scoring sessions into
+system throughput: a bounded thread-pool worker service executes
+:class:`~repro.core.explain.ExplainRequest`\\ s concurrently, an async
+job queue tracks batch progress and cancellation, and a version-keyed
+result store short-circuits repeated queries until the corpus mutates.
+
+Entry point: ``engine.service()`` (see
+:meth:`repro.core.engine.CredenceEngine.service`), or construct an
+:class:`ExplanationService` directly for custom store/metrics wiring.
+"""
+
+from repro.service.jobs import ExplainJob, JobStatus
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import DEFAULT_JOB_RETENTION, ExplanationService
+from repro.service.store import ResultStore, request_fingerprint
+from repro.service.workers import DEFAULT_WORKERS, WorkerPool
+
+__all__ = [
+    "DEFAULT_JOB_RETENTION",
+    "DEFAULT_WORKERS",
+    "ExplainJob",
+    "ExplanationService",
+    "JobStatus",
+    "ResultStore",
+    "ServiceMetrics",
+    "WorkerPool",
+    "request_fingerprint",
+]

@@ -1,0 +1,99 @@
+"""Service observability: counters, gauges, and latency percentiles.
+
+One :class:`ServiceMetrics` instance per
+:class:`~repro.service.scheduler.ExplanationService`, exported verbatim
+by ``GET /metrics``. Everything is in-process and lock-guarded — the
+point is cheap steady-state visibility (queue depth, cache hit rate,
+p50/p95/p99 item latency), not a full telemetry pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.utils.validation import require_positive
+
+#: Counter names initialised to zero on every metrics instance, so the
+#: ``GET /metrics`` payload has a stable shape from the first scrape.
+#: Cache hit/miss counts deliberately live on the
+#: :class:`~repro.service.store.ResultStore` alone (single source of
+#: truth); the scheduler's snapshot merges them in.
+COUNTER_NAMES = (
+    "jobs_submitted",
+    "jobs_completed",
+    "jobs_failed",
+    "jobs_cancelled",
+    "items_executed",
+    "items_failed",
+    "items_skipped",
+)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = (q / 100.0) * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+
+
+class LatencyWindow:
+    """A bounded reservoir of recent latencies with percentile summaries."""
+
+    def __init__(self, window: int = 1024):
+        require_positive(window, "window")
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self._count += 1
+        self._total += seconds
+
+    def summary(self) -> dict:
+        ordered = sorted(self._samples)
+        return {
+            "count": self._count,
+            "mean_seconds": self._total / self._count if self._count else 0.0,
+            "p50_seconds": percentile(ordered, 50.0),
+            "p95_seconds": percentile(ordered, 95.0),
+            "p99_seconds": percentile(ordered, 99.0),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters + item-latency percentiles for one service."""
+
+    def __init__(self, latency_window: int = 1024):
+        self._lock = threading.Lock()
+        self._counters = {name: 0 for name in COUNTER_NAMES}
+        self._latency = LatencyWindow(latency_window)
+
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            if name not in self._counters:
+                raise KeyError(f"unknown counter: {name!r}")
+            self._counters[name] += by
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latency.record(seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    def snapshot(self) -> dict:
+        """A JSON-ready snapshot: counters and the latency summary."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "item_latency": self._latency.summary(),
+            }

@@ -1,0 +1,246 @@
+"""The explanation service: store-backed execution over a worker pool.
+
+:class:`ExplanationService` is the serving layer above
+:class:`~repro.core.engine.CredenceEngine`:
+
+* **sync** — :meth:`explain` runs one request through the version-keyed
+  :class:`~repro.service.store.ResultStore` (repeated queries hit
+  cache; corpus mutations invalidate automatically via the index
+  version in the key);
+* **parallel batch** — :meth:`run_batch` fans the items of one batch
+  out across the :class:`~repro.service.workers.WorkerPool` and blocks
+  for the assembled, order-preserving responses (this is what
+  ``engine.explain_batch(parallel=...)`` delegates to);
+* **async jobs** — :meth:`submit` returns an
+  :class:`~repro.service.jobs.ExplainJob` immediately; progress,
+  cancellation, and results are read off the job object
+  (``POST /jobs`` / ``GET /jobs/{id}`` / ``DELETE /jobs/{id}``).
+
+Determinism: each item executes exactly the engine's sequential
+``explain`` path (same explainers, same caches, same error envelope),
+so parallel and job results are byte-identical to sequential
+``explain_batch`` output for the same requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.explain import ExplainRequest, ExplainResponse
+from repro.errors import ConfigurationError, JobNotFoundError, ReproError
+from repro.service.jobs import ExplainJob, JobStatus
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import ResultStore
+from repro.service.workers import DEFAULT_WORKERS, WorkerPool
+from repro.utils.timing import timed
+from repro.utils.validation import require, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.core.engine import CredenceEngine
+
+#: How many finished jobs the service remembers for ``GET /jobs/{id}``.
+DEFAULT_JOB_RETENTION = 256
+
+
+class ExplanationService:
+    """Async job queue + parallel worker pool + result store, per engine."""
+
+    def __init__(
+        self,
+        engine: "CredenceEngine",
+        workers: int = DEFAULT_WORKERS,
+        store: ResultStore | None = None,
+        metrics: ServiceMetrics | None = None,
+        job_retention: int = DEFAULT_JOB_RETENTION,
+    ):
+        require_positive(job_retention, "job_retention")
+        self.engine = engine
+        self.pool = WorkerPool(workers, name="explain")
+        self.store = store if store is not None else ResultStore()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.job_retention = job_retention
+        self._jobs: OrderedDict[str, ExplainJob] = OrderedDict()
+        self._jobs_lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # -- store-backed synchronous execution -----------------------------------
+
+    def explain(self, request: ExplainRequest) -> ExplainResponse:
+        """One request through the store, computing on miss.
+
+        Mirrors :meth:`CredenceEngine.explain` exactly (including raising
+        on failure); the only difference is that a repeat of a previously
+        answered request — same fields, same ranker, same index version —
+        returns the cached response without touching the explainers.
+        """
+        version = self.engine.index.version
+        ranker_name = self.engine.ranker.name
+        cached = self.store.get(version, ranker_name, request)
+        if cached is not None:
+            return cached
+        response = self.engine.explain(request)
+        # Key on the pre-execution version: if the corpus mutated mid-
+        # request the result may reflect either state, so don't cache it.
+        if self.engine.index.version == version:
+            self.store.put(version, ranker_name, request, response)
+        return response
+
+    # -- async jobs ------------------------------------------------------------
+
+    def submit(
+        self, requests: ExplainRequest | Iterable[ExplainRequest]
+    ) -> ExplainJob:
+        """Queue a job (single request or batch); returns immediately.
+
+        Raises :class:`~repro.errors.ConfigurationError` if the pool has
+        been shut down; a shutdown racing the enqueue loop still leaves
+        the job terminal (``CANCELLED``, unqueued items skipped) so
+        nothing ever waits forever on a job the pool will never run.
+        """
+        if isinstance(requests, ExplainRequest):
+            requests = (requests,)
+        job = ExplainJob(f"job-{next(self._ids)}", tuple(requests))
+        with self._jobs_lock:
+            self._jobs[job.job_id] = job
+            while len(self._jobs) > self.job_retention:
+                oldest_id, oldest = next(iter(self._jobs.items()))
+                if not oldest.status.terminal:
+                    break  # never forget a live job
+                del self._jobs[oldest_id]
+        self.metrics.increment("jobs_submitted")
+        for position in range(job.items_total):
+            try:
+                self.pool.submit(self._item_task(job, position))
+            except ConfigurationError:
+                job.request_cancel()
+                # Items already enqueued account themselves (run or
+                # drain as skips); account the never-enqueued rest here.
+                for unqueued in range(position, job.items_total):
+                    self.metrics.increment("items_skipped")
+                    self._record_terminal(job.skip_item(unqueued))
+                raise
+        return job
+
+    def _item_task(self, job: ExplainJob, position: int):
+        def run() -> None:
+            self._run_item(job, position)
+
+        return run
+
+    def _run_item(self, job: ExplainJob, position: int) -> None:
+        if not job.start_item(position):
+            self.metrics.increment("items_skipped")
+            self._record_terminal(job.skip_item(position))
+            return
+        request = job.requests[position]
+        with timed() as elapsed:
+            try:
+                response = self.explain(request)
+            except ReproError as error:
+                response = ExplainResponse.from_error(request, error, elapsed())
+            except Exception as error:  # noqa: BLE001 - isolate, then flag
+                job.note_fatal(error)
+                response = ExplainResponse.from_error(request, error, elapsed())
+        self.metrics.record_latency(elapsed())
+        self.metrics.increment(
+            "items_executed" if response.ok else "items_failed"
+        )
+        self._record_terminal(job.finish_item(position, response))
+
+    def _record_terminal(self, status: JobStatus | None) -> None:
+        # The accounting call that finalised the job (exactly one per
+        # job) reports its terminal status here.
+        if status is None:
+            return
+        self.metrics.increment(
+            {
+                JobStatus.DONE: "jobs_completed",
+                JobStatus.FAILED: "jobs_failed",
+                JobStatus.CANCELLED: "jobs_cancelled",
+            }[status]
+        )
+
+    def job(self, job_id: str) -> ExplainJob:
+        """Look up a job by id; raises :class:`JobNotFoundError`."""
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(job_id)
+        return job
+
+    def cancel(self, job_id: str) -> ExplainJob:
+        """Request cancellation; a no-op on already-terminal jobs."""
+        job = self.job(job_id)
+        job.request_cancel()
+        return job
+
+    def jobs(self) -> list[ExplainJob]:
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    # -- parallel batch (the explain_batch(parallel=...) backend) --------------
+
+    def run_batch(
+        self, requests: Sequence[ExplainRequest]
+    ) -> list[ExplainResponse]:
+        """Execute a batch across the pool; blocks until every item is done.
+
+        Responses preserve request order and match the sequential
+        ``explain_batch`` contract: one response per request, per-item
+        latency, per-item error capture, no aborts. An item skipped
+        because the backing job was cancelled externally (the job shares
+        the REST ``job-N`` namespace) still yields an error response in
+        its position rather than silently compacting the list.
+        """
+        requests = list(requests)
+        for request in requests:
+            require(
+                isinstance(request, ExplainRequest),
+                "explain_batch items must be ExplainRequest instances",
+            )
+        job = self.submit(requests)
+        job.wait()
+        return [
+            response
+            if response is not None
+            else ExplainResponse.from_error(
+                request,
+                ReproError("item skipped: job was cancelled before execution"),
+            )
+            for request, response in zip(job.requests, job.responses)
+        ]
+
+    # -- observability & lifecycle ---------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Counters + latency + store + queue state for ``GET /metrics``."""
+        snapshot = self.metrics.snapshot()
+        snapshot["store"] = self.store.stats()
+        snapshot["cache_hit_rate"] = snapshot["store"]["hit_rate"]
+        snapshot["queue_depth"] = self.pool.queue_depth
+        snapshot["workers"] = self.pool.worker_count
+        with self._jobs_lock:
+            snapshot["jobs_tracked"] = len(self._jobs)
+        return snapshot
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop the pool.
+
+        The graceful default drains queued items first. With
+        ``cancel_pending``, live jobs are cancelled so their queued items
+        drain as skips — every job still reaches a terminal status and
+        wakes its waiters (nothing is silently dropped).
+        """
+        if cancel_pending:
+            for job in self.jobs():
+                job.request_cancel()
+        self.pool.shutdown(wait=wait, drain=True)
+
+    def __enter__(self) -> "ExplanationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,169 @@
+"""Version-keyed explanation result store (LRU + TTL).
+
+Completed :class:`~repro.core.explain.ExplainResponse`\\ s are cached by
+``(index version, ranker name, request fingerprint)``:
+
+* the **index version** is the corpus mutation counter
+  (:attr:`~repro.index.inverted.InvertedIndex.version`), so adding,
+  removing, or replacing a document automatically invalidates every
+  cached explanation — stale entries simply stop matching and age out
+  of the LRU;
+* the **ranker name** guards against an engine whose ranker is swapped
+  or compared side-by-side;
+* the **request fingerprint** is a SHA-1 over the canonical JSON of the
+  request, so two requests with identical fields share one entry no
+  matter how they were constructed.
+
+Eviction is LRU with an optional TTL; both bounds are configurable. The
+store never caches error responses. All operations are thread-safe —
+the store sits between the worker pool and the REST handlers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from repro.core.explain import ExplainRequest, ExplainResponse
+from repro.utils.validation import require_positive
+
+#: Cache key: (index version, ranker name, request fingerprint).
+StoreKey = tuple[int, str, str]
+
+
+def request_fingerprint(request: ExplainRequest) -> str:
+    """A stable digest of every request field (including ``extra``)."""
+    canonical = json.dumps(
+        request.to_dict(), sort_keys=True, ensure_ascii=False, default=repr
+    )
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Bounded, thread-safe cache of completed explanation responses.
+
+    Args:
+        max_entries: LRU capacity; the least-recently-used entry is
+            evicted when a put would exceed it.
+        ttl_seconds: optional time-to-live; entries older than this are
+            treated as absent (and dropped) on lookup. ``None`` disables
+            expiry.
+        clock: injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 2048,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        require_positive(max_entries, "max_entries")
+        if ttl_seconds is not None:
+            require_positive(ttl_seconds, "ttl_seconds")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[StoreKey, tuple[ExplainResponse, float]] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    @staticmethod
+    def key(
+        version: int, ranker_name: str, request: ExplainRequest
+    ) -> StoreKey:
+        return (version, ranker_name, request_fingerprint(request))
+
+    def get(
+        self, version: int, ranker_name: str, request: ExplainRequest
+    ) -> ExplainResponse | None:
+        """The cached response, or None on miss/expiry."""
+        key = self.key(version, ranker_name, request)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            response, stored_at = entry
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - stored_at > self.ttl_seconds
+            ):
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return response
+
+    def put(
+        self,
+        version: int,
+        ranker_name: str,
+        request: ExplainRequest,
+        response: ExplainResponse,
+    ) -> bool:
+        """Cache a successful response; error responses are refused."""
+        if not response.ok:
+            return False
+        key = self.key(version, ranker_name, request)
+        with self._lock:
+            self._entries[key] = (response, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return True
+
+    def prune(self, current_version: int) -> int:
+        """Drop entries from superseded index versions; returns the count.
+
+        Purely a space optimisation — stale versions can never match a
+        lookup again — useful after bulk corpus mutations.
+        """
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[0] != current_version
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.evictions += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot for ``GET /metrics``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "ttl_seconds": self.ttl_seconds,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+            }

@@ -1,0 +1,137 @@
+"""A bounded thread-pool worker service for explanation execution.
+
+Deliberately hand-rolled on :mod:`queue`/:mod:`threading` rather than
+``concurrent.futures``: the scheduler needs a live queue-depth gauge for
+``GET /metrics``, lazy thread start (an engine that never sees async
+traffic must not pay for idle threads), and a drain-aware graceful
+shutdown — none of which ``ThreadPoolExecutor`` exposes.
+
+Tasks are plain callables that own their error handling; a task that
+escapes with an exception is logged and the worker keeps serving (one
+bad task must not kill a worker, or the pool would silently shrink
+under load).
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import require_positive
+
+logger = logging.getLogger(__name__)
+
+#: Default worker count for a service constructed without an explicit size.
+DEFAULT_WORKERS = 4
+
+#: Queue sentinel telling one worker thread to exit.
+_STOP = object()
+
+
+class WorkerPool:
+    """Fixed-size pool of daemon worker threads over a shared FIFO queue.
+
+    Threads are created lazily on the first :meth:`submit`, so building
+    a pool (e.g. via ``engine.service()``) costs nothing until async
+    work actually arrives.
+    """
+
+    def __init__(self, workers: int = DEFAULT_WORKERS, name: str = "explain"):
+        require_positive(workers, "workers")
+        self.worker_count = workers
+        self.name = name
+        self._queue: queue.Queue = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._shutdown = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_started_locked(self) -> None:
+        if self._threads:
+            return
+        for position in range(self.worker_count):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"{self.name}-worker-{position}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._queue.get()
+            try:
+                if task is _STOP:
+                    return
+                task()
+            except Exception:  # noqa: BLE001 - keep the worker alive
+                logger.exception("worker task raised unexpectedly")
+            finally:
+                self._queue.task_done()
+
+    def submit(self, task: Callable[[], None]) -> None:
+        """Enqueue ``task``; raises once the pool has been shut down.
+
+        Check-and-enqueue happens under the lock shutdown() takes to set
+        the flag, so a task can never slip in behind the stop sentinels
+        (where it would sit unexecuted forever).
+        """
+        with self._lock:
+            if self._shutdown:
+                raise ConfigurationError("worker pool has been shut down")
+            self._ensure_started_locked()
+            self._queue.put(task)
+
+    def shutdown(self, wait: bool = True, drain: bool = True) -> None:
+        """Stop the pool.
+
+        With ``drain`` (default), queued tasks are executed before the
+        workers exit — the graceful path. With ``drain=False``, queued
+        tasks are discarded (running tasks still finish). ``wait`` joins
+        the worker threads.
+        """
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            started = list(self._threads)
+        if not drain:
+            while True:
+                try:
+                    task = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._queue.task_done()
+                del task
+        for _ in started:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in started:
+                thread.join(timeout=10)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Tasks enqueued but not yet picked up (approximate, by design)."""
+        return self._queue.qsize()
+
+    @property
+    def started(self) -> bool:
+        with self._lock:
+            return bool(self._threads)
+
+    @property
+    def is_shutdown(self) -> bool:
+        return self._shutdown
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,137 @@
+"""Unit tests for the ExplainJob status machine and item protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explain import ExplainRequest, ExplainResponse
+from repro.errors import ConfigurationError
+from repro.service.jobs import ExplainJob, JobStatus
+
+
+def _request(doc_id: str = "d1") -> ExplainRequest:
+    return ExplainRequest("covid", doc_id)
+
+
+def _response(request: ExplainRequest, error: bool = False) -> ExplainResponse:
+    if error:
+        return ExplainResponse.from_error(request, ValueError("boom"), 0.0)
+    return ExplainResponse(
+        strategy=request.strategy, query=request.query, doc_id=request.doc_id
+    )
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        job = ExplainJob("job-1", [_request()])
+        assert job.status is JobStatus.PENDING
+        assert not job.status.terminal
+        assert job.items_total == 1
+        assert job.items_done == 0
+        assert not job.wait(timeout=0.0)
+
+    def test_start_finish_reaches_done(self):
+        request = _request()
+        job = ExplainJob("job-1", [request])
+        assert job.start_item(0)
+        assert job.status is JobStatus.RUNNING
+        final = job.finish_item(0, _response(request))
+        assert final is JobStatus.DONE
+        assert job.status is JobStatus.DONE
+        assert job.wait(timeout=0.0)
+        assert job.duration_seconds is not None
+
+    def test_only_final_item_returns_terminal_status(self):
+        requests = [_request("d1"), _request("d2"), _request("d3")]
+        job = ExplainJob("job-1", requests)
+        for position in range(3):
+            assert job.start_item(position)
+        assert job.finish_item(0, _response(requests[0])) is None
+        assert job.finish_item(1, _response(requests[1])) is None
+        assert job.finish_item(2, _response(requests[2])) is JobStatus.DONE
+
+    def test_item_error_does_not_fail_the_job(self):
+        requests = [_request("d1"), _request("bad")]
+        job = ExplainJob("job-1", requests)
+        job.start_item(0)
+        job.finish_item(0, _response(requests[0]))
+        job.start_item(1)
+        job.finish_item(1, _response(requests[1], error=True))
+        assert job.status is JobStatus.DONE
+        payload = job.to_dict()
+        assert payload["items"] == ["done", "error"]
+
+    def test_fatal_marks_job_failed(self):
+        requests = [_request("d1"), _request("d2")]
+        job = ExplainJob("job-1", requests)
+        job.start_item(0)
+        job.finish_item(0, _response(requests[0]))
+        job.start_item(1)
+        job.note_fatal(RuntimeError("unexpected"))
+        final = job.finish_item(1, _response(requests[1], error=True))
+        assert final is JobStatus.FAILED
+        assert "unexpected" in job.error
+
+
+class TestCancellation:
+    def test_cancel_skips_unstarted_items(self):
+        requests = [_request("d1"), _request("d2")]
+        job = ExplainJob("job-1", requests)
+        job.start_item(0)
+        assert job.request_cancel()
+        # the running item completes and keeps its result
+        job.finish_item(0, _response(requests[0]))
+        # the queued item is skipped when a worker reaches it
+        assert not job.start_item(1)
+        final = job.skip_item(1)
+        assert final is JobStatus.CANCELLED
+        payload = job.to_dict()
+        assert payload["items"] == ["done", "skipped"]
+        assert payload["items_skipped"] == 1
+        assert payload["responses"][0] is not None
+        assert payload["responses"][1] is None
+
+    def test_cancel_on_terminal_job_is_refused(self):
+        request = _request()
+        job = ExplainJob("job-1", [request])
+        job.start_item(0)
+        job.finish_item(0, _response(request))
+        assert not job.request_cancel()
+        assert job.status is JobStatus.DONE
+
+    def test_cancel_wins_over_fatal(self):
+        request = _request()
+        job = ExplainJob("job-1", [request])
+        job.note_fatal(RuntimeError("boom"))
+        job.request_cancel()
+        assert not job.start_item(0)
+        assert job.skip_item(0) is JobStatus.CANCELLED
+
+
+class TestValidation:
+    def test_empty_request_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExplainJob("job-1", [])
+
+    def test_non_request_items_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExplainJob("job-1", [{"query": "covid", "doc_id": "d1"}])
+
+
+class TestSerialisation:
+    def test_to_dict_shape(self):
+        request = _request()
+        job = ExplainJob("job-7", [request])
+        payload = job.to_dict()
+        assert payload["job_id"] == "job-7"
+        assert payload["status"] == "pending"
+        assert payload["items"] == ["pending"]
+        assert payload["responses"] == [None]
+        assert payload["items_total"] == 1
+        assert payload["cancel_requested"] is False
+
+    def test_to_dict_without_responses(self):
+        job = ExplainJob("job-7", [_request()])
+        payload = job.to_dict(include_responses=False)
+        assert "responses" not in payload
+        assert payload["items"] == ["pending"]

@@ -1,0 +1,144 @@
+"""Acceptance: parallel execution is byte-identical to the sequential path.
+
+Runs the same request workload through sequential ``explain_batch``,
+``explain_batch(parallel=4)``, and the async job path, and compares the
+serialised payloads byte-for-byte (modulo wall-clock timing, which is
+measurement, not result). The workload repeats requests so the parallel
+paths also exercise the result store — cached responses must be the
+same bytes too.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.core.explain import ExplainRequest
+from repro.datasets.covid import DEMO_QUERY, FAKE_NEWS_DOC_ID, covid_corpus
+
+
+def _strip_timing(payload: dict) -> dict:
+    cleaned = dict(payload)
+    cleaned.pop("elapsed_seconds", None)
+    return cleaned
+
+
+def _canonical(responses) -> list[str]:
+    return [
+        json.dumps(_strip_timing(response.to_dict()), sort_keys=True)
+        for response in responses
+    ]
+
+
+def _workload(doc_ids: list[str]) -> list[ExplainRequest]:
+    requests = []
+    for doc_id in doc_ids:
+        requests.append(ExplainRequest(DEMO_QUERY, doc_id, k=10))
+        requests.append(
+            ExplainRequest(
+                DEMO_QUERY,
+                doc_id,
+                strategy="query/augmentation",
+                n=2,
+                k=10,
+                threshold=2,
+            )
+        )
+        requests.append(
+            ExplainRequest(DEMO_QUERY, doc_id, strategy="document/greedy", k=10)
+        )
+    # repeats: the parallel path answers these from the result store
+    return requests + requests[: len(requests) // 2]
+
+
+@pytest.fixture(scope="module")
+def fresh_engine():
+    def build() -> CredenceEngine:
+        return CredenceEngine(
+            covid_corpus(), EngineConfig(ranker="bm25", seed=5)
+        )
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def doc_ids(fresh_engine) -> list[str]:
+    ranking = fresh_engine().rank(DEMO_QUERY, 10)
+    ids = [entry.doc_id for entry in ranking][:3]
+    assert FAKE_NEWS_DOC_ID in set(
+        entry.doc_id for entry in ranking
+    )
+    return ids
+
+
+class TestParallelEquivalence:
+    def test_parallel_batch_matches_sequential(self, fresh_engine, doc_ids):
+        requests = _workload(doc_ids)
+        sequential = fresh_engine().explain_batch(requests)
+        parallel_engine = fresh_engine()
+        try:
+            parallel = parallel_engine.explain_batch(requests, parallel=4)
+        finally:
+            parallel_engine.service().shutdown()
+        assert _canonical(parallel) == _canonical(sequential)
+
+    def test_job_results_match_sequential(self, fresh_engine, doc_ids):
+        requests = _workload(doc_ids)
+        sequential = fresh_engine().explain_batch(requests)
+        engine = fresh_engine()
+        service = engine.service(workers=4)
+        try:
+            job = service.submit(requests)
+            assert job.wait(timeout=120)
+            assert _canonical(job.responses) == _canonical(sequential)
+            assert service.store.hits > 0  # the repeats hit the cache
+        finally:
+            service.shutdown()
+
+    def test_error_items_match_sequential(self, fresh_engine):
+        requests = [
+            ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID, k=10),
+            ExplainRequest(DEMO_QUERY, "no-such-document", k=10),
+            ExplainRequest(DEMO_QUERY, FAKE_NEWS_DOC_ID, k=10, n=2),
+        ]
+        sequential = fresh_engine().explain_batch(requests)
+        engine = fresh_engine()
+        try:
+            parallel = engine.explain_batch(requests, parallel=2)
+        finally:
+            engine.service().shutdown()
+        assert _canonical(parallel) == _canonical(sequential)
+
+    def test_parallel_true_uses_the_service_pool(self, fresh_engine, doc_ids):
+        """Regression: True == 1 in Python, so a naive `parallel != 1`
+        guard silently routed parallel=True to the sequential loop."""
+        requests = _workload(doc_ids)[:4]
+        engine = fresh_engine()
+        try:
+            responses = engine.explain_batch(requests, parallel=True)
+            assert engine._service is not None  # the pool really ran
+            assert engine.service().metrics.counter("jobs_submitted") == 1
+            assert _canonical(responses) == _canonical(
+                fresh_engine().explain_batch(requests)
+            )
+        finally:
+            engine.service().shutdown()
+
+    def test_sequential_path_unaffected_by_parallel_flag_values(
+        self, fresh_engine, doc_ids
+    ):
+        requests = _workload(doc_ids)[:3]
+        engine = fresh_engine()
+        baseline = engine.explain_batch(requests)
+        assert _canonical(engine.explain_batch(requests, parallel=None)) == (
+            _canonical(baseline)
+        )
+        assert _canonical(engine.explain_batch(requests, parallel=False)) == (
+            _canonical(baseline)
+        )
+        assert _canonical(engine.explain_batch(requests, parallel=1)) == (
+            _canonical(baseline)
+        )
+        assert engine._service is None  # those flags never built a service

@@ -1,0 +1,135 @@
+"""Unit tests for the version-keyed LRU+TTL result store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explain import ExplainRequest, ExplainResponse
+from repro.errors import ConfigurationError
+from repro.service.store import ResultStore, request_fingerprint
+
+
+def _request(**overrides) -> ExplainRequest:
+    fields = {"query": "covid outbreak", "doc_id": "d1"}
+    fields.update(overrides)
+    return ExplainRequest(**fields)
+
+
+def _response(request: ExplainRequest) -> ExplainResponse:
+    return ExplainResponse(
+        strategy=request.strategy,
+        query=request.query,
+        doc_id=request.doc_id,
+        elapsed_seconds=0.01,
+    )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestFingerprint:
+    def test_identical_requests_share_a_fingerprint(self):
+        assert request_fingerprint(_request()) == request_fingerprint(_request())
+
+    def test_any_field_change_alters_the_fingerprint(self):
+        base = request_fingerprint(_request())
+        assert request_fingerprint(_request(n=2)) != base
+        assert request_fingerprint(_request(k=5)) != base
+        assert request_fingerprint(_request(doc_id="d2")) != base
+        assert request_fingerprint(_request(extra={"alpha": 1})) != base
+
+
+class TestRoundTrip:
+    def test_put_then_get(self):
+        store = ResultStore()
+        request, response = _request(), _response(_request())
+        assert store.put(3, "BM25", request, response)
+        assert store.get(3, "BM25", request) is response
+        assert store.hits == 1
+
+    def test_miss_on_version_change(self):
+        store = ResultStore()
+        request = _request()
+        store.put(3, "BM25", request, _response(request))
+        assert store.get(4, "BM25", request) is None
+
+    def test_miss_on_ranker_change(self):
+        store = ResultStore()
+        request = _request()
+        store.put(3, "BM25", request, _response(request))
+        assert store.get(3, "TfIdf", request) is None
+
+    def test_error_responses_are_refused(self):
+        store = ResultStore()
+        request = _request()
+        failed = ExplainResponse.from_error(request, ValueError("boom"), 0.0)
+        assert not store.put(3, "BM25", request, failed)
+        assert store.get(3, "BM25", request) is None
+        assert len(store) == 0
+
+
+class TestEviction:
+    def test_lru_evicts_least_recently_used(self):
+        store = ResultStore(max_entries=2)
+        first, second, third = _request(), _request(n=2), _request(n=3)
+        store.put(1, "BM25", first, _response(first))
+        store.put(1, "BM25", second, _response(second))
+        store.get(1, "BM25", first)  # refresh first; second is now LRU
+        store.put(1, "BM25", third, _response(third))
+        assert store.get(1, "BM25", first) is not None
+        assert store.get(1, "BM25", second) is None
+        assert store.evictions == 1
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        store = ResultStore(ttl_seconds=10.0, clock=clock)
+        request = _request()
+        store.put(1, "BM25", request, _response(request))
+        clock.now = 9.0
+        assert store.get(1, "BM25", request) is not None
+        clock.now = 11.0
+        assert store.get(1, "BM25", request) is None
+        assert store.expirations == 1
+        assert len(store) == 0
+
+    def test_prune_drops_stale_versions(self):
+        store = ResultStore()
+        old, current = _request(), _request(n=2)
+        store.put(1, "BM25", old, _response(old))
+        store.put(2, "BM25", current, _response(current))
+        assert store.prune(current_version=2) == 1
+        assert len(store) == 1
+        assert store.get(2, "BM25", current) is not None
+
+    def test_clear(self):
+        store = ResultStore()
+        request = _request()
+        store.put(1, "BM25", request, _response(request))
+        store.clear()
+        assert len(store) == 0
+
+
+class TestStats:
+    def test_snapshot_shape(self):
+        store = ResultStore(max_entries=7, ttl_seconds=5.0)
+        request = _request()
+        store.get(1, "BM25", request)
+        store.put(1, "BM25", request, _response(request))
+        store.get(1, "BM25", request)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 7
+        assert stats["ttl_seconds"] == 5.0
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResultStore(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            ResultStore(ttl_seconds=0.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the bounded worker pool."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.workers import WorkerPool
+
+
+class TestLifecycle:
+    def test_threads_start_lazily(self):
+        pool = WorkerPool(workers=2)
+        assert not pool.started
+        done = threading.Event()
+        pool.submit(done.set)
+        assert done.wait(5)
+        assert pool.started
+        pool.shutdown()
+
+    def test_tasks_run_concurrently(self):
+        pool = WorkerPool(workers=4)
+        barrier = threading.Barrier(4, timeout=5)
+        results = []
+
+        def task():
+            barrier.wait()  # only passes if 4 workers run at once
+            results.append(threading.current_thread().name)
+
+        for _ in range(4):
+            pool.submit(task)
+        pool.shutdown(wait=True)
+        assert len(results) == 4
+        assert len(set(results)) == 4
+
+    def test_graceful_shutdown_drains_queued_tasks(self):
+        pool = WorkerPool(workers=1)
+        executed = []
+        gate = threading.Event()
+        pool.submit(lambda: gate.wait(5))
+        for position in range(5):
+            pool.submit(lambda position=position: executed.append(position))
+        gate.set()
+        pool.shutdown(wait=True)
+        assert executed == [0, 1, 2, 3, 4]
+
+    def test_shutdown_without_drain_discards_queued_tasks(self):
+        pool = WorkerPool(workers=1)
+        executed = []
+        gate = threading.Event()
+        pool.submit(lambda: gate.wait(5))
+        time.sleep(0.05)  # let the worker block on the gate
+        pool.submit(lambda: executed.append("queued"))
+        # Release the gate only after shutdown has discarded the queue.
+        threading.Timer(0.1, gate.set).start()
+        pool.shutdown(wait=True, drain=False)
+        assert executed == []
+
+    def test_submit_after_shutdown_raises(self):
+        pool = WorkerPool(workers=1)
+        pool.shutdown()
+        with pytest.raises(ConfigurationError):
+            pool.submit(lambda: None)
+
+    def test_shutdown_twice_is_idempotent(self):
+        pool = WorkerPool(workers=1)
+        pool.submit(lambda: None)
+        pool.shutdown()
+        pool.shutdown()
+        assert pool.is_shutdown
+
+
+class TestRobustness:
+    def test_worker_survives_a_raising_task(self):
+        pool = WorkerPool(workers=1)
+        done = threading.Event()
+
+        def bad():
+            raise RuntimeError("task bug")
+
+        pool.submit(bad)
+        pool.submit(done.set)
+        assert done.wait(5)
+        pool.shutdown()
+
+    def test_queue_depth_reports_backlog(self):
+        pool = WorkerPool(workers=1)
+        gate = threading.Event()
+        pool.submit(lambda: gate.wait(5))
+        time.sleep(0.05)  # let the worker pick up the blocking task
+        for _ in range(3):
+            pool.submit(lambda: None)
+        assert pool.queue_depth == 3
+        gate.set()
+        pool.shutdown(wait=True)
+        assert pool.queue_depth == 0
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(workers=0)

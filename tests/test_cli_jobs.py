@@ -1,0 +1,122 @@
+"""CLI tests for the ``jobs`` subcommands and ``serve --workers``
+(in-process ``main()`` against a live threading server)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.app import serve
+from repro.cli import build_parser, main
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.index.document import Document
+
+QUERY = "covid outbreak"
+DOC = "d5"
+
+DOCS = [
+    Document("d5", "The covid outbreak spread quickly. Experts dismissed "
+                   "the covid outbreak rumours. Officials promised tests."),
+    Document("d6", "City officials denied rumours about the outbreak "
+                   "response. A press briefing is scheduled."),
+    Document("d7", "Stock markets rallied as tech shares gained value."),
+    Document("d8", "The flu season arrived early with many sick patients."),
+]
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    engine = CredenceEngine(DOCS, EngineConfig(ranker="bm25", seed=5))
+    server = serve(engine, port=0, workers=2)
+    yield server
+    server.stop()
+    engine.service().shutdown()
+
+
+class TestJobsCli:
+    def test_submit_wait_and_status(self, capsys, live_server):
+        code = main(
+            [
+                "jobs", "submit",
+                "--url", live_server.url,
+                "--query", QUERY,
+                "--doc", DOC,
+                "--k", "5",
+                "--wait",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["status"] == "done"
+        assert payload["items"] == ["done"]
+
+        code = main(
+            ["jobs", "status", payload["job_id"], "--url", live_server.url]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert payload["job_id"] in out and "done" in out
+
+    def test_submit_batch_renders_items(self, capsys, live_server):
+        code = main(
+            [
+                "jobs", "submit",
+                "--url", live_server.url,
+                "--query", QUERY,
+                "--doc", DOC,
+                "--doc", "missing-doc",
+                "--k", "5",
+                "--wait",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # per-item errors don't fail the job
+        assert "item 0: done" in out
+        assert "item 1: error" in out
+
+    def test_cancel(self, capsys, live_server):
+        main(
+            [
+                "jobs", "submit",
+                "--url", live_server.url,
+                "--query", QUERY,
+                "--doc", DOC,
+                "--k", "5",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        code = main(
+            ["jobs", "cancel", payload["job_id"], "--url", live_server.url]
+        )
+        assert code == 0
+        assert payload["job_id"] in capsys.readouterr().out
+
+    def test_unknown_job_exits_2(self, capsys, live_server):
+        code = main(
+            ["jobs", "status", "job-does-not-exist", "--url", live_server.url]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown job id" in captured.err
+
+    def test_unreachable_service_exits_2(self, capsys):
+        code = main(
+            ["jobs", "status", "job-1", "--url", "http://127.0.0.1:1",
+             "--timeout", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot reach service" in captured.err
+
+
+class TestServeParser:
+    def test_serve_accepts_workers(self):
+        args = build_parser().parse_args(["serve", "--workers", "8"])
+        assert args.workers == 8
+
+    def test_serve_workers_default_is_none(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers is None
