@@ -1,0 +1,253 @@
+"""Search-strategy comparison — exhaustive vs greedy vs beam vs anytime.
+
+One synthetic instance whose minimal counterfactual needs *three*
+sentence removals pits the kernel's strategies against each other on
+identical candidate spaces:
+
+* exhaustive proves minimality but wades through every smaller subset;
+* greedy answers in O(m) evaluations, possibly over-removing;
+* beam reaches the multi-edit counterfactual where *single-edit*
+  exhaustive provably fails (the acceptance scenario);
+* anytime returns its best-so-far within a wall-clock deadline,
+  asserted respected within 10%.
+
+Full runs write ``BENCH_search_strategies.json`` next to this file
+(checked in). ``SEARCH_SMOKE=1`` (used by ``scripts/check.sh``) runs a
+single quick round with relaxed timing assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.document_cf import CounterfactualDocumentExplainer
+from repro.core.search import SearchBudget
+from repro.eval.reporting import Table
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.ranking.bm25 import Bm25Ranker
+
+QUERY = "covid outbreak"
+K = 10
+#: Minimal counterfactual of size 3 — single-edit search must fail.
+TARGET = "multi-edit-target"
+#: 32-sentence instance for the anytime deadline run: refinement below
+#: the greedy incumbent spans thousands of candidates.
+WIDE_TARGET = "wide-target"
+SMOKE = os.environ.get("SEARCH_SMOKE") == "1"
+ROUNDS = 1 if SMOKE else 5
+DEADLINE_MS = 50.0
+#: Acceptance: the anytime deadline is respected within 10% (relaxed in
+#: smoke mode so a loaded CI box doesn't flake the gate).
+DEADLINE_SLACK = 1.5 if SMOKE else 1.10
+JSON_PATH = Path(__file__).with_name("BENCH_search_strategies.json")
+
+_FILLER = [
+    "City crews repaired the bridge lighting over the weekend",
+    "A local bakery won the regional pastry award",
+    "The library extended its evening opening hours",
+    "Transit planners sketched a new tram corridor",
+    "Volunteers cleaned the riverside path on Sunday",
+    "The museum unveiled a restored mural in the foyer",
+    "A startup demonstrated delivery robots downtown",
+    "The orchestra announced its spring programme",
+    "Farmers reported a strong cherry harvest",
+]
+
+# Query terms spread over three separated sentences of a 12-sentence
+# body: no one- or two-sentence removal demotes the document, so the
+# minimal counterfactual has size 3.
+_TARGET_BODY = ". ".join(
+    [
+        "The covid outbreak dominated the council meeting",
+        _FILLER[0],
+        _FILLER[1],
+        "Officials tied the covid outbreak to travel patterns",
+        _FILLER[2],
+        _FILLER[3],
+        _FILLER[4],
+        "Residents asked how the covid outbreak would affect schools",
+        _FILLER[5],
+        _FILLER[6],
+        _FILLER[7],
+        _FILLER[8],
+    ]
+) + "."
+
+
+def _wide_body() -> str:
+    parts = []
+    for j in range(8):
+        parts.append(f"District {j} tracked the covid outbreak closely")
+        parts.append(_FILLER[j % 9])
+        parts.append(f"Clinic {j} shared routine figures")
+        parts.append(_FILLER[(j + 3) % 9])
+    return ". ".join(parts) + "."
+
+
+def _corpus() -> list[Document]:
+    documents = [
+        Document(TARGET, _TARGET_BODY),
+        Document(WIDE_TARGET, _wide_body()),
+    ]
+    for i in range(K - 2):
+        documents.append(
+            Document(
+                f"covid-{i:02d}",
+                f"The covid outbreak filled hospitals in area {i}. "
+                f"Covid outbreak wards expanded. {_FILLER[i % 9]}.",
+            )
+        )
+    documents.append(
+        Document(
+            "covid-weak",
+            f"A covid briefing closed quietly. {_FILLER[0]}. {_FILLER[1]}. "
+            f"{_FILLER[2]}. {_FILLER[3]}. {_FILLER[4]}.",
+        )
+    )
+    for i in range(8):
+        documents.append(
+            Document(
+                f"noise-{i:02d}",
+                f"{_FILLER[i % 9]}. {_FILLER[(i + 2) % 9]}. "
+                f"Markets moved on item {i}.",
+            )
+        )
+    return documents
+
+
+@pytest.fixture(scope="module")
+def ranker():
+    return Bm25Ranker(InvertedIndex.from_documents(_corpus()))
+
+
+def _timed_explain(ranker, target, rounds=ROUNDS, **options):
+    explainer = CounterfactualDocumentExplainer(ranker, max_evaluations=100_000)
+    result = None
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = explainer.explain(QUERY, target, n=1, k=K, **options)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _row(label, seconds, result) -> dict:
+    return {
+        "search": label,
+        "found": len(result),
+        "explanation_size": result[0].size if len(result) else None,
+        "candidates_evaluated": result.candidates_evaluated,
+        "physical_scorings": result.physical_scorings,
+        "seconds": round(seconds, 6),
+        "budget_exhausted": result.budget_exhausted,
+        "deadline_exceeded": result.deadline_exceeded,
+        "search_exhausted": result.search_exhausted,
+    }
+
+
+def test_search_strategy_matrix(ranker, capsys):
+    rows = []
+
+    # The acceptance scenario: single-edit exhaustive provably fails...
+    single_seconds, single = _timed_explain(
+        ranker, TARGET, search="exhaustive",
+    )
+    single_explainer = CounterfactualDocumentExplainer(ranker, max_removals=1)
+    single_edit = single_explainer.explain(QUERY, TARGET, n=1, k=K)
+    assert len(single_edit) == 0 and single_edit.search_exhausted
+    rows.append(_row("exhaustive(max_removals=1)", 0.0, single_edit))
+
+    # ...while every full strategy reaches the multi-edit counterfactual.
+    rows.append(_row("exhaustive", single_seconds, single))
+    for label in ("greedy", "beam", "anytime"):
+        seconds, result = _timed_explain(ranker, TARGET, search=label)
+        rows.append(_row(label, seconds, result))
+        assert len(result) >= 1, f"{label} found no counterfactual"
+        assert result[0].size >= 2, f"{label} result should be multi-edit"
+
+    by_search = {row["search"]: row for row in rows}
+    assert by_search["exhaustive"]["explanation_size"] == 3
+    # Greedy's whole point: an answer in O(m) evaluations.
+    assert (
+        by_search["greedy"]["candidates_evaluated"]
+        < by_search["exhaustive"]["candidates_evaluated"]
+    )
+    # Beam reaches the multi-edit counterfactual the single-edit search
+    # missed, well under the exhaustive size-2 tier it skips.
+    assert by_search["beam"]["found"] >= 1
+    assert (
+        by_search["beam"]["candidates_evaluated"]
+        < by_search["exhaustive"]["candidates_evaluated"]
+    )
+
+    # Anytime under a wall-clock deadline: best-so-far, on time. The
+    # deadline governs the *search*; explain() additionally pays a fixed
+    # setup cost (pool retrieval, session baseline, sentence split), so
+    # measure that setup with a near-empty budget and subtract it.
+    setup_seconds, _ = _timed_explain(
+        ranker,
+        WIDE_TARGET,
+        rounds=1,
+        search="anytime",
+        budget=SearchBudget(max_evaluations=1),
+    )
+    deadline_seconds, deadline_result = _timed_explain(
+        ranker,
+        WIDE_TARGET,
+        rounds=1,
+        search="anytime",
+        budget=SearchBudget(deadline_ms=DEADLINE_MS),
+    )
+    search_ms = (deadline_seconds - setup_seconds) * 1000
+    deadline_row = _row("anytime(deadline)", deadline_seconds, deadline_result)
+    deadline_row["deadline_ms"] = DEADLINE_MS
+    deadline_row["search_ms"] = round(search_ms, 2)
+    rows.append(deadline_row)
+    assert deadline_result.deadline_exceeded, (
+        "the wide instance must be large enough to exceed the deadline"
+    )
+    assert len(deadline_result) >= 1, "anytime must keep its incumbent"
+    assert search_ms <= DEADLINE_MS * DEADLINE_SLACK, (
+        f"anytime overshot the deadline: search took {search_ms:.1f} ms "
+        f"vs {DEADLINE_MS} ms (allowed {DEADLINE_SLACK}x)"
+    )
+
+    table = Table(
+        ["search", "found", "size", "cands", "seconds",
+         "budget/deadline/exhausted"],
+        title=f"search strategies on a size-3 counterfactual (k={K})",
+    )
+    for row in rows:
+        table.add(
+            row["search"],
+            row["found"],
+            row["explanation_size"],
+            row["candidates_evaluated"],
+            row["seconds"],
+            f"{row['budget_exhausted']}/{row['deadline_exceeded']}"
+            f"/{row['search_exhausted']}",
+        )
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    if not SMOKE:
+        JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "query": QUERY,
+                    "k": K,
+                    "rounds": ROUNDS,
+                    "deadline_ms": DEADLINE_MS,
+                    "results": rows,
+                },
+                indent=2,
+            )
+            + "\n"
+        )

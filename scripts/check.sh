@@ -15,6 +15,15 @@ echo "== scoring-session equivalence (session == naive re-ranking) =="
 python -m pytest -q tests/ranking/test_session_equivalence.py
 
 echo
+echo "== search kernel: budgets, strategies, pre-refactor equivalence =="
+python -m pytest -q tests/core/test_search_budget.py \
+    tests/core/test_search_strategies.py tests/core/test_search_equivalence.py
+
+echo
+echo "== smoke: search-strategy benchmark (beam multi-edit, anytime deadline) =="
+SEARCH_SMOKE=1 python -m pytest -q benchmarks/bench_search_strategies.py
+
+echo
 echo "== smoke: API dispatch benchmark (overhead budget < 5%) =="
 python -m pytest -q benchmarks/bench_api_dispatch.py
 

@@ -27,6 +27,12 @@ reports per-item latency — pass ``parallel=N`` to fan it out across the
 engine's explanation service (``engine.service()``: async jobs, a
 bounded worker pool, and a version-keyed result store).
 
+Every family runs on one counterfactual search kernel
+(:mod:`repro.core.search`): pick the exploration strategy per request
+with ``search="exhaustive" | "greedy" | "beam" | "anytime"`` plus
+``beam_width``/``budget``/``deadline_ms`` — see docs/API.md
+("Search strategies & budgets").
+
 See :mod:`repro.core` for the explainers and registry, :mod:`repro.api`
 for the REST service, :mod:`repro.service` for the serving layer, and
 docs/API.md for the request/response model.
@@ -42,6 +48,14 @@ from repro.demo import (
     FAKE_NEWS_DOC_ID,
     NEAR_COPY_DOC_ID,
     demo_engine,
+)
+from repro.core.search import (
+    SEARCH_STRATEGIES,
+    AnytimeSearch,
+    BeamSearch,
+    ExhaustiveSearch,
+    GreedySearch,
+    SearchBudget,
 )
 from repro.errors import ReproError
 from repro.index.document import Document
@@ -67,6 +81,12 @@ __all__ = [
     "FAKE_NEWS_DOC_ID",
     "NEAR_COPY_DOC_ID",
     "demo_engine",
+    "SEARCH_STRATEGIES",
+    "AnytimeSearch",
+    "BeamSearch",
+    "ExhaustiveSearch",
+    "GreedySearch",
+    "SearchBudget",
     "ReproError",
     "Document",
     "ExplainJob",

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.core.explain import DEFAULT_STRATEGY, ExplainRequest
+from repro.core.search import DEFAULT_BEAM_WIDTH, SEARCH_STRATEGIES
 from repro.core.perturbations import (
     AppendText,
     Perturbation,
@@ -51,6 +52,41 @@ def _int_field(
     if maximum is not None and value > maximum:
         raise BadRequestError(f"{name!r} must be ≤ {maximum}")
     return value
+
+
+def _optional_int_field(
+    body: Mapping[str, Any],
+    name: str,
+    minimum: int = 1,
+    maximum: int | None = None,
+) -> int | None:
+    """An integer field whose absence (or JSON null) means "no value"."""
+    if body.get(name) is None:
+        return None
+    return _int_field(body, name, minimum=minimum, maximum=maximum)
+
+
+def _optional_number_field(
+    body: Mapping[str, Any], name: str, maximum: float | None = None
+) -> float | None:
+    """A positive int-or-float field; absent/null means "no value"."""
+    value = body.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequestError(f"{name!r} must be a number")
+    if value <= 0:
+        raise BadRequestError(f"{name!r} must be positive")
+    if maximum is not None and value > maximum:
+        raise BadRequestError(f"{name!r} must be ≤ {maximum:g}")
+    return float(value)
+
+
+#: Per-request ceilings on the search-kernel options. Explainers keep a
+#: 2000-evaluation default; a request may raise it, but never beyond
+#: these bounds — one HTTP request must not pin a worker indefinitely.
+MAX_REQUEST_BUDGET = 1_000_000
+MAX_REQUEST_DEADLINE_MS = 60_000.0
 
 
 @dataclass(frozen=True)
@@ -111,12 +147,17 @@ def parse_explain_request(body: Any) -> ExplainRequest:
 
     The strategy name is validated later against the engine's registry
     (so plug-in strategies work without touching this module); this
-    parser only enforces field shapes. Unknown fields are rejected so a
-    typo'd or legacy-shaped body (e.g. ``method``) cannot silently fall
-    back to the default strategy.
+    parser only enforces field shapes. The *search* strategy, by
+    contrast, is a closed set — unknown names are rejected here with a
+    clean 400. Unknown fields are rejected so a typo'd or legacy-shaped
+    body (e.g. ``method``) cannot silently fall back to the default
+    strategy.
     """
     data = _require_mapping(body)
-    known = {"query", "doc_id", "strategy", "n", "k", "threshold", "samples", "extra"}
+    known = {
+        "query", "doc_id", "strategy", "n", "k", "threshold", "samples",
+        "search", "beam_width", "budget", "deadline_ms", "extra",
+    }
     unknown = set(data) - known
     if unknown:
         raise BadRequestError(
@@ -125,6 +166,11 @@ def parse_explain_request(body: Any) -> ExplainRequest:
     strategy = data.get("strategy", DEFAULT_STRATEGY)
     if not isinstance(strategy, str) or not strategy.strip():
         raise BadRequestError("'strategy' must be a non-empty string")
+    search = data.get("search")
+    if search is not None and search not in SEARCH_STRATEGIES:
+        raise BadRequestError(
+            f"'search' must be one of {SEARCH_STRATEGIES}, got {search!r}"
+        )
     extra = data.get("extra", {})
     if not isinstance(extra, Mapping):
         raise BadRequestError("'extra' must be a JSON object")
@@ -136,6 +182,12 @@ def parse_explain_request(body: Any) -> ExplainRequest:
         k=_int_field(data, "k", 10),
         threshold=_int_field(data, "threshold", 1),
         samples=_int_field(data, "samples", 50),
+        search=search,
+        beam_width=_int_field(data, "beam_width", DEFAULT_BEAM_WIDTH, maximum=64),
+        budget=_optional_int_field(data, "budget", maximum=MAX_REQUEST_BUDGET),
+        deadline_ms=_optional_number_field(
+            data, "deadline_ms", maximum=MAX_REQUEST_DEADLINE_MS
+        ),
         extra=dict(extra),
     )
 

@@ -14,6 +14,8 @@ bundled demo corpus). Every explanation family runs through one
         --doc covid-fake-5g --strategy query/augmentation --n 7 --threshold 2
     python -m repro.cli explain --query "covid outbreak" \
         --doc covid-fake-5g --strategy instance/cosine --samples 30
+    python -m repro.cli explain --query "covid outbreak" \
+        --doc covid-fake-5g --search beam --beam-width 4 --budget 5000
     python -m repro.cli builder --query "covid outbreak" \
         --doc covid-fake-5g --replace covid=flu --remove outbreak
     python -m repro.cli serve --port 8091 --workers 8
@@ -45,6 +47,7 @@ from repro.core.engine import CredenceEngine, EngineConfig, RANKER_CHOICES
 from repro.core.explain import ExplainRequest, ExplainResponse
 from repro.core.perturbations import Perturbation, RemoveTerm, ReplaceTerm
 from repro.core.registry import DEFAULT_REGISTRY, STRATEGY_ALIASES
+from repro.core.search import DEFAULT_BEAM_WIDTH, SEARCH_STRATEGIES
 from repro.datasets.loaders import load_jsonl
 from repro.datasets.queries import sample_queries
 from repro.demo import demo_engine
@@ -170,6 +173,10 @@ def _run_explain(
         k=args.k,
         threshold=getattr(args, "threshold", 1),
         samples=getattr(args, "samples", 50),
+        search=getattr(args, "search", None),
+        beam_width=getattr(args, "beam_width", DEFAULT_BEAM_WIDTH),
+        budget=getattr(args, "budget", None),
+        deadline_ms=getattr(args, "deadline_ms", None),
     )
     response = engine.explain(request)
     renderer = _RENDERERS.get(response.strategy)
@@ -323,6 +330,14 @@ def _with_connection_errors(handler):
 
 
 def _cmd_jobs_submit(args: argparse.Namespace) -> int:
+    search_options = {}
+    if args.search is not None:
+        search_options["search"] = args.search
+        search_options["beam_width"] = args.beam_width
+    if args.budget is not None:
+        search_options["budget"] = args.budget
+    if args.deadline_ms is not None:
+        search_options["deadline_ms"] = args.deadline_ms
     requests = [
         {
             "query": args.query,
@@ -332,6 +347,7 @@ def _cmd_jobs_submit(args: argparse.Namespace) -> int:
             "k": args.k,
             "threshold": args.threshold,
             "samples": args.samples,
+            **search_options,
         }
         for doc in args.doc
     ]
@@ -392,6 +408,34 @@ def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_search_options(parser: argparse.ArgumentParser) -> None:
+    """The counterfactual search-kernel knobs shared by explain/jobs."""
+    parser.add_argument(
+        "--search",
+        default=None,
+        choices=SEARCH_STRATEGIES,
+        help="search strategy (default: the explanation family's own)",
+    )
+    parser.add_argument(
+        "--beam-width",
+        type=int,
+        default=DEFAULT_BEAM_WIDTH,
+        help=f"frontier width for --search beam (default {DEFAULT_BEAM_WIDTH})",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="cap on candidate evaluations (default: family budget)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="wall-clock bound on the search in milliseconds",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CREDENCE counterfactual ranking explanations"
@@ -422,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--samples", type=int, default=50, help="sample count (instance/cosine)"
     )
+    _add_search_options(explain)
     explain.set_defaults(handler=_cmd_explain)
 
     strategies = commands.add_parser(
@@ -529,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--k", type=int, default=10)
     submit.add_argument("--threshold", type=int, default=1)
     submit.add_argument("--samples", type=int, default=50)
+    _add_search_options(submit)
     submit.add_argument(
         "--wait", action="store_true", help="block until the job finishes"
     )

@@ -23,8 +23,17 @@ from repro.ranking.rerank import (
     rank_with_substitution,
 )
 from repro.core.perturbations import Perturbation, apply_all
+from repro.core.search import (
+    ExhaustiveSearch,
+    PerturbationEditProblem,
+    SearchBudget,
+    SearchStrategy,
+    UNLIMITED,
+    resolve_strategy,
+)
+from repro.core.types import EditSearchExplanation, ExplanationSet
 from repro.core.validity import is_non_relevant
-from repro.utils.validation import require_positive
+from repro.utils.validation import require, require_positive
 
 
 @dataclass(frozen=True)
@@ -144,3 +153,48 @@ class CounterfactualBuilder:
         original = self.ranker.index.document(doc_id)
         edited_body = apply_all(original.body, perturbations)
         return self.rerank_edited(query, doc_id, edited_body, k)
+
+    def search_edits(
+        self,
+        query: str,
+        doc_id: str,
+        perturbations: Sequence[Perturbation],
+        k: int = 10,
+        n: int = 1,
+        *,
+        search: SearchStrategy | str | None = None,
+        budget: SearchBudget | None = None,
+    ) -> ExplanationSet[EditSearchExplanation]:
+        """Find minimal subsets of scripted edits that flip the ranking.
+
+        Where :meth:`apply_and_rerank` applies *all* the user's edits at
+        once, this poses them as a
+        :class:`~repro.core.search.problems.PerturbationEditProblem` and
+        lets a search strategy find the smallest combination (applied in
+        the user's order) that demotes the document beyond ``k`` —
+        "which of my edits actually mattered?".
+        """
+        require_positive(k, "k")
+        require_positive(n, "n")
+        require(bool(perturbations), "perturbations must be non-empty")
+        session, baseline, _ = self._pool_session(query, k)
+        rank_before = baseline.rank_of(doc_id)
+        if rank_before is None or rank_before > k:
+            raise RankingError(
+                f"document {doc_id!r} is not in the top-{k} for {query!r}"
+            )
+        problem = PerturbationEditProblem(
+            session,
+            tuple(perturbations),
+            doc_id=doc_id,
+            query=query,
+            k=k,
+            original_rank=rank_before,
+        )
+        strategy = resolve_strategy(search, default=ExhaustiveSearch())
+        found, trace = strategy.search(
+            problem, n, budget if budget is not None else UNLIMITED
+        )
+        return ExplanationSet.from_search(
+            found, trace, physical_scorings=problem.physical_scorings
+        )

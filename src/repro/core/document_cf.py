@@ -12,21 +12,82 @@ The algorithm, as specified in the paper:
    document for the original among the top k+1 documents, re-rank, and
    accept the perturbation if the document is now non-relevant (rank > k).
 4. Stop once ``n`` valid explanations are found.
+
+Since the search-kernel refactor this module only *poses* the problem —
+:class:`~repro.core.search.problems.SentenceRemovalProblem` over the top
+k+1 pool — and delegates exploration to a
+:class:`~repro.core.search.strategies.SearchStrategy` (exhaustive by
+default; greedy/beam/anytime per request).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, ExplanationBudgetExceeded, RankingError
+from repro.errors import ConfigurationError, RankingError
 from repro.index.document import Document
 from repro.ranking.base import Ranker
 from repro.ranking.rerank import candidate_pool
-from repro.core.importance import sentence_importance_scores
+from repro.core.search import (
+    ExhaustiveSearch,
+    SearchBudget,
+    SearchStrategy,
+    SentenceRemovalProblem,
+    resolve_strategy,
+)
 from repro.core.types import ExplanationSet, SentenceRemovalExplanation
 from repro.core.validity import is_non_relevant
-from repro.utils.iteration import ordered_subsets
 from repro.utils.validation import require_positive
+
+
+def sentence_removal_problem(
+    ranker: Ranker,
+    query: str,
+    doc_id: str,
+    k: int,
+    max_removals: int | None = None,
+) -> tuple[SentenceRemovalProblem | None, ExplanationSet | None]:
+    """Pose the §II-C search for one (query, doc) instance.
+
+    Returns ``(problem, None)``, or ``(None, early_result)`` when the
+    document has too few sentences to perturb. Raises
+    :class:`RankingError` when ``doc_id`` is not relevant for ``query``
+    (only relevant documents have a rank to lose).
+    """
+    candidates = candidate_pool(ranker, query, k)
+    session = ranker.scoring_session(query, candidates)
+    if doc_id not in session:
+        raise RankingError(
+            f"document {doc_id!r} is not in the top-{k} for {query!r}"
+        )
+    baseline = session.baseline()
+    original_rank = baseline.rank_of(doc_id)
+    if original_rank is None or is_non_relevant(original_rank, k):
+        raise RankingError(
+            f"document {doc_id!r} is already non-relevant "
+            f"(rank {original_rank}) for {query!r}"
+        )
+    sentences = session.sentences(doc_id)
+    if len(sentences) <= 1:
+        # Removing the only sentence leaves an empty document; the paper
+        # perturbs multi-sentence articles.
+        return None, ExplanationSet(
+            search_exhausted=True,
+            physical_scorings=session.physical_scorings,
+        )
+    max_size = min(
+        max_removals if max_removals is not None else len(sentences) - 1,
+        len(sentences) - 1,
+    )
+    problem = SentenceRemovalProblem(
+        session,
+        doc_id=doc_id,
+        query=query,
+        k=k,
+        original_rank=original_rank,
+        max_size=max_size,
+    )
+    return problem, None
 
 
 @dataclass
@@ -42,12 +103,15 @@ class CounterfactualDocumentExplainer:
             ``budget_exhausted=True`` (or raises if ``raise_on_budget``).
         raise_on_budget: raise :class:`ExplanationBudgetExceeded` instead of
             returning partial results.
+        search: default :class:`SearchStrategy` (or registered name) when
+            a call does not pass one; ``None`` means exhaustive.
     """
 
     ranker: Ranker
     max_removals: int | None = None
     max_evaluations: int = 2000
     raise_on_budget: bool = False
+    search: SearchStrategy | str | None = None
 
     def __post_init__(self):
         require_positive(self.max_evaluations, "max_evaluations")
@@ -68,88 +132,50 @@ class CounterfactualDocumentExplainer:
         """
         return candidate_pool(self.ranker, query, k)
 
+    def _merge_budget(self, budget: SearchBudget | None) -> SearchBudget:
+        """Fill a per-call budget's unspecified bounds from this
+        explainer's defaults (a deadline-only request keeps the
+        evaluation cap)."""
+        return (budget or SearchBudget()).with_defaults(
+            max_evaluations=self.max_evaluations,
+            raise_on_budget=self.raise_on_budget,
+        )
+
     # -- main search ----------------------------------------------------------
 
     def explain(
-        self, query: str, doc_id: str, n: int = 1, k: int = 10
+        self,
+        query: str,
+        doc_id: str,
+        n: int = 1,
+        k: int = 10,
+        *,
+        search: SearchStrategy | str | None = None,
+        budget: SearchBudget | None = None,
     ) -> ExplanationSet[SentenceRemovalExplanation]:
         """Find up to ``n`` minimal sentence-removal counterfactuals.
 
-        Raises :class:`RankingError` if ``doc_id`` is not among the top-k
-        for ``query`` (only relevant documents have a rank to lose).
+        ``search``/``budget`` override the explainer's defaults for this
+        call (the unified-API path threads the request's options here).
+        Raises :class:`RankingError` if ``doc_id`` is not among the
+        top-k for ``query``.
         """
         require_positive(n, "n")
         require_positive(k, "k")
-        candidates = self._candidate_documents(query, k)
-        session = self.ranker.scoring_session(query, candidates)
-        if doc_id not in session:
-            raise RankingError(
-                f"document {doc_id!r} is not in the top-{k} for {query!r}"
-            )
-        baseline = session.baseline()
-        original_rank = baseline.rank_of(doc_id)
-        if original_rank is None or is_non_relevant(original_rank, k):
-            raise RankingError(
-                f"document {doc_id!r} is already non-relevant "
-                f"(rank {original_rank}) for {query!r}"
-            )
-
-        sentences = session.sentences(doc_id)
-        if len(sentences) <= 1:
-            # Removing the only sentence leaves an empty document; the paper
-            # perturbs multi-sentence articles.
-            return ExplanationSet(
-                search_exhausted=True,
-                physical_scorings=session.physical_scorings,
-            )
-        analyzer = self.ranker.index.analyzer
-        importance = sentence_importance_scores(analyzer, query, sentences)
-        max_size = min(
-            self.max_removals if self.max_removals is not None else len(sentences) - 1,
-            len(sentences) - 1,
+        strategy = resolve_strategy(
+            search if search is not None else self.search,
+            default=ExhaustiveSearch(),
         )
-
-        result: ExplanationSet[SentenceRemovalExplanation] = ExplanationSet()
-        try:
-            for subset, subset_score in ordered_subsets(
-                sentences, importance, max_size=max_size
-            ):
-                if result.candidates_evaluated >= self.max_evaluations:
-                    result.budget_exhausted = True
-                    if self.raise_on_budget:
-                        raise ExplanationBudgetExceeded(
-                            f"evaluated {result.candidates_evaluated} candidates "
-                            f"without finding {n} explanations",
-                            partial_results=result.explanations,
-                        )
-                    return result
-                removed_indices = {sentence.index for sentence in subset}
-                new_rank = session.rank_without_sentences(doc_id, removed_indices)
-                result.candidates_evaluated += 1
-                result.ranker_calls += len(candidates)
-                if new_rank is not None and is_non_relevant(new_rank, k):
-                    result.explanations.append(
-                        SentenceRemovalExplanation(
-                            doc_id=doc_id,
-                            query=query,
-                            k=k,
-                            removed_sentences=tuple(
-                                sorted(subset, key=lambda s: s.index)
-                            ),
-                            importance=subset_score,
-                            original_rank=original_rank,
-                            new_rank=new_rank,
-                            perturbed_body=session.body_without_sentences(
-                                doc_id, removed_indices
-                            ),
-                        )
-                    )
-                    if len(result.explanations) >= n:
-                        return result
-            result.search_exhausted = True
-            return result
-        finally:
-            result.physical_scorings = session.physical_scorings
+        problem, early = sentence_removal_problem(
+            self.ranker, query, doc_id, k, self.max_removals
+        )
+        if early is not None:
+            early.search_strategy = strategy.name
+            return early
+        found, trace = strategy.search(problem, n, self._merge_budget(budget))
+        return ExplanationSet.from_search(
+            found, trace, physical_scorings=problem.physical_scorings
+        )
 
     # -- verification (used by tests and the eval harness) --------------------
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterator, Mapping, Protocol, runtime_checkable
 
+from repro.core.search import DEFAULT_BEAM_WIDTH
 from repro.core.types import ExplanationSet
 from repro.errors import ConfigurationError
 from repro.utils.validation import require, require_positive
@@ -52,6 +53,14 @@ class ExplainRequest:
         k: the relevance cutoff (top-``k`` is "relevant").
         threshold: target rank for query-augmentation strategies.
         samples: sample count for sampled instance strategies.
+        search: counterfactual search strategy (``"exhaustive"``,
+            ``"greedy"``, ``"beam"``, ``"anytime"``); ``None`` keeps
+            the explanation family's default. See
+            :data:`repro.core.search.SEARCH_STRATEGIES`.
+        beam_width: frontier width when ``search="beam"``.
+        budget: cap on candidate evaluations (``None`` keeps the
+            family's default budget).
+        deadline_ms: wall-clock bound on the search in milliseconds.
         extra: open mapping of strategy-specific parameters (reserved
             for plug-in strategies; the built-ins ignore it).
     """
@@ -63,6 +72,10 @@ class ExplainRequest:
     k: int = 10
     threshold: int = 1
     samples: int = 50
+    search: str | None = None
+    beam_width: int = DEFAULT_BEAM_WIDTH
+    budget: int | None = None
+    deadline_ms: float | None = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -82,6 +95,18 @@ class ExplainRequest:
         require_positive(self.k, "k")
         require_positive(self.threshold, "threshold")
         require_positive(self.samples, "samples")
+        if self.search is not None:
+            from repro.core.search import SEARCH_STRATEGIES
+
+            require(
+                self.search in SEARCH_STRATEGIES,
+                f"search must be one of {SEARCH_STRATEGIES}, got {self.search!r}",
+            )
+        require_positive(self.beam_width, "beam_width")
+        if self.budget is not None:
+            require_positive(self.budget, "budget")
+        if self.deadline_ms is not None:
+            require_positive(self.deadline_ms, "deadline_ms")
         if not isinstance(self.extra, Mapping):
             raise ConfigurationError("extra must be a mapping")
 
@@ -98,6 +123,10 @@ class ExplainRequest:
             "k": self.k,
             "threshold": self.threshold,
             "samples": self.samples,
+            "search": self.search,
+            "beam_width": self.beam_width,
+            "budget": self.budget,
+            "deadline_ms": self.deadline_ms,
             "extra": dict(self.extra),
         }
 
@@ -113,6 +142,7 @@ class ExplainRequest:
         known = {
             "query", "doc_id", "strategy", "n", "k",
             "threshold", "samples", "extra",
+            "search", "beam_width", "budget", "deadline_ms",
         }
         unknown = set(data) - known
         if unknown:

@@ -3,8 +3,7 @@
 The paper's exhaustive size-major enumeration (§II-C) guarantees
 minimality but costs O(C(m, j)) re-rankings when a document has many
 sentences and the counterfactual needs several removals. This module
-adds the standard scalable alternative from the counterfactual
-literature:
+keeps the scalable alternative from the counterfactual literature:
 
 1. **Grow**: add sentences in descending importance order until the
    perturbed document becomes non-relevant (at most m re-rankings);
@@ -14,19 +13,30 @@ literature:
 The result is *subset-minimal with respect to the grow set* (no pruned
 superset survives) but not guaranteed globally minimum — the trade the
 benchmarks quantify against the exhaustive search.
+
+The loop itself now lives in
+:class:`~repro.core.search.strategies.GreedySearch`, which works for
+every explanation family; this explainer is the sentence-removal
+composition kept for its established surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.document_cf import CounterfactualDocumentExplainer
-from repro.core.importance import sentence_importance_scores
+from repro.core.document_cf import (
+    CounterfactualDocumentExplainer,
+    sentence_removal_problem,
+)
+from repro.core.search import (
+    GreedySearch,
+    SearchBudget,
+    SearchStrategy,
+    UNLIMITED,
+    resolve_strategy,
+)
 from repro.core.types import ExplanationSet, SentenceRemovalExplanation
-from repro.core.validity import is_non_relevant
-from repro.errors import RankingError
 from repro.ranking.base import Ranker
-from repro.ranking.rerank import candidate_pool
 from repro.utils.validation import require_positive
 
 
@@ -43,88 +53,30 @@ class GreedyDocumentExplainer:
     ranker: Ranker
 
     def explain(
-        self, query: str, doc_id: str, n: int = 1, k: int = 10
+        self,
+        query: str,
+        doc_id: str,
+        n: int = 1,
+        k: int = 10,
+        *,
+        search: SearchStrategy | str | None = None,
+        budget: SearchBudget | None = None,
     ) -> ExplanationSet[SentenceRemovalExplanation]:
         """Find one grow-and-pruned counterfactual (``n`` is accepted for
         interface parity; greedy search yields a single explanation)."""
         require_positive(n, "n")
         require_positive(k, "k")
-        pool = candidate_pool(self.ranker, query, k)
-        session = self.ranker.scoring_session(query, pool)
-        if doc_id not in session:
-            raise RankingError(
-                f"document {doc_id!r} is not in the top-{k} for {query!r}"
-            )
-        baseline = session.baseline()
-        original_rank = baseline.rank_of(doc_id)
-        if original_rank is None or is_non_relevant(original_rank, k):
-            raise RankingError(
-                f"document {doc_id!r} is already non-relevant for {query!r}"
-            )
-
-        sentences = session.sentences(doc_id)
-        result: ExplanationSet[SentenceRemovalExplanation] = ExplanationSet()
-        if len(sentences) <= 1:
-            result.search_exhausted = True
-            result.physical_scorings = session.physical_scorings
-            return result
-        importance = sentence_importance_scores(
-            self.ranker.index.analyzer, query, sentences
+        strategy = resolve_strategy(search, default=GreedySearch())
+        problem, early = sentence_removal_problem(self.ranker, query, doc_id, k)
+        if early is not None:
+            early.search_strategy = strategy.name
+            return early
+        found, trace = strategy.search(
+            problem, n, budget if budget is not None else UNLIMITED
         )
-        order = sorted(
-            range(len(sentences)), key=lambda i: (-importance[i], i)
+        return ExplanationSet.from_search(
+            found, trace, physical_scorings=problem.physical_scorings
         )
-
-        def rank_without(removed: set[int]) -> int | None:
-            if len(removed) >= len(sentences):
-                return None  # no survivors would remain
-            result.candidates_evaluated += 1
-            result.ranker_calls += len(pool)
-            return session.rank_without_sentences(doc_id, removed)
-
-        # -- grow ------------------------------------------------------------
-        removed: set[int] = set()
-        final_rank: int | None = None
-        for position in order:
-            if len(removed) >= len(sentences) - 1:
-                break
-            removed.add(position)
-            rank = rank_without(removed)
-            if rank is not None and is_non_relevant(rank, k):
-                final_rank = rank
-                break
-        if final_rank is None:
-            result.search_exhausted = True
-            result.physical_scorings = session.physical_scorings
-            return result
-
-        # -- prune -----------------------------------------------------------
-        for position in sorted(removed, key=lambda i: importance[i]):
-            if len(removed) == 1:
-                break
-            candidate = removed - {position}
-            rank = rank_without(candidate)
-            if rank is not None and is_non_relevant(rank, k):
-                removed = candidate
-                final_rank = rank
-
-        removed_sentences = tuple(
-            sentence for sentence in sentences if sentence.index in removed
-        )
-        result.explanations.append(
-            SentenceRemovalExplanation(
-                doc_id=doc_id,
-                query=query,
-                k=k,
-                removed_sentences=removed_sentences,
-                importance=sum(importance[s.index] for s in removed_sentences),
-                original_rank=original_rank,
-                new_rank=final_rank,
-                perturbed_body=session.body_without_sentences(doc_id, removed),
-            )
-        )
-        result.physical_scorings = session.physical_scorings
-        return result
 
     def verify_against_exhaustive(
         self, query: str, doc_id: str, k: int = 10, max_evaluations: int = 5000

@@ -10,6 +10,12 @@ paper:
 * **Cosine Sampled** — represent documents as per-term BM25-score vectors,
   sample ``s`` non-relevant documents (ideally ``n ≪ s``), and return the
   ``n`` with the highest cosine similarity.
+
+Both compose an
+:class:`~repro.core.search.problems.InstanceSelectionProblem` — every
+scored non-relevant document is a valid counterfactual, so exhaustive
+search reduces to top-``n`` selection — with the shared kernel, keeping
+their accounting identical to the pre-kernel implementations.
 """
 
 from __future__ import annotations
@@ -21,6 +27,14 @@ from repro.embeddings.similarity import cosine_similarity
 from repro.embeddings.vectorizers import Bm25Vectorizer, _StatisticVectorizer
 from repro.errors import RankingError
 from repro.ranking.base import Ranker, Ranking
+from repro.core.search import (
+    ExhaustiveSearch,
+    InstanceSelectionProblem,
+    SearchBudget,
+    SearchStrategy,
+    UNLIMITED,
+    resolve_strategy,
+)
 from repro.core.types import ExplanationSet, InstanceExplanation
 from repro.utils.rng import default_rng
 from repro.utils.validation import require, require_positive
@@ -56,6 +70,34 @@ def _non_relevant_ids(
     return ranking, non_relevant
 
 
+def _select_instances(
+    scored_documents,
+    *,
+    doc_id: str,
+    query: str,
+    k: int,
+    method: str,
+    evaluated: int,
+    n: int,
+    search: SearchStrategy | str | None,
+    budget: SearchBudget | None,
+) -> ExplanationSet[InstanceExplanation]:
+    """Run top-``n`` selection over pre-scored candidates via the kernel."""
+    problem = InstanceSelectionProblem(
+        scored_documents,
+        doc_id=doc_id,
+        query=query,
+        k=k,
+        method=method,
+        evaluated=evaluated,
+    )
+    strategy = resolve_strategy(search, default=ExhaustiveSearch())
+    found, trace = strategy.search(
+        problem, n, budget if budget is not None else UNLIMITED
+    )
+    return ExplanationSet.from_search(found, trace)
+
+
 @dataclass
 class Doc2VecNearestExplainer:
     """Method 1: nearest non-relevant documents in Doc2Vec space."""
@@ -65,7 +107,14 @@ class Doc2VecNearestExplainer:
     _retrieval_cache: _RetrievalCache = field(default_factory=dict, repr=False)
 
     def explain(
-        self, query: str, doc_id: str, n: int = 1, k: int = 10
+        self,
+        query: str,
+        doc_id: str,
+        n: int = 1,
+        k: int = 10,
+        *,
+        search: SearchStrategy | str | None = None,
+        budget: SearchBudget | None = None,
     ) -> ExplanationSet[InstanceExplanation]:
         """The ``n`` most Doc2Vec-similar documents ranked beyond ``k``."""
         require_positive(n, "n")
@@ -80,22 +129,22 @@ class Doc2VecNearestExplainer:
             raise RankingError(f"document {doc_id!r} is not in the Doc2Vec model")
         eligible = {cand for cand in non_relevant if cand in self.model}
         excluded = set(self.model.doc_ids) - eligible
-        neighbours = self.model.most_similar(doc_id, n=n, exclude=excluded)
-        result: ExplanationSet[InstanceExplanation] = ExplanationSet()
-        result.explanations = [
-            InstanceExplanation(
-                doc_id=doc_id,
-                counterfactual_doc_id=neighbour_id,
-                similarity=similarity,
-                method="doc2vec_nearest",
-                query=query,
-                k=k,
-            )
-            for neighbour_id, similarity in neighbours
-        ]
-        result.candidates_evaluated = len(eligible)
-        result.search_exhausted = len(result.explanations) < n
-        return result
+        # All eligible neighbours, in the model's similarity order; the
+        # kernel's score-descending enumeration preserves it.
+        neighbours = self.model.most_similar(
+            doc_id, n=len(eligible), exclude=excluded
+        )
+        return _select_instances(
+            neighbours,
+            doc_id=doc_id,
+            query=query,
+            k=k,
+            method="doc2vec_nearest",
+            evaluated=len(eligible),
+            n=n,
+            search=search,
+            budget=budget,
+        )
 
 
 @dataclass
@@ -127,7 +176,15 @@ class CosineSampledExplainer:
         return self._vector_cache[doc_id]
 
     def explain(
-        self, query: str, doc_id: str, n: int = 1, k: int = 10, samples: int = 50
+        self,
+        query: str,
+        doc_id: str,
+        n: int = 1,
+        k: int = 10,
+        samples: int = 50,
+        *,
+        search: SearchStrategy | str | None = None,
+        budget: SearchBudget | None = None,
     ) -> ExplanationSet[InstanceExplanation]:
         """Sample ``samples`` non-relevant documents; return the ``n`` most
         cosine-similar to the instance document."""
@@ -157,19 +214,14 @@ class CosineSampledExplainer:
             for candidate in sampled
         ]
         scored.sort(key=lambda pair: (-pair[1], pair[0]))
-
-        result: ExplanationSet[InstanceExplanation] = ExplanationSet()
-        result.explanations = [
-            InstanceExplanation(
-                doc_id=doc_id,
-                counterfactual_doc_id=candidate,
-                similarity=similarity,
-                method="cosine_sampled",
-                query=query,
-                k=k,
-            )
-            for candidate, similarity in scored[:n]
-        ]
-        result.candidates_evaluated = len(sampled)
-        result.search_exhausted = len(result.explanations) < n
-        return result
+        return _select_instances(
+            scored,
+            doc_id=doc_id,
+            query=query,
+            k=k,
+            method="cosine_sampled",
+            evaluated=len(sampled),
+            n=n,
+            search=search,
+            budget=budget,
+        )

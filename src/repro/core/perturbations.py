@@ -22,11 +22,13 @@ def _token_pattern(surface: str) -> re.Pattern[str]:
     """Case-insensitive whole-token pattern for a surface form.
 
     ``covid`` must not match inside ``covid-19``, so the boundary also
-    excludes the intra-token joiners the tokenizer allows.
+    excludes the intra-token joiners the tokenizer allows. Word
+    characters are the tokenizer's ``[^\\W_]`` (unicode-aware), so
+    ``caf`` cannot match inside ``café``.
     """
-    boundary = r"[0-9A-Za-z]|[-'./](?=[0-9A-Za-z])"
+    boundary = r"[^\W_]|[-'./](?=[^\W_])"
     return re.compile(
-        rf"(?<![0-9A-Za-z-'./])({re.escape(surface)})(?!{boundary})",
+        rf"(?<![^\W_])(?<![-'./])({re.escape(surface)})(?!{boundary})",
         re.IGNORECASE,
     )
 

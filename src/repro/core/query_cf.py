@@ -16,19 +16,29 @@ The algorithm, as specified in the paper:
 Candidate terms are kept in *surface form* (e.g. ``5G``, ``microchip``)
 so augmented queries read like real user queries, while matching and
 scoring run on analyzed terms.
+
+Candidate generation lives in
+:class:`~repro.core.search.candidates.QueryTermGenerator`, evaluation in
+:class:`~repro.core.search.problems.QueryAugmentationProblem`; this
+explainer composes them with a search strategy (exhaustive by default).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ExplanationBudgetExceeded, RankingError
+from repro.errors import RankingError
 from repro.index.document import Document
 from repro.ranking.base import Ranker, Ranking
-from repro.core.importance import TfIdfTermImportance
+from repro.core.search import (
+    ExhaustiveSearch,
+    QueryAugmentationProblem,
+    QueryTermGenerator,
+    SearchBudget,
+    SearchStrategy,
+    resolve_strategy,
+)
 from repro.core.types import ExplanationSet, QueryAugmentationExplanation
-from repro.core.validity import meets_threshold
-from repro.utils.iteration import ordered_subsets
 from repro.utils.validation import require, require_positive
 
 
@@ -44,6 +54,8 @@ class CounterfactualQueryExplainer:
             ordering makes high-TF-IDF terms the ones explored anyway).
         max_evaluations: budget on augmented queries re-ranked.
         raise_on_budget: raise instead of returning partial results.
+        search: default :class:`SearchStrategy` (or registered name) when
+            a call does not pass one; ``None`` means exhaustive.
     """
 
     ranker: Ranker
@@ -51,6 +63,7 @@ class CounterfactualQueryExplainer:
     max_candidate_terms: int = 30
     max_evaluations: int = 2000
     raise_on_budget: bool = False
+    search: SearchStrategy | str | None = None
     _retrieval_cache: dict[tuple[str, int, int], tuple[Ranking, list[Document]]] = field(
         default_factory=dict, repr=False
     )
@@ -97,24 +110,24 @@ class CounterfactualQueryExplainer:
         form (keeping the first surface occurrence), and returns the top
         ``max_candidate_terms`` by score.
         """
-        analyzer = self.ranker.index.analyzer
-        importance = TfIdfTermImportance.build(
-            analyzer,
-            instance.body,
-            [document.body for document in ranked_documents],
+        generator = self._term_generator(query, instance, ranked_documents)
+        return [
+            (candidate.edit, candidate.score)
+            for candidate in generator.generate()
+        ]
+
+    def _term_generator(
+        self, query: str, instance: Document, ranked_documents: list[Document]
+    ) -> QueryTermGenerator:
+        """The one §II-D candidate source shared by ``candidate_terms``
+        (the public preview) and ``explain`` (the actual search)."""
+        return QueryTermGenerator(
+            self.ranker.index.analyzer,
+            query,
+            instance,
+            tuple(ranked_documents),
+            self.max_candidate_terms,
         )
-        query_terms = set(analyzer.analyze(query))
-        seen_terms: set[str] = set()
-        scored: list[tuple[str, float]] = []
-        for analyzed in analyzer.analyze_tokens(instance.body):
-            term = analyzed.term
-            if term in query_terms or term in seen_terms:
-                continue
-            seen_terms.add(term)
-            surface = analyzed.token.text.lower()
-            scored.append((surface, importance.score(term)))
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored[: self.max_candidate_terms]
 
     # -- main search ----------------------------------------------------------
 
@@ -125,6 +138,9 @@ class CounterfactualQueryExplainer:
         n: int = 1,
         k: int = 10,
         threshold: int = 1,
+        *,
+        search: SearchStrategy | str | None = None,
+        budget: SearchBudget | None = None,
     ) -> ExplanationSet[QueryAugmentationExplanation]:
         """Find up to ``n`` minimal query augmentations reaching ``threshold``.
 
@@ -135,6 +151,10 @@ class CounterfactualQueryExplainer:
         require_positive(k, "k")
         require_positive(threshold, "threshold")
         require(threshold <= k, "threshold must be within the top-k")
+        strategy = resolve_strategy(
+            search if search is not None else self.search,
+            default=ExhaustiveSearch(),
+        )
 
         ranking, ranked_documents = self._original_top_k(query, k)
         if doc_id not in ranking:
@@ -144,56 +164,25 @@ class CounterfactualQueryExplainer:
         original_rank = ranking.rank_of(doc_id)
         instance = self.ranker.index.document(doc_id)
 
-        candidates = self.candidate_terms(query, instance, ranked_documents)
-        result: ExplanationSet[QueryAugmentationExplanation] = ExplanationSet()
-        if not candidates:
-            result.search_exhausted = True
-            return result
-        terms = [term for term, _ in candidates]
-        scores = [score for _, score in candidates]
-
-        for subset, subset_score in ordered_subsets(
-            terms, scores, max_size=min(self.max_terms, len(terms))
-        ):
-            if result.candidates_evaluated >= self.max_evaluations:
-                result.budget_exhausted = True
-                if self.raise_on_budget:
-                    raise ExplanationBudgetExceeded(
-                        f"evaluated {result.candidates_evaluated} augmented "
-                        f"queries without finding {n} explanations",
-                        partial_results=result.explanations,
-                    )
-                return result
-            augmented_query = " ".join([query, *subset])
-            # One scoring session per augmented query over the *fixed*
-            # original top-k: the query analysis and statistics snapshot
-            # are per-session, but pool-document analyses are reused
-            # across sessions (index term vectors / extractor memos), so
-            # no candidate re-tokenizes any document text.
-            session = self.ranker.scoring_session(
-                augmented_query, ranked_documents
-            )
-            reranked = session.baseline()
-            result.candidates_evaluated += 1
-            result.ranker_calls += len(ranked_documents)
-            result.physical_scorings += session.physical_scorings
-            new_rank = reranked.rank_of(doc_id)
-            if new_rank is not None and meets_threshold(new_rank, threshold):
-                result.explanations.append(
-                    QueryAugmentationExplanation(
-                        doc_id=doc_id,
-                        original_query=query,
-                        added_terms=subset,
-                        score=subset_score,
-                        threshold=threshold,
-                        original_rank=original_rank,
-                        new_rank=new_rank,
-                    )
-                )
-                if len(result.explanations) >= n:
-                    return result
-        result.search_exhausted = True
-        return result
+        problem = QueryAugmentationProblem(
+            self._term_generator(query, instance, ranked_documents),
+            ranker=self.ranker,
+            ranked_documents=ranked_documents,
+            doc_id=doc_id,
+            query=query,
+            k=k,
+            threshold=threshold,
+            original_rank=original_rank,
+            max_size=self.max_terms,
+        )
+        budget = (budget or SearchBudget()).with_defaults(
+            max_evaluations=self.max_evaluations,
+            raise_on_budget=self.raise_on_budget,
+        )
+        found, trace = strategy.search(problem, n, budget)
+        return ExplanationSet.from_search(
+            found, trace, physical_scorings=problem.physical_scorings
+        )
 
     # -- verification ----------------------------------------------------------
 

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.explain import Explainer, ExplainRequest
+from repro.core.search import search_overrides
 from repro.core.types import ExplanationSet
 from repro.errors import (
     ConfigurationError,
@@ -186,6 +187,22 @@ class ExplainerRegistry:
             return instance
 
 
+def _search_kwargs(request: ExplainRequest) -> dict:
+    """Per-request search overrides as explainer keyword arguments.
+
+    A request naming no search options yields ``{}``, so the bound
+    explainer runs its family default — byte-identical to the
+    pre-kernel dispatch.
+    """
+    search, budget = search_overrides(request)
+    kwargs = {}
+    if search is not None:
+        kwargs["search"] = search
+    if budget is not None:
+        kwargs["budget"] = budget
+    return kwargs
+
+
 @dataclass(frozen=True)
 class _BoundExplainer:
     """Adapts a legacy per-family ``explain(...)`` signature to the
@@ -235,7 +252,9 @@ def _document_sentence_removal(engine: "CredenceEngine") -> Explainer:
     explainer = engine.document_explainer
     return _BoundExplainer(
         "document/sentence-removal",
-        lambda r: explainer.explain(r.query, r.doc_id, n=r.n, k=r.k),
+        lambda r: explainer.explain(
+            r.query, r.doc_id, n=r.n, k=r.k, **_search_kwargs(r)
+        ),
     )
 
 
@@ -252,7 +271,9 @@ def _document_greedy(engine: "CredenceEngine") -> Explainer:
     explainer = GreedyDocumentExplainer(engine.ranker)
     return _BoundExplainer(
         "document/greedy",
-        lambda r: explainer.explain(r.query, r.doc_id, n=r.n, k=r.k),
+        lambda r: explainer.explain(
+            r.query, r.doc_id, n=r.n, k=r.k, **_search_kwargs(r)
+        ),
     )
 
 
@@ -268,7 +289,12 @@ def _query_augmentation(engine: "CredenceEngine") -> Explainer:
     return _BoundExplainer(
         "query/augmentation",
         lambda r: explainer.explain(
-            r.query, r.doc_id, n=r.n, k=r.k, threshold=r.threshold
+            r.query,
+            r.doc_id,
+            n=r.n,
+            k=r.k,
+            threshold=r.threshold,
+            **_search_kwargs(r),
         ),
     )
 
@@ -286,7 +312,9 @@ def _instance_doc2vec(engine: "CredenceEngine") -> Explainer:
     explainer = Doc2VecNearestExplainer(engine.ranker, engine.doc2vec)
     return _BoundExplainer(
         "instance/doc2vec",
-        lambda r: explainer.explain(r.query, r.doc_id, n=r.n, k=r.k),
+        lambda r: explainer.explain(
+            r.query, r.doc_id, n=r.n, k=r.k, **_search_kwargs(r)
+        ),
     )
 
 
@@ -306,7 +334,8 @@ def _instance_cosine(engine: "CredenceEngine") -> Explainer:
     return _BoundExplainer(
         "instance/cosine",
         lambda r: explainer.explain(
-            r.query, r.doc_id, n=r.n, k=r.k, samples=r.samples
+            r.query, r.doc_id, n=r.n, k=r.k, samples=r.samples,
+            **_search_kwargs(r),
         ),
     )
 
@@ -325,7 +354,9 @@ def _features_ltr(engine: "CredenceEngine") -> Explainer:
     explainer = FeatureCounterfactualExplainer(ltr_ranker_of(engine))
     return _BoundExplainer(
         "features/ltr",
-        lambda r: explainer.explain(r.query, r.doc_id, n=r.n, k=r.k),
+        lambda r: explainer.explain(
+            r.query, r.doc_id, n=r.n, k=r.k, **_search_kwargs(r)
+        ),
     )
 
 

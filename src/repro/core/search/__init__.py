@@ -1,0 +1,79 @@
+"""The unified counterfactual search kernel.
+
+One search loop for every explanation family: a
+:class:`~repro.core.search.candidates.CandidateGenerator` produces
+scored atomic edits, a
+:class:`~repro.core.search.problem.SearchProblem` knows how to apply a
+combination of them through a
+:class:`~repro.ranking.session.ScoringSession`, and a
+:class:`~repro.core.search.strategies.SearchStrategy` decides the
+exploration order under a shared
+:class:`~repro.core.search.budget.SearchBudget`.
+
+See ``docs/API.md`` ("Search strategies & budgets") for the strategy
+matrix and budget semantics.
+"""
+
+from repro.core.search.budget import (
+    UNLIMITED,
+    BudgetMeter,
+    SearchBudget,
+    SearchTrace,
+)
+from repro.core.search.candidates import (
+    Candidate,
+    CandidateGenerator,
+    PerturbationOpsGenerator,
+    QueryTermGenerator,
+    SentenceRemovalGenerator,
+    StaticCandidates,
+)
+from repro.core.search.problem import SearchProblem
+from repro.core.search.problems import (
+    DemotionProblem,
+    InstanceSelectionProblem,
+    PerturbationEditProblem,
+    QueryAugmentationProblem,
+    SentenceRemovalProblem,
+)
+from repro.core.search.strategies import (
+    DEFAULT_BEAM_WIDTH,
+    SEARCH_STRATEGIES,
+    AnytimeSearch,
+    BeamSearch,
+    ExhaustiveSearch,
+    GreedySearch,
+    SearchStrategy,
+    build_strategy,
+    resolve_strategy,
+    search_overrides,
+)
+
+__all__ = [
+    "UNLIMITED",
+    "BudgetMeter",
+    "SearchBudget",
+    "SearchTrace",
+    "Candidate",
+    "CandidateGenerator",
+    "PerturbationOpsGenerator",
+    "QueryTermGenerator",
+    "SentenceRemovalGenerator",
+    "StaticCandidates",
+    "SearchProblem",
+    "DemotionProblem",
+    "InstanceSelectionProblem",
+    "PerturbationEditProblem",
+    "QueryAugmentationProblem",
+    "SentenceRemovalProblem",
+    "DEFAULT_BEAM_WIDTH",
+    "SEARCH_STRATEGIES",
+    "AnytimeSearch",
+    "BeamSearch",
+    "ExhaustiveSearch",
+    "GreedySearch",
+    "SearchStrategy",
+    "build_strategy",
+    "resolve_strategy",
+    "search_overrides",
+]

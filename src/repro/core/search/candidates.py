@@ -1,0 +1,159 @@
+"""Candidate generation for the counterfactual search kernel.
+
+A *candidate* is one atomic edit the search may include in a
+perturbation: remove this sentence, append this query term, set this
+feature to that value, apply this scripted
+:class:`~repro.core.perturbations.Perturbation`. Each carries the
+importance score that drives the paper's size-major / score-descending
+enumeration, and an optional ``key`` naming the resource it touches so
+strategies can refuse conflicting combinations (two values for one LTR
+feature).
+
+Generators produce the candidate list for one search. The family-
+specific generators here were refactored out of the pre-kernel
+explainers (``document_cf.explain``, ``query_cf.candidate_terms``, the
+Builder's scripted edits); the LTR feature generator lives with its
+domain in :mod:`repro.ltr.feature_cf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Protocol, Sequence, runtime_checkable
+
+from repro.core.importance import TfIdfTermImportance, sentence_importance_scores
+from repro.core.perturbations import Perturbation
+from repro.index.document import Document
+from repro.text.analyzer import Analyzer
+from repro.text.sentences import Sentence
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One atomic edit with its enumeration priority.
+
+    Attributes:
+        edit: the opaque edit payload (a :class:`Sentence`, a surface
+            term, a :class:`Perturbation`, a feature change, …) that the
+            owning :class:`~repro.core.search.problem.SearchProblem`
+            knows how to apply.
+        score: importance driving the size-major / score-descending
+            enumeration (§II-C/§II-D) — higher explores earlier.
+        key: the resource this edit touches; strategies never combine
+            two candidates with the same non-``None`` key.
+    """
+
+    edit: Any
+    score: float
+    key: Hashable | None = None
+
+
+@runtime_checkable
+class CandidateGenerator(Protocol):
+    """Produces the atomic-edit candidates for one search."""
+
+    def generate(self) -> Sequence[Candidate]: ...
+
+
+@dataclass(frozen=True)
+class StaticCandidates:
+    """A pre-built candidate list (tests, plug-in search problems)."""
+
+    candidates: tuple[Candidate, ...]
+
+    def generate(self) -> Sequence[Candidate]:
+        return self.candidates
+
+
+@dataclass(frozen=True)
+class SentenceRemovalGenerator:
+    """Sentences of the instance document, scored by query-term overlap.
+
+    The §II-C candidate set: one removable sentence per candidate, with
+    the paper's importance score ("the number of sentence terms that
+    appear in the search query").
+    """
+
+    analyzer: Analyzer
+    query: str
+    sentences: tuple[Sentence, ...]
+
+    def generate(self) -> Sequence[Candidate]:
+        importance = sentence_importance_scores(
+            self.analyzer, self.query, self.sentences
+        )
+        return [
+            Candidate(edit=sentence, score=score, key=sentence.index)
+            for sentence, score in zip(self.sentences, importance)
+        ]
+
+
+@dataclass(frozen=True)
+class QueryTermGenerator:
+    """Surface terms from the instance document, scored by TF-IDF.
+
+    The §II-D candidate set: terms frequent in, and exclusive to, the
+    instance document among the ranked list; terms already in the query
+    are excluded, deduplication is by analyzed form (first surface
+    occurrence wins), and only the top ``max_candidate_terms`` enter the
+    combinatorial search.
+    """
+
+    analyzer: Analyzer
+    query: str
+    instance: Document
+    ranked_documents: tuple[Document, ...]
+    max_candidate_terms: int
+
+    def generate(self) -> Sequence[Candidate]:
+        importance = TfIdfTermImportance.build(
+            self.analyzer,
+            self.instance.body,
+            [document.body for document in self.ranked_documents],
+        )
+        query_terms = set(self.analyzer.analyze(self.query))
+        seen_terms: set[str] = set()
+        scored: list[tuple[str, float]] = []
+        for analyzed in self.analyzer.analyze_tokens(self.instance.body):
+            term = analyzed.term
+            if term in query_terms or term in seen_terms:
+                continue
+            seen_terms.add(term)
+            surface = analyzed.token.text.lower()
+            scored.append((surface, importance.score(term)))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return [
+            Candidate(edit=surface, score=score, key=surface)
+            for surface, score in scored[: self.max_candidate_terms]
+        ]
+
+
+@dataclass(frozen=True)
+class PerturbationOpsGenerator:
+    """Scripted Builder edits (term replace/remove, append, …) as candidates.
+
+    Turns a user-provided set of
+    :class:`~repro.core.perturbations.Perturbation` operations into a
+    searchable candidate space: the kernel then finds the minimal
+    subset of edits that flips the ranking, instead of the Builder's
+    one-shot "apply everything and re-rank". Scores default to the
+    given order (earlier ops explored first) unless explicit ``scores``
+    are supplied.
+    """
+
+    perturbations: tuple[Perturbation, ...]
+    scores: tuple[float, ...] | None = None
+
+    def generate(self) -> Sequence[Candidate]:
+        count = len(self.perturbations)
+        scores = (
+            self.scores
+            if self.scores is not None
+            else tuple(float(count - position) for position in range(count))
+        )
+        return [
+            Candidate(edit=perturbation, score=score, key=position)
+            for position, (perturbation, score) in enumerate(
+                zip(self.perturbations, scores)
+            )
+        ]

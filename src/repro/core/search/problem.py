@@ -1,0 +1,122 @@
+"""The search-problem abstraction binding candidates to a ranker.
+
+A :class:`SearchProblem` is one family's counterfactual search expressed
+for the kernel: the candidate edits, how to apply a combination of them
+(one re-ranking through a
+:class:`~repro.ranking.session.ScoringSession`), and what makes the
+outcome a valid counterfactual. Strategies (exhaustive, greedy, beam,
+anytime) are generic over this interface — adding a strategy upgrades
+every explainer family at once, which is the point of the kernel.
+
+Strategies address candidates *by index* into :attr:`candidates`, so a
+combination is a ``tuple[int, ...]`` in enumeration order. That keeps
+order-sensitive applications (query terms appended in score order,
+Builder ops applied in user order) well-defined and makes conflict
+checks and dedup cheap.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, Sequence, TypeVar
+
+from repro.core.search.candidates import Candidate, CandidateGenerator
+
+E = TypeVar("E")
+
+#: ``progress`` value for an inapplicable edit combination (rank None).
+NO_PROGRESS = float("-inf")
+
+
+class SearchProblem(ABC, Generic[E]):
+    """One counterfactual search, ready for any strategy.
+
+    Subclasses provide the candidate generator and the four hooks:
+    :meth:`evaluate`, :meth:`is_valid`, :meth:`progress`, and
+    :meth:`explanation`. The base class handles candidate memoisation
+    and conflict checking via :attr:`Candidate.key`.
+    """
+
+    #: Logical ranker calls charged per evaluation — the paper's
+    #: ``R(q, d, D, M)`` cost metric: one per pool document.
+    logical_cost: int = 0
+
+    #: How much one :meth:`evaluate` call adds to
+    #: ``candidates_evaluated``. Instance-selection problems set 0: their
+    #: per-candidate work (a similarity) happens during generation and is
+    #: reported via :attr:`generation_evaluations` instead.
+    evaluation_units: int = 1
+
+    #: Candidate evaluations already spent producing the candidate list
+    #: (e.g. one similarity computation per sampled document).
+    generation_evaluations: int = 0
+
+    def __init__(self, generator: CandidateGenerator, max_size: int | None = None):
+        self.generator = generator
+        self._candidates: tuple[Candidate, ...] | None = None
+        self._max_size = max_size
+
+    @property
+    def candidates(self) -> tuple[Candidate, ...]:
+        """The candidate edits, generated once per problem."""
+        if self._candidates is None:
+            self._candidates = tuple(self.generator.generate())
+        return self._candidates
+
+    @property
+    def scores(self) -> list[float]:
+        return [candidate.score for candidate in self.candidates]
+
+    @property
+    def max_size(self) -> int:
+        """Cap on how many edits one combination may contain."""
+        if self._max_size is None:
+            return len(self.candidates)
+        return min(self._max_size, len(self.candidates))
+
+    def combinable(self, combo: Sequence[int]) -> bool:
+        """False when two candidates touch the same resource (``key``)."""
+        keys = [
+            self.candidates[index].key
+            for index in combo
+            if self.candidates[index].key is not None
+        ]
+        return len(set(keys)) == len(keys)
+
+    def total_score(self, combo: Sequence[int]) -> float:
+        return sum(self.candidates[index].score for index in combo)
+
+    # -- the four strategy hooks ----------------------------------------------
+
+    @abstractmethod
+    def evaluate(self, combo: tuple[int, ...]) -> int | None:
+        """Apply the combination and return the instance document's new
+        rank (``None`` when the perturbed document has no rank, e.g.
+        every sentence removed)."""
+
+    @abstractmethod
+    def is_valid(self, rank: int | None) -> bool:
+        """Whether ``rank`` makes the combination a valid counterfactual."""
+
+    def progress(self, rank: int | None) -> float:
+        """How close ``rank`` is to validity — higher is closer.
+
+        Beam search ranks partial combinations by this; the default
+        treats every invalid outcome equally (beam then falls back to
+        candidate scores).
+        """
+        return NO_PROGRESS if rank is None else 0.0
+
+    @abstractmethod
+    def explanation(
+        self, combo: tuple[int, ...], total_score: float, new_rank: int
+    ) -> E:
+        """Build the family's explanation record for a valid combination."""
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def physical_scorings(self) -> int:
+        """Texts actually pushed through the model so far (see
+        :class:`~repro.ranking.session.ScoringSession`)."""
+        return 0

@@ -1,0 +1,321 @@
+"""Concrete search problems for the built-in explanation families.
+
+Each class binds one family's candidate generator to its evaluation
+path through a :class:`~repro.ranking.session.ScoringSession` and to its
+explanation record. The explainers in ``core/document_cf``,
+``core/query_cf``, ``core/instance_cf``, and ``core/builder`` are thin
+compositions of these problems with a strategy; the LTR feature problem
+lives with its domain in :mod:`repro.ltr.feature_cf`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.search.candidates import (
+    CandidateGenerator,
+    PerturbationOpsGenerator,
+    SentenceRemovalGenerator,
+    StaticCandidates,
+)
+from repro.core.search.problem import NO_PROGRESS, SearchProblem
+from repro.core.types import (
+    EditSearchExplanation,
+    InstanceExplanation,
+    QueryAugmentationExplanation,
+    SentenceRemovalExplanation,
+)
+from repro.core.validity import is_non_relevant, meets_threshold
+from repro.index.document import Document
+from repro.ranking.session import ScoringSession
+
+
+class DemotionProblem(SearchProblem):
+    """Shared shape for searches that must push a document beyond ``k``."""
+
+    def __init__(
+        self,
+        generator: CandidateGenerator,
+        *,
+        doc_id: str,
+        query: str,
+        k: int,
+        original_rank: int,
+        max_size: int | None = None,
+    ):
+        super().__init__(generator, max_size=max_size)
+        self.doc_id = doc_id
+        self.query = query
+        self.k = k
+        self.original_rank = original_rank
+
+    def is_valid(self, rank: int | None) -> bool:
+        return rank is not None and is_non_relevant(rank, self.k)
+
+    def progress(self, rank: int | None) -> float:
+        # Demotion: the further down the pool, the closer to validity.
+        return NO_PROGRESS if rank is None else float(rank)
+
+
+class SentenceRemovalProblem(DemotionProblem):
+    """§II-C: remove sentence subsets until the document leaves the top-k.
+
+    One evaluation = one substituted re-ranking, served incrementally by
+    the session's per-sentence counters.
+    """
+
+    def __init__(
+        self,
+        session: ScoringSession,
+        *,
+        doc_id: str,
+        query: str,
+        k: int,
+        original_rank: int,
+        max_size: int | None = None,
+    ):
+        self.session = session
+        self.sentences = session.sentences(doc_id)
+        generator = SentenceRemovalGenerator(
+            session.ranker.index.analyzer, query, tuple(self.sentences)
+        )
+        super().__init__(
+            generator,
+            doc_id=doc_id,
+            query=query,
+            k=k,
+            original_rank=original_rank,
+            max_size=max_size,
+        )
+        self.logical_cost = len(session)
+
+    def evaluate(self, combo: tuple[int, ...]) -> int | None:
+        removed = {self.candidates[index].edit.index for index in combo}
+        if len(removed) >= len(self.sentences):
+            return None  # no survivors would remain
+        return self.session.rank_without_sentences(self.doc_id, removed)
+
+    def explanation(
+        self, combo: tuple[int, ...], total_score: float, new_rank: int
+    ) -> SentenceRemovalExplanation:
+        removed_sentences = tuple(
+            sorted(
+                (self.candidates[index].edit for index in combo),
+                key=lambda sentence: sentence.index,
+            )
+        )
+        removed = {sentence.index for sentence in removed_sentences}
+        return SentenceRemovalExplanation(
+            doc_id=self.doc_id,
+            query=self.query,
+            k=self.k,
+            removed_sentences=removed_sentences,
+            importance=total_score,
+            original_rank=self.original_rank,
+            new_rank=new_rank,
+            perturbed_body=self.session.body_without_sentences(
+                self.doc_id, removed
+            ),
+        )
+
+    @property
+    def physical_scorings(self) -> int:
+        return self.session.physical_scorings
+
+
+class QueryAugmentationProblem(SearchProblem):
+    """§II-D: append term subsets until the document reaches ``threshold``.
+
+    Each evaluation opens one scoring session for the augmented query
+    over the *fixed* original top-k; pool-document analyses are reused
+    across sessions, so no candidate re-tokenizes any document text.
+    """
+
+    def __init__(
+        self,
+        generator: CandidateGenerator,
+        *,
+        ranker,
+        ranked_documents: Sequence[Document],
+        doc_id: str,
+        query: str,
+        k: int,
+        threshold: int,
+        original_rank: int,
+        max_size: int | None = None,
+    ):
+        super().__init__(generator, max_size=max_size)
+        self.ranker = ranker
+        self.ranked_documents = list(ranked_documents)
+        self.doc_id = doc_id
+        self.query = query
+        self.k = k
+        self.threshold = threshold
+        self.original_rank = original_rank
+        self.logical_cost = len(self.ranked_documents)
+        self._physical = 0
+
+    def evaluate(self, combo: tuple[int, ...]) -> int | None:
+        terms = [self.candidates[index].edit for index in combo]
+        augmented_query = " ".join([self.query, *terms])
+        session = self.ranker.scoring_session(
+            augmented_query, self.ranked_documents
+        )
+        reranked = session.baseline()
+        self._physical += session.physical_scorings
+        return reranked.rank_of(self.doc_id)
+
+    def is_valid(self, rank: int | None) -> bool:
+        return rank is not None and meets_threshold(rank, self.threshold)
+
+    def progress(self, rank: int | None) -> float:
+        # Promotion: the closer to rank 1, the closer to the threshold.
+        return NO_PROGRESS if rank is None else -float(rank)
+
+    def explanation(
+        self, combo: tuple[int, ...], total_score: float, new_rank: int
+    ) -> QueryAugmentationExplanation:
+        return QueryAugmentationExplanation(
+            doc_id=self.doc_id,
+            original_query=self.query,
+            added_terms=tuple(self.candidates[index].edit for index in combo),
+            score=total_score,
+            threshold=self.threshold,
+            original_rank=self.original_rank,
+            new_rank=new_rank,
+        )
+
+    @property
+    def physical_scorings(self) -> int:
+        return self._physical
+
+
+class PerturbationEditProblem(DemotionProblem):
+    """Builder-style search: which scripted edits flip the ranking?
+
+    Candidates are user-provided
+    :class:`~repro.core.perturbations.Perturbation` operations
+    (term replace/remove, sentence removal, append). A combination is
+    applied to the original body *in the user's given order* and
+    evaluated with one substituted re-ranking.
+    """
+
+    def __init__(
+        self,
+        session: ScoringSession,
+        perturbations,
+        *,
+        doc_id: str,
+        query: str,
+        k: int,
+        original_rank: int,
+        max_size: int | None = None,
+    ):
+        super().__init__(
+            PerturbationOpsGenerator(tuple(perturbations)),
+            doc_id=doc_id,
+            query=query,
+            k=k,
+            original_rank=original_rank,
+            max_size=max_size,
+        )
+        self.session = session
+        self.original_body = session.document(doc_id).body
+        self.logical_cost = len(session)
+
+    def _perturbed_body(self, combo: Sequence[int]) -> str:
+        body = self.original_body
+        # Candidate keys are the ops' positions in the user's list;
+        # composition order must follow them, not exploration order.
+        for index in sorted(combo, key=lambda i: self.candidates[i].key):
+            body = self.candidates[index].edit.apply(body)
+        return body
+
+    def evaluate(self, combo: tuple[int, ...]) -> int | None:
+        return self.session.rank_with_substitution(
+            self.doc_id, self._perturbed_body(combo)
+        )
+
+    def explanation(
+        self, combo: tuple[int, ...], total_score: float, new_rank: int
+    ) -> EditSearchExplanation:
+        applied = tuple(
+            self.candidates[index].edit
+            for index in sorted(combo, key=lambda i: self.candidates[i].key)
+        )
+        return EditSearchExplanation(
+            doc_id=self.doc_id,
+            query=self.query,
+            k=self.k,
+            perturbations=applied,
+            original_rank=self.original_rank,
+            new_rank=new_rank,
+            perturbed_body=self._perturbed_body(combo),
+        )
+
+    @property
+    def physical_scorings(self) -> int:
+        return self.session.physical_scorings
+
+
+class InstanceSelectionProblem(SearchProblem):
+    """§II-E: pick the most similar non-relevant corpus documents.
+
+    The per-candidate work (a similarity computation) happens during
+    candidate generation, so ``generation_evaluations`` carries the
+    family's historical ``candidates_evaluated`` accounting and
+    :meth:`evaluate` is free; every candidate is a valid counterfactual
+    by construction (it already ranks beyond ``k``).
+    """
+
+    evaluation_units = 0
+
+    def __init__(
+        self,
+        scored_documents: Sequence[tuple[str, float]],
+        *,
+        doc_id: str,
+        query: str,
+        k: int,
+        method: str,
+        evaluated: int,
+    ):
+        from repro.core.search.candidates import Candidate
+
+        super().__init__(
+            StaticCandidates(
+                tuple(
+                    Candidate(edit=candidate_id, score=similarity, key=candidate_id)
+                    for candidate_id, similarity in scored_documents
+                )
+            ),
+            max_size=1,
+        )
+        self.doc_id = doc_id
+        self.query = query
+        self.k = k
+        self.method = method
+        self.generation_evaluations = evaluated
+
+    def evaluate(self, combo: tuple[int, ...]) -> int | None:
+        return self.k + 1  # already non-relevant: beyond the cutoff
+
+    def is_valid(self, rank: int | None) -> bool:
+        return rank is not None
+
+    def progress(self, rank: int | None) -> float:
+        return 0.0
+
+    def explanation(
+        self, combo: tuple[int, ...], total_score: float, new_rank: int
+    ) -> InstanceExplanation:
+        (index,) = combo
+        candidate = self.candidates[index]
+        return InstanceExplanation(
+            doc_id=self.doc_id,
+            counterfactual_doc_id=candidate.edit,
+            similarity=candidate.score,
+            method=self.method,
+            query=self.query,
+            k=self.k,
+        )

@@ -121,6 +121,42 @@ class InstanceExplanation:
         }
 
 
+@dataclass(frozen=True)
+class EditSearchExplanation:
+    """A minimal set of scripted Builder edits demoting the document.
+
+    Produced by :meth:`repro.core.builder.CounterfactualBuilder.search_edits`:
+    applying :attr:`perturbations` (in order) to the instance document
+    pushes its rank from :attr:`original_rank` to :attr:`new_rank` > k.
+    """
+
+    doc_id: str
+    query: str
+    k: int
+    perturbations: tuple  # tuple[Perturbation, ...]
+    original_rank: int
+    new_rank: int
+    perturbed_body: str
+
+    @property
+    def size(self) -> int:
+        return len(self.perturbations)
+
+    def describe(self) -> str:
+        return "; ".join(op.describe() for op in self.perturbations)
+
+    def to_dict(self) -> dict:
+        return {
+            "doc_id": self.doc_id,
+            "query": self.query,
+            "k": self.k,
+            "perturbations": [op.describe() for op in self.perturbations],
+            "original_rank": self.original_rank,
+            "new_rank": self.new_rank,
+            "perturbed_body": self.perturbed_body,
+        }
+
+
 E = TypeVar("E")
 
 
@@ -135,6 +171,30 @@ class ExplanationSet(Generic[E]):
     counts texts actually pushed through the model; incremental scoring
     sessions make the latter far smaller (one changed document per
     candidate instead of the whole pool).
+
+    **Budget-outcome contract** (uniform across every explainer family
+    since the search-kernel refactor; the flags come verbatim from
+    :class:`~repro.core.search.budget.SearchTrace`):
+
+    * ``search_strategy`` — the search strategy that produced this result
+      (``"exhaustive"``, ``"greedy"``, ``"beam"``, ``"anytime"``).
+    * ``budget_exhausted`` — the evaluation budget
+      (``SearchBudget.max_evaluations``) stopped the search early; the
+      set carries what was found so far (anytime search may still have
+      delivered its best-so-far answers).
+    * ``deadline_exceeded`` — the wall-clock bound
+      (``SearchBudget.deadline_ms``) expired first; likewise partial.
+      Deadline-truncated results are load-dependent, so the service's
+      ``ResultStore`` never caches them.
+    * ``search_exhausted`` — the whole candidate space was explored
+      without reaching ``n`` explanations; what was found is *all*
+      there is (under the strategy's completeness guarantees).
+
+    At most one of ``budget_exhausted``/``deadline_exceeded`` is set,
+    and ``search_exhausted`` excludes both. When none is set the search
+    delivered the ``n`` explanations it was asked for with budget to
+    spare (a budget that merely truncated the *minimisation* of an
+    already-found greedy answer sets no flag).
     """
 
     explanations: list[E] = field(default_factory=list)
@@ -143,6 +203,8 @@ class ExplanationSet(Generic[E]):
     physical_scorings: int = 0
     budget_exhausted: bool = False
     search_exhausted: bool = False
+    deadline_exceeded: bool = False
+    search_strategy: str = ""
 
     def __iter__(self) -> Iterator[E]:
         return iter(self.explanations)
@@ -156,7 +218,23 @@ class ExplanationSet(Generic[E]):
     @property
     def complete(self) -> bool:
         """True if the search ended for a reason other than budget."""
-        return not self.budget_exhausted
+        return not (self.budget_exhausted or self.deadline_exceeded)
+
+    @classmethod
+    def from_search(
+        cls, explanations: Sequence[E], trace, physical_scorings: int = 0
+    ) -> "ExplanationSet[E]":
+        """Assemble a result from a strategy run's ``(explanations, trace)``."""
+        return cls(
+            explanations=list(explanations),
+            candidates_evaluated=trace.candidates_evaluated,
+            ranker_calls=trace.ranker_calls,
+            physical_scorings=physical_scorings,
+            budget_exhausted=trace.budget_exhausted,
+            search_exhausted=trace.search_exhausted,
+            deadline_exceeded=trace.deadline_exceeded,
+            search_strategy=trace.strategy,
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -166,4 +244,6 @@ class ExplanationSet(Generic[E]):
             "physical_scorings": self.physical_scorings,
             "budget_exhausted": self.budget_exhausted,
             "search_exhausted": self.search_exhausted,
+            "deadline_exceeded": self.deadline_exceeded,
+            "search_strategy": self.search_strategy,
         }

@@ -18,15 +18,15 @@ FORMAT_VERSION = 1
 
 
 def save_index(index: InvertedIndex, path: str | Path) -> None:
-    """Serialise ``index`` (documents + analyzer config) to ``path``."""
+    """Serialise ``index`` (documents + analyzer config) to ``path``.
+
+    The analyzer block is produced by :meth:`Analyzer.to_config`, which
+    enumerates the analyzer's fields — adding an analyzer option can no
+    longer desync save from load.
+    """
     payload = {
         "format_version": FORMAT_VERSION,
-        "analyzer": {
-            "lowercase": index.analyzer.lowercase,
-            "remove_stopwords": index.analyzer.remove_stopwords,
-            "stem": index.analyzer.stem,
-            "min_token_length": index.analyzer.min_token_length,
-        },
+        "analyzer": index.analyzer.to_config(),
         "documents": [document.to_dict() for document in index],
     }
     path = Path(path)
@@ -42,12 +42,8 @@ def load_index(path: str | Path) -> InvertedIndex:
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported index format version: {version!r}")
-    analyzer_config = payload["analyzer"]
-    analyzer = Analyzer(
-        lowercase=analyzer_config["lowercase"],
-        remove_stopwords=analyzer_config["remove_stopwords"],
-        stem=analyzer_config["stem"],
-        min_token_length=analyzer_config["min_token_length"],
-    )
+    # FORMAT_VERSION 1 payloads carried exactly the four original fields;
+    # from_config accepts any subset of known fields, so they keep loading.
+    analyzer = Analyzer.from_config(payload["analyzer"])
     documents = (Document.from_dict(raw) for raw in payload["documents"])
     return InvertedIndex.from_documents(documents, analyzer)

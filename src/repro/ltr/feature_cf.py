@@ -11,16 +11,19 @@ priors like popularity or freshness. This explainer answers:
 producing explanations such as "had this article's popularity been 0.25
 instead of 0.9, it would not have ranked top-10."
 
-The search re-uses the CREDENCE recipe: candidate changes are scored by
-expected score drop (model sensitivity × feature delta), candidate
-*sets* are enumerated size-major / score-descending via
-:func:`repro.utils.iteration.ordered_subsets` — so the first valid
-counterfactual is minimal in the number of features touched.
+The search re-uses the CREDENCE recipe through the shared kernel:
+:class:`FeatureChangeGenerator` scores candidate changes by expected
+score drop (model sensitivity × feature delta),
+:class:`FeatureChangeProblem` evaluates change *sets* with one vector
+re-scoring over the session's precomputed pool, and any
+:class:`~repro.core.search.strategies.SearchStrategy` explores them —
+exhaustive by default, so the first valid counterfactual is minimal in
+the number of features touched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import RankingError
 from repro.ltr.features import MUTABLE_FEATURES, LetorVector
@@ -28,9 +31,16 @@ from repro.ltr.ranker import LtrRanker
 from repro.ranking.base import Ranking
 from repro.ranking.rerank import candidate_pool
 from repro.ranking.session import IncrementalScoringSession
+from repro.core.search import (
+    Candidate,
+    DemotionProblem,
+    ExhaustiveSearch,
+    SearchBudget,
+    SearchStrategy,
+    resolve_strategy,
+)
 from repro.core.types import ExplanationSet
 from repro.core.validity import is_non_relevant
-from repro.utils.iteration import ordered_subsets
 from repro.utils.validation import require, require_positive
 
 #: Default grid of values a mutable prior may take.
@@ -78,6 +88,162 @@ class FeatureCounterfactual:
         }
 
 
+@dataclass(frozen=True)
+class FeatureChangeGenerator:
+    """Single-feature changes scored by expected score drop.
+
+    The LTR member of the kernel's generator family: one candidate per
+    (mutable feature, grid value) pair that would lower the model score,
+    prioritised by the probed drop refined with the model's sensitivity.
+    Candidates carry their feature name as the conflict ``key``, so
+    strategies never combine two values for one feature.
+    """
+
+    ranker: LtrRanker
+    vector: LetorVector
+    mutable_features: tuple[str, ...]
+    grid: tuple[float, ...]
+
+    def generate(self) -> list[Candidate]:
+        from repro.ltr.features import LETOR_FEATURE_NAMES
+
+        named = self.vector.as_dict()
+        sensitivity = self.ranker.model.feature_sensitivity()
+        by_name = dict(zip(LETOR_FEATURE_NAMES, sensitivity))
+        base_score = self.ranker.score_vector(self.vector)
+        candidates: list[Candidate] = []
+        for feature in self.mutable_features:
+            current = named[feature]
+            for value in self.grid:
+                if value == current:
+                    continue
+                # Expected drop: first-order estimate refined by one probe.
+                probed = self.ranker.score_vector(
+                    self.vector.replace({feature: value})
+                )
+                drop = base_score - probed
+                if drop <= 0:
+                    continue  # this change would promote, not demote
+                priority = drop + 1e-9 * by_name.get(feature, 0.0)
+                candidates.append(
+                    Candidate(
+                        edit=FeatureChange(feature, current, value),
+                        score=priority,
+                        key=feature,
+                    )
+                )
+        return candidates
+
+
+def _rank_with_vector(
+    ranker: LtrRanker,
+    query: str,
+    pool,
+    doc_id: str,
+    vector: LetorVector,
+    session: IncrementalScoringSession | None = None,
+) -> Ranking:
+    """Pool ranking with the instance document scored from ``vector``.
+
+    With an incremental session the fixed pool scores are precomputed
+    and only the instance vector is re-scored; without one (third-party
+    LTR wrappers) the whole pool is re-scored naively.
+    """
+    score = ranker.score_vector(vector)
+    if session is not None:
+        return session.ranking_with_score(doc_id, score)
+    scored = []
+    for document in pool:
+        if document.doc_id == doc_id:
+            scored.append((doc_id, score))
+        else:
+            scored.append(
+                (document.doc_id, ranker.score_document(query, document))
+            )
+    return Ranking.from_scores(scored)
+
+
+class FeatureChangeProblem(DemotionProblem):
+    """Evaluate feature-change sets with one vector scoring per candidate.
+
+    Fixed pool scores are precomputed by the incremental session; only
+    the instance document's perturbed vector is re-scored. Without an
+    incremental session (third-party LTR wrappers) every evaluation
+    re-scores the whole pool naively.
+    """
+
+    def __init__(
+        self,
+        generator: FeatureChangeGenerator,
+        *,
+        ranker: LtrRanker,
+        pool,
+        session: IncrementalScoringSession | None,
+        baseline_vector: LetorVector,
+        doc_id: str,
+        query: str,
+        k: int,
+        original_rank: int,
+        max_size: int | None = None,
+    ):
+        super().__init__(
+            generator,
+            doc_id=doc_id,
+            query=query,
+            k=k,
+            original_rank=original_rank,
+            max_size=max_size,
+        )
+        self.ranker = ranker
+        self.pool = list(pool)
+        self.session = session
+        self.baseline_vector = baseline_vector
+        self.logical_cost = len(self.pool)
+        #: Instance-vector scorings beyond the baseline probe.
+        self.vector_scorings = 0
+
+    def evaluate(self, combo: tuple[int, ...]) -> int | None:
+        perturbed = self.baseline_vector.replace(
+            {
+                self.candidates[index].edit.feature: self.candidates[index].edit.new
+                for index in combo
+            }
+        )
+        self.vector_scorings += 1
+        ranking = _rank_with_vector(
+            self.ranker, self.query, self.pool, self.doc_id, perturbed,
+            self.session,
+        )
+        return ranking.rank_of(self.doc_id)
+
+    def explanation(
+        self, combo: tuple[int, ...], total_score: float, new_rank: int
+    ) -> FeatureCounterfactual:
+        return FeatureCounterfactual(
+            doc_id=self.doc_id,
+            query=self.query,
+            k=self.k,
+            changes=tuple(
+                sorted(
+                    (self.candidates[index].edit for index in combo),
+                    key=lambda change: change.feature,
+                )
+            ),
+            original_rank=self.original_rank,
+            new_rank=new_rank,
+        )
+
+    @property
+    def physical_scorings(self) -> int:
+        # Baseline plus one vector scoring per candidate; an incremental
+        # session scores the fixed pool once, the naive path re-scores it
+        # every evaluation.
+        vector_scorings = 1 + self.vector_scorings
+        if self.session is not None:
+            return self.session.physical_scorings + vector_scorings
+        return vector_scorings * len(self.pool)
+
+
 @dataclass
 class FeatureCounterfactualExplainer:
     """Minimal mutable-feature counterfactuals over an :class:`LtrRanker`.
@@ -89,6 +255,11 @@ class FeatureCounterfactualExplainer:
         grid: candidate values per feature.
         max_changes: cap on how many features one explanation may touch.
         max_evaluations: budget on candidate re-rankings.
+        raise_on_budget: raise :class:`ExplanationBudgetExceeded` instead
+            of returning partial results (same contract as the document
+            and query explainers).
+        search: default :class:`SearchStrategy` (or registered name) when
+            a call does not pass one; ``None`` means exhaustive.
     """
 
     ranker: LtrRanker
@@ -96,7 +267,8 @@ class FeatureCounterfactualExplainer:
     grid: tuple[float, ...] = DEFAULT_GRID
     max_changes: int | None = None
     max_evaluations: int = 2000
-    _sensitivity: dict[str, float] = field(default_factory=dict, repr=False)
+    raise_on_budget: bool = False
+    search: SearchStrategy | str | None = None
 
     def __post_init__(self):
         require(bool(self.mutable_features), "need at least one mutable feature")
@@ -104,29 +276,6 @@ class FeatureCounterfactualExplainer:
         require_positive(self.max_evaluations, "max_evaluations")
 
     # -- internals -------------------------------------------------------------
-
-    def _candidate_changes(self, vector: LetorVector) -> list[tuple[FeatureChange, float]]:
-        """All single-feature changes, scored by expected score drop."""
-        from repro.ltr.features import LETOR_FEATURE_NAMES
-
-        named = vector.as_dict()
-        sensitivity = self.ranker.model.feature_sensitivity()
-        by_name = dict(zip(LETOR_FEATURE_NAMES, sensitivity))
-        base_score = self.ranker.score_vector(vector)
-        changes = []
-        for feature in self.mutable_features:
-            current = named[feature]
-            for value in self.grid:
-                if value == current:
-                    continue
-                # Expected drop: first-order estimate refined by one probe.
-                probed = self.ranker.score_vector(vector.replace({feature: value}))
-                drop = base_score - probed
-                if drop <= 0:
-                    continue  # this change would promote, not demote
-                priority = drop + 1e-9 * by_name.get(feature, 0.0)
-                changes.append((FeatureChange(feature, current, value), priority))
-        return changes
 
     def _rank_with_vector(
         self,
@@ -136,30 +285,29 @@ class FeatureCounterfactualExplainer:
         vector: LetorVector,
         session: IncrementalScoringSession | None = None,
     ) -> Ranking:
-        if session is not None:
-            # Fixed pool scores are precomputed by the session; only the
-            # instance document's vector is re-scored per candidate.
-            return session.ranking_with_score(
-                doc_id, self.ranker.score_vector(vector)
-            )
-        scored = []
-        for document in pool:
-            if document.doc_id == doc_id:
-                scored.append((doc_id, self.ranker.score_vector(vector)))
-            else:
-                scored.append(
-                    (document.doc_id, self.ranker.score_document(query, document))
-                )
-        return Ranking.from_scores(scored)
+        return _rank_with_vector(
+            self.ranker, query, pool, doc_id, vector, session
+        )
 
     # -- public API --------------------------------------------------------------
 
     def explain(
-        self, query: str, doc_id: str, n: int = 1, k: int = 10
+        self,
+        query: str,
+        doc_id: str,
+        n: int = 1,
+        k: int = 10,
+        *,
+        search: SearchStrategy | str | None = None,
+        budget: SearchBudget | None = None,
     ) -> ExplanationSet[FeatureCounterfactual]:
         """Find up to ``n`` minimal feature-change counterfactuals."""
         require_positive(n, "n")
         require_positive(k, "k")
+        strategy = resolve_strategy(
+            search if search is not None else self.search,
+            default=ExhaustiveSearch(),
+        )
         pool = candidate_pool(self.ranker, query, k)
         by_id = {document.doc_id: document for document in pool}
         if doc_id not in by_id:
@@ -181,61 +329,31 @@ class FeatureCounterfactualExplainer:
                 f"document {doc_id!r} is already non-relevant (rank {original_rank})"
             )
 
-        candidates = self._candidate_changes(baseline_vector)
-        result: ExplanationSet[FeatureCounterfactual] = ExplanationSet()
-        try:
-            if not candidates:
-                result.search_exhausted = True
-                return result
-            items = [change for change, _ in candidates]
-            scores = [priority for _, priority in candidates]
-            max_size = min(
+        problem = FeatureChangeProblem(
+            FeatureChangeGenerator(
+                self.ranker, baseline_vector, self.mutable_features, self.grid
+            ),
+            ranker=self.ranker,
+            pool=pool,
+            session=session,
+            baseline_vector=baseline_vector,
+            doc_id=doc_id,
+            query=query,
+            k=k,
+            original_rank=original_rank,
+            max_size=min(
                 self.max_changes or len(self.mutable_features),
                 len(self.mutable_features),
-            )
-
-            for subset, _ in ordered_subsets(items, scores, max_size=max_size):
-                touched = [change.feature for change in subset]
-                if len(set(touched)) != len(touched):
-                    continue  # two values for the same feature — not a valid edit
-                if result.candidates_evaluated >= self.max_evaluations:
-                    result.budget_exhausted = True
-                    return result
-                perturbed = baseline_vector.replace(
-                    {change.feature: change.new for change in subset}
-                )
-                ranking = self._rank_with_vector(
-                    query, pool, doc_id, perturbed, session
-                )
-                result.candidates_evaluated += 1
-                result.ranker_calls += len(pool)
-                new_rank = ranking.rank_of(doc_id)
-                if new_rank is not None and is_non_relevant(new_rank, k):
-                    result.explanations.append(
-                        FeatureCounterfactual(
-                            doc_id=doc_id,
-                            query=query,
-                            k=k,
-                            changes=tuple(sorted(subset, key=lambda c: c.feature)),
-                            original_rank=original_rank,
-                            new_rank=new_rank,
-                        )
-                    )
-                    if len(result.explanations) >= n:
-                        return result
-            result.search_exhausted = True
-            return result
-        finally:
-            # Baseline plus one vector scoring per candidate; an
-            # incremental session scores the fixed pool once, the naive
-            # path re-scores it every evaluation.
-            vector_scorings = 1 + result.candidates_evaluated
-            if session is not None:
-                result.physical_scorings = (
-                    session.physical_scorings + vector_scorings
-                )
-            else:
-                result.physical_scorings = vector_scorings * len(pool)
+            ),
+        )
+        budget = (budget or SearchBudget()).with_defaults(
+            max_evaluations=self.max_evaluations,
+            raise_on_budget=self.raise_on_budget,
+        )
+        found, trace = strategy.search(problem, n, budget)
+        return ExplanationSet.from_search(
+            found, trace, physical_scorings=problem.physical_scorings
+        )
 
     def is_valid(
         self, query: str, doc_id: str, changes: tuple[FeatureChange, ...], k: int = 10

@@ -112,8 +112,17 @@ class ResultStore:
         request: ExplainRequest,
         response: ExplainResponse,
     ) -> bool:
-        """Cache a successful response; error responses are refused."""
+        """Cache a successful response.
+
+        Error responses are refused, and so are deadline-truncated
+        results (``deadline_exceeded``): they depend on the machine's
+        load at that moment, so replaying one from cache would pin a
+        transient truncation for the TTL. Evaluation-budget truncation
+        is deterministic for a given request and stays cacheable.
+        """
         if not response.ok:
+            return False
+        if response.result is not None and response.result.deadline_exceeded:
             return False
         key = self.key(version, ranker_name, request)
         with self._lock:

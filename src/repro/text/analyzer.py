@@ -83,6 +83,51 @@ class Analyzer:
         terms = self.analyze(word)
         return terms[0] if terms else None
 
+    # -- persistence -----------------------------------------------------------
+
+    #: Fields excluded from :meth:`to_config`: runtime-only state and the
+    #: stopword set (persisting the full list would bloat every index
+    #: file; deployments customising stopwords persist them separately).
+    _NON_CONFIG_FIELDS = ("stopwords", "_stemmer")
+
+    def to_config(self) -> dict:
+        """This analyzer's persistable configuration.
+
+        Enumerated from the dataclass fields, so a newly added analyzer
+        option is saved automatically — the save and load sides can no
+        longer silently desync (the bug the hard-coded four-field dict
+        in ``index/storage.py`` used to invite).
+        """
+        from dataclasses import fields
+
+        return {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name not in self._NON_CONFIG_FIELDS
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Analyzer":
+        """Rebuild an analyzer from :meth:`to_config` output.
+
+        Unknown keys raise (a config written by a *newer* analyzer must
+        not load lossily); missing keys fall back to the field defaults,
+        which keeps historical ``FORMAT_VERSION`` 1 payloads loading.
+        """
+        from dataclasses import fields
+
+        known = {
+            spec.name
+            for spec in fields(cls)
+            if spec.name not in cls._NON_CONFIG_FIELDS
+        }
+        unknown = set(config) - known
+        if unknown:
+            raise ValueError(
+                f"unknown analyzer config key(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**dict(config))
+
 
 def default_analyzer() -> Analyzer:
     """The library-default analyzer (lowercase, stopwords, Porter)."""

@@ -234,3 +234,104 @@ class TestLegacyRouteEquivalence:
         assert legacy.status == unified.status == 200
         assert unified.payload["strategy"] == "instance/cosine"
         assert legacy.payload["explanations"] == unified.payload["explanations"]
+
+
+class TestSearchOptions:
+    """The search-kernel options thread through the REST surface."""
+
+    def test_beam_search_accepted(self, client):
+        response = client.post(
+            "/explanations",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "search": "beam",
+                "beam_width": 4,
+                "budget": 5000,
+            },
+        )
+        assert response.status == 200
+        assert response.payload["search_strategy"] == "beam"
+        assert response.payload["explanations"]
+
+    def test_anytime_with_deadline(self, client):
+        response = client.post(
+            "/explanations",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "search": "anytime",
+                "deadline_ms": 500,
+            },
+        )
+        assert response.status == 200
+        assert response.payload["search_strategy"] == "anytime"
+
+    def test_unknown_search_is_a_clean_400(self, client):
+        response = client.post(
+            "/explanations",
+            {
+                "query": QUERY,
+                "doc_id": FAKE_NEWS_DOC_ID,
+                "search": "simulated-annealing",
+            },
+        )
+        assert response.status == 400
+        assert "search" in response.payload["detail"]
+
+    def test_invalid_search_numbers_are_a_clean_400(self, client):
+        for body_patch in (
+            {"beam_width": 0},
+            {"budget": 0},
+            {"deadline_ms": -1},
+            {"deadline_ms": "fast"},
+        ):
+            response = client.post(
+                "/explanations",
+                {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID, **body_patch},
+            )
+            assert response.status == 400, body_patch
+
+    def test_batch_items_accept_search_options(self, client):
+        response = client.post(
+            "/explanations/batch",
+            {
+                "requests": [
+                    {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID},
+                    {
+                        "query": QUERY,
+                        "doc_id": FAKE_NEWS_DOC_ID,
+                        "search": "greedy",
+                    },
+                ]
+            },
+        )
+        assert response.status == 200
+        strategies = [
+            item["search_strategy"] for item in response.payload["responses"]
+        ]
+        assert strategies == ["exhaustive", "greedy"]
+
+    def test_search_options_distinguish_cached_results(self, client):
+        """Requests differing only in search options never share a store
+        entry — the responses carry their own search strategies."""
+        base = {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID}
+        first = client.post("/explanations", base).payload
+        second = client.post(
+            "/explanations", {**base, "search": "greedy"}
+        ).payload
+        assert first["search_strategy"] == "exhaustive"
+        assert second["search_strategy"] == "greedy"
+
+    def test_oversized_budget_and_deadline_are_a_clean_400(self, client):
+        """One request must not pin a worker indefinitely: per-request
+        ceilings on the search-kernel bounds."""
+        for body_patch in (
+            {"budget": 10_000_000},
+            {"deadline_ms": 3_600_000},
+        ):
+            response = client.post(
+                "/explanations",
+                {"query": QUERY, "doc_id": FAKE_NEWS_DOC_ID, **body_patch},
+            )
+            assert response.status == 400, body_patch

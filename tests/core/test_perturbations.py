@@ -115,3 +115,106 @@ class TestComposition:
         assert "covid" not in lowered
         assert "outbreak" not in lowered
         assert "flu" in lowered
+
+
+class TestOverlappingSurfaces:
+    """Term surfaces that share prefixes/joiners must not cross-match."""
+
+    def test_shorter_term_does_not_eat_longer_surface(self):
+        body = "covid and covid-19 and covid19"
+        assert ReplaceTerm("covid", "flu").apply(body) == "flu and covid-19 and covid19"
+
+    def test_longer_surface_replaced_without_touching_shorter(self):
+        body = "covid and covid-19 spread"
+        assert (
+            ReplaceTerm("covid-19", "flu").apply(body) == "covid and flu spread"
+        )
+
+    def test_dotted_and_apostrophe_joiners_block_partial_matches(self):
+        assert ReplaceTerm("U.S", "EU").apply("U.S.A report") == "U.S.A report"
+        assert RemoveTerm("don").apply("don't panic") == "don't panic"
+
+    def test_adjacent_occurrences_all_replaced(self):
+        assert (
+            ReplaceTerm("covid", "flu").apply("covid covid covid")
+            == "flu flu flu"
+        )
+
+    def test_replacement_containing_the_term_is_not_rescanned(self):
+        # A single regex pass: "flu covid" substitutions must not recurse.
+        assert (
+            ReplaceTerm("covid", "covid covid").apply("a covid b")
+            == "a covid covid b"
+        )
+
+
+class TestUnicodeAndCaseFolding:
+    def test_uppercase_surface_matches_case_insensitively(self):
+        assert (
+            ReplaceTerm("COVID", "flu").apply("Covid spreads; COVID mutates")
+            == "flu spreads; flu mutates"
+        )
+
+    def test_accented_term_round_trip(self):
+        assert (
+            ReplaceTerm("café", "bar").apply("the café opened") == "the bar opened"
+        )
+
+    def test_accented_text_unaffected_by_ascii_term(self):
+        # "café" is one token; removing "caf" must not strip its prefix.
+        assert RemoveTerm("caf").apply("the café opened") == "the café opened"
+
+    def test_casefolded_removal_tidies_punctuation(self):
+        assert (
+            RemoveTerm("OUTBREAK").apply("The outbreak, they said, ended.")
+            == "The, they said, ended."
+        )
+
+
+class TestCompositeOrdering:
+    def test_order_changes_outcome(self):
+        replace_then_remove = CompositePerturbation.of(
+            ReplaceTerm("covid", "flu"), RemoveTerm("flu")
+        )
+        remove_then_replace = CompositePerturbation.of(
+            RemoveTerm("flu"), ReplaceTerm("covid", "flu")
+        )
+        body = "covid and flu season"
+        assert replace_then_remove.apply(body) == "and season"
+        assert remove_then_replace.apply(body) == "flu and season"
+
+    def test_composite_equals_apply_all(self):
+        steps = (
+            ReplaceTerm("covid", "flu"),
+            RemoveTerm("outbreak"),
+            AppendText("Stay safe."),
+        )
+        body = "The covid outbreak continues."
+        assert CompositePerturbation(steps).apply(body) == apply_all(body, steps)
+
+    def test_nested_composites_flatten_behaviourally(self):
+        inner = CompositePerturbation.of(ReplaceTerm("a", "b"))
+        outer = CompositePerturbation.of(inner, ReplaceTerm("b", "c"))
+        assert outer.apply("a b") == "c c"
+
+
+class TestApplyAllIdempotence:
+    """Re-applying an already-applied edit script must be a no-op."""
+
+    def test_replace_and_remove_idempotent(self):
+        steps = (ReplaceTerm("covid", "flu"), RemoveTerm("outbreak"))
+        body = "The covid outbreak, again a covid outbreak."
+        once = apply_all(body, steps)
+        assert apply_all(once, steps) == once
+
+    def test_remove_sentences_idempotent_on_reapplication(self):
+        steps = (RemoveSentences(indices=(1,)),)
+        body = "First point. Second point. Third point."
+        once = apply_all(body, steps)
+        # Re-applying removes the *new* index-1 sentence — idempotence
+        # holds per body only for index sets beyond the remaining range.
+        beyond = (RemoveSentences(indices=(5,)),)
+        assert apply_all(once, beyond) == once
+
+    def test_empty_script_is_identity(self):
+        assert apply_all("Anything at all.", ()) == "Anything at all."

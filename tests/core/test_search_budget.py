@@ -1,0 +1,172 @@
+"""Tests for the shared search budget/trace objects and the unified
+budget-exhaustion contract across explainer families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query_cf import CounterfactualQueryExplainer
+from repro.core.search import SearchBudget, UNLIMITED
+from repro.core.search.budget import (
+    DEADLINE,
+    EVALUATIONS,
+    SearchTrace,
+    budget_stop,
+)
+from repro.errors import ConfigurationError, ExplanationBudgetExceeded
+from repro.ltr.feature_cf import FeatureCounterfactualExplainer
+from repro.ranking.bm25 import Bm25Ranker
+
+
+class TestSearchBudget:
+    def test_defaults_are_unbounded(self):
+        meter = UNLIMITED.meter()
+        assert meter.exhausted(10**9) is None
+
+    def test_rejects_non_positive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SearchBudget(max_evaluations=0)
+        with pytest.raises(ConfigurationError):
+            SearchBudget(deadline_ms=0)
+        with pytest.raises(ConfigurationError):
+            SearchBudget(deadline_ms=-5)
+
+    def test_evaluation_cap_checked_before_spend(self):
+        """A budget of b evaluates exactly b candidates: the check runs
+        against evaluations already spent."""
+        meter = SearchBudget(max_evaluations=3).meter()
+        assert meter.exhausted(2) is None
+        assert meter.exhausted(3) == EVALUATIONS
+        assert meter.exhausted(4) == EVALUATIONS
+
+    def test_deadline_with_injected_clock(self):
+        ticks = iter([0.0, 0.010, 0.060])
+        meter = SearchBudget(deadline_ms=50).meter(clock=lambda: next(ticks))
+        assert meter.exhausted(0) is None  # 10 ms elapsed
+        assert meter.exhausted(0) == DEADLINE  # 60 ms elapsed
+
+    def test_evaluations_reported_before_deadline(self):
+        clock = iter([0.0, 1.0]).__next__
+        meter = SearchBudget(max_evaluations=1, deadline_ms=1).meter(clock=clock)
+        assert meter.exhausted(1) == EVALUATIONS
+
+
+class TestSearchTrace:
+    def test_stop_maps_reasons_to_flags(self):
+        trace = SearchTrace()
+        trace.stop(DEADLINE)
+        assert trace.deadline_exceeded and not trace.budget_exhausted
+        trace = SearchTrace()
+        trace.stop(EVALUATIONS)
+        assert trace.budget_exhausted and not trace.deadline_exceeded
+
+    def test_budget_stop_raises_with_partials_when_asked(self):
+        trace = SearchTrace()
+        found = ["partial"]
+        with pytest.raises(ExplanationBudgetExceeded) as excinfo:
+            budget_stop(
+                trace,
+                EVALUATIONS,
+                SearchBudget(max_evaluations=1, raise_on_budget=True),
+                found,
+                n=3,
+            )
+        assert excinfo.value.partial_results == ["partial"]
+        assert trace.budget_exhausted
+
+    def test_budget_stop_returns_quietly_otherwise(self):
+        trace = SearchTrace()
+        budget_stop(trace, DEADLINE, SearchBudget(deadline_ms=1), [], n=1)
+        assert trace.deadline_exceeded
+
+
+class TestUnifiedBudgetOutcomes:
+    """Every family surfaces the same SearchBudget outcome fields —
+    the contract documented in :mod:`repro.core.types`."""
+
+    QUERY = "covid outbreak"
+
+    @pytest.fixture(scope="class")
+    def ranker(self):
+        from repro.datasets.covid import covid_corpus
+        from repro.index.inverted import InvertedIndex
+
+        return Bm25Ranker(InvertedIndex.from_documents(covid_corpus()))
+
+    def test_query_cf_raises_on_budget_when_asked(self, ranker):
+        explainer = CounterfactualQueryExplainer(
+            ranker, max_evaluations=1, raise_on_budget=True
+        )
+        target = ranker.rank(self.QUERY, 10).doc_ids[-1]
+        with pytest.raises(ExplanationBudgetExceeded):
+            explainer.explain(self.QUERY, target, n=5, k=10)
+
+    def test_query_cf_deadline_surfaces_uniform_fields(self, ranker):
+        explainer = CounterfactualQueryExplainer(ranker)
+        target = ranker.rank(self.QUERY, 10).doc_ids[-1]
+        result = explainer.explain(
+            self.QUERY,
+            target,
+            n=50,
+            k=10,
+            budget=SearchBudget(deadline_ms=0.0001),
+        )
+        assert result.deadline_exceeded
+        assert not result.budget_exhausted
+        assert not result.search_exhausted
+        assert result.to_dict()["deadline_exceeded"] is True
+
+    def test_feature_cf_honours_raise_on_budget(self):
+        """Pre-kernel feature_cf silently ignored raise_on_budget."""
+        from repro.index.inverted import InvertedIndex
+        from repro.ltr.dataset import assign_priors, synthetic_letor_dataset
+        from repro.ltr.models import LinearLtrModel
+        from repro.ltr.ranker import LtrRanker
+        from repro.datasets.covid import covid_corpus
+
+        corpus = assign_priors(covid_corpus(), seed=7)
+        index = InvertedIndex.from_documents(corpus)
+        examples = synthetic_letor_dataset(corpus, [self.QUERY], seed=11)
+        ranker = LtrRanker(index, LinearLtrModel.fit(examples))
+        explainer = FeatureCounterfactualExplainer(
+            ranker, max_evaluations=1, raise_on_budget=True
+        )
+        target = ranker.rank(self.QUERY, 10).doc_ids[0]
+        with pytest.raises(ExplanationBudgetExceeded):
+            explainer.explain(self.QUERY, target, n=5, k=10)
+
+    def test_budget_and_deadline_flags_are_exclusive(self, ranker):
+        from repro.core.document_cf import CounterfactualDocumentExplainer
+
+        explainer = CounterfactualDocumentExplainer(ranker)
+        target = ranker.rank(self.QUERY, 10).doc_ids[0]
+        capped = explainer.explain(
+            self.QUERY, target, n=50, k=10,
+            budget=SearchBudget(max_evaluations=2),
+        )
+        assert capped.budget_exhausted and not capped.deadline_exceeded
+        assert not capped.complete
+
+
+class TestGenerationEvaluationsDoNotConsumeBudget:
+    """Instance selection reports its similarity computations as
+    candidates_evaluated, but only *strategy* evaluations meter against
+    the request budget — budget=b evaluates exactly b candidates."""
+
+    def test_instance_cosine_with_small_budget(self):
+        from repro.core.instance_cf import CosineSampledExplainer
+        from repro.datasets.covid import FAKE_NEWS_DOC_ID, covid_corpus
+        from repro.index.inverted import InvertedIndex
+
+        ranker = Bm25Ranker(InvertedIndex.from_documents(covid_corpus()))
+        result = CosineSampledExplainer(ranker, seed=5).explain(
+            "covid outbreak",
+            FAKE_NEWS_DOC_ID,
+            n=2,
+            k=10,
+            samples=50,
+            budget=SearchBudget(max_evaluations=10),
+        )
+        assert len(result) == 2
+        assert not result.budget_exhausted
+        assert result.candidates_evaluated == 50  # historical accounting

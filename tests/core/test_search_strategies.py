@@ -1,0 +1,357 @@
+"""Strategy-level tests for the counterfactual search kernel.
+
+A synthetic :class:`SearchProblem` (each candidate carries a known
+"damage"; a combination is valid once the summed damage demotes a
+fake rank beyond k) pins each strategy's exploration contract without
+any ranker in the loop; the Builder composition tests then exercise the
+kernel end-to-end over a real scoring session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import CounterfactualBuilder
+from repro.core.perturbations import RemoveTerm, ReplaceTerm
+from repro.core.search import (
+    AnytimeSearch,
+    BeamSearch,
+    Candidate,
+    ExhaustiveSearch,
+    GreedySearch,
+    SearchBudget,
+    SearchProblem,
+    StaticCandidates,
+    build_strategy,
+    resolve_strategy,
+    search_overrides,
+)
+from repro.core.explain import ExplainRequest
+from repro.errors import ConfigurationError, ExplanationBudgetExceeded
+
+
+class FakeDemotionProblem(SearchProblem):
+    """Rank = base_rank + summed damage of the applied edits; valid > k."""
+
+    logical_cost = 3
+
+    def __init__(self, damages, k=10, base_rank=5, max_size=None, keys=None):
+        keys = keys or [None] * len(damages)
+        super().__init__(
+            StaticCandidates(
+                tuple(
+                    Candidate(edit=position, score=float(damage), key=key)
+                    for position, (damage, key) in enumerate(zip(damages, keys))
+                )
+            ),
+            max_size=max_size,
+        )
+        self.damages = list(damages)
+        self.k = k
+        self.base_rank = base_rank
+        self.evaluated: list[tuple[int, ...]] = []
+
+    def evaluate(self, combo):
+        self.evaluated.append(combo)
+        return self.base_rank + sum(self.damages[i] for i in combo)
+
+    def is_valid(self, rank):
+        return rank is not None and rank > self.k
+
+    def progress(self, rank):
+        return float("-inf") if rank is None else float(rank)
+
+    def explanation(self, combo, total_score, new_rank):
+        return (tuple(sorted(combo)), new_rank)
+
+
+class TestExhaustiveSearch:
+    def test_size_major_score_minor_order(self):
+        problem = FakeDemotionProblem([1, 3, 2])  # nothing valid alone
+        ExhaustiveSearch().search(problem, n=1, budget=SearchBudget())
+        # Singles by score desc, then pairs by summed score desc.
+        assert problem.evaluated[:3] == [(1,), (2,), (0,)]
+        assert problem.evaluated[3] == (1, 2)
+
+    def test_first_found_is_minimal(self):
+        problem = FakeDemotionProblem([4, 3, 2])  # pairs reach > 10
+        found, trace = ExhaustiveSearch().search(problem, n=1)
+        assert found == [((0, 1), 12)]
+        assert not trace.search_exhausted
+
+    def test_search_exhausted_when_space_empty(self):
+        found, trace = ExhaustiveSearch().search(FakeDemotionProblem([]), n=1)
+        assert found == [] and trace.search_exhausted
+
+    def test_budget_stop_and_raise(self):
+        problem = FakeDemotionProblem([1, 1, 1])
+        found, trace = ExhaustiveSearch().search(
+            problem, n=1, budget=SearchBudget(max_evaluations=2)
+        )
+        assert trace.budget_exhausted and trace.candidates_evaluated == 2
+        with pytest.raises(ExplanationBudgetExceeded):
+            ExhaustiveSearch().search(
+                FakeDemotionProblem([1, 1, 1]),
+                n=1,
+                budget=SearchBudget(max_evaluations=2, raise_on_budget=True),
+            )
+
+    def test_key_conflicts_skipped_without_budget_charge(self):
+        # Neither single is valid (damage ≤ 5) and the pair shares a
+        # key, so it is skipped without an evaluation charge.
+        problem = FakeDemotionProblem([2, 3], keys=["same", "same"])
+        found, trace = ExhaustiveSearch().search(problem, n=1)
+        assert (0, 1) not in problem.evaluated and (1, 0) not in problem.evaluated
+        assert found == [] and trace.search_exhausted
+        assert trace.candidates_evaluated == 2
+        assert trace.ranker_calls == 2 * problem.logical_cost
+
+    def test_max_size_caps_enumeration(self):
+        problem = FakeDemotionProblem([1, 1, 1], max_size=1)
+        found, trace = ExhaustiveSearch().search(problem, n=1)
+        assert found == [] and trace.search_exhausted
+        assert all(len(combo) == 1 for combo in problem.evaluated)
+
+
+class TestGreedySearch:
+    def test_grows_by_score_then_prunes(self):
+        # No single damage exceeds 5, so grow takes 4 (rank 9) then 3
+        # (rank 12, valid); pruning cannot drop either without losing
+        # validity, so the pair stands.
+        problem = FakeDemotionProblem([3, 4, 2])
+        found, trace = GreedySearch().search(problem, n=1)
+        assert found == [((0, 1), 12)]
+        assert trace.candidates_evaluated <= 2 * 3
+
+    def test_immediately_valid_top_scorer_stays_single(self):
+        problem = FakeDemotionProblem([7, 6])
+        found, trace = GreedySearch().search(problem, n=1)
+        assert found == [((0,), 12)]
+        assert trace.candidates_evaluated == 1
+
+    def test_no_valid_combination_sets_search_exhausted(self):
+        problem = FakeDemotionProblem([1, 1])
+        found, trace = GreedySearch().search(problem, n=1)
+        assert found == [] and trace.search_exhausted
+
+    def test_budget_exhaustion_before_validity(self):
+        problem = FakeDemotionProblem([1, 2, 3, 4, 5])
+        found, trace = GreedySearch().search(
+            problem, n=1, budget=SearchBudget(max_evaluations=1)
+        )
+        assert found == [] and trace.budget_exhausted
+
+
+class TestBeamSearch:
+    def test_finds_multi_edit_where_single_edit_fails(self):
+        # No single candidate is valid; only triples reach > 10.
+        problem = FakeDemotionProblem([2, 2, 2, 1])
+        single = FakeDemotionProblem([2, 2, 2, 1], max_size=1)
+        none_found, trace = ExhaustiveSearch().search(single, n=1)
+        assert none_found == [] and trace.search_exhausted
+        found, _ = BeamSearch(beam_width=2).search(problem, n=1)
+        assert found and len(found[0][0]) == 3
+
+    def test_width_bounds_the_frontier(self):
+        problem = FakeDemotionProblem([1, 1, 1, 1, 1, 1])
+        BeamSearch(beam_width=2).search(problem, n=1)
+        depth2 = [combo for combo in problem.evaluated if len(combo) == 2]
+        # Only the 2 kept states expand, each adding ≤ 5 unused
+        # candidates, minus frozenset dedup overlaps.
+        assert 0 < len(depth2) <= 2 * 5
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BeamSearch(beam_width=0)
+
+    def test_collects_n_results(self):
+        problem = FakeDemotionProblem([11, 12, 13])
+        found, _ = BeamSearch().search(problem, n=2)
+        assert len(found) == 2
+
+    def test_budget_stops_mid_depth(self):
+        problem = FakeDemotionProblem([1, 1, 1, 1])
+        found, trace = BeamSearch().search(
+            problem, n=1, budget=SearchBudget(max_evaluations=3)
+        )
+        assert trace.budget_exhausted and trace.candidates_evaluated == 3
+
+
+class TestAnytimeSearch:
+    def test_refines_greedy_incumbent_to_minimum(self):
+        # Candidate scores are the damages, so greedy takes 6 first and
+        # is valid immediately (rank 11): the incumbent is already
+        # minimal and refinement below size 1 is skipped.
+        problem = FakeDemotionProblem([5, 4, 6])
+        found, trace = AnytimeSearch().search(problem, n=1)
+        assert found == [((2,), 11)]
+        assert not trace.budget_exhausted
+
+    def test_returns_incumbent_when_budget_dies_mid_refinement(self):
+        # Nothing is valid alone; greedy needs 2 grows; budget leaves no
+        # room for refinement, so the incumbent survives.
+        problem = FakeDemotionProblem([3, 3, 3])
+        found, trace = AnytimeSearch().search(
+            problem, n=1, budget=SearchBudget(max_evaluations=3)
+        )
+        assert len(found) == 1 and len(found[0][0]) == 2
+        assert trace.budget_exhausted
+
+    def test_never_raises_on_budget(self):
+        problem = FakeDemotionProblem([1, 1, 1])
+        found, trace = AnytimeSearch().search(
+            problem,
+            n=1,
+            budget=SearchBudget(max_evaluations=1, raise_on_budget=True),
+        )
+        assert found == [] and trace.budget_exhausted
+
+    def test_exhausts_cleanly_when_nothing_valid(self):
+        problem = FakeDemotionProblem([1, 1])
+        found, trace = AnytimeSearch().search(problem, n=1)
+        assert found == [] and trace.search_exhausted
+
+
+class TestStrategyConstruction:
+    def test_build_strategy_known_names(self):
+        assert build_strategy("exhaustive").name == "exhaustive"
+        assert build_strategy("greedy").name == "greedy"
+        assert build_strategy("anytime").name == "anytime"
+        beam = build_strategy("beam", beam_width=7)
+        assert beam.name == "beam" and beam.beam_width == 7
+
+    def test_build_strategy_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown search strategy"):
+            build_strategy("simulated-annealing")
+
+    def test_resolve_strategy_passthrough_and_default(self):
+        strategy = BeamSearch(beam_width=2)
+        assert resolve_strategy(strategy) is strategy
+        assert resolve_strategy(None).name == "exhaustive"
+        assert resolve_strategy(None, default=GreedySearch()).name == "greedy"
+        assert resolve_strategy("anytime").name == "anytime"
+
+    def test_search_overrides_from_request(self):
+        request = ExplainRequest(
+            "q", "d", search="beam", beam_width=6, budget=99, deadline_ms=250
+        )
+        search, budget = search_overrides(request)
+        assert search.name == "beam" and search.beam_width == 6
+        assert budget.max_evaluations == 99 and budget.deadline_ms == 250
+
+    def test_search_overrides_default_request_is_noop(self):
+        search, budget = search_overrides(ExplainRequest("q", "d"))
+        assert search is None and budget is None
+
+    def test_request_rejects_unknown_search(self):
+        with pytest.raises(ConfigurationError):
+            ExplainRequest("q", "d", search="magic")
+        with pytest.raises(ConfigurationError):
+            ExplainRequest("q", "d", beam_width=0)
+        with pytest.raises(ConfigurationError):
+            ExplainRequest("q", "d", budget=0)
+        with pytest.raises(ConfigurationError):
+            ExplainRequest("q", "d", deadline_ms=0)
+
+
+class TestBuilderEditSearch:
+    """The Builder composed with the kernel: minimal scripted-edit subsets."""
+
+    QUERY = "covid outbreak"
+
+    @pytest.fixture(scope="class")
+    def builder(self):
+        from repro.datasets.covid import covid_corpus
+        from repro.index.inverted import InvertedIndex
+        from repro.ranking.bm25 import Bm25Ranker
+
+        return CounterfactualBuilder(
+            Bm25Ranker(InvertedIndex.from_documents(covid_corpus()))
+        )
+
+    @pytest.fixture(scope="class")
+    def target(self, builder):
+        from repro.datasets.covid import FAKE_NEWS_DOC_ID
+
+        return FAKE_NEWS_DOC_ID
+
+    def test_finds_minimal_edit_subset(self, builder, target):
+        edits = [
+            ReplaceTerm("covid", "flu"),
+            RemoveTerm("outbreak"),
+            ReplaceTerm("staged", "reported"),  # cosmetic: no rank effect
+        ]
+        result = builder.search_edits(self.QUERY, target, edits, k=10)
+        assert len(result) == 1
+        explanation = result[0]
+        assert explanation.new_rank > 10
+        assert explanation.size < len(edits)
+        # Minimality: no strict subset of the found edits suffices.
+        assert explanation.size >= 1
+
+    def test_edit_order_is_the_users(self, builder, target):
+        edits = [ReplaceTerm("covid", "flu"), RemoveTerm("outbreak")]
+        result = builder.search_edits(self.QUERY, target, edits, k=10)
+        described = result[0].describe()
+        assert described.index("replace") < described.index("remove") or (
+            "replace" not in described or "remove" not in described
+        )
+
+    def test_no_subset_valid_reports_exhausted(self, builder, target):
+        result = builder.search_edits(
+            self.QUERY, target, [ReplaceTerm("staged", "reported")], k=10
+        )
+        assert len(result) == 0 and result.search_exhausted
+
+    def test_requires_edits_and_ranked_document(self, builder, target):
+        with pytest.raises(ConfigurationError):
+            builder.search_edits(self.QUERY, target, [], k=10)
+
+    def test_greedy_strategy_also_works(self, builder, target):
+        edits = [ReplaceTerm("covid", "flu"), RemoveTerm("outbreak")]
+        result = builder.search_edits(
+            self.QUERY, target, edits, k=10, search="greedy"
+        )
+        assert result.search_strategy == "greedy"
+        if len(result):
+            assert result[0].new_rank > 10
+
+
+class TestReviewRegressions:
+    """Pinned behaviours from review: anytime n>1 coverage, prune-phase
+    budget truncation, and flag semantics for delivered answers."""
+
+    def test_anytime_collects_n_results_beyond_the_incumbent(self):
+        # Every pair is valid (3+3 > 5+... rank 5+6=11 > 10); n=3 must
+        # not be capped by the greedy incumbent's size.
+        problem = FakeDemotionProblem([3, 3, 3, 3])
+        found, trace = AnytimeSearch().search(problem, n=3)
+        assert len(found) == 3
+        assert not trace.search_exhausted
+
+    def test_anytime_does_not_claim_exhaustion_after_partial_scan(self):
+        # One valid single; anytime with n=1 refines below the incumbent
+        # only — it must not report the whole space as explored.
+        problem = FakeDemotionProblem([6, 1, 1])
+        found, trace = AnytimeSearch().search(problem, n=1)
+        assert len(found) == 1
+        assert not trace.search_exhausted
+
+    def test_greedy_prune_truncation_keeps_answer_unflagged(self):
+        # Grow needs 2 evals to a valid pair; a 2-eval budget cuts the
+        # prune short, but the returned answer is complete — no flag.
+        problem = FakeDemotionProblem([3, 3])
+        found, trace = GreedySearch().search(
+            problem, n=1, budget=SearchBudget(max_evaluations=2)
+        )
+        assert len(found) == 1
+        assert not trace.budget_exhausted and not trace.deadline_exceeded
+
+    def test_anytime_refinement_skips_greedy_phase_combos(self):
+        # Greedy's grow evaluates (0,) first; the size-major refinement
+        # must not re-evaluate (and re-charge) it. (Prune re-trying a
+        # grow prefix *within* phase 1 is legacy-faithful and allowed.)
+        problem = FakeDemotionProblem([2, 2, 2, 1])
+        AnytimeSearch().search(problem, n=1)
+        singles = [combo for combo in problem.evaluated if len(combo) == 1]
+        assert len(singles) == len(set(singles))

@@ -60,3 +60,66 @@ class TestFormat:
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="format version"):
             load_index(path)
+
+
+class TestAnalyzerConfigRoundTrip:
+    """The analyzer block is Analyzer.to_config()/from_config() — new
+    analyzer options cannot silently desync save from load."""
+
+    def test_every_config_field_round_trips(self, tiny_docs, tmp_path):
+        analyzer = Analyzer(
+            lowercase=False, remove_stopwords=False, stem=False,
+            min_token_length=3,
+        )
+        index = InvertedIndex.from_documents(tiny_docs, analyzer)
+        path = tmp_path / "full.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.analyzer.to_config() == analyzer.to_config()
+        assert loaded.analyzer.min_token_length == 3
+        assert loaded.analyzer.lowercase is False
+
+    def test_saved_payload_carries_all_config_fields(self, tiny_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(tiny_index, path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["analyzer"] == tiny_index.analyzer.to_config()
+        # Runtime-only state never leaks into the file.
+        assert "stopwords" not in payload["analyzer"]
+        assert "_stemmer" not in payload["analyzer"]
+
+    def test_legacy_format_version_1_payload_loads(self, tiny_index, tmp_path):
+        """Historical v1 files carried exactly the four original fields."""
+        path = tmp_path / "legacy.json"
+        save_index(tiny_index, path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["analyzer"] = {
+            "lowercase": True,
+            "remove_stopwords": True,
+            "stem": True,
+            "min_token_length": 1,
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        loaded = load_index(path)
+        assert loaded.analyzer.stem is True
+        assert loaded.analyzer.min_token_length == 1
+
+    def test_missing_config_keys_fall_back_to_defaults(self, tiny_index, tmp_path):
+        path = tmp_path / "sparse.json"
+        save_index(tiny_index, path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["analyzer"] = {"stem": False}
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        loaded = load_index(path)
+        assert loaded.analyzer.stem is False
+        assert loaded.analyzer.lowercase is True  # field default
+
+    def test_unknown_config_keys_are_rejected(self, tiny_index, tmp_path):
+        """A file written by a newer analyzer must not load lossily."""
+        path = tmp_path / "future.json"
+        save_index(tiny_index, path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["analyzer"]["bigram_shingles"] = True
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ValueError, match="bigram_shingles"):
+            load_index(path)

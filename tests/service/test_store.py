@@ -133,3 +133,57 @@ class TestStats:
             ResultStore(max_entries=0)
         with pytest.raises(ConfigurationError):
             ResultStore(ttl_seconds=0.0)
+
+
+class TestSearchOptionFingerprints:
+    """Store keys distinguish requests that differ only in search
+    options — a beam answer must never be served for an exhaustive
+    request."""
+
+    def test_each_search_option_alters_the_fingerprint(self):
+        base = request_fingerprint(_request())
+        assert request_fingerprint(_request(search="beam")) != base
+        assert request_fingerprint(_request(beam_width=8)) != base
+        assert request_fingerprint(_request(budget=500)) != base
+        assert request_fingerprint(_request(deadline_ms=100)) != base
+
+    def test_search_options_are_mutually_distinct(self):
+        prints = {
+            request_fingerprint(_request(search=search))
+            for search in ("exhaustive", "greedy", "beam", "anytime")
+        }
+        assert len(prints) == 4
+
+    def test_store_keeps_entries_apart(self):
+        store = ResultStore(max_entries=8)
+        exhaustive = _request(search="exhaustive")
+        beam = _request(search="beam")
+        store.put(1, "bm25", exhaustive, _response(exhaustive))
+        assert store.get(1, "bm25", beam) is None
+        store.put(1, "bm25", beam, _response(beam))
+        assert len(store) == 2
+        assert store.get(1, "bm25", exhaustive) is not None
+
+
+class TestPartialResultCaching:
+    def _result_response(self, request, **result_fields):
+        from repro.core.types import ExplanationSet
+
+        response = _response(request)
+        response.result = ExplanationSet(**result_fields)
+        return response
+
+    def test_deadline_truncated_results_are_never_cached(self):
+        store = ResultStore()
+        request = _request(search="anytime", deadline_ms=50)
+        truncated = self._result_response(request, deadline_exceeded=True)
+        assert store.put(1, "bm25", request, truncated) is False
+        assert store.get(1, "bm25", request) is None
+
+    def test_budget_truncated_results_stay_cacheable(self):
+        """Evaluation-budget truncation is deterministic per request."""
+        store = ResultStore()
+        request = _request(budget=5)
+        capped = self._result_response(request, budget_exhausted=True)
+        assert store.put(1, "bm25", request, capped) is True
+        assert store.get(1, "bm25", request) is not None

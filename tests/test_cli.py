@@ -224,3 +224,63 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSearchOptions:
+    """`explain --search ...` threads the kernel options through."""
+
+    def test_beam_search_flags(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--search", "beam",
+                "--beam-width", "4",
+                "--budget", "5000",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["search_strategy"] == "beam"
+        assert payload["explanations"]
+
+    def test_anytime_with_deadline(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--search", "anytime",
+                "--deadline-ms", "500",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["search_strategy"] == "anytime"
+
+    def test_unknown_search_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "explain",
+                    "--query", DEMO_QUERY,
+                    "--doc", FAKE_NEWS_DOC_ID,
+                    "--search", "simulated-annealing",
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_invalid_budget_clean_exit_2(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--query", DEMO_QUERY,
+                "--doc", FAKE_NEWS_DOC_ID,
+                "--budget", "0",
+            ]
+        )
+        assert code == 2
+        assert "budget" in capsys.readouterr().err
