@@ -3,7 +3,14 @@
 Run with::
 
     python examples/quickstart.py
+
+Smoke knobs (used by ``scripts/check.sh`` to exercise this script
+against a tiny corpus without neural training)::
+
+    QUICKSTART_RANKER=bm25 QUICKSTART_FILLER=12 python examples/quickstart.py
 """
+
+import os
 
 from repro import DEMO_QUERY, FAKE_NEWS_DOC_ID, ExplainRequest, demo_engine
 from repro.core.perturbations import RemoveTerm, ReplaceTerm
@@ -12,8 +19,10 @@ K = 10
 
 
 def main() -> None:
-    print("Building the CREDENCE engine (index + neural ranker)...")
-    engine = demo_engine()
+    ranker = os.environ.get("QUICKSTART_RANKER", "neural")
+    filler_size = int(os.environ.get("QUICKSTART_FILLER", "48"))
+    print(f"Building the CREDENCE engine (index + {ranker} ranker)...")
+    engine = demo_engine(ranker=ranker, filler_size=filler_size)
 
     # 1. Rank, like the demo's Explanations page.
     ranking = engine.rank(DEMO_QUERY, k=K)

@@ -40,4 +40,20 @@ echo "== smoke: service batch throughput (parallel + store) =="
 SERVICE_SMOKE=1 python -m pytest -q benchmarks/bench_service_throughput.py
 
 echo
+echo "== sharded corpus: routers, persistence, byte-identical equivalence =="
+python -m pytest -q tests/index/test_sharding.py \
+    tests/index/test_sharded_equivalence.py
+
+echo
+echo "== smoke: sharded parallel-ingest benchmark (>= 2x full target) =="
+SHARDED_INGEST_SMOKE=1 python -m pytest -q benchmarks/bench_sharded_ingest.py
+
+echo
+echo "== docs: doc-sync guard + quickstart smoke on a tiny corpus =="
+python -m pytest -q tests/test_doc_sync.py
+QUICKSTART_RANKER=bm25 QUICKSTART_FILLER=12 \
+    python examples/quickstart.py > /dev/null
+echo "quickstart smoke: ok"
+
+echo
 echo "check.sh: all green"

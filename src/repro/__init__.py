@@ -59,6 +59,7 @@ from repro.core.search import (
 )
 from repro.errors import ReproError
 from repro.index.document import Document
+from repro.index.sharding import HashRouter, RoundRobinRouter, ShardedIndex
 from repro.service import (
     ExplainJob,
     ExplanationService,
@@ -89,6 +90,9 @@ __all__ = [
     "SearchBudget",
     "ReproError",
     "Document",
+    "HashRouter",
+    "RoundRobinRouter",
+    "ShardedIndex",
     "ExplainJob",
     "ExplanationService",
     "JobStatus",

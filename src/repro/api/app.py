@@ -8,7 +8,9 @@ from repro.core.engine import CredenceEngine
 
 
 def build_router(
-    engine: CredenceEngine, max_batch_items: int | None = None
+    engine: CredenceEngine,
+    max_batch_items: int | None = None,
+    max_ingest_items: int | None = None,
 ) -> Router:
     """A router with all CREDENCE endpoints bound to ``engine``.
 
@@ -16,7 +18,10 @@ def build_router(
     store-backed and ``/jobs`` traffic shares one worker pool.
     """
     return register_endpoints(
-        Router(), engine, max_batch_items=max_batch_items
+        Router(),
+        engine,
+        max_batch_items=max_batch_items,
+        max_ingest_items=max_ingest_items,
     )
 
 
@@ -26,18 +31,24 @@ def serve(
     port: int = 8091,
     workers: int | None = None,
     max_batch_items: int | None = None,
+    max_ingest_items: int | None = None,
     max_body_bytes: int = MAX_BODY_BYTES,
 ) -> ApiServer:
     """Start the CREDENCE service (non-blocking); returns the server.
 
     Port 8091 mirrors the paper's deployment URL. ``workers`` sizes the
     explanation worker pool (first construction wins; see
-    :meth:`CredenceEngine.service`); ``max_batch_items`` and
-    ``max_body_bytes`` bound batch/job payloads. Call ``.stop()`` when
-    done, or use the returned server as a context manager.
+    :meth:`CredenceEngine.service`); ``max_batch_items`` /
+    ``max_ingest_items`` and ``max_body_bytes`` bound batch/job/ingest
+    payloads. Call ``.stop()`` when done, or use the returned server as
+    a context manager.
     """
     engine.service(workers=workers)
-    router = build_router(engine, max_batch_items=max_batch_items)
+    router = build_router(
+        engine,
+        max_batch_items=max_batch_items,
+        max_ingest_items=max_ingest_items,
+    )
     return ApiServer(
         router, host=host, port=port, max_body_bytes=max_body_bytes
     ).start()

@@ -8,6 +8,9 @@ as thin delegations for older clients.
 ====================================  =======================================
 ``GET  /health``                      liveness + corpus stats
 ``GET  /strategies``                  explanation-strategy introspection
+``GET  /index``                       corpus layout (shards, router, stats)
+``POST /index/documents``             bulk-ingest documents (parallel shards)
+``DELETE /index/documents/{doc_id}``  remove a document from the corpus
 ``GET  /documents/{doc_id}``          fetch a document body for display
 ``POST /rank``                        the Explanations/Builder rank button
 ``POST /explanations``                any explanation strategy (unified)
@@ -43,6 +46,7 @@ from repro.api.schemas import (
     TopicsRequest,
     parse_explain_batch,
     parse_explain_request,
+    parse_index_ingest,
     parse_job_submission,
 )
 from repro.core.engine import CredenceEngine
@@ -88,13 +92,15 @@ def register_endpoints(
     engine: CredenceEngine,
     service: ExplanationService | None = None,
     max_batch_items: int | None = None,
+    max_ingest_items: int | None = None,
 ) -> Router:
     """Attach every CREDENCE endpoint for ``engine`` to ``router``.
 
     ``service`` defaults to the engine's memoised
     :meth:`~repro.core.engine.CredenceEngine.service`;
     ``max_batch_items`` caps ``POST /explanations/batch`` and
-    ``POST /jobs`` item counts (None keeps the schema default).
+    ``POST /jobs`` item counts, ``max_ingest_items`` caps
+    ``POST /index/documents`` (None keeps the schema defaults).
     """
     if service is None:
         service = engine.service()
@@ -132,6 +138,34 @@ def register_endpoints(
             "k": parsed.k,
             "ranking": ranking.to_dicts(),
         }
+
+    # -- index management -------------------------------------------------------
+
+    @router.get("/index")
+    def index_info(_: Request):
+        return engine.index_info()
+
+    @router.post("/index/documents")
+    def ingest_documents(request: Request):
+        documents, workers = parse_index_ingest(
+            request.body, max_items=max_ingest_items
+        )
+        try:
+            added = engine.add_documents(documents, workers=workers)
+        except ValueError as error:  # duplicate ids
+            raise BadRequestError(str(error)) from None
+        return HttpResponse(
+            201, {"added": added, **engine.index_info()}
+        )
+
+    @router.delete("/index/documents/{doc_id}")
+    def remove_document(request: Request):
+        doc_id = request.path_params["doc_id"]
+        try:
+            engine.remove_document(doc_id)
+        except DocumentNotFoundError:
+            raise NotFoundError(f"unknown document id: {doc_id!r}") from None
+        return {"removed": doc_id, **engine.index_info()}
 
     # -- unified explanation surface ------------------------------------------
 

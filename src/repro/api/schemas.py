@@ -235,6 +235,59 @@ def parse_job_submission(
     return parse_explain_batch(body, max_items=max_items)
 
 
+#: Default cap on how many documents one ``POST /index/documents`` may
+#: carry; override via ``max_ingest_items`` on
+#: :func:`repro.api.endpoints.register_endpoints`.
+MAX_INGEST_ITEMS = 1000
+
+#: Ceiling on the per-request ingest worker count.
+MAX_INGEST_WORKERS = 32
+
+
+def parse_index_ingest(
+    body: Any, max_items: int | None = None
+) -> tuple[list, int | None]:
+    """Parse ``POST /index/documents``: documents plus optional workers.
+
+    Body shape: ``{"documents": [{"doc_id", "body", "title"?,
+    "metadata"?}, ...], "workers"?: N}``. Returns the parsed
+    :class:`~repro.index.document.Document` list and the worker count
+    (None = serial). Oversized batches and malformed documents are a
+    clean 400.
+    """
+    from repro.index.document import Document
+
+    cap = MAX_INGEST_ITEMS if max_items is None else max_items
+    data = _require_mapping(body)
+    unknown = set(data) - {"documents", "workers"}
+    if unknown:
+        raise BadRequestError(
+            f"unknown field(s): {', '.join(sorted(unknown))}"
+        )
+    raw = data.get("documents")
+    if not isinstance(raw, list) or not raw:
+        raise BadRequestError("'documents' must be a non-empty list")
+    if len(raw) > cap:
+        raise BadRequestError(f"'documents' must carry <= {cap} items")
+    documents = []
+    for position, item in enumerate(raw):
+        if not isinstance(item, Mapping):
+            raise BadRequestError(f"document {position} must be a JSON object")
+        doc_id = item.get("doc_id")
+        body_text = item.get("body")
+        if not isinstance(doc_id, str) or not doc_id.strip():
+            raise BadRequestError(
+                f"document {position}: 'doc_id' must be a non-empty string"
+            )
+        if not isinstance(body_text, str) or not body_text.strip():
+            raise BadRequestError(
+                f"document {position}: 'body' must be a non-empty string"
+            )
+        documents.append(Document.from_dict(item))
+    workers = _optional_int_field(data, "workers", maximum=MAX_INGEST_WORKERS)
+    return documents, workers
+
+
 #: Instance-based explanation types exposed in the UI dropdown (§III-B).
 INSTANCE_METHODS = ("doc2vec_nearest", "cosine_sampled")
 

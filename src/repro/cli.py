@@ -21,6 +21,8 @@ bundled demo corpus). Every explanation family runs through one
     python -m repro.cli serve --port 8091 --workers 8
     python -m repro.cli rank --corpus my_docs.jsonl --ranker bm25 \
         --query "anything"
+    python -m repro.cli index --corpus my_docs.jsonl --shards 4 \
+        --workers 4 --save my_index.json
 
 Async jobs against a *running* service (``serve``) go through the
 ``jobs`` subcommands:
@@ -49,6 +51,7 @@ from repro.core.perturbations import Perturbation, RemoveTerm, ReplaceTerm
 from repro.core.registry import DEFAULT_REGISTRY, STRATEGY_ALIASES
 from repro.core.search import DEFAULT_BEAM_WIDTH, SEARCH_STRATEGIES
 from repro.datasets.loaders import load_jsonl
+from repro.index.sharding import ROUTER_CHOICES
 from repro.datasets.queries import sample_queries
 from repro.demo import demo_engine
 from repro.errors import ReproError
@@ -260,6 +263,66 @@ def _cmd_topics(args: argparse.Namespace) -> int:
         for topic in summary
     ]
     _emit(args, {"topics": summary.to_dicts()}, "\n".join(lines))
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    """Build a (sharded) index from a corpus: stats, optional save."""
+    import time
+
+    from repro.datasets.covid import covid_corpus
+    from repro.index.inverted import InvertedIndex
+    from repro.index.sharding import ShardedIndex, build_router
+    from repro.index.storage import save_index
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    documents = (
+        load_jsonl(args.corpus) if args.corpus is not None else covid_corpus()
+    )
+    start = time.perf_counter()
+    if args.shards > 1:
+        index: InvertedIndex | ShardedIndex = ShardedIndex.from_documents(
+            documents,
+            args.shards,
+            router=build_router(args.router, args.shards),
+            workers=args.workers,
+        )
+    else:
+        index = InvertedIndex()
+        index.add_documents(documents)
+    elapsed = time.perf_counter() - start
+    if args.save:
+        save_index(index, args.save)
+    stats = index.stats()
+    payload = {
+        "documents": stats.document_count,
+        "unique_terms": stats.unique_terms,
+        "total_terms": stats.total_terms,
+        "average_document_length": stats.average_document_length,
+        "shards": args.shards,
+        "workers": args.workers,
+        "ingest_seconds": round(elapsed, 4),
+        "saved_to": args.save,
+    }
+    lines = [
+        f"indexed {stats.document_count} documents "
+        f"({stats.unique_terms} unique terms, "
+        f"avgdl {stats.average_document_length:.1f}) in {elapsed:.2f}s"
+    ]
+    if isinstance(index, ShardedIndex):
+        payload["router"] = index.router.name
+        payload["shard_documents"] = index.shard_sizes()
+        lines.append(
+            f"{index.shard_count} shards ({index.router.name} router): "
+            + ", ".join(
+                f"shard {i}: {size}"
+                for i, size in enumerate(index.shard_sizes())
+            )
+        )
+    if args.save:
+        lines.append(f"saved to {args.save}")
+    _emit(args, payload, "\n".join(lines))
     return 0
 
 
@@ -526,6 +589,36 @@ def build_parser() -> argparse.ArgumentParser:
     topics.add_argument("--query", required=True)
     topics.add_argument("--num-topics", type=int, default=5)
     topics.set_defaults(handler=_cmd_topics)
+
+    index_cmd = commands.add_parser(
+        "index", help="build a (sharded) index from a corpus"
+    )
+    index_cmd.add_argument(
+        "--corpus", help="JSONL corpus path (default: the bundled demo corpus)"
+    )
+    index_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count (1 = a plain single index, the default)",
+    )
+    index_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel ingest workers (sharded only; default serial)",
+    )
+    index_cmd.add_argument(
+        "--router",
+        default="hash",
+        choices=ROUTER_CHOICES,
+        help="document-to-shard routing (default hash)",
+    )
+    index_cmd.add_argument(
+        "--save", metavar="PATH", help="persist the index (v1/v2 JSON format)"
+    )
+    index_cmd.add_argument("--json", action="store_true", help="emit raw JSON")
+    index_cmd.set_defaults(handler=_cmd_index)
 
     serve_cmd = commands.add_parser("serve", help="run the REST service")
     _add_common(serve_cmd)

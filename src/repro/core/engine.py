@@ -17,6 +17,7 @@ from repro.embeddings.vectorizers import Bm25Vectorizer, TfIdfVectorizer
 from repro.errors import ConfigurationError, ReproError
 from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
+from repro.index.sharding import ShardedIndex
 from repro.ranking.base import Ranker, Ranking
 from repro.ranking.bm25 import Bm25Ranker
 from repro.ranking.cache import ScoreCache
@@ -64,6 +65,13 @@ class EngineConfig:
         cache_scores: memoise ranker scorings (recommended: the
             counterfactual search re-scores unperturbed documents heavily).
         seed: a single seed that derives every stochastic component.
+        shards: corpus shard count. ``None`` (default) keeps the plain
+            single :class:`InvertedIndex`; any value ≥ 1 builds a
+            :class:`~repro.index.sharding.ShardedIndex` with that many
+            shards — scores and explanations are byte-identical either
+            way.
+        ingest_workers: worker threads for the sharded bulk ingestion
+            (``None`` ingests serially).
     """
 
     ranker: str = "neural"
@@ -75,6 +83,8 @@ class EngineConfig:
     use_semantic_channel: bool = False
     cache_scores: bool = True
     seed: int = 13
+    shards: int | None = None
+    ingest_workers: int | None = None
 
     def __post_init__(self):
         if self.ranker not in RANKER_CHOICES:
@@ -84,6 +94,14 @@ class EngineConfig:
         if self.ranker == "neural" and not self.training_queries:
             raise ConfigurationError(
                 "the neural ranker needs training_queries for weak supervision"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be ≥ 1, got {self.shards}"
+            )
+        if self.ingest_workers is not None and self.ingest_workers < 1:
+            raise ConfigurationError(
+                f"ingest_workers must be ≥ 1, got {self.ingest_workers}"
             )
 
 
@@ -103,13 +121,29 @@ class CredenceEngine:
         config: EngineConfig | None = None,
         ranker: Ranker | None = None,
         registry: ExplainerRegistry | None = None,
+        shards: int | None = None,
+        ingest_workers: int | None = None,
     ):
         require(bool(documents), "documents must be non-empty")
         self.config = config or EngineConfig(
             ranker="bm25"
         )
         self.registry = registry or DEFAULT_REGISTRY
-        self.index = InvertedIndex.from_documents(documents)
+        shard_count = shards if shards is not None else self.config.shards
+        workers = (
+            ingest_workers
+            if ingest_workers is not None
+            else self.config.ingest_workers
+        )
+        if shard_count is not None:
+            require_positive(shard_count, "shards")
+            self.index: InvertedIndex | ShardedIndex = (
+                ShardedIndex.from_documents(
+                    documents, shard_count, workers=workers
+                )
+            )
+        else:
+            self.index = InvertedIndex.from_documents(documents)
         if ranker is not None:
             if config is not None:
                 logger.warning(
@@ -131,6 +165,7 @@ class CredenceEngine:
         self.bm25_vectorizer = Bm25Vectorizer(self.index)
         self.tfidf_vectorizer = TfIdfVectorizer(self.index)
         self._doc2vec: Doc2Vec | None = None
+        self._doc2vec_version = -1
         self._doc2vec_lock = threading.Lock()
         self._service: "ExplanationService | None" = None
         self._service_lock = threading.Lock()
@@ -166,11 +201,16 @@ class CredenceEngine:
     @property
     def doc2vec(self) -> Doc2Vec:
         """The Doc2Vec model, trained on first use (mirrors the demo's
-        per-corpus offline embedding step). Thread-safe: concurrent first
-        accesses train once, not once per thread."""
-        if self._doc2vec is None:
+        per-corpus offline embedding step) and keyed on the index's
+        mutation ``version``: a corpus change retrains on next access,
+        so instance explanations never see documents missing from (or
+        deleted out of) the embedding space. Retraining is the offline
+        step's cost — batch corpus mutations accordingly. Thread-safe:
+        concurrent accesses train once per corpus version."""
+        if self._doc2vec is None or self._doc2vec_version != self.index.version:
             with self._doc2vec_lock:
-                if self._doc2vec is None:
+                version = self.index.version
+                if self._doc2vec is None or self._doc2vec_version != version:
                     analyzed = {
                         document.doc_id: self.index.analyzer.analyze(
                             document.body
@@ -183,6 +223,7 @@ class CredenceEngine:
                         epochs=self.config.doc2vec_epochs,
                         seed=self.config.seed,
                     )
+                    self._doc2vec_version = version
         return self._doc2vec
 
     # -- ranking ---------------------------------------------------------------
@@ -194,6 +235,43 @@ class CredenceEngine:
 
     def document(self, doc_id: str) -> Document:
         return self.index.document(doc_id)
+
+    # -- corpus management --------------------------------------------------------
+
+    def add_documents(
+        self, documents: Iterable[Document], workers: int | None = None
+    ) -> int:
+        """Bulk-add documents to the corpus; returns the number added.
+
+        Sharded corpora ingest their shards in parallel when ``workers``
+        is set; a plain index ingests serially. Either way the index's
+        mutation ``version`` advances, so every version-keyed cache
+        (collection views, the service result store) invalidates
+        automatically. Duplicate ids raise ``ValueError`` before
+        anything mutates.
+        """
+        return self.index.add_documents(documents, workers=workers)
+
+    def remove_document(self, doc_id: str) -> Document:
+        """Remove a document from the corpus; returns it. Raises if absent."""
+        return self.index.remove(doc_id)
+
+    def index_info(self) -> dict:
+        """Corpus layout and statistics (the ``GET /index`` payload)."""
+        stats = self.index.stats()
+        info = {
+            "documents": stats.document_count,
+            "unique_terms": stats.unique_terms,
+            "total_terms": stats.total_terms,
+            "average_document_length": stats.average_document_length,
+            "version": self.index.version,
+            "sharded": isinstance(self.index, ShardedIndex),
+        }
+        if isinstance(self.index, ShardedIndex):
+            info["shards"] = self.index.shard_count
+            info["router"] = self.index.router.name
+            info["shard_documents"] = self.index.shard_sizes()
+        return info
 
     # -- the unified explanation API ---------------------------------------------
 

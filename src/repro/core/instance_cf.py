@@ -20,7 +20,9 @@ their accounting identical to the pre-kernel implementations.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.embeddings.doc2vec import Doc2Vec
 from repro.embeddings.similarity import cosine_similarity
@@ -100,11 +102,21 @@ def _select_instances(
 
 @dataclass
 class Doc2VecNearestExplainer:
-    """Method 1: nearest non-relevant documents in Doc2Vec space."""
+    """Method 1: nearest non-relevant documents in Doc2Vec space.
+
+    ``model`` accepts either a trained :class:`Doc2Vec` or a zero-arg
+    callable returning one. The registry passes the engine's
+    version-keyed ``doc2vec`` property as a callable, so a memoised
+    explainer re-reads the current model after corpus mutations instead
+    of pinning the one it was built with.
+    """
 
     ranker: Ranker
-    model: Doc2Vec
+    model: "Doc2Vec | Callable[[], Doc2Vec]"
     _retrieval_cache: _RetrievalCache = field(default_factory=dict, repr=False)
+
+    def _resolve_model(self) -> Doc2Vec:
+        return self.model() if callable(self.model) else self.model
 
     def explain(
         self,
@@ -125,13 +137,14 @@ class Doc2VecNearestExplainer:
             raise RankingError(
                 f"document {doc_id!r} is not in the top-{k} for {query!r}"
             )
-        if doc_id not in self.model:
+        model = self._resolve_model()
+        if doc_id not in model:
             raise RankingError(f"document {doc_id!r} is not in the Doc2Vec model")
-        eligible = {cand for cand in non_relevant if cand in self.model}
-        excluded = set(self.model.doc_ids) - eligible
+        eligible = {cand for cand in non_relevant if cand in model}
+        excluded = set(model.doc_ids) - eligible
         # All eligible neighbours, in the model's similarity order; the
         # kernel's score-descending enumeration preserves it.
-        neighbours = self.model.most_similar(
+        neighbours = model.most_similar(
             doc_id, n=len(eligible), exclude=excluded
         )
         return _select_instances(
@@ -164,6 +177,10 @@ class CosineSampledExplainer:
     _vector_cache: dict[str, dict[str, float]] = field(
         default_factory=dict, repr=False
     )
+    _vector_cache_version: int = field(default=-1, repr=False)
+    _vector_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
     _retrieval_cache: _RetrievalCache = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
@@ -171,9 +188,24 @@ class CosineSampledExplainer:
             self.vectorizer = Bm25Vectorizer(self.ranker.index)
 
     def _vector(self, doc_id: str) -> dict[str, float]:
-        if doc_id not in self._vector_cache:
-            self._vector_cache[doc_id] = self.vectorizer.vector(doc_id)
-        return self._vector_cache[doc_id]
+        # BM25 vectors embed collection statistics, so the memo is keyed
+        # on the index's mutation version like the retrieval cache —
+        # mixing vectors computed under different corpus states would
+        # silently skew similarities. The check-clear-compute-store runs
+        # under a lock: this explainer is shared across service workers,
+        # and an unlocked version check would let a thread that started
+        # computing before a mutation store its stale vector into the
+        # freshly cleared cache.
+        with self._vector_lock:
+            version = self.ranker.index.version
+            if self._vector_cache_version != version:
+                self._vector_cache.clear()
+                self._vector_cache_version = version
+            vector = self._vector_cache.get(doc_id)
+            if vector is None:
+                vector = self.vectorizer.vector(doc_id)
+                self._vector_cache[doc_id] = vector
+            return vector
 
     def explain(
         self,

@@ -309,7 +309,10 @@ def _query_augmentation(engine: "CredenceEngine") -> Explainer:
 def _instance_doc2vec(engine: "CredenceEngine") -> Explainer:
     from repro.core.instance_cf import Doc2VecNearestExplainer
 
-    explainer = Doc2VecNearestExplainer(engine.ranker, engine.doc2vec)
+    # Pass the model as a callable: the memoised explainer then re-reads
+    # the engine's version-keyed doc2vec property per request, so corpus
+    # mutations retrain instead of pinning a stale embedding space.
+    explainer = Doc2VecNearestExplainer(engine.ranker, lambda: engine.doc2vec)
     return _BoundExplainer(
         "instance/doc2vec",
         lambda r: explainer.explain(

@@ -4,12 +4,28 @@ This package replaces the paper's Lucene/Pyserini/Anserini stack. It
 provides document storage, postings with positions, collection statistics
 (document frequency, collection frequency, average document length),
 ranked top-k retrieval with pluggable similarities, and JSON persistence.
+
+Corpora scale past one in-memory index through the sharded backend
+(:mod:`repro.index.sharding`): a :class:`ShardedIndex` routes documents
+across N shards, keeps merged corpus-level statistics so scores stay
+byte-identical to a single shard, bulk-ingests in parallel, and fans
+retrieval out per shard.
 """
 
 from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
 from repro.index.postings import Posting, PostingsList
 from repro.index.searcher import IndexSearcher, SearchHit
+from repro.index.sharding import (
+    AnalysisMemo,
+    HashRouter,
+    MergedPostings,
+    MergedStats,
+    RoundRobinRouter,
+    ShardedIndex,
+    ShardRouter,
+    build_router,
+)
 from repro.index.similarity import (
     Bm25Similarity,
     DirichletSimilarity,
@@ -31,6 +47,14 @@ __all__ = [
     "Similarity",
     "TfIdfSimilarity",
     "CollectionStats",
+    "AnalysisMemo",
+    "HashRouter",
+    "MergedPostings",
+    "MergedStats",
+    "RoundRobinRouter",
+    "ShardedIndex",
+    "ShardRouter",
+    "build_router",
     "load_index",
     "save_index",
 ]

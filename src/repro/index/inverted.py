@@ -58,7 +58,16 @@ class InvertedIndex:
 
     def add(self, document: Document) -> None:
         """Index ``document``; raises ``ValueError`` on duplicate ids."""
-        terms = self.analyzer.analyze(document.body)
+        self.add_analyzed(document, self.analyzer.analyze(document.body))
+
+    def add_analyzed(self, document: Document, terms: list[str]) -> None:
+        """Index ``document`` from an already-analyzed term sequence.
+
+        ``terms`` must be exactly ``self.analyzer.analyze(document.body)``;
+        callers that analyze up front (bulk ingestion, the sharded
+        backend's shared analysis memo) use this to avoid re-analyzing
+        inside the index.
+        """
         positions: dict[str, list[int]] = {}
         for position, term in enumerate(terms):
             positions.setdefault(term, []).append(position)
@@ -109,6 +118,35 @@ class InvertedIndex:
             previous = self.remove(document.doc_id)
             self.add(document)
             return previous
+
+    def add_documents(
+        self, documents: Iterable[Document], workers: int | None = None
+    ) -> int:
+        """Bulk-add ``documents``; returns the number added.
+
+        Interface parity with
+        :meth:`~repro.index.sharding.ShardedIndex.add_documents`: a
+        single-shard index ingests serially (``workers`` is accepted but
+        cannot help — there is only one shard), reusing a per-ingest
+        :class:`~repro.index.sharding.AnalysisMemo` so repeated surface
+        forms are analyzed once. Duplicate ids (against the index or
+        within the batch) raise ``ValueError`` before anything mutates.
+        """
+        from repro.index.sharding import AnalysisMemo
+
+        documents = list(documents)
+        with self._lock:
+            seen: set[str] = set()
+            for document in documents:
+                if document.doc_id in self._documents or document.doc_id in seen:
+                    raise ValueError(
+                        f"duplicate document id: {document.doc_id!r}"
+                    )
+                seen.add(document.doc_id)
+            memo = AnalysisMemo(self.analyzer)
+            for document in documents:
+                self.add_analyzed(document, memo.analyze(document.body))
+        return len(documents)
 
     # -- lookups -------------------------------------------------------------
 

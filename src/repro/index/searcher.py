@@ -56,40 +56,74 @@ class IndexSearcher:
             collection_frequency=self.index.collection_frequency(term),
         )
 
+    def _shards(self) -> tuple[InvertedIndex, ...] | None:
+        """The index's shards when it is sharded, else None.
+
+        Duck-typed on purpose: anything exposing single-index ``shards``
+        (a :class:`~repro.index.sharding.ShardedIndex`) gets fan-out
+        scoring; a plain index takes the direct path.
+        """
+        return getattr(self.index, "shards", None)
+
     def _score_sparse(self, query_terms: list[str]) -> dict[str, float]:
-        """Term-at-a-time scores for documents matching ≥1 query term."""
+        """Term-at-a-time scores for documents matching ≥1 query term.
+
+        Against a sharded corpus this fans out per shard — postings and
+        document lengths are read from the owning shard directly, while
+        term and field statistics stay *corpus-level* (the merged view) —
+        and merges the per-shard accumulators. Every document lives on
+        exactly one shard and its per-term contributions are summed in
+        query order either way, so the merged scores are byte-identical
+        to the single-index path.
+        """
         field_stats = self._field_stats()
-        accumulator: dict[str, float] = defaultdict(float)
+        shards = self._shards()
+        if shards is None:
+            shards = (self.index,)
+        term_stats: dict[str, TermStats] = {}
         for term in query_terms:
-            postings = self.index.postings(term)
-            if postings is None:
-                continue
-            term_stats = self._term_stats(term)
-            for posting in postings:
-                accumulator[posting.doc_id] += self.similarity.score(
-                    posting.frequency,
-                    self.index.document_length(posting.doc_id),
-                    term_stats,
-                    field_stats,
-                )
+            if term not in term_stats:
+                term_stats[term] = self._term_stats(term)
+        accumulator: dict[str, float] = defaultdict(float)
+        for shard in shards:
+            for term in query_terms:
+                postings = shard.postings(term)
+                if postings is None:
+                    continue
+                stats = term_stats[term]
+                for posting in postings:
+                    accumulator[posting.doc_id] += self.similarity.score(
+                        posting.frequency,
+                        shard.document_length(posting.doc_id),
+                        stats,
+                        field_stats,
+                    )
         return dict(accumulator)
 
     def _score_dense(self, query_terms: list[str]) -> dict[str, float]:
-        """Score every document against every query term (LM smoothing)."""
+        """Score every document against every query term (LM smoothing).
+
+        Fans out per shard like :meth:`_score_sparse`; per-document term
+        lookups hit the owning shard, statistics stay corpus-level.
+        """
         field_stats = self._field_stats()
+        shards = self._shards()
+        if shards is None:
+            shards = (self.index,)
         term_stats = {term: self._term_stats(term) for term in set(query_terms)}
         scores: dict[str, float] = {}
-        for doc_id in self.index.doc_ids:
-            length = self.index.document_length(doc_id)
-            total = 0.0
-            for term in query_terms:
-                total += self.similarity.score(
-                    self.index.term_frequency(term, doc_id),
-                    length,
-                    term_stats[term],
-                    field_stats,
-                )
-            scores[doc_id] = total
+        for shard in shards:
+            for doc_id in shard.doc_ids:
+                length = shard.document_length(doc_id)
+                total = 0.0
+                for term in query_terms:
+                    total += self.similarity.score(
+                        shard.term_frequency(term, doc_id),
+                        length,
+                        term_stats[term],
+                        field_stats,
+                    )
+                scores[doc_id] = total
         return scores
 
     # -- public API ----------------------------------------------------------

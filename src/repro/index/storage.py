@@ -3,6 +3,18 @@
 The on-disk format stores the documents plus the analyzer configuration;
 postings are rebuilt on load (analysis is deterministic), which keeps the
 format small, versioned, and forward-compatible.
+
+Two format versions coexist:
+
+* **v1** — one JSON file holding a single index's documents. Still
+  written for :class:`~repro.index.inverted.InvertedIndex` and still
+  loaded unchanged.
+* **v2** — a manifest plus one JSON file per shard, written for
+  :class:`~repro.index.sharding.ShardedIndex`. The manifest records the
+  shard count, the router, and every document's placement in global
+  insertion order, so a reload reproduces the exact shard layout and
+  every order-dependent tie-break — a stateful router is never re-run
+  at load time.
 """
 
 from __future__ import annotations
@@ -12,38 +24,171 @@ from pathlib import Path
 
 from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
+from repro.index.sharding import (
+    ROUTER_CHOICES,
+    RoundRobinRouter,
+    ShardedIndex,
+    build_router,
+)
 from repro.text.analyzer import Analyzer
 
 FORMAT_VERSION = 1
 
+#: Manifest version for sharded indexes (per-shard payload files).
+SHARDED_FORMAT_VERSION = 2
 
-def save_index(index: InvertedIndex, path: str | Path) -> None:
+
+def _shard_name(manifest_path: Path, shard: int, generation: int) -> str:
+    """Shard files live next to the manifest, named per generation.
+
+    The generation (the index's mutation version at save time) keeps a
+    re-save from overwriting the shard files a still-committed older
+    manifest references — see the crash-safety notes in
+    :func:`_save_sharded`.
+    """
+    return f"{manifest_path.stem}.shard-{shard:02d}-g{generation}.json"
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    """Write JSON atomically: temp file in the same directory + rename.
+
+    A reader (or a crash) can therefore only ever observe a complete
+    old file or a complete new file, never a truncated one.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    with temp.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, ensure_ascii=False, indent=None)
+    temp.replace(path)
+
+
+def save_index(index: InvertedIndex | ShardedIndex, path: str | Path) -> None:
     """Serialise ``index`` (documents + analyzer config) to ``path``.
+
+    A plain index writes one v1 file. A sharded index writes a v2
+    manifest at ``path`` plus one generation-named
+    ``<stem>.shard-NN-g<version>.json`` file per shard. Writes are
+    crash-safe: every file lands via an atomic temp-file rename, shard
+    files precede the manifest (the commit point), and shard files from
+    superseded saves are garbage-collected only after the new manifest
+    is durable — an interrupted save always leaves the previous save
+    loadable.
 
     The analyzer block is produced by :meth:`Analyzer.to_config`, which
     enumerates the analyzer's fields — adding an analyzer option can no
     longer desync save from load.
     """
+    path = Path(path)
+    if isinstance(index, ShardedIndex):
+        _save_sharded(index, path)
+        return
     payload = {
         "format_version": FORMAT_VERSION,
         "analyzer": index.analyzer.to_config(),
         "documents": [document.to_dict() for document in index],
     }
+    _write_json(path, payload)
+
+
+def _save_sharded(index: ShardedIndex, path: Path) -> None:
+    # One atomic snapshot: placements, shard contents, version, and
+    # router state must come from the same instant, or a save concurrent
+    # with mutation could write a manifest that disagrees with its shard
+    # files (silently dropping the disagreeing documents on load).
+    placements, shard_documents, generation, cursor = index.export_state()
+    shard_names = [
+        _shard_name(path, shard, generation)
+        for shard in range(index.shard_count)
+    ]
+    manifest = {
+        "format_version": SHARDED_FORMAT_VERSION,
+        "analyzer": index.analyzer.to_config(),
+        "shard_count": index.shard_count,
+        "router": index.router.name,
+        "shard_files": shard_names,
+        # Global insertion order with each document's shard: the load
+        # side replays this verbatim instead of re-routing.
+        "placements": [[doc_id, shard] for doc_id, shard in placements],
+    }
+    if cursor is not None:
+        # The cycle position cannot be derived from the placements once
+        # documents have been removed; persist it explicitly.
+        manifest["router_cursor"] = cursor
+    # Crash safety: shard files are written first under generation-unique
+    # names (never overwriting what an older committed manifest points
+    # at), each via an atomic temp-file rename; the manifest rename is
+    # the commit point. A crash anywhere leaves the previous save fully
+    # loadable; stale generations are garbage-collected only after the
+    # new manifest is durable.
+    for shard_position, (name, documents) in enumerate(
+        zip(shard_names, shard_documents)
+    ):
+        _write_json(
+            path.with_name(name),
+            {
+                "shard": shard_position,
+                "documents": [document.to_dict() for document in documents],
+            },
+        )
+    _write_json(path, manifest)
+    referenced = set(shard_names)
+    for leftover in path.parent.glob(f"{path.stem}.shard-*.json"):
+        if leftover.name not in referenced:
+            leftover.unlink()
+
+
+def load_index(path: str | Path) -> InvertedIndex | ShardedIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    Dispatches on the payload's ``format_version``: v1 single-index
+    payloads keep loading exactly as before; v2 manifests rebuild a
+    :class:`ShardedIndex` with its recorded layout.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(payload, handle, ensure_ascii=False, indent=None)
-
-
-def load_index(path: str | Path) -> InvertedIndex:
-    """Load an index previously written by :func:`save_index`."""
-    with Path(path).open("r", encoding="utf-8") as handle:
+    with path.open("r", encoding="utf-8") as handle:
         payload = json.load(handle)
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported index format version: {version!r}")
-    # FORMAT_VERSION 1 payloads carried exactly the four original fields;
-    # from_config accepts any subset of known fields, so they keep loading.
-    analyzer = Analyzer.from_config(payload["analyzer"])
-    documents = (Document.from_dict(raw) for raw in payload["documents"])
-    return InvertedIndex.from_documents(documents, analyzer)
+    if version == FORMAT_VERSION:
+        # FORMAT_VERSION 1 payloads carried exactly the four original
+        # fields; from_config accepts any subset of known fields, so
+        # they keep loading.
+        analyzer = Analyzer.from_config(payload["analyzer"])
+        documents = (Document.from_dict(raw) for raw in payload["documents"])
+        return InvertedIndex.from_documents(documents, analyzer)
+    if version == SHARDED_FORMAT_VERSION:
+        return _load_sharded(payload, path)
+    raise ValueError(f"unsupported index format version: {version!r}")
+
+
+def _load_sharded(manifest: dict, path: Path) -> ShardedIndex:
+    analyzer = Analyzer.from_config(manifest["analyzer"])
+    shard_count = manifest["shard_count"]
+    router_name = manifest.get("router", "hash")
+    if router_name not in ROUTER_CHOICES:
+        raise ValueError(f"unsupported shard router: {router_name!r}")
+    documents: dict[str, Document] = {}
+    for name in manifest["shard_files"]:
+        with path.with_name(name).open("r", encoding="utf-8") as handle:
+            shard_payload = json.load(handle)
+        for raw in shard_payload["documents"]:
+            document = Document.from_dict(raw)
+            documents[document.doc_id] = document
+    try:
+        placements = [
+            (documents[doc_id], shard)
+            for doc_id, shard in manifest["placements"]
+        ]
+    except KeyError as missing:
+        raise ValueError(
+            f"manifest places unknown document {missing.args[0]!r}"
+        ) from None
+    index = ShardedIndex.from_placements(
+        placements,
+        shard_count,
+        analyzer,
+        router=build_router(router_name, shard_count),
+    )
+    cursor = manifest.get("router_cursor")
+    if cursor is not None and isinstance(index.router, RoundRobinRouter):
+        index.router.cursor = cursor
+    return index

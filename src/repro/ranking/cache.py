@@ -62,6 +62,12 @@ class ScoreCache(Ranker):
     half is discarded (simple segmented eviction — predictable and
     allocation-free compared to per-hit LRU bookkeeping).
 
+    Invalidation: scores embed collection statistics (df, avgdl), so
+    the whole cache is dropped when the index's mutation ``version``
+    moves — a corpus add/remove through the runtime mutation surface
+    must never serve pre-mutation scores. A score whose computation
+    straddled a mutation is returned but not cached.
+
     Thread-safe: the cache dict and hit/miss counters are mutated under
     a lock (the service layer scores from multiple worker threads), but
     the wrapped ranker computes *outside* the lock so concurrent misses
@@ -75,6 +81,7 @@ class ScoreCache(Ranker):
         self.inner = inner
         self.max_entries = max_entries
         self._cache: dict[tuple[str, str], float] = {}
+        self._cache_version = inner.index.version
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -86,9 +93,17 @@ class ScoreCache(Ranker):
     def rank(self, query: str, k: int) -> Ranking:
         return self.inner.rank(query, k)
 
+    def _check_version_locked(self) -> int:
+        version = self.index.version
+        if version != self._cache_version:
+            self._cache.clear()
+            self._cache_version = version
+        return version
+
     def score_text(self, query: str, body: str) -> float:
         key = (query, _text_key(body))
         with self._lock:
+            version = self._check_version_locked()
             cached = self._cache.get(key)
             if cached is not None:
                 self.hits += 1
@@ -96,6 +111,8 @@ class ScoreCache(Ranker):
             self.misses += 1
         score = self.inner.score_text(query, body)
         with self._lock:
+            if self._check_version_locked() != version:
+                return score  # straddled a mutation; correct now, stale later
             if len(self._cache) >= self.max_entries:
                 for stale in list(self._cache)[: self.max_entries // 2]:
                     del self._cache[stale]

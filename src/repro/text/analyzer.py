@@ -51,18 +51,29 @@ class Analyzer:
     min_token_length: int = 1
     _stemmer: PorterStemmer = field(default_factory=PorterStemmer, repr=False)
 
+    def analyze_token(self, text: str) -> str | None:
+        """Analyse one raw token; None if the pipeline filters it out.
+
+        Token analysis is independent of surrounding text, which is what
+        lets bulk ingestion memoize this call per distinct surface form
+        (:class:`~repro.index.sharding.AnalysisMemo`) with byte-identical
+        results.
+        """
+        term = normalize_text(text, casefold=self.lowercase)
+        if len(term) < self.min_token_length:
+            return None
+        if self.remove_stopwords and term in self.stopwords:
+            return None
+        if self.stem:
+            term = self._stemmer.stem(term)
+        return term or None
+
     def analyze_tokens(self, text: str) -> list[AnalyzedToken]:
         """Analyse ``text``, keeping each term's source token and offsets."""
         result: list[AnalyzedToken] = []
         for token in iter_tokens(text):
-            term = normalize_text(token.text, casefold=self.lowercase)
-            if len(term) < self.min_token_length:
-                continue
-            if self.remove_stopwords and term in self.stopwords:
-                continue
-            if self.stem:
-                term = self._stemmer.stem(term)
-            if term:
+            term = self.analyze_token(token.text)
+            if term is not None:
                 result.append(AnalyzedToken(term, token))
         return result
 

@@ -160,3 +160,111 @@ class TestTopicsEndpoint:
         topics = response.payload["topics"]
         assert len(topics) == 3
         assert all(topic["terms"] for topic in topics)
+
+
+class TestIndexManagement:
+    """GET /index, POST /index/documents, DELETE /index/documents/{id}."""
+
+    @pytest.fixture()
+    def fresh_client(self):
+        from repro.core.engine import CredenceEngine, EngineConfig
+        from repro.datasets.covid import covid_corpus
+
+        engine = CredenceEngine(
+            covid_corpus(),
+            EngineConfig(ranker="bm25", seed=5),
+            shards=2,
+        )
+        return InProcessClient(build_router(engine)), engine
+
+    def test_index_info_reports_shard_layout(self, fresh_client):
+        client, engine = fresh_client
+        response = client.get("/index")
+        assert response.status == 200
+        payload = response.payload
+        assert payload["sharded"] is True
+        assert payload["shards"] == 2
+        assert payload["router"] == "hash"
+        assert sum(payload["shard_documents"]) == payload["documents"]
+        assert payload["version"] == engine.index.version
+
+    def test_ingest_and_remove_roundtrip(self, fresh_client):
+        client, engine = fresh_client
+        before = client.get("/index").payload
+        response = client.post(
+            "/index/documents",
+            {
+                "documents": [
+                    {"doc_id": "ingest-1", "body": "a covid outbreak story"},
+                    {"doc_id": "ingest-2", "body": "markets rallied today",
+                     "title": "Markets"},
+                ],
+                "workers": 2,
+            },
+        )
+        assert response.status == 201
+        assert response.payload["added"] == 2
+        assert response.payload["documents"] == before["documents"] + 2
+        assert response.payload["version"] > before["version"]
+        assert client.get("/documents/ingest-2").payload["title"] == "Markets"
+
+        removed = client.delete("/index/documents/ingest-1")
+        assert removed.status == 200
+        assert removed.payload["removed"] == "ingest-1"
+        assert removed.payload["documents"] == before["documents"] + 1
+        assert client.get("/documents/ingest-1").status == 404
+
+    def test_ingest_duplicate_is_400(self, fresh_client):
+        client, _ = fresh_client
+        response = client.post(
+            "/index/documents",
+            {"documents": [{"doc_id": FAKE_NEWS_DOC_ID, "body": "dup"}]},
+        )
+        assert response.status == 400
+        assert "duplicate" in response.payload["detail"]
+
+    def test_ingest_validation(self, fresh_client):
+        client, _ = fresh_client
+        assert client.post("/index/documents", {"documents": []}).status == 400
+        assert (
+            client.post("/index/documents", {"documents": [{"body": "x"}]}).status
+            == 400
+        )
+        assert (
+            client.post(
+                "/index/documents",
+                {"documents": [{"doc_id": "a", "body": "x"}], "nope": 1},
+            ).status
+            == 400
+        )
+        assert (
+            client.post(
+                "/index/documents",
+                {"documents": [{"doc_id": "a", "body": "x"}], "workers": 0},
+            ).status
+            == 400
+        )
+
+    def test_remove_unknown_is_404(self, fresh_client):
+        client, _ = fresh_client
+        assert client.delete("/index/documents/ghost").status == 404
+
+    def test_ingest_cap_is_enforced(self):
+        from repro.core.engine import CredenceEngine, EngineConfig
+        from repro.datasets.covid import covid_corpus
+
+        engine = CredenceEngine(
+            covid_corpus(), EngineConfig(ranker="bm25", seed=5)
+        )
+        client = InProcessClient(build_router(engine, max_ingest_items=1))
+        response = client.post(
+            "/index/documents",
+            {
+                "documents": [
+                    {"doc_id": "a", "body": "x"},
+                    {"doc_id": "b", "body": "y"},
+                ]
+            },
+        )
+        assert response.status == 400
+        assert "<= 1" in response.payload["detail"]

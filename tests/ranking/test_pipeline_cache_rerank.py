@@ -126,6 +126,24 @@ class TestScoreCache:
         cache.score_text("covid", "x")
         assert cache.hit_rate == pytest.approx(0.5)
 
+    def test_corpus_mutation_invalidates(self, tiny_index):
+        """Cached scores embed df/avgdl; a mutation must drop them.
+
+        Scores the same (query, text) pair before and after an index
+        add: the post-mutation score must equal an uncached ranker's
+        (not the stale cached value).
+        """
+        from repro.index.document import Document
+
+        cache = ScoreCache(Bm25Ranker(tiny_index))
+        stale = cache.score_text("covid", "covid outbreak report")
+        tiny_index.add(
+            Document("cache-inval", "covid covid covid outbreak outbreak")
+        )
+        fresh = Bm25Ranker(tiny_index).score_text("covid", "covid outbreak report")
+        assert fresh != pytest.approx(stale)  # the mutation moved df/avgdl
+        assert cache.score_text("covid", "covid outbreak report") == fresh
+
 
 class TestSubstitution:
     def test_substitution_changes_rank(self, tiny_index, tiny_docs):

@@ -216,6 +216,62 @@ class TestBuilder:
             )
 
 
+class TestIndexCommand:
+    def test_index_demo_corpus_plain(self, capsys):
+        code = main(["index"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "indexed 62 documents" in out
+        assert "shards" not in out
+
+    def test_index_sharded_with_save(self, capsys, tmp_path, tiny_docs):
+        corpus = tmp_path / "docs.jsonl"
+        save_jsonl(tiny_docs, corpus)
+        out_path = tmp_path / "built.json"
+        code = main(
+            [
+                "index",
+                "--corpus", str(corpus),
+                "--shards", "2",
+                "--workers", "2",
+                "--save", str(out_path),
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["shards"] == 2
+        assert payload["router"] == "hash"
+        assert sum(payload["shard_documents"]) == payload["documents"]
+        from repro.index.sharding import ShardedIndex
+        from repro.index.storage import load_index
+
+        loaded = load_index(out_path)
+        assert isinstance(loaded, ShardedIndex)
+        assert len(loaded) == len(tiny_docs)
+
+    def test_index_round_robin_router(self, capsys, tmp_path, tiny_docs):
+        corpus = tmp_path / "docs.jsonl"
+        save_jsonl(tiny_docs, corpus)
+        code = main(
+            [
+                "index",
+                "--corpus", str(corpus),
+                "--shards", "3",
+                "--router", "round-robin",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["router"] == "round-robin"
+        assert max(payload["shard_documents"]) - min(payload["shard_documents"]) <= 1
+
+    def test_index_rejects_bad_shards(self):
+        with pytest.raises(SystemExit):
+            main(["index", "--shards", "0"])
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
