@@ -1,0 +1,156 @@
+"""Cold-load cost: legacy JSON rebuild vs. packed v3 attach.
+
+Loading a v1/v2 JSON index re-runs the analyzer over every document and
+rebuilds every postings list — O(corpus). Attaching a v3 index maps the
+committed segments and parses fixed-size headers — O(1): the work does
+not grow with the corpus, so the speedup widens with scale.
+
+The acceptance targets, asserted on full runs over a synthetic
+50k-document corpus (plain and 4-shard layouts):
+
+* **≥ 10× faster attach** — v3 ``load_index`` wall-clock vs. the legacy
+  JSON load of the same corpus;
+* **no size regression** — v3 on-disk bytes (manifest + segments) at or
+  below the JSON family's bytes for the same corpus;
+* **byte-identical results** — BM25 top-10 over the attached view
+  matches the live index exactly.
+
+Full runs write ``BENCH_persist.json`` next to this file (checked in).
+``PERSIST_SMOKE=1`` (used by ``scripts/check.sh``) runs a small corpus
+with a relaxed attach floor and leaves the JSON untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.datasets.synthetic import synthetic_corpus
+from repro.eval.reporting import Table
+from repro.index.inverted import InvertedIndex
+from repro.index.searcher import IndexSearcher
+from repro.index.sharding import ShardedIndex
+from repro.index.storage import detect_format, load_index, save_index
+
+SMOKE = os.environ.get("PERSIST_SMOKE") == "1"
+CORPUS_SIZE = 3_000 if SMOKE else 50_000
+SHARDS = 4
+#: Attach must beat the JSON rebuild by this factor. The full target is
+#: the acceptance criterion; smoke runs only guard against regressions
+#: (fixed per-attach costs weigh more at 3k documents).
+MIN_ATTACH_SPEEDUP = 3.0 if SMOKE else 10.0
+QUERY = "virus vaccine hospital market storm"
+K = 10
+JSON_PATH = Path(__file__).with_name("BENCH_persist.json")
+
+
+def _bytes_on_disk(path: Path) -> int:
+    """Manifest/payload plus every data file the index references."""
+    fmt = detect_format(path)
+    total = path.stat().st_size
+    if fmt == "v3":
+        from repro.index.persist import Manifest
+
+        record = Manifest.open(path).latest_generation()
+        total += sum(segment.bytes for segment in record.segments)
+    elif fmt == "v2":
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        total += sum(
+            (path.parent / name).stat().st_size
+            for name in manifest["shard_files"]
+        )
+    return total
+
+
+def _timed_load(path: Path):
+    start = time.perf_counter()
+    index = load_index(path)
+    return time.perf_counter() - start, index
+
+
+def _measure(layout: str, live, tmp_path: Path) -> dict:
+    legacy_path = tmp_path / f"{layout}-legacy.json"
+    packed_path = tmp_path / f"{layout}-packed.idx"
+    save_index(live, legacy_path)  # v1 (plain) / v2 (sharded)
+    save_index(live, packed_path, format="v3")
+
+    legacy_seconds, legacy = _timed_load(legacy_path)
+    attach_seconds, packed = _timed_load(packed_path)
+
+    reference = IndexSearcher(live).search(QUERY, K)
+    try:
+        assert IndexSearcher(legacy).search(QUERY, K) == reference
+        assert IndexSearcher(packed).search(QUERY, K) == reference
+    finally:
+        packed.close()
+
+    return {
+        "layout": layout,
+        "legacy_format": detect_format(legacy_path),
+        "legacy_load_seconds": round(legacy_seconds, 4),
+        "legacy_bytes": _bytes_on_disk(legacy_path),
+        "v3_attach_seconds": round(attach_seconds, 4),
+        "v3_bytes": _bytes_on_disk(packed_path),
+        "attach_speedup": round(legacy_seconds / attach_seconds, 2),
+    }
+
+
+def test_v3_attach_vs_json_rebuild(capsys, tmp_path):
+    documents = synthetic_corpus(CORPUS_SIZE, seed=7)
+    runs = [
+        _measure(
+            "plain", InvertedIndex.from_documents(documents), tmp_path
+        ),
+        _measure(
+            "sharded",
+            ShardedIndex.from_documents(documents, SHARDS, workers=4),
+            tmp_path,
+        ),
+    ]
+
+    table = Table(
+        ["layout", "json load s", "v3 attach s", "speedup", "json MB", "v3 MB"],
+        title=f"cold load, {CORPUS_SIZE} documents: JSON rebuild vs v3 attach",
+    )
+    for run in runs:
+        table.add(
+            f"{run['layout']} ({run['legacy_format']})",
+            f"{run['legacy_load_seconds']:.3f}",
+            f"{run['v3_attach_seconds']:.4f}",
+            f"{run['attach_speedup']:.1f}x",
+            f"{run['legacy_bytes'] / 1e6:.1f}",
+            f"{run['v3_bytes'] / 1e6:.1f}",
+        )
+    with capsys.disabled():
+        print()
+        print(table.render())
+
+    for run in runs:
+        assert run["attach_speedup"] >= MIN_ATTACH_SPEEDUP, (
+            f"{run['layout']}: v3 attach speedup {run['attach_speedup']}x "
+            f"is below the {MIN_ATTACH_SPEEDUP}x target"
+        )
+        assert run["v3_bytes"] <= run["legacy_bytes"], (
+            f"{run['layout']}: v3 uses {run['v3_bytes']} bytes on disk, "
+            f"more than the JSON family's {run['legacy_bytes']}"
+        )
+
+    if not SMOKE:
+        JSON_PATH.write_text(
+            json.dumps(
+                {
+                    "corpus": {
+                        "documents": CORPUS_SIZE,
+                        "generator": "synthetic_corpus(seed=7)",
+                    },
+                    "query": QUERY,
+                    "k": K,
+                    "min_attach_speedup": MIN_ATTACH_SPEEDUP,
+                    "runs": runs,
+                },
+                indent=2,
+            )
+            + "\n"
+        )

@@ -49,6 +49,16 @@ echo "== smoke: sharded parallel-ingest benchmark (>= 2x full target) =="
 SHARDED_INGEST_SMOKE=1 python -m pytest -q benchmarks/bench_sharded_ingest.py
 
 echo
+echo "== v3 persistence: format, crash safety, replicas, equivalence =="
+python -m pytest -q tests/index/test_persist_format.py \
+    tests/index/test_persist_crash.py tests/index/test_replicas.py \
+    tests/index/test_persist_equivalence.py
+
+echo
+echo "== smoke: v3 cold-load benchmark (>= 10x full attach target) =="
+PERSIST_SMOKE=1 python -m pytest -q benchmarks/bench_persist.py
+
+echo
 echo "== docs: doc-sync guard + quickstart smoke on a tiny corpus =="
 python -m pytest -q tests/test_doc_sync.py
 QUICKSTART_RANKER=bm25 QUICKSTART_FILLER=12 \

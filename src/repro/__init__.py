@@ -33,6 +33,13 @@ with ``search="exhaustive" | "greedy" | "beam" | "anytime"`` plus
 ``beam_width``/``budget``/``deadline_ms`` — see docs/API.md
 ("Search strategies & budgets").
 
+Corpora persist in three on-disk formats (auto-detected on load). The
+packed v3 format (:mod:`repro.index.persist`) gives O(1) warm restarts
+and read-only replicas::
+
+    save_index(engine.index, "corpus.idx", format="v3")
+    engine = CredenceEngine.load("corpus.idx")   # attaches, no rebuild
+
 See :mod:`repro.core` for the explainers and registry, :mod:`repro.api`
 for the REST service, :mod:`repro.service` for the serving layer, and
 docs/API.md for the request/response model.
@@ -59,7 +66,9 @@ from repro.core.search import (
 )
 from repro.errors import ReproError
 from repro.index.document import Document
+from repro.index.persist import ReplicaIndex, attach_packed
 from repro.index.sharding import HashRouter, RoundRobinRouter, ShardedIndex
+from repro.index.storage import load_index, save_index
 from repro.service import (
     ExplainJob,
     ExplanationService,
@@ -91,8 +100,12 @@ __all__ = [
     "ReproError",
     "Document",
     "HashRouter",
+    "ReplicaIndex",
     "RoundRobinRouter",
     "ShardedIndex",
+    "attach_packed",
+    "load_index",
+    "save_index",
     "ExplainJob",
     "ExplanationService",
     "JobStatus",

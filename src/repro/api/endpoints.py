@@ -8,7 +8,8 @@ as thin delegations for older clients.
 ====================================  =======================================
 ``GET  /health``                      liveness + corpus stats
 ``GET  /strategies``                  explanation-strategy introspection
-``GET  /index``                       corpus layout (shards, router, stats)
+``GET  /index``                       corpus layout (shards, router, storage)
+``POST /index/save``                  persist the corpus index to disk
 ``POST /index/documents``             bulk-ingest documents (parallel shards)
 ``DELETE /index/documents/{doc_id}``  remove a document from the corpus
 ``GET  /documents/{doc_id}``          fetch a document body for display
@@ -47,6 +48,7 @@ from repro.api.schemas import (
     parse_explain_batch,
     parse_explain_request,
     parse_index_ingest,
+    parse_index_save,
     parse_job_submission,
 )
 from repro.core.engine import CredenceEngine
@@ -55,9 +57,11 @@ from repro.errors import (
     BadRequestError,
     ConfigurationError,
     DocumentNotFoundError,
+    IndexFormatError,
     JobNotFoundError,
     NotFoundError,
     RankingError,
+    ReadOnlyIndexError,
 )
 from repro.service.scheduler import ExplanationService
 
@@ -145,6 +149,27 @@ def register_endpoints(
     def index_info(_: Request):
         return engine.index_info()
 
+    @router.post("/index/save")
+    def save_index_route(request: Request):
+        path, format = parse_index_save(request.body)
+        index = engine.index
+        if not hasattr(index, "export_snapshot"):
+            # Packed/replica views are already on disk; a rewritten copy
+            # is the compact operation, not a save.
+            raise BadRequestError(
+                "this engine serves a read-only on-disk index; use "
+                "'repro compact' to rewrite it"
+            )
+        from repro.index.storage import save_index
+
+        try:
+            save_index(
+                index, path, format=None if format in ("v1", "v2") else "v3"
+            )
+        except (IndexFormatError, OSError) as error:
+            raise BadRequestError(str(error)) from None
+        return HttpResponse(201, {"saved_to": path, "format": format})
+
     @router.post("/index/documents")
     def ingest_documents(request: Request):
         documents, workers = parse_index_ingest(
@@ -152,6 +177,8 @@ def register_endpoints(
         )
         try:
             added = engine.add_documents(documents, workers=workers)
+        except ReadOnlyIndexError as error:  # replica / packed view
+            raise BadRequestError(str(error)) from None
         except ValueError as error:  # duplicate ids
             raise BadRequestError(str(error)) from None
         return HttpResponse(
@@ -163,6 +190,8 @@ def register_endpoints(
         doc_id = request.path_params["doc_id"]
         try:
             engine.remove_document(doc_id)
+        except ReadOnlyIndexError as error:  # replica / packed view
+            raise BadRequestError(str(error)) from None
         except DocumentNotFoundError:
             raise NotFoundError(f"unknown document id: {doc_id!r}") from None
         return {"removed": doc_id, **engine.index_info()}

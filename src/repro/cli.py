@@ -22,7 +22,9 @@ bundled demo corpus). Every explanation family runs through one
     python -m repro.cli rank --corpus my_docs.jsonl --ranker bm25 \
         --query "anything"
     python -m repro.cli index --corpus my_docs.jsonl --shards 4 \
-        --workers 4 --save my_index.json
+        --workers 4 --save my_index.idx            # packed v3 by default
+    python -m repro.cli compact my_index.idx compacted.idx
+    python -m repro.cli serve --replica my_index.idx --port 8092
 
 Async jobs against a *running* service (``serve``) go through the
 ``jobs`` subcommands:
@@ -293,7 +295,11 @@ def _cmd_index(args: argparse.Namespace) -> int:
         index.add_documents(documents)
     elapsed = time.perf_counter() - start
     if args.save:
-        save_index(index, args.save)
+        # "v2" selects the legacy JSON family (a plain index writes a v1
+        # file, a sharded one a v2 manifest); "v3" the packed format.
+        save_index(
+            index, args.save, format=None if args.format == "v2" else "v3"
+        )
     stats = index.stats()
     payload = {
         "documents": stats.document_count,
@@ -304,6 +310,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
         "workers": args.workers,
         "ingest_seconds": round(elapsed, 4),
         "saved_to": args.save,
+        "format": args.format if args.save else None,
     }
     lines = [
         f"indexed {stats.document_count} documents "
@@ -326,23 +333,106 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _index_bytes(path) -> int:
+    """Total on-disk bytes of a saved index (manifest + data files)."""
+    from pathlib import Path
+
+    from repro.index.storage import detect_format
+
+    path = Path(path)
+    fmt = detect_format(path)
+    total = path.stat().st_size
+    if fmt == "v3":
+        from repro.index.persist import Manifest
+
+        record = Manifest.open(path).latest_generation()
+        if record is not None:
+            total += sum(segment.bytes for segment in record.segments)
+    elif fmt == "v2":
+        with path.open("r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        total += sum(
+            (path.parent / name).stat().st_size
+            for name in manifest["shard_files"]
+        )
+    return total
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    """Rewrite a saved index into a fresh single-generation copy."""
+    import time
+
+    from repro.index.storage import detect_format, load_index, save_index
+
+    source_format = detect_format(args.src)
+    start = time.perf_counter()
+    index = load_index(args.src, mode="memory")
+    save_index(
+        index, args.dst, format=None if args.format == "v2" else "v3"
+    )
+    elapsed = time.perf_counter() - start
+    payload = {
+        "src": args.src,
+        "dst": args.dst,
+        "src_format": source_format,
+        "dst_format": args.format,
+        "documents": len(index),
+        "src_bytes": _index_bytes(args.src),
+        "dst_bytes": _index_bytes(args.dst),
+        "seconds": round(elapsed, 4),
+    }
+    _emit(
+        args,
+        payload,
+        f"compacted {payload['documents']} documents: "
+        f"{args.src} ({source_format}, {payload['src_bytes']} bytes) -> "
+        f"{args.dst} ({args.format}, {payload['dst_bytes']} bytes) "
+        f"in {elapsed:.2f}s",
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api.app import serve
 
-    engine = _build_engine(args)
+    replica = None
+    if args.replica is not None:
+        from repro.datasets.queries import sample_queries as _sample
+        from repro.index.persist import ReplicaIndex
+
+        replica = ReplicaIndex(args.replica)
+        training = (
+            tuple(_sample(list(replica), count=10, seed=args.seed))
+            if args.ranker == "neural"
+            else ()
+        )
+        config = EngineConfig(
+            ranker=args.ranker, training_queries=training, seed=args.seed
+        )
+        engine = CredenceEngine.from_index(replica, config=config)
+        replica.watch(args.watch_interval)
+    else:
+        engine = _build_engine(args)
     server = serve(
         engine, host=args.host, port=args.port, workers=args.workers
     )
     pool_size = engine.service().pool.worker_count
+    mode = (
+        f", replica of {args.replica} @ generation {replica.generation}"
+        if replica is not None
+        else ""
+    )
     print(
         f"CREDENCE service on {server.url} "
-        f"({pool_size} explanation workers, Ctrl-C to stop)"
+        f"({pool_size} explanation workers{mode}, Ctrl-C to stop)"
     )
     try:
         server._server.serve_forever()  # reuse the bound socket loop
     except KeyboardInterrupt:
         server.stop()
         engine.service().shutdown(wait=True, cancel_pending=True)
+        if replica is not None:
+            replica.close()
     return 0
 
 
@@ -615,10 +705,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="document-to-shard routing (default hash)",
     )
     index_cmd.add_argument(
-        "--save", metavar="PATH", help="persist the index (v1/v2 JSON format)"
+        "--save", metavar="PATH", help="persist the index (see --format)"
+    )
+    index_cmd.add_argument(
+        "--format",
+        default="v3",
+        choices=("v2", "v3"),
+        help="on-disk format for --save: v3 = packed mmap segments "
+        "(default), v2 = the legacy JSON family",
     )
     index_cmd.add_argument("--json", action="store_true", help="emit raw JSON")
     index_cmd.set_defaults(handler=_cmd_index)
+
+    compact = commands.add_parser(
+        "compact",
+        help="rewrite a saved index into a fresh single-generation copy",
+    )
+    compact.add_argument("src", help="path of the saved index to read")
+    compact.add_argument("dst", help="path to write the compacted index to")
+    compact.add_argument(
+        "--format",
+        default="v3",
+        choices=("v2", "v3"),
+        help="output format (default v3, the packed format)",
+    )
+    compact.add_argument("--json", action="store_true", help="emit raw JSON")
+    compact.set_defaults(handler=_cmd_compact)
 
     serve_cmd = commands.add_parser("serve", help="run the REST service")
     _add_common(serve_cmd)
@@ -629,6 +741,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="explanation worker-pool size (default 4)",
+    )
+    serve_cmd.add_argument(
+        "--replica",
+        metavar="PATH",
+        help="serve a saved v3 index read-only, following new commits "
+        "(run any number of these over one on-disk index)",
+    )
+    serve_cmd.add_argument(
+        "--watch-interval",
+        type=float,
+        default=2.0,
+        help="seconds between generation polls in --replica mode",
     )
     serve_cmd.set_defaults(handler=_cmd_serve)
 

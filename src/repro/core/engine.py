@@ -117,33 +117,47 @@ class CredenceEngine:
 
     def __init__(
         self,
-        documents: list[Document],
+        documents: list[Document] | None = None,
         config: EngineConfig | None = None,
         ranker: Ranker | None = None,
         registry: ExplainerRegistry | None = None,
         shards: int | None = None,
         ingest_workers: int | None = None,
+        index=None,
     ):
-        require(bool(documents), "documents must be non-empty")
+        require(
+            (documents is None) != (index is None),
+            "provide exactly one of documents or index",
+        )
         self.config = config or EngineConfig(
             ranker="bm25"
         )
         self.registry = registry or DEFAULT_REGISTRY
-        shard_count = shards if shards is not None else self.config.shards
-        workers = (
-            ingest_workers
-            if ingest_workers is not None
-            else self.config.ingest_workers
-        )
-        if shard_count is not None:
-            require_positive(shard_count, "shards")
-            self.index: InvertedIndex | ShardedIndex = (
-                ShardedIndex.from_documents(
+        if index is not None:
+            # An already-built corpus: a live in-memory index, a packed
+            # read-only view attached from a v3 save, or a replica. The
+            # warm-restart path (:meth:`load`) comes through here.
+            require(
+                shards is None,
+                "shards cannot be combined with an existing index",
+            )
+            require(len(index) > 0, "index must be non-empty")
+            self.index: InvertedIndex | ShardedIndex = index
+        else:
+            require(bool(documents), "documents must be non-empty")
+            shard_count = shards if shards is not None else self.config.shards
+            workers = (
+                ingest_workers
+                if ingest_workers is not None
+                else self.config.ingest_workers
+            )
+            if shard_count is not None:
+                require_positive(shard_count, "shards")
+                self.index = ShardedIndex.from_documents(
                     documents, shard_count, workers=workers
                 )
-            )
-        else:
-            self.index = InvertedIndex.from_documents(documents)
+            else:
+                self.index = InvertedIndex.from_documents(documents)
         if ranker is not None:
             if config is not None:
                 logger.warning(
@@ -171,6 +185,51 @@ class CredenceEngine:
         self._service_lock = threading.Lock()
 
     # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_index(
+        cls,
+        index,
+        config: EngineConfig | None = None,
+        ranker: Ranker | None = None,
+        registry: ExplainerRegistry | None = None,
+    ) -> "CredenceEngine":
+        """Assemble an engine around an already-built index.
+
+        Accepts anything exposing the index read surface: a live
+        :class:`InvertedIndex` / :class:`ShardedIndex`, a packed
+        read-only view, or a
+        :class:`~repro.index.persist.ReplicaIndex`.
+        """
+        return cls(config=config, ranker=ranker, registry=registry, index=index)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        config: EngineConfig | None = None,
+        ranker: Ranker | None = None,
+        registry: ExplainerRegistry | None = None,
+        mode: str = "auto",
+    ) -> "CredenceEngine":
+        """Warm-restart an engine from a saved index at ``path``.
+
+        The format is auto-detected (v1/v2/v3). For a v3 packed index
+        the default ``mode="auto"`` *attaches* in O(1) — no re-analysis,
+        no posting rebuild — and the index's ``version`` is the commit's
+        content fingerprint, so version-keyed service results computed
+        before a restart remain addressable after it. ``mode="memory"``
+        hydrates a mutable in-memory copy instead (always the case for
+        v1/v2).
+        """
+        from repro.index.storage import load_index
+
+        return cls.from_index(
+            load_index(path, mode=mode),
+            config=config,
+            ranker=ranker,
+            registry=registry,
+        )
 
     def _build_ranker(self) -> Ranker:
         config = self.config
@@ -259,18 +318,24 @@ class CredenceEngine:
     def index_info(self) -> dict:
         """Corpus layout and statistics (the ``GET /index`` payload)."""
         stats = self.index.stats()
+        # Duck-typed on purpose: the index may be a live ShardedIndex or
+        # a read-only packed/replica view exposing the same surface.
+        shards = getattr(self.index, "shards", None)
         info = {
             "documents": stats.document_count,
             "unique_terms": stats.unique_terms,
             "total_terms": stats.total_terms,
             "average_document_length": stats.average_document_length,
             "version": self.index.version,
-            "sharded": isinstance(self.index, ShardedIndex),
+            "sharded": shards is not None,
         }
-        if isinstance(self.index, ShardedIndex):
+        if shards is not None:
             info["shards"] = self.index.shard_count
             info["router"] = self.index.router.name
             info["shard_documents"] = self.index.shard_sizes()
+        storage_info = getattr(self.index, "storage_info", None)
+        if storage_info is not None:
+            info["storage"] = storage_info()
         return info
 
     # -- the unified explanation API ---------------------------------------------

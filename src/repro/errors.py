@@ -41,6 +41,36 @@ class IndexStateError(ReproError):
     """The index was used in an invalid state (e.g. searching an empty index)."""
 
 
+class IndexFormatError(ReproError, ValueError):
+    """An index file is in an unknown, corrupt, or incompatible format.
+
+    Raised by the persistence layer (:mod:`repro.index.storage` and
+    :mod:`repro.index.persist`) instead of leaking ``JSONDecodeError`` /
+    ``sqlite3`` errors; the CLI maps it to exit code 2 and the REST
+    layer to HTTP 400. Subclasses ``ValueError`` for backward
+    compatibility with callers that caught the old dispatch error.
+    """
+
+
+class ReadOnlyIndexError(ReproError):
+    """A mutation was attempted on a read-only (mmap-attached) index.
+
+    The packed v3 readers (:class:`~repro.index.persist.PackedIndex`,
+    :class:`~repro.index.persist.PackedShardedIndex`) and replica mode
+    serve directly from on-disk segments; to change the corpus, hydrate
+    a mutable copy (``load_index(path, mode="memory")``), mutate it, and
+    commit a new generation with ``save_index``.
+    """
+
+    def __init__(self, operation: str):
+        super().__init__(
+            f"cannot {operation}: this index is a read-only view of an "
+            "on-disk v3 index (hydrate with load_index(path, "
+            "mode='memory') to get a mutable copy)"
+        )
+        self.operation = operation
+
+
 class RankingError(ReproError):
     """A ranking operation failed (e.g. ranking over an empty candidate set)."""
 

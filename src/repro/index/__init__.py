@@ -3,7 +3,10 @@
 This package replaces the paper's Lucene/Pyserini/Anserini stack. It
 provides document storage, postings with positions, collection statistics
 (document frequency, collection frequency, average document length),
-ranked top-k retrieval with pluggable similarities, and JSON persistence.
+ranked top-k retrieval with pluggable similarities, and persistence in
+three on-disk formats — legacy JSON (v1/v2) and the packed mmap format
+(v3, :mod:`repro.index.persist`) with O(1) warm restart and read-only
+replicas.
 
 Corpora scale past one in-memory index through the sharded backend
 (:mod:`repro.index.sharding`): a :class:`ShardedIndex` routes documents
@@ -32,8 +35,15 @@ from repro.index.similarity import (
     Similarity,
     TfIdfSimilarity,
 )
+from repro.index.persist import (
+    PackedIndex,
+    PackedShardedIndex,
+    ReplicaIndex,
+    attach_packed,
+    save_v3,
+)
 from repro.index.stats import CollectionStats
-from repro.index.storage import load_index, save_index
+from repro.index.storage import FORMAT_CHOICES, detect_format, load_index, save_index
 
 __all__ = [
     "Document",
@@ -55,6 +65,13 @@ __all__ = [
     "ShardedIndex",
     "ShardRouter",
     "build_router",
+    "FORMAT_CHOICES",
+    "PackedIndex",
+    "PackedShardedIndex",
+    "ReplicaIndex",
+    "attach_packed",
+    "detect_format",
     "load_index",
     "save_index",
+    "save_v3",
 ]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import DocumentNotFoundError
@@ -16,6 +17,32 @@ from repro.index.document import Document
 from repro.index.postings import Posting, PostingsList
 from repro.index.stats import CollectionStats
 from repro.text.analyzer import Analyzer, default_analyzer
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """One atomic read snapshot of an :class:`InvertedIndex`.
+
+    Produced by :meth:`InvertedIndex.export_snapshot` under the index
+    lock, so every field describes the same instant: the persistence
+    layer serialises from this instead of making separate locked reads
+    that a concurrent mutation could tear apart. All containers are
+    copies — the snapshot stays valid while the index keeps mutating.
+
+    Orderings carry the index's observable iteration semantics and must
+    be preserved by any format that round-trips through a snapshot:
+    ``documents`` is global insertion order, ``postings`` iterates terms
+    in first-appearance order with each term's postings in document
+    insertion order, and each term-frequency ``Counter`` iterates in
+    first-occurrence order within the document.
+    """
+
+    documents: tuple[Document, ...]
+    doc_lengths: dict[str, int]
+    term_freqs: dict[str, Counter]
+    postings: dict[str, tuple[Posting, ...]]
+    total_terms: int
+    version: int
 
 
 class InvertedIndex:
@@ -220,6 +247,28 @@ class InvertedIndex:
             if doc_id not in self._documents:
                 raise DocumentNotFoundError(doc_id)
             return self._doc_term_freqs[doc_id]
+
+    def export_snapshot(self) -> IndexSnapshot:
+        """One atomic copy of the full index state for persistence.
+
+        The v3 packed-segment writer serialises from this snapshot; see
+        :class:`IndexSnapshot` for the ordering guarantees it carries.
+        """
+        with self._lock:
+            return IndexSnapshot(
+                documents=tuple(self._documents.values()),
+                doc_lengths=dict(self._doc_lengths),
+                term_freqs={
+                    doc_id: Counter(counts)
+                    for doc_id, counts in self._doc_term_freqs.items()
+                },
+                postings={
+                    term: tuple(plist)
+                    for term, plist in self._postings.items()
+                },
+                total_terms=self._total_terms,
+                version=self._version,
+            )
 
     @property
     def version(self) -> int:

@@ -1,0 +1,62 @@
+"""Durable v3 index persistence: packed segments + a SQLite manifest.
+
+The third on-disk index format, built for warm restarts and read-only
+replicas. Where v1/v2 store documents as JSON and **rebuild** postings
+on load (re-running the analyzer over the whole corpus), v3 stores the
+index itself — postings, positions, term-frequency vectors, documents —
+in mmap-packed binary segments catalogued by a SQLite manifest, so a
+process attaches to a committed index in O(1) and serves lookups
+straight from the page cache.
+
+Public surface:
+
+* :func:`save_v3` — commit a live index as a new generation.
+* :func:`attach_packed` / :class:`PackedIndex` /
+  :class:`PackedShardedIndex` — O(1) read-only attach.
+* :class:`ReplicaIndex` / :class:`GenerationWatcher` — follow a
+  writer's commits from any number of serving processes.
+* :class:`Manifest` / :class:`GenerationRecord` / :func:`is_v3_manifest`
+  — the catalogue layer, exposed for tooling and tests.
+
+Format dispatch (``load_index`` auto-detecting v1/v2/v3) lives in
+:mod:`repro.index.storage`, which remains the one entry point for
+loading any index file.
+"""
+
+from repro.index.persist.manifest import (
+    GenerationRecord,
+    Manifest,
+    SegmentRecord,
+    is_v3_manifest,
+    segment_filename,
+)
+from repro.index.persist.packed import (
+    PackedIndex,
+    PackedShardedIndex,
+    attach_packed,
+)
+from repro.index.persist.replica import (
+    DEFAULT_WATCH_INTERVAL,
+    GenerationWatcher,
+    ReplicaIndex,
+)
+from repro.index.persist.segment import BLOCK_DOCS, Segment, write_segment
+from repro.index.persist.writer import save_v3
+
+__all__ = [
+    "BLOCK_DOCS",
+    "DEFAULT_WATCH_INTERVAL",
+    "GenerationRecord",
+    "GenerationWatcher",
+    "Manifest",
+    "PackedIndex",
+    "PackedShardedIndex",
+    "ReplicaIndex",
+    "Segment",
+    "SegmentRecord",
+    "attach_packed",
+    "is_v3_manifest",
+    "save_v3",
+    "segment_filename",
+    "write_segment",
+]

@@ -1,0 +1,490 @@
+"""Read-only index views attached over mmap-packed v3 segments.
+
+:class:`PackedIndex` and :class:`PackedShardedIndex` duck-type the
+complete *read* surface of :class:`~repro.index.inverted.InvertedIndex`
+and :class:`~repro.index.sharding.ShardedIndex` — rankers, scoring
+sessions, the search kernel, and all six explainers run against them
+unchanged — while serving every lookup from the on-disk segments:
+
+* Attach is O(1) in corpus size: open the manifest, read one generation
+  row, ``mmap`` the segment files, parse fixed-size headers. No JSON
+  parse, no re-analysis, no posting rebuild.
+* Lookups decode lazily (a postings list on first use of its term, a
+  document record on first access to its block) and memoize, so a warm
+  reader converges on in-memory speed for its working set while cold
+  data stays on disk, shared with every other attached process through
+  the page cache.
+* ``version`` is the generation's *content fingerprint* rather than the
+  in-memory mutation counter, so version-keyed caches
+  (:class:`~repro.service.store.ResultStore` keys, collection views,
+  Doc2Vec models) remain valid across process restarts and agree
+  between replicas attached to the same commit.
+
+Mutations raise :class:`~repro.errors.ReadOnlyIndexError`; call
+:meth:`hydrate` (or ``load_index(path, mode="memory")``) for a mutable
+in-memory copy, rebuilt from the stored term sequences without
+re-running the analyzer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import DocumentNotFoundError, ReadOnlyIndexError
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import Posting, PostingsList
+from repro.index.sharding import (
+    MergedPostings,
+    RoundRobinRouter,
+    ShardedIndex,
+    build_router,
+)
+from repro.index.stats import CollectionStats
+from repro.text.analyzer import Analyzer
+from repro.index.persist.manifest import GenerationRecord, Manifest
+from repro.index.persist.segment import Segment
+
+
+class _ReadOnlyMutations:
+    """Mutation surface shared by every packed view: always refuses."""
+
+    def add(self, document) -> None:
+        raise ReadOnlyIndexError("add a document")
+
+    def add_analyzed(self, document, terms) -> None:
+        raise ReadOnlyIndexError("add a document")
+
+    def add_documents(self, documents, workers=None) -> int:
+        raise ReadOnlyIndexError("add documents")
+
+    def remove(self, doc_id: str):
+        raise ReadOnlyIndexError("remove a document")
+
+    def replace(self, document):
+        raise ReadOnlyIndexError("replace a document")
+
+
+class PackedIndex(_ReadOnlyMutations):
+    """Read-only single-index view over one packed segment."""
+
+    def __init__(
+        self,
+        segment: Segment,
+        analyzer: Analyzer,
+        fingerprint: int,
+        storage: dict | None = None,
+    ):
+        self._segment = segment
+        self.analyzer = analyzer
+        self._fingerprint = fingerprint
+        self._storage = dict(storage or {})
+        self._documents: dict[int, Document] = {}
+        self._vectors: dict[int, Counter[str]] = {}
+        self._postings: dict[str, PostingsList | None] = {}
+
+    @property
+    def segment(self) -> Segment:
+        return self._segment
+
+    def close(self) -> None:
+        self._segment.close()
+
+    def storage_info(self) -> dict:
+        """On-disk facts for ``GET /index``'s ``storage`` block."""
+        return dict(self._storage)
+
+    # -- lookups -------------------------------------------------------------
+
+    def _ordinal(self, doc_id: str) -> int:
+        ordinal = self._segment.doc_ordinal(doc_id)
+        if ordinal is None:
+            raise DocumentNotFoundError(doc_id)
+        return ordinal
+
+    def _document_at(self, ordinal: int) -> Document:
+        document = self._documents.get(ordinal)
+        if document is None:
+            title, body, metadata, _ = self._segment.record(ordinal)
+            document = Document(
+                self._segment.doc_id(ordinal), body, title, metadata
+            )
+            self._documents[ordinal] = document
+        return document
+
+    def document(self, doc_id: str) -> Document:
+        return self._document_at(self._ordinal(doc_id))
+
+    def __contains__(self, doc_id: str) -> bool:
+        return self._segment.doc_ordinal(doc_id) is not None
+
+    def __len__(self) -> int:
+        return self._segment.doc_count
+
+    def __iter__(self) -> Iterator[Document]:
+        return (
+            self._document_at(ordinal)
+            for ordinal in range(self._segment.doc_count)
+        )
+
+    @property
+    def doc_ids(self) -> list[str]:
+        return [
+            self._segment.doc_id(ordinal)
+            for ordinal in range(self._segment.doc_count)
+        ]
+
+    def postings(self, term: str) -> PostingsList | None:
+        """Postings for an analyzed term, decoded once and memoized."""
+        try:
+            return self._postings[term]
+        except KeyError:
+            pass
+        ordinal = self._segment.term_ordinal(term)
+        if ordinal is None:
+            plist = None
+        else:
+            plist = PostingsList(term)
+            for doc_ordinal, frequency, positions in (
+                self._segment.postings_entries(ordinal)
+            ):
+                plist.add(
+                    Posting(
+                        self._segment.doc_id(doc_ordinal),
+                        frequency,
+                        positions,
+                    )
+                )
+        self._postings[term] = plist
+        return plist
+
+    def terms(self) -> Iterator[str]:
+        return (
+            self._segment.term(ordinal)
+            for ordinal in range(self._segment.term_count)
+        )
+
+    # -- statistics ----------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        ordinal = self._segment.term_ordinal(term)
+        if ordinal is None:
+            return 0
+        return self._segment.postings_count(ordinal)
+
+    def collection_frequency(self, term: str) -> int:
+        ordinal = self._segment.term_ordinal(term)
+        if ordinal is None:
+            return 0
+        return sum(
+            frequency
+            for _, frequency, _ in self._segment.postings_entries(ordinal)
+        )
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        return self.term_frequencies(doc_id).get(term, 0)
+
+    def document_length(self, doc_id: str) -> int:
+        return self._segment.doc_length(self._ordinal(doc_id))
+
+    def term_vector(self, doc_id: str) -> Counter[str]:
+        return Counter(self.term_frequencies(doc_id))
+
+    def term_frequencies(self, doc_id: str) -> Counter[str]:
+        """The stored term-frequency vector (memoized; treat as read-only).
+
+        Iteration order is first-occurrence order within the document —
+        the segment stores the vector exactly as the in-memory index's
+        ``Counter`` iterated it.
+        """
+        ordinal = self._ordinal(doc_id)
+        vector = self._vectors.get(ordinal)
+        if vector is None:
+            _, _, _, packed = self._segment.record(ordinal)
+            vector = Counter()
+            for term_ordinal, frequency in packed:
+                vector[self._segment.term(term_ordinal)] = frequency
+            self._vectors[ordinal] = vector
+        return vector
+
+    @property
+    def version(self) -> int:
+        """Content fingerprint — stable across processes and replicas."""
+        return self._fingerprint
+
+    def stats(self) -> CollectionStats:
+        return CollectionStats(
+            document_count=self._segment.doc_count,
+            total_terms=self._segment.total_terms,
+            unique_terms=self._segment.term_count,
+        )
+
+    @property
+    def average_document_length(self) -> float:
+        return self.stats().average_document_length
+
+    # -- hydration -----------------------------------------------------------
+
+    def term_sequence(self, ordinal: int) -> list[str]:
+        """Reconstruct one document's exact analyzed term sequence.
+
+        Inverted from the stored postings positions: position *p* of
+        term *t* in document *d* means ``sequence[p] = t``. Positions
+        cover ``0..length-1`` exactly, so the result equals what the
+        analyzer produced at indexing time — without re-analysis.
+        """
+        return _term_sequences(self._segment, only=ordinal)[ordinal]
+
+    def hydrate(self) -> InvertedIndex:
+        """Rebuild a mutable in-memory index from the segment."""
+        sequences = _term_sequences(self._segment)
+        index = InvertedIndex(self.analyzer)
+        for ordinal in range(self._segment.doc_count):
+            index.add_analyzed(self._document_at(ordinal), sequences[ordinal])
+        return index
+
+
+def _term_sequences(
+    segment: Segment, only: int | None = None
+) -> dict[int, list[str]]:
+    """Invert postings positions into per-document term sequences."""
+    sequences: dict[int, list[str]] = (
+        {only: [""] * segment.doc_length(only)}
+        if only is not None
+        else {
+            ordinal: [""] * segment.doc_length(ordinal)
+            for ordinal in range(segment.doc_count)
+        }
+    )
+    for term_ordinal in range(segment.term_count):
+        term = None
+        for doc_ordinal, _, positions in segment.postings_entries(term_ordinal):
+            sequence = sequences.get(doc_ordinal)
+            if sequence is None:
+                continue
+            if term is None:
+                term = segment.term(term_ordinal)
+            for position in positions:
+                sequence[position] = term
+    return sequences
+
+
+class PackedShardedIndex(_ReadOnlyMutations):
+    """Read-only sharded view over one packed segment per shard.
+
+    Duck-types :class:`~repro.index.sharding.ShardedIndex`: ``shards``
+    exposes per-shard :class:`PackedIndex` views (the searcher fans
+    sparse scoring out over them), merged statistics come from the
+    manifest's stored term table, and global insertion order is replayed
+    from the stored placements.
+    """
+
+    def __init__(
+        self,
+        shards: tuple[PackedIndex, ...],
+        analyzer: Analyzer,
+        record: GenerationRecord,
+        storage: dict | None = None,
+    ):
+        self.shards = shards
+        self.analyzer = analyzer
+        self._record = record
+        self._storage = dict(storage or {})
+        self.router = build_router(
+            record.router or "hash", record.shard_count
+        )
+        if isinstance(self.router, RoundRobinRouter) and (
+            record.router_cursor is not None
+        ):
+            self.router.cursor = record.router_cursor
+        #: term -> (df, cf) in merged insertion order.
+        self._merged: dict[str, tuple[int, int]] = {
+            term: (df, cf) for term, df, cf in (record.merged_terms or ())
+        }
+        self._placements = record.placements or ()
+        self._global_ids: list[str] | None = None
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def storage_info(self) -> dict:
+        return dict(self._storage)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, doc_id: str) -> int:
+        for position, shard in enumerate(self.shards):
+            if doc_id in shard:
+                return position
+        raise DocumentNotFoundError(doc_id)
+
+    # -- lookups -------------------------------------------------------------
+
+    def _global_doc_ids(self) -> list[str]:
+        """Doc ids in global insertion order, replayed from placements.
+
+        Each shard's segment stores its documents in shard insertion
+        order — a subsequence of global order — so walking the placement
+        sequence with one cursor per shard reproduces the global order.
+        """
+        if self._global_ids is None:
+            cursors = [0] * len(self.shards)
+            ids: list[str] = []
+            for shard in self._placements:
+                segment = self.shards[shard].segment
+                ids.append(segment.doc_id(cursors[shard]))
+                cursors[shard] += 1
+            self._global_ids = ids
+        return self._global_ids
+
+    def document(self, doc_id: str) -> Document:
+        return self.shards[self.shard_of(doc_id)].document(doc_id)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return any(doc_id in shard for shard in self.shards)
+
+    def __len__(self) -> int:
+        return self._record.document_count
+
+    def __iter__(self) -> Iterator[Document]:
+        return (self.document(doc_id) for doc_id in self._global_doc_ids())
+
+    @property
+    def doc_ids(self) -> list[str]:
+        return list(self._global_doc_ids())
+
+    def postings(self, term: str) -> MergedPostings | None:
+        parts = [
+            postings
+            for postings in (shard.postings(term) for shard in self.shards)
+            if postings is not None
+        ]
+        if not parts:
+            return None
+        return MergedPostings(term, parts)
+
+    def terms(self) -> Iterator[str]:
+        return iter(list(self._merged))
+
+    # -- statistics ----------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        entry = self._merged.get(term)
+        return entry[0] if entry else 0
+
+    def collection_frequency(self, term: str) -> int:
+        entry = self._merged.get(term)
+        return entry[1] if entry else 0
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        return self.shards[self.shard_of(doc_id)].term_frequency(term, doc_id)
+
+    def document_length(self, doc_id: str) -> int:
+        return self.shards[self.shard_of(doc_id)].document_length(doc_id)
+
+    def term_vector(self, doc_id: str) -> Counter[str]:
+        return self.shards[self.shard_of(doc_id)].term_vector(doc_id)
+
+    def term_frequencies(self, doc_id: str) -> Counter[str]:
+        return self.shards[self.shard_of(doc_id)].term_frequencies(doc_id)
+
+    @property
+    def version(self) -> int:
+        """Content fingerprint — stable across processes and replicas."""
+        return self._record.fingerprint
+
+    def stats(self) -> CollectionStats:
+        return CollectionStats(
+            document_count=self._record.document_count,
+            total_terms=self._record.total_terms,
+            unique_terms=len(self._merged),
+        )
+
+    @property
+    def average_document_length(self) -> float:
+        return self.stats().average_document_length
+
+    def shard_sizes(self) -> list[int]:
+        return [len(shard) for shard in self.shards]
+
+    # -- hydration -----------------------------------------------------------
+
+    def hydrate(self) -> ShardedIndex:
+        """Rebuild a mutable in-memory sharded index, layout preserved."""
+        per_shard = [_term_sequences(shard.segment) for shard in self.shards]
+        cursors = [0] * len(self.shards)
+
+        def placements():
+            for shard in self._placements:
+                ordinal = cursors[shard]
+                cursors[shard] += 1
+                yield (
+                    self.shards[shard]._document_at(ordinal),
+                    per_shard[shard][ordinal],
+                    shard,
+                )
+
+        return ShardedIndex.from_analyzed_placements(
+            placements(),
+            self._record.shard_count,
+            self.analyzer,
+            router=build_router(
+                self._record.router or "hash", self._record.shard_count
+            ),
+            cursor=self._record.router_cursor,
+        )
+
+
+def attach_packed(
+    path: str | Path, record: GenerationRecord | None = None
+) -> PackedIndex | PackedShardedIndex:
+    """Attach read-only packed views over the index at ``path``.
+
+    Opens the latest committed generation (or the given ``record``),
+    maps its segments, and returns the matching packed view. O(1) in
+    corpus size — only fixed-size headers are parsed.
+    """
+    path = Path(path)
+    manifest = Manifest.open(path)
+    if record is None:
+        record = manifest.latest_generation()
+        if record is None:
+            from repro.errors import IndexFormatError
+
+            raise IndexFormatError(
+                f"index manifest {path} has no committed generation"
+            )
+    analyzer = Analyzer.from_config(record.analyzer_config)
+    bytes_on_disk = path.stat().st_size + sum(
+        segment.bytes for segment in record.segments
+    )
+    storage = {
+        "format": "v3",
+        "bytes_on_disk": bytes_on_disk,
+        "generation": record.generation,
+    }
+    segments = [
+        Segment(path.parent / segment.filename)
+        for segment in record.segments
+    ]
+    if record.layout == "single":
+        return PackedIndex(
+            segments[0], analyzer, record.fingerprint, storage
+        )
+    shards = tuple(
+        PackedIndex(
+            segment,
+            analyzer,
+            # Per-shard sub-fingerprint: distinct from the collection's
+            # and from other shards', but content-derived all the same.
+            (record.fingerprint << 4) | (position + 1),
+            storage,
+        )
+        for position, segment in enumerate(segments)
+    )
+    return PackedShardedIndex(shards, analyzer, record, storage)

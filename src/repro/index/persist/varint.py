@@ -1,0 +1,77 @@
+"""Unsigned LEB128 varints — the integer codec of the v3 packed format.
+
+Every count, ordinal gap, frequency, and position delta in a v3 segment
+is an unsigned varint: 7 payload bits per byte, high bit = continuation.
+Small numbers (the overwhelmingly common case once ids are gap-encoded
+and positions are delta-encoded) take one byte.
+
+The decoders read from any buffer supporting ``__getitem__`` on ints
+(``bytes``, ``bytearray``, ``memoryview`` over an ``mmap``), which is
+what lets the packed readers decode straight out of the page cache.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexFormatError
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` (≥ 0) to ``out`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_uvarint(buffer, offset: int) -> tuple[int, int]:
+    """Decode one uvarint at ``offset``; returns (value, next offset)."""
+    result = 0
+    shift = 0
+    length = len(buffer)
+    while True:
+        if offset >= length:
+            raise IndexFormatError(
+                "truncated varint: segment data ends mid-integer"
+            )
+        byte = buffer[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise IndexFormatError("varint overflow: more than 64 bits")
+
+
+def write_deltas(out: bytearray, values) -> None:
+    """Append a strictly-increasing int sequence as first + gap varints.
+
+    The caller writes the count separately; this encodes ``values[0]``
+    absolute followed by successive differences.
+    """
+    previous = None
+    for value in values:
+        if previous is None:
+            write_uvarint(out, value)
+        else:
+            gap = value - previous
+            if gap <= 0:
+                raise ValueError(
+                    f"delta encoding requires increasing values, got "
+                    f"{previous} then {value}"
+                )
+            write_uvarint(out, gap)
+        previous = value
+
+
+def read_deltas(buffer, offset: int, count: int) -> tuple[list[int], int]:
+    """Decode ``count`` delta-encoded values; returns (values, next offset)."""
+    values: list[int] = []
+    current = 0
+    for position in range(count):
+        delta, offset = read_uvarint(buffer, offset)
+        current = delta if position == 0 else current + delta
+        values.append(current)
+    return values, offset

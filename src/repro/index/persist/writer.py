@@ -1,0 +1,161 @@
+"""The v3 save path: snapshot → packed segments → manifest commit.
+
+:func:`save_v3` turns a live :class:`~repro.index.inverted.InvertedIndex`
+or :class:`~repro.index.sharding.ShardedIndex` into a new committed
+generation of the packed on-disk format. The sequence is the crash-safe
+protocol documented in :mod:`repro.index.persist.manifest`: segments are
+written and fsynced under generation-unique names first, one SQLite
+transaction publishes the generation (the commit point), and only then
+are superseded generations and orphaned segment files collected.
+
+The committed generation carries a **content fingerprint** — a digest of
+the analyzer configuration, the shard layout, and every segment's
+checksum. Packed readers expose it as ``index.version``, which makes
+version-keyed caches (the service's
+:class:`~repro.service.store.ResultStore`, collection views, Doc2Vec
+models) stable across process restarts: re-attaching the same commit
+yields the same version, and saving an unchanged corpus again yields the
+same fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.index.inverted import IndexSnapshot, InvertedIndex
+from repro.index.sharding import ShardedIndex
+from repro.index.persist.manifest import (
+    GenerationRecord,
+    Manifest,
+    SegmentRecord,
+    encode_merged_terms,
+    encode_placements,
+    is_v3_manifest,
+    segment_filename,
+)
+from repro.index.persist.segment import write_segment
+
+
+def _fingerprint(
+    analyzer_config: dict,
+    layout: str,
+    router: str | None,
+    cursor: int | None,
+    segments: list[SegmentRecord],
+    placements_blob: bytes,
+    merged_blob: bytes,
+) -> int:
+    """Digest of everything that defines the committed index content.
+
+    Segment checksums cover documents, postings, and orderings, so two
+    saves of identical corpora produce identical fingerprints while any
+    content difference — one position, one placement, one analyzer
+    option — produces a different one. Truncated to 63 bits to stay a
+    positive SQLite INTEGER.
+    """
+    digest = hashlib.sha1()
+    digest.update(json.dumps(analyzer_config, sort_keys=True).encode("utf-8"))
+    digest.update(f"|{layout}|{router}|{cursor}".encode("utf-8"))
+    for segment in segments:
+        digest.update(
+            f"|{segment.shard}:{segment.bytes}:{segment.document_count}:"
+            f"{segment.crc32}".encode("utf-8")
+        )
+    digest.update(placements_blob)
+    digest.update(merged_blob)
+    return int.from_bytes(digest.digest()[:8], "big") & ((1 << 63) - 1)
+
+
+def save_v3(index: InvertedIndex | ShardedIndex, path: str | Path) -> GenerationRecord:
+    """Commit ``index`` as a new generation of the packed v3 format.
+
+    ``path`` becomes (or already is) the manifest; segments land next to
+    it. Saving over an existing v3 index appends a generation and
+    garbage-collects the previous one *after* the commit point — a
+    concurrent reader attached to the old generation keeps a valid view
+    (its mmap holds the unlinked segments open), and new attaches see
+    the new generation. Saving over a legacy JSON index replaces it.
+
+    Returns the committed :class:`GenerationRecord`.
+    """
+    path = Path(path)
+    if path.exists() and not is_v3_manifest(path):
+        # The path currently holds a legacy (v1/v2 JSON) index or some
+        # other file; save_index semantics are "overwrite" there too.
+        path.unlink()
+    manifest = Manifest.create(path)
+    generation = manifest.next_generation()
+
+    if isinstance(index, ShardedIndex):
+        snapshot = index.export_snapshot()
+        layout = "sharded"
+        router: str | None = snapshot.router
+        cursor = snapshot.cursor
+        shard_snapshots: list[IndexSnapshot] = list(snapshot.shard_snapshots)
+        # Shard ids in global insertion order; doc ids are implied by
+        # the per-shard segment doc tables (shard order is a subsequence
+        # of global order).
+        placements: tuple[int, ...] | None = tuple(
+            shard for _, shard in snapshot.placements
+        )
+        merged_terms = snapshot.merged_terms
+        document_count = snapshot.document_count
+        total_terms = snapshot.total_terms
+        unique_terms = len(snapshot.merged_terms)
+    else:
+        single = index.export_snapshot()
+        layout = "single"
+        router = None
+        cursor = None
+        shard_snapshots = [single]
+        placements = None
+        merged_terms = None
+        document_count = len(single.documents)
+        total_terms = single.total_terms
+        unique_terms = len(single.postings)
+
+    segments: list[SegmentRecord] = []
+    for shard, shard_snapshot in enumerate(shard_snapshots):
+        filename = segment_filename(path, generation, shard)
+        size, crc = write_segment(shard_snapshot, path.parent / filename)
+        segments.append(
+            SegmentRecord(
+                shard=shard,
+                filename=filename,
+                bytes=size,
+                document_count=len(shard_snapshot.documents),
+                crc32=crc,
+            )
+        )
+
+    analyzer_config = index.analyzer.to_config()
+    record = GenerationRecord(
+        generation=generation,
+        layout=layout,
+        shard_count=len(shard_snapshots),
+        router=router,
+        router_cursor=cursor,
+        analyzer_config=analyzer_config,
+        document_count=document_count,
+        total_terms=total_terms,
+        unique_terms=unique_terms,
+        fingerprint=_fingerprint(
+            analyzer_config,
+            layout,
+            router,
+            cursor,
+            segments,
+            encode_placements(placements) if placements is not None else b"",
+            encode_merged_terms(merged_terms)
+            if merged_terms is not None
+            else b"",
+        ),
+        placements=placements,
+        merged_terms=merged_terms,
+        segments=tuple(segments),
+    )
+    manifest.commit_generation(record)
+    manifest.collect_garbage(generation)
+    return record

@@ -33,11 +33,12 @@ import threading
 import zlib
 from abc import ABC, abstractmethod
 from collections import Counter
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import ConfigurationError, DocumentNotFoundError
 from repro.index.document import Document
-from repro.index.inverted import InvertedIndex
+from repro.index.inverted import IndexSnapshot, InvertedIndex
 from repro.index.postings import Posting, PostingsList
 from repro.index.stats import CollectionStats
 from repro.text.analyzer import Analyzer, default_analyzer
@@ -205,6 +206,28 @@ class MergedStats:
             total_terms=self.total_terms,
             unique_terms=len(self._terms),
         )
+
+
+@dataclass(frozen=True)
+class ShardedSnapshot:
+    """One atomic read snapshot of a :class:`ShardedIndex`.
+
+    Captured under the sharded index's lock by
+    :meth:`ShardedIndex.export_snapshot`: per-shard
+    :class:`~repro.index.inverted.IndexSnapshot`\\ s, the global
+    placement order, and the merged term statistics in their merged
+    insertion order (what :meth:`ShardedIndex.terms` replays), all from
+    the same instant.
+    """
+
+    shard_snapshots: tuple[IndexSnapshot, ...]
+    placements: tuple[tuple[str, int], ...]
+    merged_terms: tuple[tuple[str, int, int], ...]
+    router: str
+    cursor: int | None
+    version: int
+    document_count: int
+    total_terms: int
 
 
 _ABSENT = object()
@@ -379,6 +402,46 @@ class ShardedIndex:
             index._version += count
             if isinstance(index.router, RoundRobinRouter):
                 index.router.cursor = count % shard_count
+        return index
+
+    @classmethod
+    def from_analyzed_placements(
+        cls,
+        placements: Iterable[tuple[Document, list[str], int]],
+        shard_count: int,
+        analyzer: Analyzer | None = None,
+        router: ShardRouter | None = None,
+        cursor: int | None = None,
+    ) -> "ShardedIndex":
+        """Rebuild an index from (document, analyzed terms, shard) triples.
+
+        The attach hook for the packed v3 persistence layer: segments
+        already store every document's exact term sequence, so hydration
+        rebuilds postings without re-running the analyzer —
+        ``terms`` must be exactly ``analyzer.analyze(document.body)``
+        for each document, in global insertion order. ``cursor``
+        restores a round-robin router's cycle position.
+        """
+        index = cls(shard_count, analyzer, router)
+        count = 0
+        with index._lock:
+            for document, terms, shard in placements:
+                if not 0 <= shard < shard_count:
+                    raise ConfigurationError(
+                        f"placement shard {shard} out of range for "
+                        f"{shard_count} shards"
+                    )
+                if document.doc_id in index._assignments:
+                    raise ValueError(
+                        f"duplicate document id: {document.doc_id!r}"
+                    )
+                index._add_routed(document, terms, shard)
+                count += 1
+            index._version += count
+            if isinstance(index.router, RoundRobinRouter):
+                index.router.cursor = (
+                    cursor if cursor is not None else count % shard_count
+                )
         return index
 
     @property
@@ -640,3 +703,33 @@ class ShardedIndex:
                 else None
             )
             return placements, shard_documents, self._version, cursor
+
+    def export_snapshot(self) -> ShardedSnapshot:
+        """One atomic copy of the full sharded state for persistence.
+
+        The v3 writer's counterpart to
+        :meth:`InvertedIndex.export_snapshot`: per-shard snapshots, the
+        global placement order, merged term statistics (in merged
+        insertion order), and the router state, captured under one lock
+        acquisition so no field can disagree with another.
+        """
+        with self._lock:
+            return ShardedSnapshot(
+                shard_snapshots=tuple(
+                    shard.export_snapshot() for shard in self.shards
+                ),
+                placements=tuple(self._assignments.items()),
+                merged_terms=tuple(
+                    (term, entry[0], entry[1])
+                    for term, entry in self._merged._terms.items()
+                ),
+                router=self.router.name,
+                cursor=(
+                    self.router.cursor
+                    if isinstance(self.router, RoundRobinRouter)
+                    else None
+                ),
+                version=self._version,
+                document_count=self._merged.document_count,
+                total_terms=self._merged.total_terms,
+            )

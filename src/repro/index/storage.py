@@ -1,20 +1,29 @@
-"""JSON persistence for indexes and corpora.
+"""Index persistence: one entry point over three on-disk formats.
 
-The on-disk format stores the documents plus the analyzer configuration;
-postings are rebuilt on load (analysis is deterministic), which keeps the
-format small, versioned, and forward-compatible.
+:func:`save_index` / :func:`load_index` dispatch across every format the
+library has ever written, detected from the file itself — callers never
+name a version to load:
 
-Two format versions coexist:
+* **v1** — one JSON file holding a single index's documents. Postings
+  are rebuilt on load by re-running the analyzer. Still written by
+  default for :class:`~repro.index.inverted.InvertedIndex` and still
+  loaded byte-identically.
+* **v2** — a JSON manifest plus one JSON file per shard, written by
+  default for :class:`~repro.index.sharding.ShardedIndex`. The manifest
+  records the shard count, the router, and every document's placement
+  in global insertion order, so a reload reproduces the exact shard
+  layout and every order-dependent tie-break — a stateful router is
+  never re-run at load time.
+* **v3** — the packed format (:mod:`repro.index.persist`): mmap-packed
+  binary segments holding postings and documents, catalogued by a
+  SQLite manifest. Loading *attaches* in O(1) — no JSON parse, no
+  re-analysis, no posting rebuild — returning a read-only packed view;
+  ``mode="memory"`` hydrates a mutable in-memory index instead.
 
-* **v1** — one JSON file holding a single index's documents. Still
-  written for :class:`~repro.index.inverted.InvertedIndex` and still
-  loaded unchanged.
-* **v2** — a manifest plus one JSON file per shard, written for
-  :class:`~repro.index.sharding.ShardedIndex`. The manifest records the
-  shard count, the router, and every document's placement in global
-  insertion order, so a reload reproduces the exact shard layout and
-  every order-dependent tie-break — a stateful router is never re-run
-  at load time.
+Detection: a SQLite file (magic bytes) is v3; JSON payloads dispatch on
+``format_version``. Anything unreadable raises
+:class:`~repro.errors.IndexFormatError` (a ``ReproError`` and a
+``ValueError``) rather than leaking ``JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.errors import IndexFormatError
 from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
 from repro.index.sharding import (
@@ -36,6 +46,9 @@ FORMAT_VERSION = 1
 
 #: Manifest version for sharded indexes (per-shard payload files).
 SHARDED_FORMAT_VERSION = 2
+
+#: Format names accepted by :func:`save_index` and the CLI.
+FORMAT_CHOICES = ("v1", "v2", "v3")
 
 
 def _shard_name(manifest_path: Path, shard: int, generation: int) -> str:
@@ -62,23 +75,43 @@ def _write_json(path: Path, payload: dict) -> None:
     temp.replace(path)
 
 
-def save_index(index: InvertedIndex | ShardedIndex, path: str | Path) -> None:
-    """Serialise ``index`` (documents + analyzer config) to ``path``.
+def save_index(
+    index: InvertedIndex | ShardedIndex,
+    path: str | Path,
+    format: str | None = None,
+) -> None:
+    """Serialise ``index`` to ``path`` in the requested format.
 
-    A plain index writes one v1 file. A sharded index writes a v2
-    manifest at ``path`` plus one generation-named
-    ``<stem>.shard-NN-g<version>.json`` file per shard. Writes are
-    crash-safe: every file lands via an atomic temp-file rename, shard
-    files precede the manifest (the commit point), and shard files from
-    superseded saves are garbage-collected only after the new manifest
-    is durable — an interrupted save always leaves the previous save
+    ``format`` is one of :data:`FORMAT_CHOICES`; ``None`` keeps the
+    legacy default — the JSON family, where a plain index writes one v1
+    file and a sharded index writes a v2 manifest plus one
+    generation-named ``<stem>.shard-NN-g<version>.json`` file per shard.
+    (``"v1"`` and ``"v2"`` both name that family: the layout follows
+    the index type, so a plain index saved as ``"v2"`` writes a v1
+    file.) ``"v3"`` commits the packed format for either index type —
+    see :func:`repro.index.persist.save_v3`.
+
+    Every format is crash-safe: files land via atomic temp-file renames
+    or fsynced segments, data files precede the commit point (the v2
+    manifest rename, the v3 SQLite transaction), and superseded
+    generations are garbage-collected only after the new commit is
+    durable — an interrupted save always leaves the previous save
     loadable.
 
     The analyzer block is produced by :meth:`Analyzer.to_config`, which
     enumerates the analyzer's fields — adding an analyzer option can no
     longer desync save from load.
     """
+    if format is not None and format not in FORMAT_CHOICES:
+        raise IndexFormatError(
+            f"format must be one of {FORMAT_CHOICES}, got {format!r}"
+        )
     path = Path(path)
+    if format == "v3":
+        from repro.index.persist import save_v3
+
+        save_v3(index, path)
+        return
     if isinstance(index, ShardedIndex):
         _save_sharded(index, path)
         return
@@ -137,27 +170,80 @@ def _save_sharded(index: ShardedIndex, path: Path) -> None:
             leftover.unlink()
 
 
-def load_index(path: str | Path) -> InvertedIndex | ShardedIndex:
+def detect_format(path: str | Path) -> str:
+    """Probe which on-disk format ``path`` holds (``"v1"/"v2"/"v3"``).
+
+    v3 is recognised by the SQLite magic bytes; JSON payloads dispatch
+    on their ``format_version`` field. Raises
+    :class:`~repro.errors.IndexFormatError` for anything else.
+    """
+    from repro.index.persist import is_v3_manifest
+
+    path = Path(path)
+    if not path.exists():
+        # A missing path is an I/O condition, not a format one; keep the
+        # long-standing FileNotFoundError contract.
+        raise FileNotFoundError(path)
+    if is_v3_manifest(path):
+        return "v3"
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise IndexFormatError(
+            f"{path} is not a recognised index file (not a v3 manifest, "
+            f"not a v1/v2 JSON payload): {error}"
+        ) from None
+    version = payload.get("format_version") if isinstance(payload, dict) else None
+    if version == FORMAT_VERSION:
+        return "v1"
+    if version == SHARDED_FORMAT_VERSION:
+        return "v2"
+    raise IndexFormatError(
+        f"unsupported index format version: {version!r}"
+    )
+
+
+def load_index(path: str | Path, mode: str = "auto"):
     """Load an index previously written by :func:`save_index`.
 
-    Dispatches on the payload's ``format_version``: v1 single-index
-    payloads keep loading exactly as before; v2 manifests rebuild a
-    :class:`ShardedIndex` with its recorded layout.
+    The format is auto-detected from the file (see :func:`detect_format`)
+    — v1/v2 payloads keep loading exactly as before, rebuilding an
+    in-memory index; a v3 manifest *attaches* read-only packed views
+    over its segments in O(1).
+
+    ``mode`` controls what a v3 path yields: ``"auto"`` returns the
+    packed read-only view (warm restart); ``"memory"`` hydrates a
+    mutable :class:`InvertedIndex` / :class:`ShardedIndex` from the
+    stored term sequences (no re-analysis). v1/v2 are always in-memory,
+    so ``mode`` is a no-op for them.
     """
+    if mode not in ("auto", "memory"):
+        raise IndexFormatError(
+            f"load mode must be 'auto' or 'memory', got {mode!r}"
+        )
     path = Path(path)
+    version = detect_format(path)
+    if version == "v3":
+        from repro.index.persist import attach_packed
+
+        packed = attach_packed(path)
+        if mode == "memory":
+            try:
+                return packed.hydrate()
+            finally:
+                packed.close()
+        return packed
     with path.open("r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    version = payload.get("format_version")
-    if version == FORMAT_VERSION:
+    if version == "v1":
         # FORMAT_VERSION 1 payloads carried exactly the four original
         # fields; from_config accepts any subset of known fields, so
         # they keep loading.
         analyzer = Analyzer.from_config(payload["analyzer"])
         documents = (Document.from_dict(raw) for raw in payload["documents"])
         return InvertedIndex.from_documents(documents, analyzer)
-    if version == SHARDED_FORMAT_VERSION:
-        return _load_sharded(payload, path)
-    raise ValueError(f"unsupported index format version: {version!r}")
+    return _load_sharded(payload, path)
 
 
 def _load_sharded(manifest: dict, path: Path) -> ShardedIndex:
@@ -165,11 +251,16 @@ def _load_sharded(manifest: dict, path: Path) -> ShardedIndex:
     shard_count = manifest["shard_count"]
     router_name = manifest.get("router", "hash")
     if router_name not in ROUTER_CHOICES:
-        raise ValueError(f"unsupported shard router: {router_name!r}")
+        raise IndexFormatError(f"unsupported shard router: {router_name!r}")
     documents: dict[str, Document] = {}
     for name in manifest["shard_files"]:
-        with path.with_name(name).open("r", encoding="utf-8") as handle:
-            shard_payload = json.load(handle)
+        try:
+            with path.with_name(name).open("r", encoding="utf-8") as handle:
+                shard_payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise IndexFormatError(
+                f"cannot read shard file {name!r}: {error}"
+            ) from None
         for raw in shard_payload["documents"]:
             document = Document.from_dict(raw)
             documents[document.doc_id] = document
@@ -179,7 +270,7 @@ def _load_sharded(manifest: dict, path: Path) -> ShardedIndex:
             for doc_id, shard in manifest["placements"]
         ]
     except KeyError as missing:
-        raise ValueError(
+        raise IndexFormatError(
             f"manifest places unknown document {missing.args[0]!r}"
         ) from None
     index = ShardedIndex.from_placements(

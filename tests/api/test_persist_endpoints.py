@@ -1,0 +1,96 @@
+"""REST coverage for the persistence surface.
+
+``POST /index/save``, the ``storage`` block in ``GET /index``, and the
+400-not-500 contract for read-only (replica/packed) engines.
+"""
+
+import pytest
+
+from repro.api.app import build_router
+from repro.api.client import InProcessClient
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.index.storage import detect_format, save_index
+from tests.core.test_search_equivalence import _corpus
+
+
+@pytest.fixture()
+def live_client():
+    engine = CredenceEngine(_corpus(), EngineConfig(ranker="bm25", seed=5))
+    return InProcessClient(build_router(engine)), engine
+
+
+@pytest.fixture()
+def packed_client(tmp_path):
+    live = CredenceEngine(_corpus(), EngineConfig(ranker="bm25", seed=5))
+    path = tmp_path / "corpus.idx"
+    save_index(live.index, path, format="v3")
+    engine = CredenceEngine.load(path, config=EngineConfig(ranker="bm25", seed=5))
+    return InProcessClient(build_router(engine)), engine
+
+
+class TestIndexSaveRoute:
+    def test_save_v3_default(self, live_client, tmp_path):
+        client, engine = live_client
+        path = tmp_path / "saved.idx"
+        response = client.post("/index/save", {"path": str(path)})
+        assert response.status == 201
+        assert response.payload == {"saved_to": str(path), "format": "v3"}
+        assert detect_format(path) == "v3"
+
+    def test_save_legacy_format(self, live_client, tmp_path):
+        client, _ = live_client
+        path = tmp_path / "saved.json"
+        response = client.post(
+            "/index/save", {"path": str(path), "format": "v2"}
+        )
+        assert response.status == 201
+        assert detect_format(path) == "v1"  # plain index → v1 JSON
+
+    def test_unknown_format_is_400(self, live_client, tmp_path):
+        client, _ = live_client
+        response = client.post(
+            "/index/save",
+            {"path": str(tmp_path / "x.idx"), "format": "v9"},
+        )
+        assert response.status == 400
+
+    def test_unwritable_path_is_400(self, live_client, tmp_path):
+        client, _ = live_client
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("plain file")
+        response = client.post(
+            "/index/save", {"path": str(blocker / "x.idx")}
+        )
+        assert response.status == 400
+
+    def test_read_only_engine_is_400(self, packed_client, tmp_path):
+        client, _ = packed_client
+        response = client.post(
+            "/index/save", {"path": str(tmp_path / "copy.idx")}
+        )
+        assert response.status == 400
+        assert "compact" in response.payload["detail"]
+
+
+class TestIndexInfoStorage:
+    def test_live_engine_has_no_storage_block(self, live_client):
+        client, _ = live_client
+        assert "storage" not in client.get("/index").payload
+
+    def test_packed_engine_reports_storage(self, packed_client):
+        client, engine = packed_client
+        payload = client.get("/index").payload
+        assert payload["storage"]["format"] == "v3"
+        assert payload["storage"]["generation"] == 1
+        assert payload["storage"]["bytes_on_disk"] > 0
+        assert payload["version"] == engine.index.version
+
+    def test_mutating_read_only_index_is_400(self, packed_client):
+        client, _ = packed_client
+        response = client.post(
+            "/index/documents",
+            {"documents": [{"doc_id": "x", "body": "new covid doc"}]},
+        )
+        assert response.status == 400
+        assert "read-only" in response.payload["detail"]
+        assert client.delete("/index/documents/doc-00").status == 400

@@ -1,0 +1,148 @@
+"""Crash injection for the v3 commit protocol.
+
+The contract: the SQLite transaction in
+:meth:`Manifest.commit_generation` is the *only* commit point. A save
+interrupted anywhere before it leaves the previous generation fully
+loadable; segments of the failed save are orphans, swept by the next
+successful save's garbage collection.
+"""
+
+import pytest
+
+from repro.errors import IndexFormatError
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.persist import Manifest, save_v3
+from repro.index.persist import writer as writer_module
+from repro.index.sharding import ShardedIndex
+from repro.index.storage import load_index
+
+
+class _CrashBeforeCommit(RuntimeError):
+    """Injected failure standing in for a crash / power loss."""
+
+
+def _documents(n=8):
+    return [
+        Document(f"doc-{i}", f"covid outbreak report number {i} in ward {i % 3}.")
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def crash_before_commit(monkeypatch):
+    """Make the next ``save_v3`` die after segments, before the commit."""
+
+    def explode(self, record):
+        raise _CrashBeforeCommit("interrupted before the commit point")
+
+    monkeypatch.setattr(Manifest, "commit_generation", explode)
+
+
+def _seg_files(path):
+    return sorted(p.name for p in path.parent.glob(f"{path.name}-g*.s*.seg"))
+
+
+class TestInterruptedSave:
+    @pytest.mark.parametrize("shards", [None, 3], ids=["plain", "sharded"])
+    def test_old_generation_survives(self, tmp_path, monkeypatch, shards):
+        documents = _documents()
+        if shards:
+            index = ShardedIndex.from_documents(documents, shards)
+        else:
+            index = InvertedIndex.from_documents(documents)
+        path = tmp_path / "corpus.idx"
+        save_v3(index, path)
+        committed_files = _seg_files(path)
+
+        index.add(Document("doc-new", "a brand new covid outbreak report."))
+        original = Manifest.commit_generation
+        monkeypatch.setattr(
+            Manifest,
+            "commit_generation",
+            lambda self, record: (_ for _ in ()).throw(
+                _CrashBeforeCommit("crash")
+            ),
+        )
+        with pytest.raises(_CrashBeforeCommit):
+            save_v3(index, path)
+        monkeypatch.setattr(Manifest, "commit_generation", original)
+
+        # The manifest still points at generation 1; attaching serves
+        # the pre-crash corpus, without the interrupted document.
+        loaded = load_index(path)
+        try:
+            assert loaded.storage_info()["generation"] == 1
+            assert len(loaded) == len(documents)
+            assert "doc-new" not in loaded
+        finally:
+            loaded.close()
+        # The failed save's segments linger as orphans for now...
+        assert set(_seg_files(path)) > set(committed_files)
+
+        # ...until the next successful save garbage-collects them.
+        record = save_v3(index, path)
+        survivors = _seg_files(path)
+        assert survivors == sorted(s.filename for s in record.segments)
+        loaded = load_index(path)
+        try:
+            assert "doc-new" in loaded
+            assert loaded.storage_info()["generation"] == record.generation
+        finally:
+            loaded.close()
+
+    def test_crash_on_first_save_leaves_no_index(
+        self, tmp_path, crash_before_commit
+    ):
+        path = tmp_path / "corpus.idx"
+        with pytest.raises(_CrashBeforeCommit):
+            save_v3(InvertedIndex.from_documents(_documents()), path)
+        # A manifest exists but holds no committed generation: loading
+        # reports a clean library-typed error, not a crash artefact.
+        with pytest.raises(IndexFormatError):
+            load_index(path)
+
+    def test_crash_during_segment_write(self, tmp_path, monkeypatch):
+        """Dying mid-segment (before any fsync/rename) is also safe."""
+        index = InvertedIndex.from_documents(_documents())
+        path = tmp_path / "corpus.idx"
+        save_v3(index, path)
+
+        calls = {"n": 0}
+        original = writer_module.write_segment
+
+        def explode(snapshot, seg_path):
+            calls["n"] += 1
+            raise _CrashBeforeCommit("disk died mid-write")
+
+        monkeypatch.setattr(writer_module, "write_segment", explode)
+        index.add(Document("doc-new", "one more covid report."))
+        with pytest.raises(_CrashBeforeCommit):
+            save_v3(index, path)
+        assert calls["n"] == 1
+        monkeypatch.setattr(writer_module, "write_segment", original)
+
+        loaded = load_index(path)
+        try:
+            assert loaded.storage_info()["generation"] == 1
+            assert "doc-new" not in loaded
+        finally:
+            loaded.close()
+
+
+class TestCorruptSegments:
+    def test_truncated_segment_rejected_on_attach(self, tmp_path):
+        path = tmp_path / "corpus.idx"
+        record = save_v3(InvertedIndex.from_documents(_documents()), path)
+        segment_path = path.with_name(record.segments[0].filename)
+        data = segment_path.read_bytes()
+        segment_path.write_bytes(data[: len(data) - 64])
+        with pytest.raises(IndexFormatError):
+            load_index(path)
+
+    def test_missing_segment_rejected_on_attach(self, tmp_path):
+        path = tmp_path / "corpus.idx"
+        record = save_v3(InvertedIndex.from_documents(_documents()), path)
+        path.with_name(record.segments[0].filename).unlink()
+        with pytest.raises(IndexFormatError):
+            load_index(path)

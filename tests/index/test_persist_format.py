@@ -1,0 +1,370 @@
+"""Unit tests for the v3 packed persistence format.
+
+Covers the layers bottom-up: the varint codec, segment write/read
+round-trips, the SQLite manifest and its commit protocol, format
+auto-detection, and the read-only contract of attached packed views.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import IndexFormatError, ReadOnlyIndexError, ReproError
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.persist import (
+    Manifest,
+    PackedIndex,
+    PackedShardedIndex,
+    Segment,
+    attach_packed,
+    is_v3_manifest,
+    save_v3,
+    segment_filename,
+    write_segment,
+)
+from repro.index.persist.manifest import (
+    decode_merged_terms,
+    decode_placements,
+    encode_merged_terms,
+    encode_placements,
+)
+from repro.index.persist.varint import (
+    read_deltas,
+    read_uvarint,
+    write_deltas,
+    write_uvarint,
+)
+from repro.index.sharding import ShardedIndex
+from repro.index.storage import detect_format, load_index, save_index
+
+
+def _documents():
+    return [
+        Document("doc-a", "Covid outbreak overwhelmed the hospital wards."),
+        Document(
+            "doc-b",
+            "Markets rallied; earnings beat the report again and again.",
+            title="Earnings",
+            metadata={"source": "wire", "year": 2021},
+        ),
+        Document("doc-c", "Hospital staff reported a second covid outbreak."),
+        Document("doc-d", "   "),  # empty after analysis
+        Document("doc-e", "Café schließt: outbreak of flu in the café."),
+    ]
+
+
+def _index():
+    return InvertedIndex.from_documents(_documents())
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 300, 2**21, 2**35, 2**63 - 1]
+    )
+    def test_round_trip(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, offset = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_compactness(self):
+        out = bytearray()
+        write_uvarint(out, 127)
+        assert len(out) == 1
+        out = bytearray()
+        write_uvarint(out, 128)
+        assert len(out) == 2
+
+    def test_truncated_raises(self):
+        out = bytearray()
+        write_uvarint(out, 2**21)
+        with pytest.raises(IndexFormatError):
+            read_uvarint(bytes(out[:-1]), 0)
+
+    def test_deltas_round_trip(self):
+        values = [3, 4, 10, 11, 500, 501]
+        out = bytearray()
+        write_deltas(out, values)
+        decoded, offset = read_deltas(bytes(out), 0, len(values))
+        assert list(decoded) == values
+        assert offset == len(out)
+
+
+class TestSegment:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        index = _index()
+        path = tmp_path / "one.seg"
+        size, crc = write_segment(index.export_snapshot(), path)
+        assert size == path.stat().st_size
+        segment = Segment(path)
+        try:
+            # Documents in insertion order, with titles and metadata.
+            ids = [segment.doc_id(i) for i in range(len(index))]
+            assert ids == [d.doc_id for d in index]
+            title, body, metadata, freqs = segment.record(
+                segment.doc_ordinal("doc-b")
+            )
+            original = index.document("doc-b")
+            assert (title, body, metadata) == (
+                original.title,
+                original.body,
+                original.metadata,
+            )
+            # Term-frequency pairs replay the first-occurrence order.
+            vector = index.term_frequencies("doc-b")
+            assert [
+                (segment.term(ordinal), freq) for ordinal, freq in freqs
+            ] == list(vector.items())
+            # Postings with positions survive byte-exactly.
+            for term in index.terms():
+                ordinal = segment.term_ordinal(term)
+                entries = segment.postings_entries(ordinal)
+                postings = index.postings(term)
+                assert segment.postings_count(ordinal) == len(entries)
+                assert [
+                    (segment.doc_id(doc), freq, positions)
+                    for doc, freq, positions in entries
+                ] == [
+                    (p.doc_id, p.frequency, p.positions) for p in postings
+                ]
+            # Empty-after-analysis documents keep zero length.
+            assert segment.doc_length(segment.doc_ordinal("doc-d")) == 0
+        finally:
+            segment.close()
+
+    def test_unknown_lookups(self, tmp_path):
+        path = tmp_path / "one.seg"
+        write_segment(_index().export_snapshot(), path)
+        segment = Segment(path)
+        try:
+            assert segment.doc_ordinal("nope") is None
+            assert segment.term_ordinal("nope") is None
+        finally:
+            segment.close()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.seg"
+        path.write_bytes(b"NOTASEG!" + b"\x00" * 200)
+        with pytest.raises(IndexFormatError):
+            Segment(path)
+
+    def test_truncated_segment_rejected(self, tmp_path):
+        path = tmp_path / "one.seg"
+        write_segment(_index().export_snapshot(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(IndexFormatError):
+            Segment(path)
+
+
+class TestManifest:
+    def test_placement_codec(self):
+        placements = (0, 3, 1, 1, 0, 2)
+        assert decode_placements(encode_placements(placements)) == placements
+
+    def test_merged_terms_codec(self):
+        merged = (("covid", 3, 7), ("café", 1, 2), ("ward", 2, 2))
+        assert decode_merged_terms(encode_merged_terms(merged)) == merged
+
+    def test_open_rejects_non_sqlite(self, tmp_path):
+        path = tmp_path / "nope.idx"
+        path.write_text("{}")
+        with pytest.raises(IndexFormatError):
+            Manifest.open(path)
+
+    def test_open_rejects_missing(self, tmp_path):
+        with pytest.raises(IndexFormatError):
+            Manifest.open(tmp_path / "absent.idx")
+
+    def test_open_rejects_foreign_sqlite(self, tmp_path):
+        path = tmp_path / "foreign.db"
+        with sqlite3.connect(path) as connection:
+            connection.execute("CREATE TABLE unrelated (x INTEGER)")
+        with pytest.raises(IndexFormatError):
+            Manifest.open(path)
+
+    def test_open_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.idx"
+        Manifest.create(path)
+        with sqlite3.connect(path) as connection:
+            connection.execute(
+                "UPDATE repro_meta SET value = '99'"
+                " WHERE key = 'format_version'"
+            )
+        with pytest.raises(IndexFormatError, match="format version"):
+            Manifest.open(path)
+
+    def test_generation_counter_and_gc(self, tmp_path):
+        path = tmp_path / "corpus.idx"
+        index = _index()
+        first = save_v3(index, path)
+        assert first.generation == 1
+        assert is_v3_manifest(path)
+        old_segments = [
+            path.with_name(s.filename) for s in first.segments
+        ]
+        assert all(p.exists() for p in old_segments)
+        index.add(Document("doc-f", "A fresh covid report."))
+        second = save_v3(index, path)
+        assert second.generation == 2
+        # Superseded generation's files are swept after the new commit.
+        assert not any(p.exists() for p in old_segments)
+        assert Manifest.open(path).latest_generation_number() == 2
+
+    def test_segment_filename_shape(self):
+        assert segment_filename("corpus.idx", 3, 1) == "corpus.idx-g3.s1.seg"
+
+
+class TestFormatDetection:
+    def test_detects_all_three(self, tmp_path):
+        index = _index()
+        v1 = tmp_path / "v1.json"
+        save_index(index, v1)
+        assert detect_format(v1) == "v1"
+        sharded = ShardedIndex.from_documents(_documents(), 2)
+        v2 = tmp_path / "v2.json"
+        save_index(sharded, v2)
+        assert detect_format(v2) == "v2"
+        v3 = tmp_path / "v3.idx"
+        save_index(index, v3, format="v3")
+        assert detect_format(v3) == "v3"
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            detect_format(tmp_path / "absent.idx")
+
+    def test_garbage_is_format_error(self, tmp_path):
+        path = tmp_path / "garbage.idx"
+        path.write_bytes(b"\x89PNG not an index either")
+        with pytest.raises(IndexFormatError) as excinfo:
+            load_index(path)
+        # The contract: a library-typed error, also a ValueError.
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_unknown_json_version_is_format_error(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"format_version": 42}')
+        with pytest.raises(IndexFormatError, match="format version"):
+            load_index(path)
+
+    def test_save_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(IndexFormatError, match="format"):
+            save_index(_index(), tmp_path / "x.idx", format="v9")
+
+    def test_load_rejects_unknown_mode(self, tmp_path):
+        path = tmp_path / "corpus.idx"
+        save_index(_index(), path, format="v3")
+        with pytest.raises(IndexFormatError, match="mode"):
+            load_index(path, mode="streaming")
+
+
+class TestReadOnlyContract:
+    @pytest.fixture()
+    def packed(self, tmp_path):
+        path = tmp_path / "corpus.idx"
+        save_v3(_index(), path)
+        view = attach_packed(path)
+        yield view
+        view.close()
+
+    def test_attach_returns_packed_view(self, packed):
+        assert isinstance(packed, PackedIndex)
+        assert packed.storage_info()["format"] == "v3"
+        assert packed.storage_info()["generation"] == 1
+        assert packed.storage_info()["bytes_on_disk"] > 0
+
+    def test_mutations_raise(self, packed):
+        extra = Document("doc-z", "new text")
+        with pytest.raises(ReadOnlyIndexError):
+            packed.add(extra)
+        with pytest.raises(ReadOnlyIndexError):
+            packed.add_documents([extra])
+        with pytest.raises(ReadOnlyIndexError):
+            packed.remove("doc-a")
+        with pytest.raises(ReadOnlyIndexError):
+            packed.replace(extra)
+        # ReadOnlyIndexError is a ReproError, so service layers catch it.
+        assert issubclass(ReadOnlyIndexError, ReproError)
+
+    def test_sharded_attach_and_mutation(self, tmp_path):
+        path = tmp_path / "sharded.idx"
+        save_v3(ShardedIndex.from_documents(_documents(), 2), path)
+        view = attach_packed(path)
+        try:
+            assert isinstance(view, PackedShardedIndex)
+            assert view.shard_count == 2
+            with pytest.raises(ReadOnlyIndexError):
+                view.add(Document("doc-z", "new text"))
+        finally:
+            view.close()
+
+
+class TestVersionFingerprint:
+    def test_stable_across_re_save_and_re_attach(self, tmp_path):
+        index = _index()
+        first_path = tmp_path / "a.idx"
+        second_path = tmp_path / "b.idx"
+        save_v3(index, first_path)
+        save_v3(index, second_path)
+        a1 = attach_packed(first_path)
+        a2 = attach_packed(first_path)
+        b = attach_packed(second_path)
+        try:
+            # Same content → same fingerprint, across paths and attaches.
+            assert a1.version == a2.version == b.version
+        finally:
+            for view in (a1, a2, b):
+                view.close()
+
+    def test_changes_with_content(self, tmp_path):
+        index = _index()
+        path = tmp_path / "a.idx"
+        save_v3(index, path)
+        before = attach_packed(path)
+        old_version = before.version
+        before.close()
+        index.add(Document("doc-f", "A fresh covid report."))
+        save_v3(index, path)
+        after = attach_packed(path)
+        try:
+            assert after.version != old_version
+        finally:
+            after.close()
+
+
+class TestHydration:
+    def test_memory_mode_round_trips_mutable(self, tmp_path):
+        index = _index()
+        path = tmp_path / "corpus.idx"
+        save_index(index, path, format="v3")
+        hydrated = load_index(path, mode="memory")
+        assert isinstance(hydrated, InvertedIndex)
+        assert [d.doc_id for d in hydrated] == [d.doc_id for d in index]
+        assert list(hydrated.terms()) == list(index.terms())
+        for term in index.terms():
+            assert [
+                (p.doc_id, p.frequency, p.positions)
+                for p in hydrated.postings(term)
+            ] == [
+                (p.doc_id, p.frequency, p.positions)
+                for p in index.postings(term)
+            ]
+        # Hydrated indexes are mutable again.
+        hydrated.add(Document("doc-z", "more covid text"))
+        assert "doc-z" in hydrated
+
+    def test_sharded_memory_mode_restores_layout(self, tmp_path):
+        sharded = ShardedIndex.from_documents(_documents(), 3)
+        path = tmp_path / "sharded.idx"
+        save_index(sharded, path, format="v3")
+        hydrated = load_index(path, mode="memory")
+        assert isinstance(hydrated, ShardedIndex)
+        assert hydrated.shard_count == 3
+        for document in sharded:
+            assert hydrated.shard_of(document.doc_id) == sharded.shard_of(
+                document.doc_id
+            )
+        assert list(hydrated.terms()) == list(sharded.terms())

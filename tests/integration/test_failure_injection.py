@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.document_cf import CounterfactualDocumentExplainer
 from repro.core.engine import CredenceEngine, EngineConfig
-from repro.errors import IndexStateError, RankingError, ReproError
+from repro.errors import IndexFormatError, IndexStateError, RankingError, ReproError
 from repro.index.document import Document
 from repro.index.inverted import InvertedIndex
 from repro.index.searcher import IndexSearcher
@@ -66,7 +66,11 @@ class TestCorruptPersistence:
         path = tmp_path / "index.json"
         save_index(tiny_index, path)
         path.write_text(path.read_text()[: len(path.read_text()) // 2])
-        with pytest.raises(json.JSONDecodeError):
+        # Corruption surfaces as the library-typed IndexFormatError (a
+        # ReproError and a ValueError), never a raw JSONDecodeError.
+        with pytest.raises(IndexFormatError):
+            load_index(path)
+        with pytest.raises(ReproError):
             load_index(path)
 
     def test_missing_required_field(self, tmp_path):

@@ -235,6 +235,7 @@ class TestIndexCommand:
                 "--shards", "2",
                 "--workers", "2",
                 "--save", str(out_path),
+                "--format", "v2",
                 "--json",
             ]
         )
@@ -242,6 +243,7 @@ class TestIndexCommand:
         assert code == 0
         assert payload["shards"] == 2
         assert payload["router"] == "hash"
+        assert payload["format"] == "v2"
         assert sum(payload["shard_documents"]) == payload["documents"]
         from repro.index.sharding import ShardedIndex
         from repro.index.storage import load_index

@@ -31,6 +31,7 @@ REQUIRED_DOCS = (
     "docs/api/search.md",
     "docs/api/sessions.md",
     "docs/api/sharding.md",
+    "docs/api/persistence.md",
     "docs/api/service.md",
     "docs/api/rest.md",
     "docs/api/cli.md",
