@@ -40,6 +40,17 @@ echo "== smoke: service batch throughput (parallel + store) =="
 SERVICE_SMOKE=1 python -m pytest -q benchmarks/bench_service_throughput.py
 
 echo
+echo "== serving hardening: admission, deadlines, chaos suite =="
+python -m pytest -q tests/service/test_admission.py \
+    tests/service/test_deadlines.py tests/service/test_chaos.py \
+    tests/service/test_metrics_schema.py \
+    tests/api/test_admission_endpoints.py tests/api/test_streaming.py
+
+echo
+echo "== smoke: admission under 10x saturation (typed sheds, bounded p95) =="
+ADMISSION_SMOKE=1 python -m pytest -q benchmarks/bench_admission.py
+
+echo
 echo "== sharded corpus: routers, persistence, byte-identical equivalence =="
 python -m pytest -q tests/index/test_sharding.py \
     tests/index/test_sharded_equivalence.py

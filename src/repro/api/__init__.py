@@ -10,8 +10,8 @@ as structured JSON.
 """
 
 from repro.api.app import build_router, serve
-from repro.api.client import HttpClient, InProcessClient
-from repro.api.http import HttpResponse, Request, Router
+from repro.api.client import HttpClient, InProcessClient, RetryPolicy
+from repro.api.http import HttpResponse, Request, Router, StreamingResponse
 
 __all__ = [
     "build_router",
@@ -20,5 +20,7 @@ __all__ = [
     "InProcessClient",
     "HttpResponse",
     "Request",
+    "RetryPolicy",
     "Router",
+    "StreamingResponse",
 ]

@@ -33,6 +33,10 @@ def serve(
     max_batch_items: int | None = None,
     max_ingest_items: int | None = None,
     max_body_bytes: int = MAX_BODY_BYTES,
+    rate_limit: float | None = None,
+    rate_burst: float | None = None,
+    max_queue_depth: int | None = None,
+    default_deadline_ms: float | None = None,
 ) -> ApiServer:
     """Start the CREDENCE service (non-blocking); returns the server.
 
@@ -40,10 +44,21 @@ def serve(
     explanation worker pool (first construction wins; see
     :meth:`CredenceEngine.service`); ``max_batch_items`` /
     ``max_ingest_items`` and ``max_body_bytes`` bound batch/job/ingest
-    payloads. Call ``.stop()`` when done, or use the returned server as
-    a context manager.
+    payloads. ``rate_limit`` (requests/s per client, burst
+    ``rate_burst``), ``max_queue_depth`` (shed-before-queue bound) and
+    ``default_deadline_ms`` (per-request wall-clock deadline, stamped at
+    admission) arm the overload tier — any of the first three also arms
+    a circuit breaker (see
+    :meth:`~repro.service.scheduler.ExplanationService.configure_admission`).
+    Call ``.stop()`` when done, or use the returned server as a context
+    manager.
     """
-    engine.service(workers=workers)
+    engine.service(workers=workers).configure_admission(
+        rate_limit=rate_limit,
+        rate_burst=rate_burst,
+        max_queue_depth=max_queue_depth,
+        default_deadline_ms=default_deadline_ms,
+    )
     router = build_router(
         engine,
         max_batch_items=max_batch_items,

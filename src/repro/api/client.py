@@ -3,16 +3,87 @@
 :class:`InProcessClient` dispatches through a :class:`Router` without a
 socket — the integration-test workhorse. :class:`HttpClient` speaks real
 HTTP (urllib) to a running :class:`~repro.api.http.ApiServer`.
+
+Both understand the serving-hardening surface: request headers
+(``X-Client-Id``), the NDJSON streaming route (:meth:`post_stream`),
+and — for :class:`HttpClient` — a :class:`RetryPolicy` that backs off
+with jitter on 429/503 responses and connection failures, honouring the
+server's ``Retry-After`` header. Retries default to **idempotent
+methods only** (GET/DELETE): a timed-out POST may have executed, and
+replaying it is the caller's decision (``retry_non_idempotent=True``),
+not the transport's.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
 
-from repro.api.http import HttpResponse, Request, Router
+from repro.api.http import HttpResponse, Request, Router, StreamingResponse
+
+#: Methods safe to replay without the caller opting in.
+IDEMPOTENT_METHODS = frozenset({"GET", "DELETE"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with full jitter.
+
+    ``max_attempts`` counts every try including the first; the delay
+    before retry *n* is ``rng() * min(max_delay, base * 2**n)`` unless
+    the server sent ``Retry-After``, which wins (capped at
+    ``max_delay_seconds`` — the server's estimate is honest, but the
+    client's patience is bounded).
+    """
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.1
+    max_delay_seconds: float = 5.0
+    retry_statuses: frozenset = frozenset({429, 503})
+    retry_non_idempotent: bool = False
+
+    def retries(self, method: str) -> bool:
+        return (
+            self.max_attempts > 1
+            and (
+                method.upper() in IDEMPOTENT_METHODS
+                or self.retry_non_idempotent
+            )
+        )
+
+    def delay_seconds(
+        self,
+        attempt: int,
+        retry_after: float | None = None,
+        rng: Callable[[], float] = random.random,
+    ) -> float:
+        if retry_after is not None:
+            return min(self.max_delay_seconds, max(0.0, retry_after))
+        ceiling = min(
+            self.max_delay_seconds, self.base_delay_seconds * (2**attempt)
+        )
+        return rng() * ceiling
+
+
+#: The policy :class:`HttpClient` uses when none is given.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def _retry_after_seconds(response: HttpResponse) -> float | None:
+    raw = response.headers.get("retry-after") or response.headers.get(
+        "Retry-After"
+    )
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
 
 
 class InProcessClient:
@@ -21,53 +92,225 @@ class InProcessClient:
     def __init__(self, router: Router):
         self._router = router
 
-    def get(self, path: str, query_params: dict[str, str] | None = None) -> HttpResponse:
+    def get(
+        self,
+        path: str,
+        query_params: dict[str, str] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
         request = Request(
-            method="GET", path=path, query_params=dict(query_params or {})
+            method="GET",
+            path=path,
+            query_params=dict(query_params or {}),
+            headers=dict(headers or {}),
         )
         return self._router.dispatch(request)
 
-    def post(self, path: str, body: Any = None) -> HttpResponse:
+    def post(
+        self,
+        path: str,
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
         # Round-trip through JSON so tests exercise serialisability too.
         normalized = json.loads(json.dumps(body)) if body is not None else None
-        request = Request(method="POST", path=path, body=normalized)
+        request = Request(
+            method="POST",
+            path=path,
+            body=normalized,
+            headers=dict(headers or {}),
+        )
         return self._router.dispatch(request)
 
-    def delete(self, path: str) -> HttpResponse:
-        request = Request(method="DELETE", path=path)
+    def delete(
+        self, path: str, headers: dict[str, str] | None = None
+    ) -> HttpResponse:
+        request = Request(
+            method="DELETE", path=path, headers=dict(headers or {})
+        )
         return self._router.dispatch(request)
+
+    def post_stream(
+        self,
+        path: str,
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> Iterator[dict]:
+        """POST to a streaming route; yields chunk dicts as produced.
+
+        A refusal before the stream starts (429/503/400) is yielded as a
+        single ``{"event": "rejected", "status": ..., ...}`` chunk so
+        callers consume one shape either way.
+        """
+        normalized = json.loads(json.dumps(body)) if body is not None else None
+        request = Request(
+            method="POST",
+            path=path,
+            body=normalized,
+            headers=dict(headers or {}),
+        )
+        response = self._router.dispatch(request)
+        if isinstance(response, StreamingResponse):
+            yield from response.chunks
+            return
+        yield {
+            "event": "rejected",
+            "status": response.status,
+            "headers": dict(response.headers),
+            **(response.payload if isinstance(response.payload, dict) else {}),
+        }
 
 
 class HttpClient:
-    """A tiny JSON HTTP client for a live server."""
+    """A tiny JSON HTTP client for a live server, with bounded retries.
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    ``transport``, ``sleep`` and ``rng`` are injectable so the retry
+    loop is deterministic under test; the default transport is urllib.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] = random.random,
+        transport: Callable[..., HttpResponse] | None = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self._sleep = sleep
+        self._rng = rng
+        self._transport = transport if transport is not None else self._send
 
-    def _request(self, method: str, path: str, body: Any = None) -> HttpResponse:
+    def _send(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        """One HTTP exchange; 4xx/5xx come back as responses, transport
+        failures raise (``URLError``/``OSError``)."""
         url = f"{self.base_url}{path}"
         data = None
-        headers = {"Accept": "application/json"}
+        request_headers = {"Accept": "application/json", **(headers or {})}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            request_headers["Content-Type"] = "application/json"
         http_request = urllib.request.Request(
-            url, data=data, headers=headers, method=method
+            url, data=data, headers=request_headers, method=method
         )
         try:
-            with urllib.request.urlopen(http_request, timeout=self.timeout) as raw:
+            with urllib.request.urlopen(
+                http_request, timeout=self.timeout
+            ) as raw:
                 payload = json.loads(raw.read().decode("utf-8"))
-                return HttpResponse(raw.status, payload)
+                return HttpResponse(
+                    raw.status,
+                    payload,
+                    headers={k.lower(): v for k, v in raw.headers.items()},
+                )
         except urllib.error.HTTPError as error:
             payload = json.loads(error.read().decode("utf-8"))
-            return HttpResponse(error.code, payload)
+            return HttpResponse(
+                error.code,
+                payload,
+                headers={k.lower(): v for k, v in error.headers.items()},
+            )
 
-    def get(self, path: str) -> HttpResponse:
-        return self._request("GET", path)
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        retryable = self.retry.retries(method)
+        attempts = self.retry.max_attempts if retryable else 1
+        last_error: Exception | None = None
+        response: HttpResponse | None = None
+        for attempt in range(attempts):
+            try:
+                response = self._transport(method, path, body, headers)
+                last_error = None
+            except (urllib.error.URLError, ConnectionError, OSError) as error:
+                # Connection-level failure: nothing reached the server
+                # (or the reply was lost) — retryable for idempotent
+                # methods only.
+                last_error = error
+                response = None
+            if (
+                response is not None
+                and response.status not in self.retry.retry_statuses
+            ):
+                return response
+            if attempt + 1 >= attempts:
+                break
+            retry_after = (
+                _retry_after_seconds(response) if response is not None else None
+            )
+            self._sleep(
+                self.retry.delay_seconds(attempt, retry_after, self._rng)
+            )
+        if response is not None:
+            return response
+        assert last_error is not None
+        raise last_error
 
-    def post(self, path: str, body: Any = None) -> HttpResponse:
-        return self._request("POST", path, body)
+    def get(
+        self, path: str, headers: dict[str, str] | None = None
+    ) -> HttpResponse:
+        return self._request("GET", path, headers=headers)
 
-    def delete(self, path: str) -> HttpResponse:
-        return self._request("DELETE", path)
+    def post(
+        self,
+        path: str,
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        return self._request("POST", path, body, headers=headers)
+
+    def delete(
+        self, path: str, headers: dict[str, str] | None = None
+    ) -> HttpResponse:
+        return self._request("DELETE", path, headers=headers)
+
+    def post_stream(
+        self,
+        path: str,
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> Iterator[dict]:
+        """POST to a streaming route; yields NDJSON chunks as they
+        arrive (urllib decodes the chunked framing; lines arrive as the
+        server flushes them). Never retried — a stream is not idempotent
+        once partially consumed. A pre-stream refusal is yielded as one
+        ``{"event": "rejected", ...}`` chunk.
+        """
+        url = f"{self.base_url}{path}"
+        data = None
+        request_headers = {"Accept": "application/x-ndjson", **(headers or {})}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            request_headers["Content-Type"] = "application/json"
+        http_request = urllib.request.Request(
+            url, data=data, headers=request_headers, method="POST"
+        )
+        try:
+            with urllib.request.urlopen(
+                http_request, timeout=self.timeout
+            ) as raw:
+                for line in raw:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except urllib.error.HTTPError as error:
+            payload = json.loads(error.read().decode("utf-8"))
+            yield {
+                "event": "rejected",
+                "status": error.code,
+                "headers": {k.lower(): v for k, v in error.headers.items()},
+                **(payload if isinstance(payload, dict) else {}),
+            }

@@ -15,9 +15,11 @@ as thin delegations for older clients.
 ``GET  /documents/{doc_id}``          fetch a document body for display
 ``POST /rank``                        the Explanations/Builder rank button
 ``POST /explanations``                any explanation strategy (unified)
+``POST /explanations/stream``         NDJSON: live progress, then the result
 ``POST /explanations/batch``          many requests, per-item results
 ``POST /jobs``                        submit an async explanation job (202)
 ``GET  /jobs/{job_id}``               job status, progress, and results
+``GET  /jobs/{job_id}/progress``      live per-item search progress
 ``DELETE /jobs/{job_id}``             cancel a running job
 ``GET  /metrics``                     service counters, cache, latency
 ``POST /explanations/document``       legacy: sentence-removal CFs
@@ -33,11 +35,21 @@ queries are answered from the version-keyed result store, and the batch
 route fans out across the service's worker pool. ``POST /jobs`` returns
 immediately with a job id; poll ``GET /jobs/{id}`` for per-item
 progress.
+
+Every explanation route runs admission first (see
+:mod:`repro.service.admission`): a refusal is a typed 429
+(rate-limited / load-shed) or 503 (breaker open / draining) carrying a
+``Retry-After`` header, *before* any work is queued. Clients may send
+an ``X-Client-Id`` header for per-client rate limiting (anonymous
+traffic shares one bucket) and a top-level ``"priority"`` body field
+(``"interactive"`` | ``"batch"``) on the batch/jobs routes.
 """
 
 from __future__ import annotations
 
-from repro.api.http import HttpResponse, Request, Router
+import threading
+
+from repro.api.http import HttpResponse, Request, Router, StreamingResponse
 from repro.api.schemas import (
     BuilderRequest,
     DocumentExplanationRequest,
@@ -50,24 +62,53 @@ from repro.api.schemas import (
     parse_index_ingest,
     parse_index_save,
     parse_job_submission,
+    parse_request_priority,
 )
 from repro.core.engine import CredenceEngine
 from repro.core.explain import ExplainRequest, ExplainResponse
+from repro.core.search.progress import ProgressSink, search_progress
 from repro.errors import (
+    AdmissionError,
     BadRequestError,
     ConfigurationError,
     DocumentNotFoundError,
     IndexFormatError,
     JobNotFoundError,
     NotFoundError,
+    PoolShutdownError,
+    QueueFullError,
     RankingError,
+    RateLimitedError,
     ReadOnlyIndexError,
+    ServiceUnavailableError,
+    TooManyRequestsError,
 )
+from repro.service.admission import Priority
 from repro.service.scheduler import ExplanationService
+
+#: How often the streaming route polls the search's progress sink.
+STREAM_POLL_SECONDS = 0.025
+
+
+def _admission_to_http(error: AdmissionError) -> Exception:
+    """The REST mapping of a typed admission refusal.
+
+    Rate-limit and shed refusals are the client's to pace (429);
+    breaker-open and draining mean the *server* cannot take work (503).
+    Both carry ``Retry-After``.
+    """
+    cls = (
+        TooManyRequestsError
+        if isinstance(error, (RateLimitedError, QueueFullError))
+        else ServiceUnavailableError
+    )
+    return cls(str(error), retry_after_seconds=error.retry_after_seconds)
 
 
 def _run_explain(
-    service: ExplanationService, request: ExplainRequest
+    service: ExplanationService,
+    request: ExplainRequest,
+    priority: Priority = Priority.INTERACTIVE,
 ) -> ExplainResponse:
     """Dispatch one request, mapping library errors to HTTP 400.
 
@@ -77,8 +118,10 @@ def _run_explain(
     answered request returns the cached response.
     """
     try:
-        return service.explain(request)
-    except (RankingError, ConfigurationError) as error:
+        return service.explain(request, priority=priority)
+    except (PoolShutdownError, RankingError, ConfigurationError) as error:
+        if isinstance(error, PoolShutdownError):
+            raise ServiceUnavailableError(str(error)) from None
         raise BadRequestError(str(error)) from None
 
 
@@ -108,6 +151,23 @@ def register_endpoints(
     """
     if service is None:
         service = engine.service()
+
+    def _client_id(request: Request) -> str | None:
+        return request.headers.get("x-client-id")
+
+    def _admit(
+        request: Request,
+        priority: Priority = Priority.INTERACTIVE,
+        enqueue_items: int = 0,
+    ) -> None:
+        """Shed-before-work: run admission for one request, mapping
+        typed refusals to 429/503 (+ ``Retry-After``)."""
+        try:
+            service.admit(
+                _client_id(request), priority, enqueue_items=enqueue_items
+            )
+        except AdmissionError as error:
+            raise _admission_to_http(error) from None
 
     @router.get("/health")
     def health(_: Request):
@@ -201,13 +261,73 @@ def register_endpoints(
     @router.post("/explanations")
     def explain(request: Request):
         parsed = parse_explain_request(request.body)
+        _admit(request)
         response = _run_explain(service, parsed)
         return _attach_instance_bodies(engine, response.to_dict())
+
+    @router.post("/explanations/stream")
+    def explain_stream(request: Request):
+        parsed = parse_explain_request(request.body)
+        _admit(request)
+
+        def chunks():
+            sink = ProgressSink()
+            outcome: dict = {}
+
+            def run() -> None:
+                try:
+                    with search_progress(sink):
+                        outcome["response"] = service.explain(
+                            parsed, priority=Priority.INTERACTIVE
+                        )
+                except Exception as error:  # noqa: BLE001 - streamed below
+                    outcome["error"] = error
+
+            worker = threading.Thread(
+                target=run, name="explain-stream", daemon=True
+            )
+            worker.start()
+            seen = 0
+            while worker.is_alive():
+                worker.join(STREAM_POLL_SECONDS)
+                if sink.updates != seen:
+                    seen = sink.updates
+                    snapshot = sink.snapshot()
+                    if snapshot is not None:
+                        yield {"event": "progress", **snapshot}
+            if "error" in outcome:
+                error = outcome["error"]
+                yield {
+                    "event": "error",
+                    "error": {
+                        "type": type(error).__name__,
+                        "message": str(error),
+                    },
+                }
+                return
+            yield {
+                "event": "result",
+                "response": _attach_instance_bodies(
+                    engine, outcome["response"].to_dict()
+                ),
+            }
+
+        return StreamingResponse(200, chunks())
 
     @router.post("/explanations/batch")
     def explain_batch(request: Request):
         parsed = parse_explain_batch(request.body, max_items=max_batch_items)
-        responses = service.run_batch(parsed)
+        priority = parse_request_priority(
+            request.body, default=Priority.INTERACTIVE
+        )
+        try:
+            responses = service.run_batch(
+                parsed, priority=priority, client_id=_client_id(request)
+            )
+        except AdmissionError as error:
+            raise _admission_to_http(error) from None
+        except PoolShutdownError as error:
+            raise ServiceUnavailableError(str(error)) from None
         return {
             "count": len(responses),
             "responses": [
@@ -230,7 +350,15 @@ def register_endpoints(
     @router.post("/jobs")
     def submit_job(request: Request):
         parsed = parse_job_submission(request.body, max_items=max_batch_items)
-        job = service.submit(parsed)
+        priority = parse_request_priority(request.body)
+        try:
+            job = service.submit(
+                parsed, priority=priority, client_id=_client_id(request)
+            )
+        except AdmissionError as error:
+            raise _admission_to_http(error) from None
+        except PoolShutdownError as error:
+            raise ServiceUnavailableError(str(error)) from None
         return HttpResponse(202, job.to_dict(include_responses=False))
 
     @router.get("/jobs/{job_id}")
@@ -241,6 +369,15 @@ def register_endpoints(
         except JobNotFoundError as error:
             raise NotFoundError(str(error)) from None
         return _job_payload(job)
+
+    @router.get("/jobs/{job_id}/progress")
+    def job_progress(request: Request):
+        job_id = request.path_params["job_id"]
+        try:
+            job = service.job(job_id)
+        except JobNotFoundError as error:
+            raise NotFoundError(str(error)) from None
+        return job.progress_dict()
 
     @router.delete("/jobs/{job_id}")
     def cancel_job(request: Request):
@@ -260,6 +397,7 @@ def register_endpoints(
     @router.post("/explanations/document")
     def explain_document(request: Request):
         parsed = DocumentExplanationRequest.parse(request.body)
+        _admit(request)
         response = _run_explain(
             service,
             ExplainRequest(
@@ -275,6 +413,7 @@ def register_endpoints(
     @router.post("/explanations/query")
     def explain_query(request: Request):
         parsed = QueryExplanationRequest.parse(request.body)
+        _admit(request)
         response = _run_explain(
             service,
             ExplainRequest(
@@ -291,6 +430,7 @@ def register_endpoints(
     @router.post("/explanations/instance")
     def explain_instance(request: Request):
         parsed = InstanceExplanationRequest.parse(request.body)
+        _admit(request)
         response = _run_explain(
             service,
             ExplainRequest(

@@ -14,7 +14,7 @@ import re
 import threading
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ApiError, BadRequestError, NotFoundError
@@ -22,21 +22,53 @@ from repro.errors import ApiError, BadRequestError, NotFoundError
 
 @dataclass(frozen=True)
 class Request:
-    """A parsed HTTP request."""
+    """A parsed HTTP request.
+
+    ``headers`` keys are lower-cased on ingestion (HTTP header names are
+    case-insensitive; handlers read e.g. ``x-client-id`` directly).
+    """
 
     method: str
     path: str
     path_params: dict[str, str] = field(default_factory=dict)
     query_params: dict[str, str] = field(default_factory=dict)
     body: Any = None
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Normalise header keys here, not in each transport, so the
+        # in-process client and the socket server agree on lookups.
+        object.__setattr__(
+            self,
+            "headers",
+            {key.lower(): value for key, value in self.headers.items()},
+        )
 
 
 @dataclass(frozen=True)
 class HttpResponse:
-    """A JSON response with a status code."""
+    """A JSON response with a status code and optional extra headers
+    (e.g. ``Retry-After`` on a 429/503 refusal)."""
 
     status: int
     payload: Any
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StreamingResponse:
+    """An NDJSON streaming response: one JSON object per chunk.
+
+    Returned by handlers that emit progress while work runs
+    (``POST /explanations/stream``). Over real HTTP the chunks go out
+    with ``Transfer-Encoding: chunked``, one ``\\n``-terminated JSON
+    line per chunk, flushed as produced; the in-process client just
+    iterates them.
+    """
+
+    status: int
+    chunks: Iterable[Any]
+    headers: dict[str, str] = field(default_factory=dict)
 
 
 Handler = Callable[[Request], Any]
@@ -87,8 +119,13 @@ class Router:
 
         return register
 
-    def dispatch(self, request: Request) -> HttpResponse:
-        """Route and execute ``request``, mapping errors to status codes."""
+    def dispatch(self, request: Request) -> HttpResponse | StreamingResponse:
+        """Route and execute ``request``, mapping errors to status codes.
+
+        An :class:`~repro.errors.ApiError` that knows extra headers
+        (``to_headers`` — e.g. ``Retry-After`` on 429/503) gets them
+        attached to the error response.
+        """
         matched_path = False
         for route in self._routes:
             match = route.pattern.match(request.path)
@@ -103,15 +140,21 @@ class Router:
                 path_params=match.groupdict(),
                 query_params=request.query_params,
                 body=request.body,
+                headers=request.headers,
             )
             try:
                 result = route.handler(bound)
             except ApiError as error:
-                return HttpResponse(error.status_code, error.to_payload())
+                to_headers = getattr(error, "to_headers", None)
+                return HttpResponse(
+                    error.status_code,
+                    error.to_payload(),
+                    headers=to_headers() if callable(to_headers) else {},
+                )
             except (KeyError, ValueError, TypeError) as error:
                 bad = BadRequestError(str(error))
                 return HttpResponse(bad.status_code, bad.to_payload())
-            if isinstance(result, HttpResponse):
+            if isinstance(result, (HttpResponse, StreamingResponse)):
                 return result
             return HttpResponse(200, result)
         if matched_path:
@@ -141,8 +184,49 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
         self.send_response(response.status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _respond_stream(self, response: StreamingResponse) -> None:
+        """Write an NDJSON stream with manual chunked framing.
+
+        ``BaseHTTPRequestHandler`` never chunk-encodes on its own, so
+        each JSON line is framed by hand (size in hex, CRLF, data,
+        CRLF; zero-size chunk terminates) and flushed immediately — the
+        client sees progress as it happens, not when the response ends.
+        A producer error after headers have gone out cannot become a
+        status code any more, so it is emitted as a final error chunk.
+        """
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/x-ndjson; charset=utf-8")
+        self.send_header("Transfer-Encoding", "chunked")
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+
+        def write_chunk(payload: Any) -> None:
+            line = (
+                json.dumps(payload, ensure_ascii=False).encode("utf-8") + b"\n"
+            )
+            self.wfile.write(f"{len(line):X}\r\n".encode("ascii"))
+            self.wfile.write(line)
+            self.wfile.write(b"\r\n")
+            self.wfile.flush()
+
+        try:
+            try:
+                for chunk in response.chunks:
+                    write_chunk(chunk)
+            except Exception as error:  # noqa: BLE001 - headers already sent
+                write_chunk(
+                    {"error": {"type": type(error).__name__, "message": str(error)}}
+                )
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing left to tell it
 
     def _handle(self, method: str) -> None:
         parsed = urlparse(self.path)
@@ -176,9 +260,17 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
                 self._respond(HttpResponse(error.status_code, error.to_payload()))
                 return
         request = Request(
-            method=method, path=parsed.path, query_params=query_params, body=body
+            method=method,
+            path=parsed.path,
+            query_params=query_params,
+            body=body,
+            headers={key.lower(): value for key, value in self.headers.items()},
         )
-        self._respond(self.router.dispatch(request))
+        response = self.router.dispatch(request)
+        if isinstance(response, StreamingResponse):
+            self._respond_stream(response)
+        else:
+            self._respond(response)
 
     def do_GET(self):
         self._handle("GET")

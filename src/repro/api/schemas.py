@@ -19,7 +19,8 @@ from repro.core.perturbations import (
     RemoveTerm,
     ReplaceTerm,
 )
-from repro.errors import BadRequestError
+from repro.errors import BadRequestError, ConfigurationError
+from repro.service.admission import Priority, parse_priority
 
 
 def _require_mapping(body: Any) -> Mapping[str, Any]:
@@ -233,6 +234,24 @@ def parse_job_submission(
     if "request" in data:
         return [parse_explain_request(data["request"])]
     return parse_explain_batch(body, max_items=max_items)
+
+
+def parse_request_priority(
+    body: Any, default: Priority = Priority.BATCH
+) -> Priority:
+    """Parse an optional top-level ``"priority"`` field (name or int).
+
+    ``POST /jobs`` defaults to batch (the caller is not waiting);
+    ``POST /explanations/batch`` defaults to interactive (it is).
+    """
+    data = _require_mapping(body)
+    raw = data.get("priority")
+    if raw is None:
+        return default
+    try:
+        return parse_priority(raw)
+    except ConfigurationError as error:
+        raise BadRequestError(str(error)) from None
 
 
 #: Default cap on how many documents one ``POST /index/documents`` may

@@ -183,7 +183,10 @@ def _run_explain(
         budget=getattr(args, "budget", None),
         deadline_ms=getattr(args, "deadline_ms", None),
     )
-    response = engine.explain(request)
+    if getattr(args, "stream", False):
+        response = _explain_streaming(engine, request)
+    else:
+        response = engine.explain(request)
     renderer = _RENDERERS.get(response.strategy)
     text = (
         renderer(response)
@@ -193,6 +196,51 @@ def _run_explain(
     payload = response.result.to_dict() if legacy_payload else response.to_dict()
     _emit(args, payload, text)
     return 0 if response.explanations else 1
+
+
+def _explain_streaming(engine: CredenceEngine, request: ExplainRequest):
+    """Run one explain with live progress lines on stderr.
+
+    The search publishes through the thread-local progress channel (the
+    same one ``POST /explanations/stream`` reads), so this needs no
+    server: progress goes to stderr as the search runs, and the final
+    rendered result goes to stdout exactly as without ``--stream``.
+    """
+    import threading
+
+    from repro.core.search.progress import ProgressSink, search_progress
+
+    sink = ProgressSink()
+    outcome: dict = {}
+
+    def run() -> None:
+        try:
+            with search_progress(sink):
+                outcome["response"] = engine.explain(request)
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            outcome["error"] = error
+
+    worker = threading.Thread(target=run, name="explain-stream", daemon=True)
+    worker.start()
+    seen = 0
+    while worker.is_alive():
+        worker.join(0.05)
+        if sink.updates != seen:
+            seen = sink.updates
+            snapshot = sink.snapshot()
+            if snapshot is None:
+                continue
+            budget = snapshot.get("budget_remaining")
+            print(
+                f"  ... {snapshot['strategy']}: "
+                f"{snapshot['candidates_evaluated']} candidates, "
+                f"{snapshot['explanations_found']} found"
+                + (f", budget left {budget}" if budget is not None else ""),
+                file=sys.stderr,
+            )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["response"]
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -414,7 +462,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         engine = _build_engine(args)
     server = serve(
-        engine, host=args.host, port=args.port, workers=args.workers
+        engine,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        max_queue_depth=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
     )
     pool_size = engine.service().pool.worker_count
     mode = (
@@ -422,15 +477,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if replica is not None
         else ""
     )
+    hardening = []
+    if args.rate_limit is not None:
+        hardening.append(f"rate limit {args.rate_limit:g}/s")
+    if args.max_queue is not None:
+        hardening.append(f"max queue {args.max_queue}")
+    if args.default_deadline_ms is not None:
+        hardening.append(f"deadline {args.default_deadline_ms:g}ms")
+    extras = f", {', '.join(hardening)}" if hardening else ""
     print(
         f"CREDENCE service on {server.url} "
-        f"({pool_size} explanation workers{mode}, Ctrl-C to stop)"
+        f"({pool_size} explanation workers{mode}{extras}, Ctrl-C to stop)"
     )
     try:
         server._server.serve_forever()  # reuse the bound socket loop
     except KeyboardInterrupt:
+        # Drain-before-exit: new requests get clean 503s immediately,
+        # accepted work finishes, then the listener closes.
+        engine.service().drain(wait=True)
         server.stop()
-        engine.service().shutdown(wait=True, cancel_pending=True)
         if replica is not None:
             replica.close()
     return 0
@@ -620,6 +685,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--samples", type=int, default=50, help="sample count (instance/cosine)"
     )
     _add_search_options(explain)
+    explain.add_argument(
+        "--stream",
+        action="store_true",
+        help="print live search progress to stderr while the "
+        "explanation runs",
+    )
     explain.set_defaults(handler=_cmd_explain)
 
     strategies = commands.add_parser(
@@ -753,6 +824,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="seconds between generation polls in --replica mode",
+    )
+    serve_cmd.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="REQ_PER_S",
+        help="per-client admission rate limit (429 + Retry-After beyond it)",
+    )
+    serve_cmd.add_argument(
+        "--rate-burst",
+        type=float,
+        default=None,
+        help="token-bucket burst for --rate-limit (default: the rate, min 1)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="DEPTH",
+        help="shed queueing requests beyond this pool backlog (429)",
+    )
+    serve_cmd.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="per-request wall-clock deadline stamped at admission; "
+        "overloaded requests degrade to best-effort partial results",
     )
     serve_cmd.set_defaults(handler=_cmd_serve)
 

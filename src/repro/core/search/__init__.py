@@ -29,6 +29,11 @@ from repro.core.search.candidates import (
     StaticCandidates,
 )
 from repro.core.search.problem import SearchProblem
+from repro.core.search.progress import (
+    ProgressSink,
+    emit_progress,
+    search_progress,
+)
 from repro.core.search.problems import (
     DemotionProblem,
     InstanceSelectionProblem,
@@ -61,6 +66,9 @@ __all__ = [
     "SentenceRemovalGenerator",
     "StaticCandidates",
     "SearchProblem",
+    "ProgressSink",
+    "emit_progress",
+    "search_progress",
     "DemotionProblem",
     "InstanceSelectionProblem",
     "PerturbationEditProblem",

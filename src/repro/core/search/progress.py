@@ -1,0 +1,105 @@
+"""Live progress reporting from a running counterfactual search.
+
+The streaming serving surface (``POST /explanations/stream``,
+``GET /jobs/{id}/progress``, ``repro explain --stream``) needs to see
+*inside* a search while it runs: the anytime incumbent found so far,
+candidates evaluated, and budget/deadline remaining. Threading an
+observer argument through every explainer signature would touch every
+family for the benefit of one caller, so the channel is a thread-local
+instead: a caller installs a :class:`ProgressSink` around the explain
+call (:func:`search_progress`), and the strategies publish through
+:func:`emit_progress` at each evaluation — a no-op costing one
+``getattr`` when no sink is installed.
+
+The sink holds only the *latest* snapshot (readers poll; there is no
+backlog to bound) and is thread-safe: the search publishes from a
+worker thread while the HTTP handler or CLI reads from another.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+_LOCAL = threading.local()
+
+
+class ProgressSink:
+    """Latest-snapshot holder bridging a search thread and its readers."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._snapshot: dict | None = None
+        self.updates = 0
+
+    def publish(self, snapshot: dict) -> None:
+        with self._lock:
+            self._snapshot = snapshot
+            self.updates += 1
+
+    def snapshot(self) -> dict | None:
+        """The most recent progress dict, or None before the first emit."""
+        with self._lock:
+            return None if self._snapshot is None else dict(self._snapshot)
+
+
+@contextmanager
+def search_progress(sink: ProgressSink) -> Iterator[ProgressSink]:
+    """Install ``sink`` as this thread's progress channel."""
+    previous = getattr(_LOCAL, "sink", None)
+    _LOCAL.sink = sink
+    try:
+        yield sink
+    finally:
+        _LOCAL.sink = previous
+
+
+def active_sink() -> ProgressSink | None:
+    return getattr(_LOCAL, "sink", None)
+
+
+def _describe(explanation) -> dict | None:
+    if explanation is None:
+        return None
+    to_dict = getattr(explanation, "to_dict", None)
+    return to_dict() if callable(to_dict) else {"repr": repr(explanation)}
+
+
+def emit_progress(trace, meter, found, incumbent=None, spent=None) -> None:
+    """Publish one search-progress snapshot if a sink is installed.
+
+    Called by the strategies after each candidate evaluation with their
+    live :class:`~repro.core.search.budget.SearchTrace`,
+    :class:`~repro.core.search.budget.BudgetMeter`, and results list;
+    ``incumbent`` overrides the default "last found" when a strategy
+    holds its best-so-far outside ``found`` (anytime's greedy phase);
+    ``spent`` is the strategy's own budget spend (which excludes the
+    problem's pre-paid generation evaluations — the same number the
+    budget check runs on), falling back to the trace total.
+    """
+    sink = getattr(_LOCAL, "sink", None)
+    if sink is None:
+        return
+    budget = meter.budget
+    best = incumbent if incumbent is not None else (found[-1] if found else None)
+    charged = trace.candidates_evaluated if spent is None else spent
+    sink.publish(
+        {
+            "strategy": trace.strategy,
+            "candidates_evaluated": trace.candidates_evaluated,
+            "ranker_calls": trace.ranker_calls,
+            "explanations_found": len(found),
+            "budget_remaining": (
+                None
+                if budget.max_evaluations is None
+                else max(0, budget.max_evaluations - charged)
+            ),
+            "deadline_remaining_ms": (
+                None
+                if budget.deadline_ms is None
+                else max(0.0, budget.deadline_ms - meter.elapsed_ms())
+            ),
+            "incumbent": _describe(best),
+        }
+    )

@@ -34,6 +34,7 @@ from repro.core.search.budget import (
     budget_stop,
 )
 from repro.core.search.problem import SearchProblem
+from repro.core.search.progress import emit_progress
 from repro.errors import ConfigurationError
 from repro.utils.iteration import ordered_subsets
 from repro.utils.validation import require_positive
@@ -81,11 +82,14 @@ def _size_major_scan(
     max_size: int,
     honour_raise: bool = True,
     skip: set[frozenset] | None = None,
+    incumbent=None,
 ) -> bool:
     """The §II-C/§II-D enumeration loop shared by exhaustive and anytime.
 
     ``skip`` holds combinations already evaluated (and known invalid) by
     an earlier phase — they are passed over without a budget charge.
+    ``incumbent`` is anytime's phase-1 best-so-far, reported to any
+    installed progress sink while refinement has found nothing smaller.
     Returns True when the enumeration ran to completion, False when it
     stopped early (budget/deadline, or ``n`` explanations found).
     """
@@ -107,8 +111,15 @@ def _size_major_scan(
         trace.charge(problem)
         if problem.is_valid(rank):
             found.append(problem.explanation(combo, total_score, rank))
+            emit_progress(trace, meter, found, spent=_spent(trace, problem))
             if len(found) >= n:
                 return False
+        else:
+            emit_progress(
+                trace, meter, found,
+                incumbent=incumbent if not found else None,
+                spent=_spent(trace, problem),
+            )
     return True
 
 
@@ -151,6 +162,7 @@ def _grow_and_prune(
             return None
         rank = problem.evaluate(trial)
         trace.charge(problem)
+        emit_progress(trace, meter, found, spent=_spent(trace, problem))
         if evaluated is not None:
             evaluated.add(frozenset(trial))
         grown.append(position)
@@ -171,6 +183,7 @@ def _grow_and_prune(
             break
         rank = problem.evaluate(trial)
         trace.charge(problem)
+        emit_progress(trace, meter, found, spent=_spent(trace, problem))
         if evaluated is not None:
             evaluated.add(frozenset(trial))
         if problem.is_valid(rank):
@@ -287,11 +300,17 @@ class BeamSearch:
                         return found, trace
                     rank = problem.evaluate(combo)
                     trace.charge(problem)
+                    emit_progress(
+                        trace, meter, found, spent=_spent(trace, problem)
+                    )
                     if problem.is_valid(rank):
                         found.append(
                             problem.explanation(
                                 combo, problem.total_score(combo), rank
                             )
+                        )
+                        emit_progress(
+                            trace, meter, found, spent=_spent(trace, problem)
                         )
                         if len(found) >= n:
                             return found, trace
@@ -342,6 +361,11 @@ class AnytimeSearch:
             honour_raise=False, evaluated=evaluated,
         )
         stopped = trace.budget_exhausted or trace.deadline_exceeded
+        if incumbent is not None:
+            emit_progress(
+                trace, meter, found,
+                incumbent=incumbent[1], spent=_spent(trace, problem),
+            )
         refine_cap = (
             len(incumbent[0]) - 1
             if incumbent is not None and n == 1
@@ -359,6 +383,7 @@ class AnytimeSearch:
                 refine_cap,
                 honour_raise=False,
                 skip=evaluated,
+                incumbent=None if incumbent is None else incumbent[1],
             )
         elif not stopped:
             completed = True  # nothing smaller than a 1-edit incumbent exists

@@ -117,6 +117,46 @@ class ExplanationBudgetExceeded(ReproError):
         self.partial_results = list(partial_results or [])
 
 
+class PoolShutdownError(ConfigurationError):
+    """A task was submitted to a :class:`~repro.service.workers.WorkerPool`
+    after :meth:`~repro.service.workers.WorkerPool.shutdown`.
+
+    Subclasses :class:`ConfigurationError` so pre-existing callers keep
+    working; the REST layer maps it to 503 and the CLI to exit code 2.
+    """
+
+
+class AdmissionError(ReproError):
+    """A request was refused by admission control before any work ran.
+
+    Carries ``retry_after_seconds`` — the server's estimate of when a
+    retry is worth attempting (the REST layer emits it as a
+    ``Retry-After`` header). Subclasses say *why*: rate limit, full
+    queue, open circuit breaker, or a draining service.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float | None = None):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class RateLimitedError(AdmissionError):
+    """The per-client token bucket is empty (REST 429)."""
+
+
+class QueueFullError(AdmissionError):
+    """The worker queue is at its depth bound; load was shed (REST 429)."""
+
+
+class CircuitOpenError(AdmissionError):
+    """The worker circuit breaker is open after a failure spike (REST 503)."""
+
+
+class ServiceDrainingError(AdmissionError):
+    """The service is draining for shutdown; no new work is admitted
+    (REST 503)."""
+
+
 class JobNotFoundError(ReproError, KeyError):
     """An explanation-job id was requested that the service is not tracking.
 
@@ -155,3 +195,39 @@ class NotFoundError(ApiError):
     """The requested route or resource does not exist."""
 
     status_code = 404
+
+
+class RetryableApiError(ApiError):
+    """An API error the client should retry later.
+
+    ``retry_after_seconds`` (when known) is emitted as a ``Retry-After``
+    header so well-behaved clients — including
+    :class:`repro.api.client.HttpClient` — back off by the server's own
+    estimate instead of guessing.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float | None = None):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+    def to_headers(self) -> dict:
+        if self.retry_after_seconds is None:
+            return {}
+        # Retry-After is delta-seconds; round up so "0.3s from now" is
+        # never served as "retry immediately".
+        import math
+
+        return {"Retry-After": str(max(1, math.ceil(self.retry_after_seconds)))}
+
+
+class TooManyRequestsError(RetryableApiError):
+    """Admission control shed this request (rate limit or full queue)."""
+
+    status_code = 429
+
+
+class ServiceUnavailableError(RetryableApiError):
+    """The service cannot take work right now (circuit open, draining,
+    or shut down)."""
+
+    status_code = 503

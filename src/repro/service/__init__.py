@@ -11,6 +11,22 @@ Entry point: ``engine.service()`` (see
 :class:`ExplanationService` directly for custom store/metrics wiring.
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    CircuitBreaker,
+    Priority,
+    RateLimiter,
+    TokenBucket,
+    parse_priority,
+)
+from repro.service.deadlines import NO_DEADLINES, Deadline, DeadlinePolicy
+from repro.service.faults import (
+    NO_FAULTS,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    InjectedRankerError,
+)
 from repro.service.jobs import ExplainJob, JobStatus
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import DEFAULT_JOB_RETENTION, ExplanationService
@@ -20,11 +36,25 @@ from repro.service.workers import DEFAULT_WORKERS, WorkerPool
 __all__ = [
     "DEFAULT_JOB_RETENTION",
     "DEFAULT_WORKERS",
+    "AdmissionController",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlinePolicy",
     "ExplainJob",
     "ExplanationService",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedRankerError",
     "JobStatus",
+    "NO_DEADLINES",
+    "NO_FAULTS",
+    "Priority",
+    "RateLimiter",
     "ResultStore",
     "ServiceMetrics",
+    "TokenBucket",
     "WorkerPool",
+    "parse_priority",
     "request_fingerprint",
 ]

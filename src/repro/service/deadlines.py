@@ -1,0 +1,117 @@
+"""Per-request wall-clock deadlines for the explanation service.
+
+A deadline is stamped when a request is *admitted*, not when a worker
+picks it up — time spent waiting in the queue counts against it. When
+execution starts, the remaining wall-clock is threaded into the search
+kernel as ``ExplainRequest.deadline_ms``, so an overloaded server
+returns whatever the search has found when time runs out (the anytime
+contract: a best-effort incumbent flagged ``deadline_exceeded``)
+instead of timing the connection out.
+
+Two invariants keep this honest:
+
+* **deadline-partial never cached** — the
+  :class:`~repro.service.store.ResultStore` refuses
+  ``deadline_exceeded`` results, so a truncation caused by load is
+  never replayed once the load has passed;
+* **store keys ignore the effective deadline** — the cache is keyed on
+  the *original* request, not the load-dependent effective one. A
+  result that completed inside its deadline is identical to the
+  unconstrained result (the deadline only changes outcomes when it
+  expires, and expired results are not cached), so the key is sound.
+
+Deadlines use the injectable monotonic clock throughout: wall-clock
+(``time.time``) skew — NTP steps, a chaos test's injected skew — cannot
+stretch or shrink a request's budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.explain import ExplainRequest
+from repro.utils.validation import require_positive
+
+#: The floor on an effective search deadline. A request whose deadline
+#: fully elapsed while queued still *runs* with this sliver: the search
+#: kernel's pre-evaluation budget check turns it into an immediate,
+#: clean ``deadline_exceeded`` result (the documented degraded state)
+#: rather than an exception or an unbounded execution.
+MIN_EFFECTIVE_DEADLINE_MS = 1.0
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point on the monotonic clock by which a request must
+    answer."""
+
+    expires_at: float
+    clock: Callable[[], float] = time.monotonic
+
+    @classmethod
+    def after_ms(
+        cls, deadline_ms: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        require_positive(deadline_ms, "deadline_ms")
+        return cls(expires_at=clock() + deadline_ms / 1000.0, clock=clock)
+
+    def remaining_ms(self) -> float:
+        return max(0.0, (self.expires_at - self.clock()) * 1000.0)
+
+    @property
+    def expired(self) -> bool:
+        return self.clock() >= self.expires_at
+
+    def apply(self, request: ExplainRequest) -> ExplainRequest:
+        """The request with its search bounded by this deadline.
+
+        The effective ``deadline_ms`` is the *tighter* of the request's
+        own deadline and the wall-clock remaining here — a client asking
+        for 50 ms on a server granting 200 ms gets 50; a client asking
+        for 10 s on a server with 80 ms left gets 80.
+        """
+        remaining = max(self.remaining_ms(), MIN_EFFECTIVE_DEADLINE_MS)
+        if request.deadline_ms is not None:
+            remaining = min(remaining, request.deadline_ms)
+        if request.deadline_ms == remaining:
+            return request
+        return replace(request, deadline_ms=remaining)
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """The service's default per-request deadline.
+
+    ``default_deadline_ms=None`` disables service-imposed deadlines
+    (requests naming their own ``deadline_ms`` still honour it — that
+    path predates this module). With a default set, every admitted
+    request gets a deadline stamped at admission; queue wait counts.
+    """
+
+    default_deadline_ms: float | None = None
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self):
+        if self.default_deadline_ms is not None:
+            require_positive(self.default_deadline_ms, "default_deadline_ms")
+
+    def start(self, request: ExplainRequest) -> Deadline | None:
+        """The deadline for a request admitted *now*, or None if neither
+        the policy nor the request bounds it."""
+        deadline_ms = self.default_deadline_ms
+        if request.deadline_ms is not None:
+            deadline_ms = (
+                request.deadline_ms
+                if deadline_ms is None
+                else min(deadline_ms, request.deadline_ms)
+            )
+        if deadline_ms is None:
+            return None
+        return Deadline.after_ms(deadline_ms, clock=self.clock)
+
+
+#: The no-op policy used when ``serve`` is run without
+#: ``--default-deadline-ms``.
+NO_DEADLINES = DeadlinePolicy()

@@ -1,0 +1,153 @@
+"""Deterministic fault injection for the serving layer.
+
+Hardening that is only exercised by healthy traffic is aspirational.
+This module lets the chaos test suite *prove* every degradation path:
+seeded latency spikes, worker crashes, ranker exceptions, and clock
+skew, injected at named sites inside
+:class:`~repro.service.scheduler.ExplanationService` with zero cost
+when disabled (the default :data:`NO_FAULTS` injector is inert).
+
+Determinism: each (seed, site) pair gets its own ``random.Random``
+stream, so whether the *k*-th execution at a site faults is a pure
+function of the plan — independent of thread interleaving across sites.
+Tests assert exact outcomes, not probabilities.
+
+Two crash flavours map to the service's two failure channels:
+
+* site ``"worker"`` raises :class:`InjectedFault` (**not** a
+  ``ReproError``) — the unexpected-exception path: the item gets an
+  error response, the job finalises ``failed`` with the cause, sibling
+  items are unaffected, and the circuit breaker records a failure;
+* site ``"ranker"`` raises :class:`InjectedRankerError` (a
+  :class:`~repro.errors.RankingError`) — the expected per-item error
+  path: the item fails cleanly, the job still finishes ``done``, and
+  the breaker does *not* trip (a bad request is not a sick worker).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import RankingError
+from repro.utils.validation import require
+
+#: Injection sites the service consults. Kept as data so tests and the
+#: docs can enumerate the coverage surface.
+SITE_WORKER = "worker"
+SITE_RANKER = "ranker"
+FAULT_SITES = (SITE_WORKER, SITE_RANKER)
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected worker crash (not a ``ReproError``:
+    it must travel the unexpected-exception channel)."""
+
+
+class InjectedRankerError(RankingError):
+    """A deliberately injected ranker exception (a library error:
+    it must travel the per-item error channel)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, where, and how often.
+
+    ``crash_rate``/``ranker_error_rate``/``latency_rate`` are per-call
+    probabilities in [0, 1] drawn from the site's seeded stream;
+    ``latency_ms`` is the injected sleep when a latency draw fires;
+    ``clock_skew_ms`` offsets :meth:`FaultInjector.wall_clock` (the
+    *monotonic* clock is deliberately not skewable — deadlines and
+    rate limiters must be immune to wall-clock steps, and the chaos
+    suite pins that).
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    ranker_error_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_ms: float = 0.0
+    clock_skew_ms: float = 0.0
+
+    def __post_init__(self):
+        for name in ("crash_rate", "ranker_error_rate", "latency_rate"):
+            value = getattr(self, name)
+            require(
+                0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value!r}"
+            )
+        require(self.latency_ms >= 0.0, "latency_ms must be >= 0")
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`; thread-safe; counts what it injects.
+
+    The per-site counters (``injected``) are the chaos suite's ground
+    truth: a test that expects a crash asserts the injector actually
+    fired, so a silently-ineffective plan cannot green-light a broken
+    degradation path.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._streams: dict[str, random.Random] = {}
+        self.injected: Counter = Counter()
+
+    def _draw(self, site: str, kind: str) -> float:
+        with self._lock:
+            stream = self._streams.get(f"{site}/{kind}")
+            if stream is None:
+                stream = random.Random(f"{self.plan.seed}/{site}/{kind}")
+                self._streams[f"{site}/{kind}"] = stream
+            return stream.random()
+
+    @property
+    def enabled(self) -> bool:
+        plan = self.plan
+        return bool(
+            plan.crash_rate
+            or plan.ranker_error_rate
+            or plan.latency_rate
+            or plan.clock_skew_ms
+        )
+
+    def latency(self, site: str) -> None:
+        """Sleep the injected spike at ``site`` if this draw fires."""
+        plan = self.plan
+        if plan.latency_rate <= 0.0 or plan.latency_ms <= 0.0:
+            return
+        if self._draw(site, "latency") < plan.latency_rate:
+            with self._lock:
+                self.injected[f"{site}/latency"] += 1
+            time.sleep(plan.latency_ms / 1000.0)
+
+    def maybe_crash(self, site: str) -> None:
+        """Raise the site's fault if this draw fires (see module docs)."""
+        plan = self.plan
+        if site == SITE_WORKER and plan.crash_rate > 0.0:
+            if self._draw(site, "crash") < plan.crash_rate:
+                with self._lock:
+                    self.injected[f"{site}/crash"] += 1
+                raise InjectedFault(f"injected worker crash at site {site!r}")
+        if site == SITE_RANKER and plan.ranker_error_rate > 0.0:
+            if self._draw(site, "crash") < plan.ranker_error_rate:
+                with self._lock:
+                    self.injected[f"{site}/crash"] += 1
+                raise InjectedRankerError(
+                    f"injected ranker exception at site {site!r}"
+                )
+
+    def wall_clock(self) -> float:
+        """``time.time`` plus the plan's skew (chaos tests only)."""
+        return time.time() + self.plan.clock_skew_ms / 1000.0
+
+    def counts(self) -> dict:
+        with self._lock:
+            return dict(self.injected)
+
+
+#: The inert injector every service gets by default.
+NO_FAULTS = FaultInjector(FaultPlan())

@@ -68,7 +68,12 @@ class ExplainJob:
     job and wakes every waiter.
     """
 
-    def __init__(self, job_id: str, requests: Sequence[ExplainRequest]):
+    def __init__(
+        self,
+        job_id: str,
+        requests: Sequence[ExplainRequest],
+        priority=None,
+    ):
         requests = tuple(requests)
         require(bool(requests), "a job needs at least one request")
         require(
@@ -77,6 +82,9 @@ class ExplainJob:
         )
         self.job_id = job_id
         self.requests = requests
+        #: The :class:`~repro.service.admission.Priority` the job was
+        #: admitted at (None for jobs built outside the scheduler).
+        self.priority = priority
         self.responses: list[ExplainResponse | None] = [None] * len(requests)
         self.status = JobStatus.PENDING
         self.error: str | None = None
@@ -90,6 +98,7 @@ class ExplainJob:
         self._items_done = 0
         self._items_skipped = 0
         self._fatal: str | None = None
+        self._progress: dict[int, dict] = {}
 
     # -- introspection --------------------------------------------------------
 
@@ -149,6 +158,17 @@ class ExplainJob:
             self.responses[position] = response
             self._items_done += 1
             return self._account_locked()
+
+    def update_progress(self, position: int, snapshot: dict) -> None:
+        """Record a live search-progress snapshot for item ``position``.
+
+        Published by the worker's per-item
+        :class:`~repro.core.search.progress.ProgressSink` while the
+        search runs; the last snapshot is kept after the item finishes
+        so ``GET /jobs/{id}/progress`` stays informative post-hoc.
+        """
+        with self._lock:
+            self._progress[position] = snapshot
 
     def note_fatal(self, error: Exception) -> None:
         """Record an unexpected (non-``ReproError``) item failure.
@@ -224,4 +244,16 @@ class ExplainJob:
                     response.to_dict() if response is not None else None
                     for response in self.responses
                 ]
+        return payload
+
+    def progress_dict(self) -> dict:
+        """The ``GET /jobs/{id}/progress`` payload: the job summary plus
+        each item's latest live search snapshot (None before its search
+        first emits)."""
+        payload = self.to_dict(include_responses=False)
+        with self._lock:
+            payload["priority"] = getattr(self.priority, "label", None)
+            payload["progress"] = [
+                self._progress.get(i) for i in range(len(self.requests))
+            ]
         return payload

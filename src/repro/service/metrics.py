@@ -4,7 +4,12 @@ One :class:`ServiceMetrics` instance per
 :class:`~repro.service.scheduler.ExplanationService`, exported verbatim
 by ``GET /metrics``. Everything is in-process and lock-guarded — the
 point is cheap steady-state visibility (queue depth, cache hit rate,
-p50/p95/p99 item latency), not a full telemetry pipeline.
+shed/deadline counts, p50/p95/p99 item latency overall and per
+priority), not a full telemetry pipeline.
+
+The snapshot schema is a contract: ``tests/service/test_metrics_schema.py``
+pins the exact key set so dashboards built on ``GET /metrics`` cannot
+silently break.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 
+from repro.service.admission import Priority
 from repro.utils.validation import require_positive
 
 #: Counter names initialised to zero on every metrics instance, so the
@@ -27,6 +33,14 @@ COUNTER_NAMES = (
     "items_executed",
     "items_failed",
     "items_skipped",
+    # -- admission control & degradation (serving hardening) -----------
+    "requests_admitted",
+    "requests_rate_limited",   # 429: per-client token bucket empty
+    "requests_shed",           # 429: queue-depth bound reached
+    "requests_rejected_open_circuit",  # 503: breaker open
+    "requests_rejected_draining",      # 503: drain/shutdown in progress
+    "deadline_exceeded",       # best-effort results returned at deadline
+    "faults_injected",         # chaos runs only; 0 in production
 )
 
 
@@ -57,6 +71,9 @@ class LatencyWindow:
         self._count += 1
         self._total += seconds
 
+    def p95_seconds(self) -> float:
+        return percentile(sorted(self._samples), 95.0)
+
     def summary(self) -> dict:
         ordered = sorted(self._samples)
         return {
@@ -69,12 +86,22 @@ class LatencyWindow:
 
 
 class ServiceMetrics:
-    """Thread-safe counters + item-latency percentiles for one service."""
+    """Thread-safe counters + item-latency percentiles for one service.
+
+    Latencies are recorded into one overall window (the historical
+    ``item_latency`` summary) and, when the caller names a
+    :class:`~repro.service.admission.Priority`, into that priority's own
+    window — so ``GET /metrics`` can answer "what is p95 for
+    *interactive* traffic" while batch floods the pool.
+    """
 
     def __init__(self, latency_window: int = 1024):
         self._lock = threading.Lock()
         self._counters = {name: 0 for name in COUNTER_NAMES}
         self._latency = LatencyWindow(latency_window)
+        self._latency_by_priority = {
+            priority: LatencyWindow(latency_window) for priority in Priority
+        }
 
     def increment(self, name: str, by: int = 1) -> None:
         with self._lock:
@@ -82,18 +109,36 @@ class ServiceMetrics:
                 raise KeyError(f"unknown counter: {name!r}")
             self._counters[name] += by
 
-    def record_latency(self, seconds: float) -> None:
+    def record_latency(
+        self, seconds: float, priority: Priority | None = None
+    ) -> None:
         with self._lock:
             self._latency.record(seconds)
+            if priority is not None:
+                self._latency_by_priority[Priority(priority)].record(seconds)
 
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters[name]
 
+    def p95_latency_seconds(self, priority: Priority | None = None) -> float:
+        """The p95 the admission controller derives ``Retry-After`` from."""
+        with self._lock:
+            window = (
+                self._latency
+                if priority is None
+                else self._latency_by_priority[Priority(priority)]
+            )
+            return window.p95_seconds()
+
     def snapshot(self) -> dict:
-        """A JSON-ready snapshot: counters and the latency summary."""
+        """A JSON-ready snapshot: counters and the latency summaries."""
         with self._lock:
             return {
                 "counters": dict(self._counters),
                 "item_latency": self._latency.summary(),
+                "latency_by_priority": {
+                    priority.label: window.summary()
+                    for priority, window in self._latency_by_priority.items()
+                },
             }

@@ -1,10 +1,11 @@
-"""A bounded thread-pool worker service for explanation execution.
+"""A bounded, priority-aware thread-pool worker service.
 
 Deliberately hand-rolled on :mod:`queue`/:mod:`threading` rather than
-``concurrent.futures``: the scheduler needs a live queue-depth gauge for
-``GET /metrics``, lazy thread start (an engine that never sees async
-traffic must not pay for idle threads), and a drain-aware graceful
-shutdown — none of which ``ThreadPoolExecutor`` exposes.
+``concurrent.futures``: the scheduler needs a live, *atomic* queue-depth
+gauge for admission control and ``GET /metrics``, priority-aware
+dequeueing (interactive requests must not wait behind a deep batch
+backlog), lazy thread start, and a drain-aware graceful shutdown — none
+of which ``ThreadPoolExecutor`` exposes.
 
 Tasks are plain callables that own their error handling; a task that
 escapes with an exception is logged and the worker keeps serving (one
@@ -14,12 +15,14 @@ under load).
 
 from __future__ import annotations
 
+import itertools
 import logging
 import queue
 import threading
 from typing import Callable
 
-from repro.errors import ConfigurationError
+from repro.errors import PoolShutdownError
+from repro.service.admission import Priority
 from repro.utils.validation import require_positive
 
 logger = logging.getLogger(__name__)
@@ -27,26 +30,40 @@ logger = logging.getLogger(__name__)
 #: Default worker count for a service constructed without an explicit size.
 DEFAULT_WORKERS = 4
 
+#: Priority ordinal for the stop sentinels: greater than every real
+#: priority, so on graceful shutdown queued work drains before the
+#: workers exit.
+_STOP_PRIORITY = max(Priority) + 1
+
 #: Queue sentinel telling one worker thread to exit.
 _STOP = object()
 
 
 class WorkerPool:
-    """Fixed-size pool of daemon worker threads over a shared FIFO queue.
+    """Fixed-size pool of daemon worker threads over a shared priority queue.
 
-    Threads are created lazily on the first :meth:`submit`, so building
-    a pool (e.g. via ``engine.service()``) costs nothing until async
-    work actually arrives.
+    Entries dequeue lowest :class:`~repro.service.admission.Priority`
+    first (interactive before batch), FIFO within a priority (a
+    monotonic sequence number breaks ties, so equal-priority work is
+    byte-identical to the old FIFO pool). Threads are created lazily on
+    the first :meth:`submit`, so building a pool (e.g. via
+    ``engine.service()``) costs nothing until async work arrives.
     """
 
     def __init__(self, workers: int = DEFAULT_WORKERS, name: str = "explain"):
         require_positive(workers, "workers")
         self.worker_count = workers
         self.name = name
-        self._queue: queue.Queue = queue.Queue()
+        self._queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._sequence = itertools.count()
         self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
         self._shutdown = False
+        #: Tasks enqueued but not yet picked up. Maintained explicitly
+        #: under the lock rather than via ``Queue.qsize()`` (documented
+        #: "approximate"): admission control sheds on this number, so it
+        #: must move atomically with every submit/dequeue.
+        self._depth = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -64,7 +81,10 @@ class WorkerPool:
 
     def _worker_loop(self) -> None:
         while True:
-            task = self._queue.get()
+            _priority, _seq, task = self._queue.get()
+            if task is not _STOP:
+                with self._lock:
+                    self._depth -= 1
             try:
                 if task is _STOP:
                     return
@@ -74,8 +94,14 @@ class WorkerPool:
             finally:
                 self._queue.task_done()
 
-    def submit(self, task: Callable[[], None]) -> None:
-        """Enqueue ``task``; raises once the pool has been shut down.
+    def submit(
+        self,
+        task: Callable[[], None],
+        priority: Priority = Priority.BATCH,
+    ) -> None:
+        """Enqueue ``task`` at ``priority``; raises
+        :class:`~repro.errors.PoolShutdownError` once the pool has been
+        shut down.
 
         Check-and-enqueue happens under the lock shutdown() takes to set
         the flag, so a task can never slip in behind the stop sentinels
@@ -83,9 +109,10 @@ class WorkerPool:
         """
         with self._lock:
             if self._shutdown:
-                raise ConfigurationError("worker pool has been shut down")
+                raise PoolShutdownError("worker pool has been shut down")
             self._ensure_started_locked()
-            self._queue.put(task)
+            self._depth += 1
+            self._queue.put((int(priority), next(self._sequence), task))
 
     def shutdown(self, wait: bool = True, drain: bool = True) -> None:
         """Stop the pool.
@@ -103,13 +130,15 @@ class WorkerPool:
         if not drain:
             while True:
                 try:
-                    task = self._queue.get_nowait()
+                    _priority, _seq, task = self._queue.get_nowait()
                 except queue.Empty:
                     break
+                with self._lock:
+                    self._depth -= 1
                 self._queue.task_done()
                 del task
         for _ in started:
-            self._queue.put(_STOP)
+            self._queue.put((int(_STOP_PRIORITY), next(self._sequence), _STOP))
         if wait:
             for thread in started:
                 thread.join(timeout=10)
@@ -118,8 +147,10 @@ class WorkerPool:
 
     @property
     def queue_depth(self) -> int:
-        """Tasks enqueued but not yet picked up (approximate, by design)."""
-        return self._queue.qsize()
+        """Tasks enqueued but not yet picked up (atomic: admission
+        control sheds on this gauge)."""
+        with self._lock:
+            return self._depth
 
     @property
     def started(self) -> bool:

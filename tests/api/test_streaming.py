@@ -1,0 +1,151 @@
+"""Streaming surface tests: ``POST /explanations/stream`` (NDJSON
+progress then result) and ``GET /jobs/{id}/progress`` — in-process, so
+they exercise the route logic, the progress sink plumbing, and the
+chunk shapes without a socket."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.client import InProcessClient
+from repro.api.endpoints import register_endpoints
+from repro.api.http import Router, StreamingResponse
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.service.scheduler import ExplanationService
+
+
+@pytest.fixture()
+def engine(tiny_docs):
+    return CredenceEngine(tiny_docs, EngineConfig(ranker="bm25", seed=5))
+
+
+@pytest.fixture()
+def service(engine):
+    service = ExplanationService(engine, workers=1)
+    yield service
+    service.shutdown()
+
+
+@pytest.fixture()
+def client(engine, service):
+    return InProcessClient(register_endpoints(Router(), engine, service=service))
+
+
+def _explain_body(**overrides) -> dict:
+    body = {
+        "query": "covid outbreak",
+        "doc_id": "d5",
+        "strategy": "document/sentence-removal",
+        "k": 5,
+    }
+    body.update(overrides)
+    return body
+
+
+class TestExplainStream:
+    def test_stream_ends_with_result_chunk(self, client):
+        chunks = list(client.post_stream("/explanations/stream", _explain_body()))
+        assert chunks, "stream produced nothing"
+        final = chunks[-1]
+        assert final["event"] == "result"
+        assert final["response"]["doc_id"] == "d5"
+        assert "explanations" in final["response"]
+        # Everything before the result is progress, in-order.
+        for chunk in chunks[:-1]:
+            assert chunk["event"] == "progress"
+            assert chunk["candidates_evaluated"] >= 0
+            assert "strategy" in chunk
+
+    def test_progress_chunks_carry_search_state(self, client):
+        # The anytime strategy emits per-candidate progress; ask for it
+        # explicitly so at least one progress chunk is all but certain.
+        chunks = list(
+            client.post_stream(
+                "/explanations/stream",
+                _explain_body(strategy="document/sentence-removal"),
+            )
+        )
+        progress = [c for c in chunks if c["event"] == "progress"]
+        for snapshot in progress:
+            assert set(snapshot) >= {
+                "event",
+                "strategy",
+                "candidates_evaluated",
+                "explanations_found",
+            }
+
+    def test_stream_result_matches_sync_route(self, client):
+        streamed = list(
+            client.post_stream("/explanations/stream", _explain_body())
+        )[-1]["response"]
+        synced = client.post("/explanations", _explain_body()).payload
+        assert streamed == synced
+
+    def test_error_is_streamed_as_error_event(self, client):
+        chunks = list(
+            client.post_stream(
+                "/explanations/stream", _explain_body(doc_id="ghost")
+            )
+        )
+        assert chunks[-1]["event"] == "error"
+        assert chunks[-1]["error"]["type"] == "RankingError"
+
+    def test_malformed_body_is_rejected_not_streamed(self, client):
+        chunks = list(client.post_stream("/explanations/stream", {}))
+        assert len(chunks) == 1
+        assert chunks[0]["event"] == "rejected"
+        assert chunks[0]["status"] == 400
+
+    def test_admission_refusal_is_a_rejected_chunk(self, engine, service):
+        service.configure_admission(rate_limit=0.001, rate_burst=1.0)
+        client = InProcessClient(
+            register_endpoints(Router(), engine, service=service)
+        )
+        assert client.post("/explanations", _explain_body()).status == 200
+        chunks = list(
+            client.post_stream("/explanations/stream", _explain_body())
+        )
+        assert len(chunks) == 1
+        assert chunks[0]["event"] == "rejected"
+        assert chunks[0]["status"] == 429
+        assert "retry-after" in {k.lower() for k in chunks[0]["headers"]}
+
+    def test_route_returns_streaming_response_type(self, engine, service):
+        router = register_endpoints(Router(), engine, service=service)
+        from repro.api.http import Request
+
+        response = router.dispatch(
+            Request(method="POST", path="/explanations/stream", body=_explain_body())
+        )
+        assert isinstance(response, StreamingResponse)
+        assert response.status == 200
+
+
+class TestJobProgressRoute:
+    def test_progress_shape_tracks_items(self, client):
+        accepted = client.post(
+            "/jobs",
+            {"requests": [_explain_body(), _explain_body(doc_id="d4")]},
+        )
+        assert accepted.status == 202
+        job_id = accepted.payload["job_id"]
+        # Wait for the job to finish, then read its final progress.
+        deadline_status = None
+        for _ in range(200):
+            deadline_status = client.get(f"/jobs/{job_id}").payload["status"]
+            if deadline_status in ("done", "failed"):
+                break
+            import time
+
+            time.sleep(0.01)
+        assert deadline_status == "done"
+        progress = client.get(f"/jobs/{job_id}/progress").payload
+        assert progress["job_id"] == job_id
+        assert progress["priority"] == "batch"
+        assert len(progress["progress"]) == 2
+        for snapshot in progress["progress"]:
+            # Each executed item left its last search snapshot behind.
+            assert snapshot is None or "candidates_evaluated" in snapshot
+
+    def test_unknown_job_is_404(self, client):
+        assert client.get("/jobs/ghost/progress").status == 404

@@ -1,0 +1,255 @@
+"""Admission-control unit tests: token bucket, rate limiter, circuit
+breaker, and the shed-before-queue controller — all on fake clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    QueueFullError,
+    RateLimitedError,
+)
+from repro.service.admission import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionController,
+    CircuitBreaker,
+    Priority,
+    RateLimiter,
+    TokenBucket,
+    parse_priority,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestPriority:
+    def test_interactive_dequeues_first(self):
+        assert Priority.INTERACTIVE < Priority.BATCH
+
+    def test_labels(self):
+        assert Priority.INTERACTIVE.label == "interactive"
+        assert Priority.BATCH.label == "batch"
+
+    @pytest.mark.parametrize(
+        "raw", ["interactive", "INTERACTIVE", 0, Priority.INTERACTIVE]
+    )
+    def test_parse_accepts_names_ints_enums(self, raw):
+        assert parse_priority(raw) is Priority.INTERACTIVE
+
+    @pytest.mark.parametrize("raw", ["urgent", 7, True, None, 1.5])
+    def test_parse_rejects_unknown(self, raw):
+        with pytest.raises(ConfigurationError):
+            parse_priority(raw)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert bucket.try_acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+
+class TestRateLimiter:
+    def test_per_client_isolation(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        limiter.check("alice")
+        with pytest.raises(RateLimitedError):
+            limiter.check("alice")
+        limiter.check("bob")  # bob has his own bucket
+
+    def test_refusal_carries_retry_after(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=2.0, burst=1.0, clock=clock)
+        limiter.check("c")
+        with pytest.raises(RateLimitedError) as excinfo:
+            limiter.check("c")
+        assert excinfo.value.retry_after_seconds == pytest.approx(0.5)
+
+    def test_anonymous_traffic_shares_one_bucket(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        limiter.check(None)
+        with pytest.raises(RateLimitedError):
+            limiter.check(None)
+
+    def test_client_table_is_lru_bounded(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            rate=1.0, burst=1.0, max_clients=2, clock=clock
+        )
+        limiter.check("a")
+        limiter.check("b")
+        limiter.check("c")  # evicts a
+        assert limiter.client_count == 2
+        # An evicted client starts over with a full bucket — permissive,
+        # never punitive.
+        limiter.check("a")
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **overrides):
+        config = dict(
+            failure_threshold=0.5,
+            min_samples=4,
+            window=8,
+            cooldown_seconds=5.0,
+            clock=clock,
+        )
+        config.update(overrides)
+        return CircuitBreaker(**config)
+
+    def test_trips_on_failure_rate(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check()
+        assert excinfo.value.retry_after_seconds == pytest.approx(5.0)
+
+    def test_below_min_samples_never_trips(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, min_samples=10)
+        for _ in range(5):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.0)
+        breaker.check()  # the probe is admitted
+        assert breaker.state == HALF_OPEN
+        # Only one probe at a time.
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.check()  # closed again: admits freely
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.check()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+        # The cooldown restarted at the probe failure.
+        clock.advance(5.0)
+        breaker.check()
+        assert breaker.state == HALF_OPEN
+
+    def test_success_after_trip_clears_window(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.check()
+        breaker.record_success()
+        # The old failures are forgotten: it takes a fresh spike to trip.
+        for _ in range(3):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestAdmissionController:
+    def test_defaults_admit_everything(self):
+        controller = AdmissionController()
+        decision = controller.admit(None, Priority.BATCH, enqueue_items=999)
+        assert decision.client_id == "anonymous"
+        assert decision.priority is Priority.BATCH
+
+    def test_sheds_before_queueing(self):
+        controller = AdmissionController(max_queue_depth=4)
+        controller.admit(queue_depth=3, enqueue_items=1)
+        with pytest.raises(QueueFullError):
+            controller.admit(queue_depth=3, enqueue_items=2)
+
+    def test_sync_requests_never_shed_on_depth(self):
+        controller = AdmissionController(max_queue_depth=1)
+        # enqueue_items=0: runs in the caller's thread, no queue impact.
+        controller.admit(queue_depth=50, enqueue_items=0)
+
+    def test_shed_retry_after_tracks_backlog_and_p95(self):
+        controller = AdmissionController(max_queue_depth=2)
+        with pytest.raises(QueueFullError) as excinfo:
+            controller.admit(
+                queue_depth=8, enqueue_items=1, workers=2, p95_seconds=1.0
+            )
+        # 8 queued / 2 workers * 1.0s p95 = 4 seconds.
+        assert excinfo.value.retry_after_seconds == pytest.approx(4.0)
+
+    def test_shed_retry_after_is_clamped(self):
+        controller = AdmissionController(
+            max_queue_depth=1, max_retry_after_seconds=10.0
+        )
+        with pytest.raises(QueueFullError) as excinfo:
+            controller.admit(
+                queue_depth=1000, enqueue_items=1, workers=1, p95_seconds=60.0
+            )
+        assert excinfo.value.retry_after_seconds == 10.0
+
+    def test_breaker_checked_before_rate_limit(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=0.5, min_samples=2, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        controller = AdmissionController(
+            rate_limiter=RateLimiter(rate=100.0, clock=clock), breaker=breaker
+        )
+        with pytest.raises(CircuitOpenError):
+            controller.admit("alice")
+
+    def test_describe_is_json_ready(self):
+        controller = AdmissionController(
+            rate_limiter=RateLimiter(rate=5.0, burst=10.0),
+            max_queue_depth=32,
+            breaker=CircuitBreaker(),
+        )
+        description = controller.describe()
+        assert description == {
+            "rate_limit_per_client": 5.0,
+            "rate_burst": 10.0,
+            "max_queue_depth": 32,
+            "circuit_breaker": CLOSED,
+        }

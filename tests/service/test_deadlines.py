@@ -1,0 +1,154 @@
+"""Deadline tests: stamping at admission, min-of composition, the
+effective floor, and the two cache invariants (deadline-partials never
+cached; store keys ignore the effective deadline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explain import ExplainRequest, ExplainResponse
+from repro.service.deadlines import (
+    MIN_EFFECTIVE_DEADLINE_MS,
+    NO_DEADLINES,
+    Deadline,
+    DeadlinePolicy,
+)
+from repro.service.scheduler import ExplanationService
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _request(**overrides) -> ExplainRequest:
+    fields = {"query": "covid outbreak", "doc_id": "d5", "k": 5}
+    fields.update(overrides)
+    return ExplainRequest(**fields)
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(100.0, clock=clock)
+        assert deadline.remaining_ms() == pytest.approx(100.0)
+        clock.advance(0.06)
+        assert deadline.remaining_ms() == pytest.approx(40.0)
+        assert not deadline.expired
+        clock.advance(0.05)
+        assert deadline.remaining_ms() == 0.0
+        assert deadline.expired
+
+    def test_apply_takes_the_tighter_bound(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(200.0, clock=clock)
+        tightened = deadline.apply(_request(deadline_ms=50.0))
+        assert tightened.deadline_ms == pytest.approx(50.0)
+        loosened = deadline.apply(_request(deadline_ms=10_000.0))
+        assert loosened.deadline_ms == pytest.approx(200.0)
+
+    def test_apply_after_queue_wait_reflects_elapsed_time(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(200.0, clock=clock)
+        clock.advance(0.15)  # 150ms in the queue
+        effective = deadline.apply(_request())
+        assert effective.deadline_ms == pytest.approx(50.0)
+
+    def test_expired_deadline_floors_not_zeroes(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(10.0, clock=clock)
+        clock.advance(1.0)
+        effective = deadline.apply(_request())
+        # The sliver keeps the search kernel's budget check in charge:
+        # it yields a clean deadline_exceeded result, not an exception.
+        assert effective.deadline_ms == MIN_EFFECTIVE_DEADLINE_MS
+
+    def test_apply_without_change_returns_same_request(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(100.0, clock=clock)
+        request = _request(deadline_ms=100.0)
+        assert deadline.apply(request) is request
+
+
+class TestDeadlinePolicy:
+    def test_no_deadlines_policy_is_inert(self):
+        assert NO_DEADLINES.start(_request()) is None
+
+    def test_request_own_deadline_still_honoured(self):
+        deadline = NO_DEADLINES.start(_request(deadline_ms=75.0))
+        assert deadline is not None
+        assert deadline.remaining_ms() <= 75.0
+
+    def test_policy_default_applies_to_bare_requests(self):
+        clock = FakeClock()
+        policy = DeadlinePolicy(default_deadline_ms=500.0, clock=clock)
+        deadline = policy.start(_request())
+        assert deadline.remaining_ms() == pytest.approx(500.0)
+
+    def test_policy_takes_min_with_request(self):
+        clock = FakeClock()
+        policy = DeadlinePolicy(default_deadline_ms=500.0, clock=clock)
+        assert policy.start(_request(deadline_ms=100.0)).remaining_ms() == (
+            pytest.approx(100.0)
+        )
+        assert policy.start(_request(deadline_ms=900.0)).remaining_ms() == (
+            pytest.approx(500.0)
+        )
+
+
+class _StubIndex:
+    def __init__(self):
+        self.version = 0
+
+
+class _StubRanker:
+    name = "Stub"
+
+
+class _RecordingEngine:
+    """Counts explain() calls and echoes back the request's effective
+    deadline, so cache-key tests can see both."""
+
+    def __init__(self):
+        self.index = _StubIndex()
+        self.ranker = _StubRanker()
+        self.calls: list[ExplainRequest] = []
+
+    def explain(self, request: ExplainRequest) -> ExplainResponse:
+        self.calls.append(request)
+        return ExplainResponse(
+            strategy=request.strategy,
+            query=request.query,
+            doc_id=request.doc_id,
+        )
+
+
+class TestStoreKeyInvariant:
+    def test_cache_keyed_on_original_request_not_effective_deadline(self):
+        engine = _RecordingEngine()
+        clock = FakeClock()
+        service = ExplanationService(
+            engine,
+            workers=1,
+            deadline_policy=DeadlinePolicy(
+                default_deadline_ms=1000.0, clock=clock
+            ),
+        )
+        request = _request()
+        first = service.explain(request)
+        assert len(engine.calls) == 1
+        # The engine saw the deadline-applied copy...
+        assert engine.calls[0].deadline_ms == pytest.approx(1000.0)
+        # ...but the cache is keyed on the original: the repeat hits even
+        # though "remaining" would now be a different number.
+        clock.advance(0.4)
+        second = service.explain(request)
+        assert len(engine.calls) == 1
+        assert second.to_dict() == first.to_dict()
+        service.shutdown()

@@ -1,0 +1,101 @@
+"""CLI tests for the serving-hardening surface: the ``serve`` overload
+flags parse into the right namespace fields, and ``explain --stream``
+prints live progress to stderr while leaving stdout identical to the
+non-streamed run."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.covid import DEMO_QUERY, FAKE_NEWS_DOC_ID
+
+
+class TestServeFlags:
+    def test_hardening_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--rate-limit",
+                "25",
+                "--rate-burst",
+                "50",
+                "--max-queue",
+                "64",
+                "--default-deadline-ms",
+                "1500",
+            ]
+        )
+        assert args.rate_limit == 25.0
+        assert args.rate_burst == 50.0
+        assert args.max_queue == 64
+        assert args.default_deadline_ms == 1500.0
+
+    def test_hardening_flags_default_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.rate_limit is None
+        assert args.rate_burst is None
+        assert args.max_queue is None
+        assert args.default_deadline_ms is None
+
+    def test_bad_rate_limit_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--rate-limit", "fast"])
+
+
+class TestExplainStream:
+    _ARGS = [
+        "explain",
+        "--strategy",
+        "document/sentence-removal",
+        "--query",
+        DEMO_QUERY,
+        "--doc",
+        FAKE_NEWS_DOC_ID,
+        "--n",
+        "1",
+    ]
+
+    def test_stream_flag_parses(self):
+        args = build_parser().parse_args(self._ARGS + ["--stream"])
+        assert args.stream is True
+        assert build_parser().parse_args(self._ARGS).stream is False
+
+    def test_streamed_run_matches_plain_stdout(self, capsys):
+        code = main(self._ARGS + ["--json"])
+        plain = capsys.readouterr()
+        stream_code = main(self._ARGS + ["--json", "--stream"])
+        streamed = capsys.readouterr()
+        assert code == stream_code == 0
+        # stdout payloads are identical (modulo timing); stderr differs.
+        first = json.loads(plain.out)
+        second = json.loads(streamed.out)
+        first.pop("elapsed_seconds"), second.pop("elapsed_seconds")
+        assert second == first
+
+    def test_stream_progress_goes_to_stderr(self, capsys):
+        code = main(self._ARGS + ["--json", "--stream"])
+        captured = capsys.readouterr()
+        assert code == 0
+        # Progress lines (if the search outlived the first poll) never
+        # contaminate stdout — it must stay parseable JSON.
+        json.loads(captured.out)
+        for line in captured.err.splitlines():
+            assert line.startswith("  ...")
+
+    def test_stream_error_still_clean_exit(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--strategy",
+                "document/sentence-removal",
+                "--query",
+                DEMO_QUERY,
+                "--doc",
+                "no-such-doc",
+                "--stream",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error" in captured.err.lower()
