@@ -70,6 +70,15 @@ echo "== smoke: v3 cold-load benchmark (>= 10x full attach target) =="
 PERSIST_SMOKE=1 python -m pytest -q benchmarks/bench_persist.py
 
 echo
+echo "== observability: trace units, exposition pins, tracing-off equivalence =="
+python -m pytest -q tests/obs tests/api/test_debug_traces.py \
+    tests/api/test_request_id_lint.py tests/test_cli_metrics.py
+
+echo
+echo "== smoke: tracing overhead benchmark (no-op path + on/off sweeps) =="
+OBS_SMOKE=1 python -m pytest -q benchmarks/bench_obs.py
+
+echo
 echo "== docs: doc-sync guard + quickstart smoke on a tiny corpus =="
 python -m pytest -q tests/test_doc_sync.py
 QUICKSTART_RANKER=bm25 QUICKSTART_FILLER=12 \

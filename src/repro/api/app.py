@@ -5,20 +5,27 @@ from __future__ import annotations
 from repro.api.endpoints import register_endpoints
 from repro.api.http import MAX_BODY_BYTES, ApiServer, Router
 from repro.core.engine import CredenceEngine
+from repro.obs import DEFAULT_RING_CAPACITY, Tracer
 
 
 def build_router(
     engine: CredenceEngine,
     max_batch_items: int | None = None,
     max_ingest_items: int | None = None,
+    tracer: Tracer | None = None,
 ) -> Router:
     """A router with all CREDENCE endpoints bound to ``engine``.
 
     Uses the engine's memoised explanation service, so sync routes are
-    store-backed and ``/jobs`` traffic shares one worker pool.
+    store-backed and ``/jobs`` traffic shares one worker pool. A default
+    :class:`~repro.obs.Tracer` is attached (tracing is on unless a
+    disabled tracer is passed): every response carries ``X-Request-Id``
+    and the trace ring backs ``GET /debug/traces``.
     """
+    if tracer is None:
+        tracer = Tracer()
     return register_endpoints(
-        Router(),
+        Router(tracer=tracer),
         engine,
         max_batch_items=max_batch_items,
         max_ingest_items=max_ingest_items,
@@ -37,6 +44,10 @@ def serve(
     rate_burst: float | None = None,
     max_queue_depth: int | None = None,
     default_deadline_ms: float | None = None,
+    tracing: bool = True,
+    trace_ring: int = DEFAULT_RING_CAPACITY,
+    trace_jsonl: str | None = None,
+    slow_request_ms: float | None = None,
 ) -> ApiServer:
     """Start the CREDENCE service (non-blocking); returns the server.
 
@@ -50,6 +61,13 @@ def serve(
     admission) arm the overload tier — any of the first three also arms
     a circuit breaker (see
     :meth:`~repro.service.scheduler.ExplanationService.configure_admission`).
+
+    ``tracing`` toggles request tracing (on by default; ``False`` keeps
+    every instrumentation point on its no-op path), ``trace_ring`` sizes
+    the ``GET /debug/traces`` retention, ``trace_jsonl`` appends every
+    finished trace to a JSONL file, and ``slow_request_ms`` arms the
+    slow-request log (warning + the ``?slow=1`` ring).
+
     Call ``.stop()`` when done, or use the returned server as a context
     manager.
     """
@@ -59,10 +77,17 @@ def serve(
         max_queue_depth=max_queue_depth,
         default_deadline_ms=default_deadline_ms,
     )
+    tracer = Tracer(
+        enabled=tracing,
+        ring_capacity=trace_ring,
+        jsonl_path=trace_jsonl,
+        slow_threshold_ms=slow_request_ms,
+    )
     router = build_router(
         engine,
         max_batch_items=max_batch_items,
         max_ingest_items=max_ingest_items,
+        tracer=tracer,
     )
     return ApiServer(
         router, host=host, port=port, max_body_bytes=max_body_bytes

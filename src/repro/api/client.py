@@ -206,7 +206,15 @@ class HttpClient:
             with urllib.request.urlopen(
                 http_request, timeout=self.timeout
             ) as raw:
-                payload = json.loads(raw.read().decode("utf-8"))
+                text = raw.read().decode("utf-8")
+                content_type = raw.headers.get("Content-Type", "")
+                # Non-JSON bodies (Prometheus exposition) come back as
+                # the raw string payload.
+                payload = (
+                    json.loads(text)
+                    if content_type.startswith("application/json")
+                    else text
+                )
                 return HttpResponse(
                     raw.status,
                     payload,

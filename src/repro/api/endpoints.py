@@ -22,6 +22,8 @@ as thin delegations for older clients.
 ``GET  /jobs/{job_id}/progress``      live per-item search progress
 ``DELETE /jobs/{job_id}``             cancel a running job
 ``GET  /metrics``                     service counters, cache, latency
+``GET  /debug/traces``                recent request traces (ring buffer)
+``GET  /debug/traces/{request_id}``   one trace, every span, rendered live
 ``POST /explanations/document``       legacy: sentence-removal CFs
 ``POST /explanations/query``          legacy: query-augmentation CFs
 ``POST /explanations/instance``       legacy: Doc2Vec Nearest / Cosine Sampled
@@ -43,13 +45,26 @@ Every explanation route runs admission first (see
 an ``X-Client-Id`` header for per-client rate limiting (anonymous
 traffic shares one bucket) and a top-level ``"priority"`` body field
 (``"interactive"`` | ``"batch"``) on the batch/jobs routes.
+
+Observability (see :mod:`repro.obs`): with a tracer attached to the
+router, every response carries ``X-Request-Id`` (echoed from the
+request header, generated otherwise), ``GET /metrics`` answers
+``?format=prometheus`` with exposition text, ``GET /debug/traces``
+serves the trace ring, and ``POST /explanations`` accepts a top-level
+``"profile": true`` returning a per-stage ``debug`` block.
 """
 
 from __future__ import annotations
 
 import threading
 
-from repro.api.http import HttpResponse, Request, Router, StreamingResponse
+from repro.api.http import (
+    HttpResponse,
+    Request,
+    Router,
+    StreamingResponse,
+    TextResponse,
+)
 from repro.api.schemas import (
     BuilderRequest,
     DocumentExplanationRequest,
@@ -62,6 +77,7 @@ from repro.api.schemas import (
     parse_index_ingest,
     parse_index_save,
     parse_job_submission,
+    parse_profile_flag,
     parse_request_priority,
 )
 from repro.core.engine import CredenceEngine
@@ -82,6 +98,14 @@ from repro.errors import (
     ReadOnlyIndexError,
     ServiceUnavailableError,
     TooManyRequestsError,
+)
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    activate_context,
+    capture_context,
+    current_trace,
+    profile_block,
+    render_prometheus,
 )
 from repro.service.admission import Priority
 from repro.service.scheduler import ExplanationService
@@ -260,15 +284,25 @@ def register_endpoints(
 
     @router.post("/explanations")
     def explain(request: Request):
+        profile = parse_profile_flag(request.body)
         parsed = parse_explain_request(request.body)
         _admit(request)
         response = _run_explain(service, parsed)
-        return _attach_instance_bodies(engine, response.to_dict())
+        payload = _attach_instance_bodies(engine, response.to_dict())
+        if profile:
+            # The per-stage breakdown of *this* request's trace; when no
+            # tracer is attached the block degrades to {"enabled": False}.
+            payload["debug"] = profile_block(current_trace())
+        return payload
 
     @router.post("/explanations/stream")
     def explain_stream(request: Request):
         parsed = parse_explain_request(request.body)
         _admit(request)
+        # The chunk generator runs after dispatch returns (the response
+        # is streamed), so hand the request's trace context to the
+        # worker explicitly — spans land in the original trace.
+        trace_context = capture_context()
 
         def chunks():
             sink = ProgressSink()
@@ -276,7 +310,7 @@ def register_endpoints(
 
             def run() -> None:
                 try:
-                    with search_progress(sink):
+                    with activate_context(trace_context), search_progress(sink):
                         outcome["response"] = service.explain(
                             parsed, priority=Priority.INTERACTIVE
                         )
@@ -389,8 +423,50 @@ def register_endpoints(
         return job.to_dict(include_responses=False)
 
     @router.get("/metrics")
-    def metrics(_: Request):
-        return service.metrics_snapshot()
+    def metrics(request: Request):
+        format = request.query_params.get("format", "json")
+        snapshot = service.metrics_snapshot()
+        if format == "prometheus":
+            return TextResponse(
+                200,
+                render_prometheus(snapshot),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        if format != "json":
+            raise BadRequestError(
+                f"'format' must be 'json' or 'prometheus', got {format!r}"
+            )
+        return snapshot
+
+    # -- request traces (the debug surface; see repro.obs) ---------------------
+
+    def _tracer():
+        return router.tracer
+
+    @router.get("/debug/traces")
+    def debug_traces(request: Request):
+        tracer = _tracer()
+        if tracer is None:
+            return {"enabled": False, "count": 0, "traces": []}
+        slow = request.query_params.get("slow") in ("1", "true")
+        summaries = [trace.summary() for trace in tracer.traces(slow=slow)]
+        payload = {
+            "enabled": tracer.enabled,
+            "count": len(summaries),
+            "traces": summaries,
+        }
+        if tracer.slow_threshold_ms is not None:
+            payload["slow_threshold_ms"] = tracer.slow_threshold_ms
+        return payload
+
+    @router.get("/debug/traces/{request_id}")
+    def debug_trace_detail(request: Request):
+        tracer = _tracer()
+        request_id = request.path_params["request_id"]
+        trace = None if tracer is None else tracer.trace_for(request_id)
+        if trace is None:
+            raise NotFoundError(f"no retained trace for {request_id!r}")
+        return trace.to_dict()
 
     # -- legacy per-family routes (thin delegations) ---------------------------
 

@@ -12,12 +12,16 @@ from __future__ import annotations
 import json
 import re
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ApiError, BadRequestError, NotFoundError
+from repro.obs.trace import new_request_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -71,7 +75,19 @@ class StreamingResponse:
     headers: dict[str, str] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class TextResponse:
+    """A plain-text response (Prometheus exposition is text, not JSON)."""
+
+    status: int
+    text: str
+    headers: dict[str, str] = field(default_factory=dict)
+    content_type: str = "text/plain; charset=utf-8"
+
+
 Handler = Callable[[Request], Any]
+
+Response = HttpResponse | StreamingResponse | TextResponse
 
 _PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
 
@@ -89,10 +105,20 @@ class _Route:
 
 
 class Router:
-    """Maps (method, path) to handlers and dispatches requests."""
+    """Maps (method, path) to handlers and dispatches requests.
 
-    def __init__(self):
+    With a :class:`~repro.obs.tracer.Tracer` attached, every dispatch —
+    including 404s, 405s, and error mappings — runs under a request
+    trace and every response (streaming included) carries an
+    ``X-Request-Id`` header: the client's own (``X-Request-Id`` request
+    header) when present, a fresh id otherwise. Implementing the
+    contract here, below every route, is what lets the lint test assert
+    that no endpoint can opt out of request-id propagation.
+    """
+
+    def __init__(self, tracer: "Tracer | None" = None):
         self._routes: list[_Route] = []
+        self.tracer = tracer
 
     def add(self, method: str, pattern: str, handler: Handler) -> None:
         """Register ``handler`` for ``method`` on a ``/path/{param}`` pattern."""
@@ -119,13 +145,27 @@ class Router:
 
         return register
 
-    def dispatch(self, request: Request) -> HttpResponse | StreamingResponse:
+    def dispatch(self, request: Request) -> Response:
         """Route and execute ``request``, mapping errors to status codes.
 
         An :class:`~repro.errors.ApiError` that knows extra headers
         (``to_headers`` — e.g. ``Retry-After`` on 429/503) gets them
         attached to the error response.
         """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._dispatch(request)
+        request_id = request.headers.get("x-request-id") or new_request_id()
+        with tracer.trace(
+            f"{request.method} {request.path}", request_id=request_id
+        ) as trace:
+            response = self._dispatch(request)
+            trace.set(status=response.status)
+        headers = dict(response.headers)
+        headers.setdefault("X-Request-Id", request_id)
+        return replace(response, headers=headers)
+
+    def _dispatch(self, request: Request) -> Response:
         matched_path = False
         for route in self._routes:
             match = route.pattern.match(request.path)
@@ -154,7 +194,7 @@ class Router:
             except (KeyError, ValueError, TypeError) as error:
                 bad = BadRequestError(str(error))
                 return HttpResponse(bad.status_code, bad.to_payload())
-            if isinstance(result, (HttpResponse, StreamingResponse)):
+            if isinstance(result, (HttpResponse, StreamingResponse, TextResponse)):
                 return result
             return HttpResponse(200, result)
         if matched_path:
@@ -179,10 +219,17 @@ class _JsonRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # silence default stderr logging
         pass
 
-    def _respond(self, response: HttpResponse) -> None:
-        body = json.dumps(response.payload, ensure_ascii=False).encode("utf-8")
+    def _respond(self, response: HttpResponse | TextResponse) -> None:
+        if isinstance(response, TextResponse):
+            body = response.text.encode("utf-8")
+            content_type = response.content_type
+        else:
+            body = json.dumps(response.payload, ensure_ascii=False).encode(
+                "utf-8"
+            )
+            content_type = "application/json; charset=utf-8"
         self.send_response(response.status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in response.headers.items():
             self.send_header(name, value)

@@ -157,7 +157,7 @@ def parse_explain_request(body: Any) -> ExplainRequest:
     data = _require_mapping(body)
     known = {
         "query", "doc_id", "strategy", "n", "k", "threshold", "samples",
-        "search", "beam_width", "budget", "deadline_ms", "extra",
+        "search", "beam_width", "budget", "deadline_ms", "extra", "profile",
     }
     unknown = set(data) - known
     if unknown:
@@ -234,6 +234,21 @@ def parse_job_submission(
     if "request" in data:
         return [parse_explain_request(data["request"])]
     return parse_explain_batch(body, max_items=max_items)
+
+
+def parse_profile_flag(body: Any) -> bool:
+    """Parse the optional top-level ``"profile"`` boolean.
+
+    ``POST /explanations`` returns a per-stage ``debug`` block when set.
+    The flag is presentation-only — it never reaches the
+    :class:`~repro.core.explain.ExplainRequest` (and so never perturbs
+    the result-store key or the response itself).
+    """
+    data = _require_mapping(body)
+    raw = data.get("profile", False)
+    if not isinstance(raw, bool):
+        raise BadRequestError("'profile' must be a boolean")
+    return raw
 
 
 def parse_request_priority(

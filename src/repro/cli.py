@@ -35,6 +35,13 @@ Async jobs against a *running* service (``serve``) go through the
         --query "covid outbreak" --doc covid-fake-5g --doc covid-who-report
     python -m repro.cli jobs status job-1 --wait
     python -m repro.cli jobs cancel job-1
+    python -m repro.cli metrics --url http://127.0.0.1:8091
+    python -m repro.cli metrics --format prometheus
+
+Observability: ``explain --profile`` prints a per-stage wall-time
+breakdown to stderr (the explanation itself is byte-identical with or
+without it), and ``serve`` traces every request by default — inspect
+with ``GET /debug/traces`` or disable with ``--no-trace``.
 
 The pre-redesign per-family subcommands (``explain-document``,
 ``explain-query``, ``explain-instance``) remain as thin delegations to
@@ -183,7 +190,21 @@ def _run_explain(
         budget=getattr(args, "budget", None),
         deadline_ms=getattr(args, "deadline_ms", None),
     )
-    if getattr(args, "stream", False):
+    debug = None
+    if getattr(args, "profile", False):
+        from repro.obs import Tracer, profile_block, render_profile
+
+        tracer = Tracer(ring_capacity=1)
+        with tracer.trace("cli/explain") as trace:
+            if getattr(args, "stream", False):
+                response = _explain_streaming(engine, request)
+            else:
+                response = engine.explain(request)
+        debug = profile_block(trace)
+        # The breakdown goes to stderr so stdout stays the result alone
+        # (pipelines parsing it are unaffected by --profile).
+        print(render_profile(debug), file=sys.stderr)
+    elif getattr(args, "stream", False):
         response = _explain_streaming(engine, request)
     else:
         response = engine.explain(request)
@@ -194,6 +215,8 @@ def _run_explain(
         else json.dumps(response.to_dict(), ensure_ascii=False, indent=2)
     )
     payload = response.result.to_dict() if legacy_payload else response.to_dict()
+    if debug is not None and not legacy_payload:
+        payload = {**payload, "debug": debug}
     _emit(args, payload, text)
     return 0 if response.explanations else 1
 
@@ -209,13 +232,16 @@ def _explain_streaming(engine: CredenceEngine, request: ExplainRequest):
     import threading
 
     from repro.core.search.progress import ProgressSink, search_progress
+    from repro.obs import activate_context, capture_context
 
     sink = ProgressSink()
     outcome: dict = {}
+    # Hand any active trace (--profile) to the worker thread.
+    trace_context = capture_context()
 
     def run() -> None:
         try:
-            with search_progress(sink):
+            with activate_context(trace_context), search_progress(sink):
                 outcome["response"] = engine.explain(request)
         except BaseException as error:  # noqa: BLE001 - re-raised below
             outcome["error"] = error
@@ -470,6 +496,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate_burst=args.rate_burst,
         max_queue_depth=args.max_queue,
         default_deadline_ms=args.default_deadline_ms,
+        tracing=not args.no_trace,
+        trace_jsonl=args.trace_jsonl,
+        slow_request_ms=args.slow_ms,
     )
     pool_size = engine.service().pool.worker_count
     mode = (
@@ -545,6 +574,64 @@ def _with_connection_errors(handler):
             return 2
 
     return run
+
+
+def _render_metrics(payload: dict) -> str:
+    """The human form of the ``GET /metrics`` JSON snapshot."""
+    lines = [
+        f"uptime {payload['uptime_seconds']:.1f}s  "
+        f"snapshot #{payload['snapshot_seq']}  "
+        f"workers {payload['workers']}  "
+        f"queue depth {payload['queue_depth']}"
+        + ("  DRAINING" if payload.get("draining") else "")
+    ]
+    lines.append(
+        f"cache hit rate {payload['cache_hit_rate']:.1%} "
+        f"({payload['store']['hits']} hits / "
+        f"{payload['store']['misses']} misses, "
+        f"{payload['store']['entries']} entries)"
+    )
+    latency = payload["item_latency"]
+    lines.append(
+        f"item latency: {latency['count']} items, "
+        f"p50 {latency['p50_seconds'] * 1000:.1f}ms  "
+        f"p95 {latency['p95_seconds'] * 1000:.1f}ms  "
+        f"p99 {latency['p99_seconds'] * 1000:.1f}ms"
+    )
+    lines.append("counters:")
+    for name, value in sorted(payload["counters"].items()):
+        if value:
+            lines.append(f"  {name:<34} {value}")
+    if not any(payload["counters"].values()):
+        lines.append("  (all zero)")
+    admission = payload.get("admission")
+    if admission is not None:
+        parts = [
+            f"{key}={value}"
+            for key, value in admission.items()
+            if value is not None
+        ]
+        lines.append("admission: " + (", ".join(parts) or "armed"))
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    client = _jobs_client(args)
+    if args.format == "prometheus":
+        response = client.get("/metrics?format=prometheus")
+        if response.status != 200:
+            print(f"error: {response.payload}", file=sys.stderr)
+            return 2
+        # Exposition text passes through verbatim (scrape-compatible).
+        print(response.payload, end="")
+        return 0
+    response = client.get("/metrics")
+    if response.status != 200:
+        print(f"error: {response.payload.get('detail')}", file=sys.stderr)
+        return 2
+    payload = response.payload
+    _emit(args, payload, _render_metrics(payload))
+    return 0
 
 
 def _cmd_jobs_submit(args: argparse.Namespace) -> int:
@@ -690,6 +777,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print live search progress to stderr while the "
         "explanation runs",
+    )
+    explain.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the request and print a per-stage wall-time "
+        "breakdown to stderr (results are byte-identical either way)",
     )
     explain.set_defaults(handler=_cmd_explain)
 
@@ -852,6 +945,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request wall-clock deadline stamped at admission; "
         "overloaded requests degrade to best-effort partial results",
     )
+    serve_cmd.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable request tracing (X-Request-Id is still accepted "
+        "but /debug/traces stays empty)",
+    )
+    serve_cmd.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        default=None,
+        help="append every finished request trace to this JSONL file",
+    )
+    serve_cmd.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="THRESHOLD",
+        help="log requests slower than this and keep them in the "
+        "slow-request ring (GET /debug/traces?slow=1)",
+    )
     serve_cmd.set_defaults(handler=_cmd_serve)
 
     jobs = commands.add_parser(
@@ -909,6 +1022,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_common(cancel)
     cancel.add_argument("job_id")
     cancel.set_defaults(handler=_with_connection_errors(_cmd_jobs_cancel))
+
+    metrics_cmd = commands.add_parser(
+        "metrics", help="fetch and pretty-print a running service's /metrics"
+    )
+    metrics_cmd.add_argument(
+        "--url",
+        default="http://127.0.0.1:8091",
+        help="base URL of a running 'serve' instance",
+    )
+    metrics_cmd.add_argument("--timeout", type=float, default=30.0)
+    metrics_cmd.add_argument(
+        "--json", action="store_true", help="emit the raw JSON snapshot"
+    )
+    metrics_cmd.add_argument(
+        "--format",
+        default="json",
+        choices=("json", "prometheus"),
+        help="prometheus prints the exposition text verbatim",
+    )
+    metrics_cmd.set_defaults(handler=_with_connection_errors(_cmd_metrics))
 
     return parser
 

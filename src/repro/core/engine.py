@@ -37,6 +37,7 @@ from repro.core.types import (
     QueryAugmentationExplanation,
     SentenceRemovalExplanation,
 )
+from repro.obs.trace import span as obs_span
 from repro.topics.lda import train_lda
 from repro.topics.summaries import TopicSummary, summarize_topics
 from repro.utils.timing import timed
@@ -364,8 +365,12 @@ class CredenceEngine:
                 "pass either an ExplainRequest or keyword fields, not both"
             )
         explainer = self.registry.get(self, request.strategy)
-        with timed() as elapsed:
-            result = explainer.explain(request)
+        with obs_span(
+            "engine/explain", strategy=self.registry.resolve(request.strategy)
+        ) as span:
+            with timed() as elapsed:
+                result = explainer.explain(request)
+            span.set(explanations=len(result.explanations))
         return ExplainResponse(
             strategy=self.registry.resolve(request.strategy),
             query=request.query,

@@ -24,6 +24,7 @@ the trace into their :class:`~repro.core.types.ExplanationSet`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import wraps
 from typing import Protocol, runtime_checkable
 
 from repro.core.search.budget import (
@@ -36,6 +37,7 @@ from repro.core.search.budget import (
 from repro.core.search.problem import SearchProblem
 from repro.core.search.progress import emit_progress
 from repro.errors import ConfigurationError
+from repro.obs.trace import span as obs_span
 from repro.utils.iteration import ordered_subsets
 from repro.utils.validation import require_positive
 
@@ -392,6 +394,38 @@ class AnytimeSearch:
         if completed and len(found) < n:
             trace.search_exhausted = True
         return found, trace
+
+
+def _traced_search(search):
+    """Wrap a strategy's ``search`` in one ``search/run`` span.
+
+    One span per run with end-set attributes — never a span per
+    candidate; the kernel's inner loop must stay span-free (see
+    :mod:`repro.obs.trace`). A budget overrun raised out of the run
+    still closes the span (with an ``error`` attribute). When no trace
+    is active the wrapper costs one ``getattr``.
+    """
+
+    @wraps(search)
+    def traced(self, problem, n, budget=UNLIMITED):
+        with obs_span("search/run", strategy=self.name) as span:
+            found, trace = search(self, problem, n, budget)
+            span.set(
+                candidates_evaluated=trace.candidates_evaluated,
+                ranker_calls=trace.ranker_calls,
+                explanations_found=len(found),
+                budget_spent=_spent(trace, problem),
+                physical_scorings=problem.physical_scorings,
+                budget_exhausted=trace.budget_exhausted,
+                deadline_exceeded=trace.deadline_exceeded,
+            )
+            return found, trace
+
+    return traced
+
+
+for _strategy in (ExhaustiveSearch, GreedySearch, BeamSearch, AnytimeSearch):
+    _strategy.search = _traced_search(_strategy.search)
 
 
 #: Registered search-strategy names (REST/CLI validation, docs).

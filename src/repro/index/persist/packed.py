@@ -43,6 +43,7 @@ from repro.index.sharding import (
     build_router,
 )
 from repro.index.stats import CollectionStats
+from repro.obs.trace import span as obs_span
 from repro.text.analyzer import Analyzer
 from repro.index.persist.manifest import GenerationRecord, Manifest
 from repro.index.persist.segment import Segment
@@ -449,6 +450,13 @@ def attach_packed(
     maps its segments, and returns the matching packed view. O(1) in
     corpus size — only fixed-size headers are parsed.
     """
+    with obs_span("persist/attach", path=str(path)) as span:
+        return _attach_packed(path, record, span)
+
+
+def _attach_packed(
+    path: str | Path, record: GenerationRecord | None, span
+) -> PackedIndex | PackedShardedIndex:
     path = Path(path)
     manifest = Manifest.open(path)
     if record is None:
@@ -459,6 +467,7 @@ def attach_packed(
             raise IndexFormatError(
                 f"index manifest {path} has no committed generation"
             )
+    span.set(generation=record.generation, segments=len(record.segments))
     analyzer = Analyzer.from_config(record.analyzer_config)
     bytes_on_disk = path.stat().st_size + sum(
         segment.bytes for segment in record.segments

@@ -30,6 +30,7 @@ from typing import Callable, Iterator
 
 from repro.errors import IndexFormatError
 from repro.index.persist.manifest import Manifest
+from repro.obs.trace import event as obs_event
 from repro.index.persist.packed import (
     PackedIndex,
     PackedShardedIndex,
@@ -98,6 +99,11 @@ class ReplicaIndex:
             previous = self._inner
             self._inner = self._attach()
             previous.close()
+            obs_event(
+                "replica/swap",
+                generation=self.generation,
+                previous=previous.storage_info()["generation"],
+            )
             logger.info(
                 "replica %s: attached generation %d (was %d)",
                 self._path,

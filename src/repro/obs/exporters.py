@@ -1,0 +1,95 @@
+"""Where finished traces go: a bounded ring, and optionally a JSONL file.
+
+The ring holds the *live* :class:`~repro.obs.trace.Trace` objects, not
+rendered dicts: async job items keep appending spans after the HTTP
+response (a 202) has gone out, and rendering at read time is what makes
+those late spans visible in ``GET /debug/traces``. The JSONL exporter,
+by contrast, serialises at finish time — its lines are a durable record
+of what the trace looked like when the request completed, and the docs
+call out that late job-item spans are not in it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import IO
+
+from repro.obs.trace import Trace
+from repro.utils.validation import require_positive
+
+#: Ring capacity when the caller doesn't choose one. 256 traces of a few
+#: dozen spans each is a few MB — cheap enough to keep always-on.
+DEFAULT_RING_CAPACITY = 256
+
+
+class RingExporter:
+    """A bounded FIFO of the most recent traces. Thread-safe."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        require_positive(capacity, "capacity")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: deque[Trace] = deque(maxlen=capacity)
+        self.exported = 0
+
+    def export(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+            self.exported += 1
+
+    def traces(self) -> list[Trace]:
+        """Newest first — the order an operator wants to scan."""
+        with self._lock:
+            return list(reversed(self._traces))
+
+    def find(self, request_id: str) -> Trace | None:
+        """The most recent trace with this request id, or ``None``.
+
+        Most recent because retried requests may reuse an id; the newest
+        attempt is the one being debugged.
+        """
+        with self._lock:
+            for trace in reversed(self._traces):
+                if trace.request_id == request_id:
+                    return trace
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class JsonlExporter:
+    """Appends one JSON line per finished trace to a file. Thread-safe.
+
+    The file is opened lazily on the first export (constructing a tracer
+    with a path configured must not touch the filesystem) and flushed
+    per line, so a crash loses at most the trace being written.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle: IO[str] | None = None
+        self.exported = 0
+
+    def export(self, trace: Trace) -> None:
+        line = json.dumps(trace.to_dict(), ensure_ascii=False)
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.exported += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None

@@ -1,0 +1,64 @@
+"""The per-stage wall-time breakdown behind ``explain --profile``.
+
+Aggregates a trace's spans by name into stage totals — the answer to
+"where did this request's time go" in one small dict, suitable for the
+REST response's ``debug`` block and the CLI's stderr table.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import Trace
+
+
+def profile_block(trace: Trace | None) -> dict:
+    """Summarise ``trace`` as ``{enabled, request_id, total_ms, stages,
+    counters}``.
+
+    Stages are spans aggregated by name, in first-seen order, each with
+    a call count and total/max duration. ``trace=None`` (tracing off)
+    yields ``{"enabled": False}`` so callers emit one shape either way.
+    Open spans (a profile read mid-request) count their elapsed time so
+    far as 0 — the block reports *completed* stage time only.
+    """
+    if trace is None:
+        return {"enabled": False}
+    rendered = trace.to_dict()
+    stages: dict[str, dict] = {}
+    for span in rendered["spans"]:
+        stage = stages.get(span["name"])
+        if stage is None:
+            stage = stages[span["name"]] = {
+                "name": span["name"],
+                "count": 0,
+                "total_ms": 0.0,
+                "max_ms": 0.0,
+            }
+        stage["count"] += 1
+        duration = span["duration_ms"] or 0.0
+        stage["total_ms"] = round(stage["total_ms"] + duration, 3)
+        stage["max_ms"] = max(stage["max_ms"], duration)
+    return {
+        "enabled": True,
+        "request_id": rendered["request_id"],
+        "total_ms": round(trace.elapsed_ms(), 3),
+        "stages": list(stages.values()),
+        "counters": rendered["counters"],
+    }
+
+
+def render_profile(block: dict) -> str:
+    """The human form of a profile block (CLI ``--profile`` on stderr)."""
+    if not block.get("enabled"):
+        return "profiling disabled"
+    lines = [
+        f"profile {block['request_id']}: {block['total_ms']:.1f} ms total",
+        f"  {'stage':<28} {'calls':>5} {'total ms':>10} {'max ms':>10}",
+    ]
+    for stage in block["stages"]:
+        lines.append(
+            f"  {stage['name']:<28} {stage['count']:>5} "
+            f"{stage['total_ms']:>10.2f} {stage['max_ms']:>10.2f}"
+        )
+    for name, value in sorted(block["counters"].items()):
+        lines.append(f"  {name} = {value}")
+    return "\n".join(lines)

@@ -1,0 +1,378 @@
+"""Structured tracing primitives: spans, traces, and context propagation.
+
+A :class:`Trace` is the record of one request's journey through the
+serving stack; a :class:`Span` is one timed stage inside it (admission
+decision, queue wait, strategy run, store lookup, ...). Spans form a
+tree via parent ids but are stored flat and append-only, so concurrent
+writers (job items executing on pool workers) never contend on tree
+structure — only on the list lock.
+
+The propagation channel mirrors :mod:`repro.core.search.progress`: a
+thread-local holds the active :class:`TraceContext`, installed by
+:func:`activate_context` and read by the module-level helpers
+(:func:`span`, :func:`event`, :func:`count`, :func:`annotate`). Every
+helper starts with a single ``getattr`` on the thread-local; when no
+trace is active — the default — they return immediately. That is the
+*tracing-is-invisible* invariant: instrumentation can sit on hot serving
+paths because its disabled cost is one attribute lookup, and it never
+touches the data flowing through the stage it wraps.
+
+Cross-thread handoff is explicit: :func:`capture_context` at the point
+work is enqueued, :func:`activate_context` in the thread that runs it
+(see :meth:`repro.service.workers.WorkerPool.submit`). Spans appended
+from worker threads land in the same trace, after the HTTP response may
+already have gone out — the ring exporter keeps live ``Trace`` objects
+and renders on read, so late spans still show up in ``/debug/traces``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+_LOCAL = threading.local()
+
+#: Hard cap on spans retained per trace. A runaway loop emitting spans
+#: (the bug this guards against) degrades to a counter, not an OOM.
+MAX_SPANS_PER_TRACE = 2048
+
+
+def new_request_id() -> str:
+    """A fresh request id: 16 hex chars, safe for headers and paths."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class Span:
+    """One timed stage of a trace.
+
+    ``started_ms``/``duration_ms`` are relative to the owning trace's
+    start (monotonic clock), so span timings line up within a trace
+    regardless of wall-clock adjustments. ``duration_ms`` is ``None``
+    while the span is open.
+    """
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    started_ms: float
+    duration_ms: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attributes: Any) -> None:
+        """Attach attributes to this span (last write per key wins)."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict:
+        data = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_ms": round(self.started_ms, 3),
+            "duration_ms": (
+                None if self.duration_ms is None else round(self.duration_ms, 3)
+            ),
+        }
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        return data
+
+
+class _NullSpan:
+    """The span handed out when no trace is active: ``set`` is a no-op,
+    so instrumentation never branches on whether tracing is on."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Trace:
+    """One request's span record. Thread-safe and append-only."""
+
+    def __init__(
+        self,
+        name: str,
+        request_id: str | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.name = name
+        self.request_id = request_id if request_id else new_request_id()
+        self.started_at = time.time()
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self.spans: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self.attributes: dict[str, Any] = {}
+        self.duration_ms: float | None = None
+        self.spans_dropped = 0
+
+    # -- clock ----------------------------------------------------------------
+
+    def _now_ms(self) -> float:
+        return (self._clock() - self._t0) * 1000.0
+
+    def elapsed_ms(self) -> float:
+        """Total duration if finished, else the live elapsed time."""
+        return self.duration_ms if self.duration_ms is not None else self._now_ms()
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def begin_span(
+        self, name: str, parent_id: str | None, **attributes: Any
+    ) -> Span:
+        started = self._now_ms()
+        with self._lock:
+            if len(self.spans) >= MAX_SPANS_PER_TRACE:
+                # Keep returning a real Span (callers .set() on it) but
+                # don't retain it; the drop is visible in the summary.
+                self.spans_dropped += 1
+                return Span(name, "dropped", parent_id, started, None, dict(attributes))
+            span = Span(
+                name, f"s{self._next_id}", parent_id, started, None, dict(attributes)
+            )
+            self._next_id += 1
+            self.spans.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        span.duration_ms = self._now_ms() - span.started_ms
+
+    def add_event(self, name: str, parent_id: str | None, **attributes: Any) -> None:
+        """A zero-duration span: a point-in-time marker."""
+        span = self.begin_span(name, parent_id, **attributes)
+        span.duration_ms = 0.0
+
+    def add_timed(
+        self,
+        name: str,
+        parent_id: str | None,
+        started_at: float,
+        **attributes: Any,
+    ) -> None:
+        """A span whose start was stamped earlier as a ``perf_counter``
+        reading (queue wait: stamped at submit, emitted at dequeue)."""
+        now = self._clock()
+        span = self.begin_span(name, parent_id, **attributes)
+        span.started_ms = (started_at - self._t0) * 1000.0
+        span.duration_ms = (now - started_at) * 1000.0
+
+    def count(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + by
+
+    def set(self, **attributes: Any) -> None:
+        """Attach trace-level attributes (status code, client id, ...)."""
+        with self._lock:
+            self.attributes.update(attributes)
+
+    def finish(self) -> None:
+        self.duration_ms = self._now_ms()
+
+    # -- rendering ------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """The one-line form ``GET /debug/traces`` lists."""
+        with self._lock:
+            return {
+                "request_id": self.request_id,
+                "name": self.name,
+                "started_at": self.started_at,
+                "duration_ms": (
+                    None if self.duration_ms is None else round(self.duration_ms, 3)
+                ),
+                "spans": len(self.spans),
+                **{
+                    key: value
+                    for key, value in self.attributes.items()
+                    if key in ("status", "error")
+                },
+            }
+
+    def to_dict(self) -> dict:
+        """The full JSON form: trace header plus every span, rendered at
+        read time so spans appended after the response went out (async
+        job items) are included."""
+        with self._lock:
+            data = {
+                "request_id": self.request_id,
+                "name": self.name,
+                "started_at": self.started_at,
+                "duration_ms": (
+                    None if self.duration_ms is None else round(self.duration_ms, 3)
+                ),
+                "attributes": dict(self.attributes),
+                "counters": dict(self.counters),
+                "spans": [span.to_dict() for span in self.spans],
+            }
+            if self.spans_dropped:
+                data["spans_dropped"] = self.spans_dropped
+            return data
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The ambient (trace, current span) pair carried by the thread-local.
+
+    ``span`` is ``None`` at the trace root; child spans opened through
+    :func:`span` parent onto it. Immutable so capturing it for another
+    thread is a plain reference copy.
+    """
+
+    trace: Trace
+    span: Span | None = None
+
+    @property
+    def parent_id(self) -> str | None:
+        return None if self.span is None else self.span.span_id
+
+
+def current_context() -> TraceContext | None:
+    """The context installed on this thread, or ``None``."""
+    return getattr(_LOCAL, "context", None)
+
+
+def current_trace() -> Trace | None:
+    """The active trace on this thread, or ``None``."""
+    context = getattr(_LOCAL, "context", None)
+    return None if context is None else context.trace
+
+
+def capture_context() -> TraceContext | None:
+    """Snapshot the ambient context for handoff to another thread.
+
+    Returns ``None`` when tracing is inactive, so callers can skip the
+    wrapper entirely (the zero-cost path through ``WorkerPool.submit``).
+    """
+    return getattr(_LOCAL, "context", None)
+
+
+class activate_context:
+    """Install a captured :class:`TraceContext` on this thread.
+
+    Context-manager; restores whatever was active before on exit.
+    ``activate_context(None)`` is a supported no-op, so call sites don't
+    branch.
+    """
+
+    __slots__ = ("_context", "_previous")
+
+    def __init__(self, context: TraceContext | None):
+        self._context = context
+        self._previous = None
+
+    def __enter__(self) -> TraceContext | None:
+        if self._context is None:
+            return None
+        self._previous = getattr(_LOCAL, "context", None)
+        _LOCAL.context = self._context
+        return self._context
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._context is not None:
+            _LOCAL.context = self._previous
+            self._previous = None
+        return False
+
+
+class span:
+    """Open a child span on the active trace; a no-op without one.
+
+    Usage::
+
+        with span("store/lookup") as sp:
+            cached = store.get(...)
+            sp.set(hit=cached is not None)
+
+    When no trace is active, ``__enter__`` costs one ``getattr`` and
+    yields :data:`NULL_SPAN` (whose ``set`` does nothing). An exception
+    escaping the block stamps an ``error`` attribute before the span
+    closes and then propagates unchanged.
+    """
+
+    __slots__ = ("_name", "_attributes", "_span", "_trace", "_previous")
+
+    def __init__(self, name: str, **attributes: Any):
+        self._name = name
+        self._attributes = attributes
+        self._span = None
+        self._trace = None
+        self._previous = None
+
+    def __enter__(self):
+        context = getattr(_LOCAL, "context", None)
+        if context is None:
+            return NULL_SPAN
+        self._trace = context.trace
+        self._span = context.trace.begin_span(
+            self._name, context.parent_id, **self._attributes
+        )
+        self._previous = context
+        _LOCAL.context = TraceContext(context.trace, self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is None:
+            return False
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._trace.end_span(self._span)
+        _LOCAL.context = self._previous
+        self._span = None
+        self._trace = None
+        self._previous = None
+        return False
+
+
+def event(name: str, **attributes: Any) -> None:
+    """Record a point-in-time marker on the active trace (no-op without)."""
+    context = getattr(_LOCAL, "context", None)
+    if context is None:
+        return
+    context.trace.add_event(name, context.parent_id, **attributes)
+
+
+def event_since(name: str, started_at: float, **attributes: Any) -> None:
+    """Record a span that started at an earlier ``perf_counter`` reading.
+
+    This is how queue wait is measured: the submit path stamps
+    ``time.perf_counter()``, the worker emits the span when it picks the
+    item up — no span object crosses the thread boundary.
+    """
+    context = getattr(_LOCAL, "context", None)
+    if context is None:
+        return
+    context.trace.add_timed(name, context.parent_id, started_at, **attributes)
+
+
+def count(name: str, by: int = 1) -> None:
+    """Bump a per-trace counter (no-op without an active trace).
+
+    This is the hot-path alternative to a span: scoring sessions open
+    once per candidate evaluation, so they count instead of span.
+    """
+    context = getattr(_LOCAL, "context", None)
+    if context is None:
+        return
+    context.trace.count(name, by)
+
+
+def annotate(**attributes: Any) -> None:
+    """Attach attributes to the innermost open span (or the trace itself
+    at the root). No-op without an active trace."""
+    context = getattr(_LOCAL, "context", None)
+    if context is None:
+        return
+    if context.span is not None:
+        context.span.set(**attributes)
+    else:
+        context.trace.set(**attributes)

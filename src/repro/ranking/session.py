@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Collection, Mapping, Sequence
 
 from repro.errors import RankingError
 from repro.index.document import Document
+from repro.obs.trace import count as obs_count
 from repro.text.sentences import Sentence, split_sentences
 
 if TYPE_CHECKING:  # avoid a circular import with ranking.base
@@ -70,6 +71,9 @@ class ScoringSession:
         #: Texts actually pushed through the underlying model so far.
         self.physical_scorings = 0
         self._sentences: dict[str, list[Sentence]] = {}
+        # A per-trace counter, not a span: query-augmentation opens one
+        # session per candidate, far too hot for span objects.
+        obs_count("sessions/opened")
 
     # -- pool access ---------------------------------------------------------
 

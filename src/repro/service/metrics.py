@@ -15,6 +15,7 @@ silently break.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 
 from repro.service.admission import Priority
@@ -102,6 +103,9 @@ class ServiceMetrics:
         self._latency_by_priority = {
             priority: LatencyWindow(latency_window) for priority in Priority
         }
+        # Monotonic clock: uptime must never jump under NTP adjustments.
+        self._started = time.monotonic()
+        self._snapshot_seq = 0
 
     def increment(self, name: str, by: int = 1) -> None:
         with self._lock:
@@ -131,9 +135,20 @@ class ServiceMetrics:
             )
             return window.p95_seconds()
 
+    @property
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since this metrics instance was created."""
+        return time.monotonic() - self._started
+
     def snapshot(self) -> dict:
-        """A JSON-ready snapshot: counters and the latency summaries."""
+        """A JSON-ready snapshot: counters and the latency summaries.
+
+        ``snapshot_seq`` increments under the lock on every call, so two
+        scrapes can never observe the same sequence number — a scraper
+        comparing snapshots can order them even if its own clock slips.
+        """
         with self._lock:
+            self._snapshot_seq += 1
             return {
                 "counters": dict(self._counters),
                 "item_latency": self._latency.summary(),
@@ -141,4 +156,6 @@ class ServiceMetrics:
                     priority.label: window.summary()
                     for priority, window in self._latency_by_priority.items()
                 },
+                "uptime_seconds": self.uptime_seconds,
+                "snapshot_seq": self._snapshot_seq,
             }

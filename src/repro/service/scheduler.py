@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -68,6 +69,7 @@ from repro.service.faults import (
     SITE_WORKER,
     FaultInjector,
 )
+from repro.obs.trace import event_since, span as obs_span
 from repro.service.jobs import ExplainJob, JobStatus
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import ResultStore
@@ -190,36 +192,46 @@ class ExplanationService:
         Order: drain flag, then circuit breaker, then rate limit, then
         the queue-depth bound — shed-before-queue, every refusal counted.
         """
-        if self._draining:
-            self.metrics.increment("requests_rejected_draining")
-            raise ServiceDrainingError(
-                "service is draining; no new work is admitted"
-            )
-        if self.admission is None:
+        with obs_span(
+            "admission/decide",
+            priority=getattr(priority, "label", str(priority)),
+        ) as span:
+            if self._draining:
+                self.metrics.increment("requests_rejected_draining")
+                span.set(admitted=False, reason="draining")
+                raise ServiceDrainingError(
+                    "service is draining; no new work is admitted"
+                )
+            if self.admission is None:
+                self.metrics.increment("requests_admitted")
+                span.set(admitted=True)
+                return AdmissionDecision(
+                    client_id=client_id or ANONYMOUS_CLIENT, priority=priority
+                )
+            try:
+                decision = self.admission.admit(
+                    client_id,
+                    priority,
+                    queue_depth=self.pool.queue_depth,
+                    enqueue_items=enqueue_items,
+                    workers=self.pool.worker_count,
+                    p95_seconds=self.metrics.p95_latency_seconds(),
+                )
+            except RateLimitedError:
+                self.metrics.increment("requests_rate_limited")
+                span.set(admitted=False, reason="rate_limited")
+                raise
+            except QueueFullError:
+                self.metrics.increment("requests_shed")
+                span.set(admitted=False, reason="queue_full")
+                raise
+            except CircuitOpenError:
+                self.metrics.increment("requests_rejected_open_circuit")
+                span.set(admitted=False, reason="circuit_open")
+                raise
             self.metrics.increment("requests_admitted")
-            return AdmissionDecision(
-                client_id=client_id or ANONYMOUS_CLIENT, priority=priority
-            )
-        try:
-            decision = self.admission.admit(
-                client_id,
-                priority,
-                queue_depth=self.pool.queue_depth,
-                enqueue_items=enqueue_items,
-                workers=self.pool.worker_count,
-                p95_seconds=self.metrics.p95_latency_seconds(),
-            )
-        except RateLimitedError:
-            self.metrics.increment("requests_rate_limited")
-            raise
-        except QueueFullError:
-            self.metrics.increment("requests_shed")
-            raise
-        except CircuitOpenError:
-            self.metrics.increment("requests_rejected_open_circuit")
-            raise
-        self.metrics.increment("requests_admitted")
-        return decision
+            span.set(admitted=True)
+            return decision
 
     # -- store-backed synchronous execution -----------------------------------
 
@@ -246,13 +258,16 @@ class ExplanationService:
         """
         version = self.engine.index.version
         ranker_name = self.engine.ranker.name
-        cached = self.store.get(version, ranker_name, request)
+        with obs_span("store/lookup") as lookup:
+            cached = self.store.get(version, ranker_name, request)
+            lookup.set(hit=cached is not None)
         if cached is not None:
             return cached
         if deadline is None:
             deadline = self.deadline_policy.start(request)
         with timed() as elapsed:
-            response = self._compute(request, deadline)
+            with obs_span("service/compute", strategy=request.strategy):
+                response = self._compute(request, deadline)
         if priority is not None:
             self.metrics.record_latency(elapsed(), priority=priority)
         if (
@@ -347,7 +362,14 @@ class ExplanationService:
     def _item_task(
         self, job: ExplainJob, position: int, deadline: Deadline | None
     ):
+        # Stamped at enqueue so the worker can attribute queue wait —
+        # the time between here and pickup — as its own span.
+        enqueued_at = time.perf_counter()
+
         def run() -> None:
+            event_since(
+                "queue/wait", enqueued_at, job_id=job.job_id, position=position
+            )
             self._run_item(job, position, deadline)
 
         return run
@@ -366,20 +388,28 @@ class ExplanationService:
         breaker = self._breaker
         sink = _JobProgressSink(job, position)
         with timed() as elapsed:
-            try:
-                with search_progress(sink):
-                    response = self.explain(request, deadline=deadline)
-                if breaker is not None:
-                    breaker.record_success()
-            except ReproError as error:
-                # A bad request, not a sick worker: per-item error, no
-                # breaker signal in either direction.
-                response = ExplainResponse.from_error(request, error, elapsed())
-            except Exception as error:  # noqa: BLE001 - isolate, then flag
-                if breaker is not None:
-                    breaker.record_failure()
-                job.note_fatal(error)
-                response = ExplainResponse.from_error(request, error, elapsed())
+            with obs_span(
+                "item/execute", job_id=job.job_id, position=position
+            ) as span:
+                try:
+                    with search_progress(sink):
+                        response = self.explain(request, deadline=deadline)
+                    if breaker is not None:
+                        breaker.record_success()
+                except ReproError as error:
+                    # A bad request, not a sick worker: per-item error,
+                    # no breaker signal in either direction.
+                    response = ExplainResponse.from_error(
+                        request, error, elapsed()
+                    )
+                except Exception as error:  # noqa: BLE001 - isolate, then flag
+                    if breaker is not None:
+                        breaker.record_failure()
+                    job.note_fatal(error)
+                    response = ExplainResponse.from_error(
+                        request, error, elapsed()
+                    )
+                span.set(ok=response.ok)
         self.metrics.record_latency(elapsed(), priority=job.priority)
         self.metrics.increment(
             "items_executed" if response.ok else "items_failed"

@@ -22,6 +22,7 @@ import threading
 from typing import Callable
 
 from repro.errors import PoolShutdownError
+from repro.obs.trace import TraceContext, activate_context, capture_context
 from repro.service.admission import Priority
 from repro.utils.validation import require_positive
 
@@ -37,6 +38,20 @@ _STOP_PRIORITY = max(Priority) + 1
 
 #: Queue sentinel telling one worker thread to exit.
 _STOP = object()
+
+
+def _bind_trace_context(
+    context: TraceContext, task: Callable[[], None]
+) -> Callable[[], None]:
+    """Run ``task`` under the submitter's trace context, so spans a job
+    item emits on a worker thread land in the originating request's
+    trace (see :mod:`repro.obs.trace`)."""
+
+    def bound() -> None:
+        with activate_context(context):
+            task()
+
+    return bound
 
 
 class WorkerPool:
@@ -107,6 +122,9 @@ class WorkerPool:
         the flag, so a task can never slip in behind the stop sentinels
         (where it would sit unexecuted forever).
         """
+        context = capture_context()
+        if context is not None:
+            task = _bind_trace_context(context, task)
         with self._lock:
             if self._shutdown:
                 raise PoolShutdownError("worker pool has been shut down")

@@ -1,0 +1,318 @@
+"""Unit tests for the tracing primitives: spans, context propagation,
+exporters, the tracer lifecycle, and the profile block."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    JsonlExporter,
+    NULL_SPAN,
+    RingExporter,
+    Trace,
+    TraceContext,
+    Tracer,
+    activate_context,
+    annotate,
+    capture_context,
+    count,
+    current_context,
+    current_trace,
+    event,
+    event_since,
+    new_request_id,
+    profile_block,
+    render_profile,
+    span,
+)
+from repro.obs.trace import MAX_SPANS_PER_TRACE
+
+
+class TestSpanTree:
+    def test_nested_spans_parent_correctly(self):
+        trace = Trace("test")
+        with activate_context(TraceContext(trace)):
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    pass
+        assert [s.name for s in trace.spans] == ["outer", "inner"]
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert outer.span_id == "s1" and inner.span_id == "s2"
+        assert all(s.duration_ms is not None for s in trace.spans)
+
+    def test_sibling_spans_share_a_parent(self):
+        trace = Trace("test")
+        with activate_context(TraceContext(trace)):
+            with span("parent") as parent:
+                with span("a"):
+                    pass
+                with span("b"):
+                    pass
+        children = [s for s in trace.spans if s.parent_id == parent.span_id]
+        assert [s.name for s in children] == ["a", "b"]
+
+    def test_span_attributes_and_set(self):
+        trace = Trace("test")
+        with activate_context(TraceContext(trace)):
+            with span("stage", strategy="beam") as sp:
+                sp.set(hit=True)
+        assert trace.spans[0].attributes == {"strategy": "beam", "hit": True}
+
+    def test_exception_stamps_error_and_propagates(self):
+        trace = Trace("test")
+        with pytest.raises(ValueError):
+            with activate_context(TraceContext(trace)):
+                with span("boom"):
+                    raise ValueError("nope")
+        assert trace.spans[0].attributes["error"] == "ValueError"
+        assert trace.spans[0].duration_ms is not None
+
+    def test_context_restored_after_span(self):
+        trace = Trace("test")
+        with activate_context(TraceContext(trace)):
+            with span("outer"):
+                pass
+            assert current_context().span is None
+
+
+class TestNoOpPath:
+    """With no trace installed, every helper is an observable no-op."""
+
+    def test_span_yields_null_span(self):
+        with span("anything") as sp:
+            assert sp is NULL_SPAN
+            sp.set(ignored=True)  # must not raise
+
+    def test_helpers_are_silent(self):
+        event("e")
+        event_since("q", 0.0)
+        count("c")
+        annotate(x=1)
+        assert current_trace() is None
+        assert capture_context() is None
+
+
+class TestEventsAndCounters:
+    def test_event_is_zero_duration(self):
+        trace = Trace("test")
+        with activate_context(TraceContext(trace)):
+            event("replica/swap", generation=3)
+        assert trace.spans[0].duration_ms == 0.0
+        assert trace.spans[0].attributes == {"generation": 3}
+
+    def test_event_since_backdates_the_start(self):
+        trace = Trace("test")
+        stamp = trace._clock()  # a perf_counter reading after t0
+        with activate_context(TraceContext(trace)):
+            event_since("queue/wait", stamp)
+        recorded = trace.spans[0]
+        assert recorded.duration_ms >= 0.0
+        assert recorded.started_ms >= 0.0
+
+    def test_counters_accumulate(self):
+        trace = Trace("test")
+        with activate_context(TraceContext(trace)):
+            count("sessions/opened")
+            count("sessions/opened", by=2)
+        assert trace.counters == {"sessions/opened": 3}
+
+    def test_annotate_targets_innermost_span_then_trace(self):
+        trace = Trace("test")
+        with activate_context(TraceContext(trace)):
+            annotate(client="cli")
+            with span("stage"):
+                annotate(hit=False)
+        assert trace.attributes == {"client": "cli"}
+        assert trace.spans[0].attributes == {"hit": False}
+
+
+class TestCrossThread:
+    def test_captured_context_carries_to_a_worker_thread(self):
+        trace = Trace("test")
+        recorded = []
+
+        def worker(context):
+            with activate_context(context):
+                with span("worker/stage"):
+                    recorded.append(current_trace())
+
+        with activate_context(TraceContext(trace)):
+            context = capture_context()
+            thread = threading.Thread(target=worker, args=(context,))
+            thread.start()
+            thread.join()
+        assert recorded == [trace]
+        assert [s.name for s in trace.spans] == ["worker/stage"]
+
+    def test_activate_none_is_a_no_op(self):
+        with activate_context(None):
+            assert current_trace() is None
+
+
+class TestSpanCap:
+    def test_runaway_spans_degrade_to_a_counter(self):
+        trace = Trace("test")
+        for _ in range(MAX_SPANS_PER_TRACE + 5):
+            trace.add_event("tick", None)
+        assert len(trace.spans) == MAX_SPANS_PER_TRACE
+        assert trace.spans_dropped == 5
+        assert trace.to_dict()["spans_dropped"] == 5
+
+    def test_dropped_span_is_still_settable(self):
+        trace = Trace("test")
+        for _ in range(MAX_SPANS_PER_TRACE):
+            trace.add_event("tick", None)
+        extra = trace.begin_span("late", None)
+        assert extra.span_id == "dropped"
+        extra.set(ok=True)  # must not raise
+
+
+class TestTraceRendering:
+    def test_to_dict_shape(self):
+        trace = Trace("GET /health", request_id="abc")
+        with activate_context(TraceContext(trace)):
+            with span("stage"):
+                count("hits")
+        trace.set(status=200)
+        trace.finish()
+        data = trace.to_dict()
+        assert data["request_id"] == "abc"
+        assert data["name"] == "GET /health"
+        assert data["attributes"] == {"status": 200}
+        assert data["counters"] == {"hits": 1}
+        assert [s["name"] for s in data["spans"]] == ["stage"]
+        assert data["duration_ms"] >= 0.0
+        assert json.dumps(data)  # JSON-serialisable end to end
+
+    def test_summary_includes_only_status_and_error(self):
+        trace = Trace("test", request_id="abc")
+        trace.set(status=500, error="Boom", secret="hidden")
+        trace.finish()
+        summary = trace.summary()
+        assert summary["status"] == 500
+        assert summary["error"] == "Boom"
+        assert "secret" not in summary
+
+    def test_request_id_generated_when_absent(self):
+        generated = Trace("test").request_id
+        assert len(generated) == 16
+        int(generated, 16)  # hex
+
+    def test_new_request_id_is_16_hex(self):
+        rid = new_request_id()
+        assert len(rid) == 16
+        int(rid, 16)
+
+
+class TestRingExporter:
+    def test_bounded_and_newest_first(self):
+        ring = RingExporter(capacity=2)
+        traces = [Trace(f"t{i}") for i in range(3)]
+        for trace in traces:
+            ring.export(trace)
+        assert [t.name for t in ring.traces()] == ["t2", "t1"]
+        assert len(ring) == 2
+        assert ring.exported == 3
+
+    def test_find_returns_newest_match(self):
+        ring = RingExporter(capacity=4)
+        first = Trace("a", request_id="dup")
+        second = Trace("b", request_id="dup")
+        ring.export(first)
+        ring.export(second)
+        assert ring.find("dup") is second
+        assert ring.find("ghost") is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(Exception):
+            RingExporter(capacity=0)
+
+
+class TestJsonlExporter:
+    def test_lazy_open_and_one_line_per_trace(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        exporter = JsonlExporter(str(path))
+        assert not path.exists()  # construction must not touch the fs
+        for name in ("a", "b"):
+            trace = Trace(name)
+            trace.finish()
+            exporter.export(trace)
+        exporter.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+
+class TestTracer:
+    def test_disabled_tracer_installs_nothing(self):
+        tracer = Tracer(enabled=False, ring_capacity=1)
+        with tracer.trace("req") as trace:
+            assert trace is None
+            assert current_trace() is None
+        assert len(tracer.ring) == 0
+
+    def test_enabled_tracer_exports_to_the_ring(self):
+        tracer = Tracer(ring_capacity=4)
+        with tracer.trace("req", request_id="abc") as trace:
+            with span("stage"):
+                pass
+        assert trace.duration_ms is not None
+        assert tracer.trace_for("abc") is trace
+        assert tracer.traces()[0] is trace
+
+    def test_export_happens_even_when_the_block_raises(self):
+        tracer = Tracer(ring_capacity=4)
+        with pytest.raises(RuntimeError):
+            with tracer.trace("req", request_id="failed"):
+                raise RuntimeError("boom")
+        assert tracer.trace_for("failed") is not None
+
+    def test_slow_ring_catches_only_slow_traces(self):
+        tracer = Tracer(ring_capacity=4, slow_threshold_ms=0.0)
+        with tracer.trace("slow", request_id="s1"):
+            pass
+        assert [t.request_id for t in tracer.traces(slow=True)] == ["s1"]
+        fast = Tracer(ring_capacity=4, slow_threshold_ms=1e9)
+        with fast.trace("fast"):
+            pass
+        assert fast.traces(slow=True) == []
+
+    def test_jsonl_export_wiring(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        tracer = Tracer(ring_capacity=4, jsonl_path=str(path))
+        with tracer.trace("req"):
+            pass
+        tracer.close()
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestProfileBlock:
+    def test_none_trace_yields_disabled(self):
+        assert profile_block(None) == {"enabled": False}
+        assert render_profile({"enabled": False}) == "profiling disabled"
+
+    def test_stages_aggregate_by_name_in_first_seen_order(self):
+        trace = Trace("req", request_id="abc")
+        with activate_context(TraceContext(trace)):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+            with span("a"):
+                pass
+            count("things", by=2)
+        trace.finish()
+        block = profile_block(trace)
+        assert block["enabled"] is True
+        assert block["request_id"] == "abc"
+        assert [s["name"] for s in block["stages"]] == ["a", "b"]
+        by_name = {s["name"]: s for s in block["stages"]}
+        assert by_name["a"]["count"] == 2
+        assert by_name["a"]["total_ms"] >= by_name["a"]["max_ms"]
+        assert block["counters"] == {"things": 2}
+        rendered = render_profile(block)
+        assert "profile abc" in rendered
+        assert "things = 2" in rendered

@@ -54,6 +54,8 @@ SERVICE_SNAPSHOT_KEYS = {
     "counters",
     "item_latency",
     "latency_by_priority",
+    "uptime_seconds",
+    "snapshot_seq",
     "store",
     "cache_hit_rate",
     "queue_depth",
@@ -105,10 +107,20 @@ class TestMetricsSnapshot:
             "counters",
             "item_latency",
             "latency_by_priority",
+            "uptime_seconds",
+            "snapshot_seq",
         }
         assert set(snapshot["counters"]) == EXPECTED_COUNTERS
         assert all(count == 0 for count in snapshot["counters"].values())
         assert set(snapshot["item_latency"]) == LATENCY_SUMMARY_KEYS
+
+    def test_uptime_and_snapshot_seq_are_monotonic(self):
+        metrics = ServiceMetrics()
+        first = metrics.snapshot()
+        second = metrics.snapshot()
+        assert first["snapshot_seq"] == 1
+        assert second["snapshot_seq"] == 2
+        assert second["uptime_seconds"] >= first["uptime_seconds"] >= 0.0
 
     def test_per_priority_windows_keyed_by_label(self):
         metrics = ServiceMetrics()

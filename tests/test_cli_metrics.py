@@ -1,0 +1,92 @@
+"""CLI tests for the ``metrics`` subcommand (in-process ``main()``
+against a live threading server)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.app import serve
+from repro.cli import main
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.index.document import Document
+
+QUERY = "covid outbreak"
+DOC = "d5"
+
+DOCS = [
+    Document("d5", "The covid outbreak spread quickly. Experts dismissed "
+                   "the covid outbreak rumours. Officials promised tests."),
+    Document("d6", "City officials denied rumours about the outbreak "
+                   "response. A press briefing is scheduled."),
+    Document("d7", "Stock markets rallied as tech shares gained value."),
+    Document("d8", "The flu season arrived early with many sick patients."),
+]
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    engine = CredenceEngine(DOCS, EngineConfig(ranker="bm25", seed=5))
+    server = serve(engine, port=0, workers=2)
+    yield server
+    server.stop()
+    engine.service().shutdown()
+
+
+class TestMetricsCli:
+    def test_pretty_print(self, capsys, live_server):
+        code = main(["metrics", "--url", live_server.url])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "uptime" in out
+        assert "snapshot #" in out
+        assert "cache hit rate" in out
+        assert "item latency" in out
+
+    def test_json_output_is_the_raw_snapshot(self, capsys, live_server):
+        code = main(["metrics", "--url", live_server.url, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "counters" in payload
+        assert "uptime_seconds" in payload
+        assert "snapshot_seq" in payload
+
+    def test_prometheus_format_passes_text_through(
+        self, capsys, live_server
+    ):
+        code = main(
+            ["metrics", "--url", live_server.url, "--format", "prometheus"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# HELP ")
+        assert "repro_uptime_seconds" in out
+        assert "# TYPE repro_jobs_submitted_total counter" in out
+
+    def test_counters_move_after_traffic(self, capsys, live_server):
+        submit = main(
+            [
+                "jobs",
+                "submit",
+                "--url",
+                live_server.url,
+                "--query",
+                QUERY,
+                "--doc",
+                DOC,
+                "--wait",
+            ]
+        )
+        assert submit == 0
+        capsys.readouterr()
+        code = main(["metrics", "--url", live_server.url])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs_submitted" in out
+        assert "(all zero)" not in out
+
+    def test_connection_refused_exits_cleanly(self, capsys):
+        code = main(["metrics", "--url", "http://127.0.0.1:9"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -35,6 +35,7 @@ REQUIRED_DOCS = (
     "docs/api/service.md",
     "docs/api/rest.md",
     "docs/api/cli.md",
+    "docs/api/observability.md",
 )
 
 
