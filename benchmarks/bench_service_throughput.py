@@ -157,6 +157,10 @@ def test_service_throughput_at_4_workers(capsys):
                     "store": store_stats,
                     "cache_hit_rate": metrics["cache_hit_rate"],
                     "min_speedup_target": MIN_SPEEDUP,
+                    "note": "architectural speedup (store hits + "
+                    "overlapped bookkeeping), not GIL-defying compute "
+                    "scaling — for that see BENCH_process_tier.json "
+                    "(executor=\"process\")",
                 },
                 indent=2,
             )

@@ -130,7 +130,9 @@ def test_sharded_parallel_ingest_speedup(capsys):
                     "note": "architectural speedup: shared per-ingest "
                     "analysis memo + batched per-shard construction; "
                     "worker threads additionally overlap only on "
-                    "free-threaded (GIL-less) builds",
+                    "free-threaded (GIL-less) builds — for GIL-free "
+                    "ingest on standard builds see "
+                    "BENCH_process_tier.json (executor=\"process\")",
                 },
                 indent=2,
             )

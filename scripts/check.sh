@@ -51,6 +51,16 @@ echo "== smoke: admission under 10x saturation (typed sheds, bounded p95) =="
 ADMISSION_SMOKE=1 python -m pytest -q benchmarks/bench_admission.py
 
 echo
+echo "== process tier: pool, fork safety, worker-death chaos =="
+python -m pytest -q tests/service/test_process_pool.py \
+    tests/service/test_process_chaos.py \
+    tests/index/test_manifest_fork_safety.py
+
+echo
+echo "== smoke: process-tier benchmark (byte-identical across tiers) =="
+PROC_SMOKE=1 python -m pytest -q benchmarks/bench_process_tier.py
+
+echo
 echo "== sharded corpus: routers, persistence, byte-identical equivalence =="
 python -m pytest -q tests/index/test_sharding.py \
     tests/index/test_sharded_equivalence.py

@@ -48,12 +48,19 @@ def serve(
     trace_ring: int = DEFAULT_RING_CAPACITY,
     trace_jsonl: str | None = None,
     slow_request_ms: float | None = None,
+    executor: str = "thread",
 ) -> ApiServer:
     """Start the CREDENCE service (non-blocking); returns the server.
 
     Port 8091 mirrors the paper's deployment URL. ``workers`` sizes the
     explanation worker pool (first construction wins; see
-    :meth:`CredenceEngine.service`); ``max_batch_items`` /
+    :meth:`CredenceEngine.service`); ``executor`` picks the execution
+    tier for computed items — ``"thread"`` (default) or ``"process"``,
+    which dispatches compute to worker processes sharing the v3 packed
+    index via mmap (see
+    :meth:`~repro.service.scheduler.ExplanationService.configure_executor`;
+    the ``GET /metrics`` ``executor`` block reports the active tier).
+    ``max_batch_items`` /
     ``max_ingest_items`` and ``max_body_bytes`` bound batch/job/ingest
     payloads. ``rate_limit`` (requests/s per client, burst
     ``rate_burst``), ``max_queue_depth`` (shed-before-queue bound) and
@@ -71,7 +78,9 @@ def serve(
     Call ``.stop()`` when done, or use the returned server as a context
     manager.
     """
-    engine.service(workers=workers).configure_admission(
+    engine.service(workers=workers).configure_executor(
+        executor, workers=workers
+    ).configure_admission(
         rate_limit=rate_limit,
         rate_burst=rate_burst,
         max_queue_depth=max_queue_depth,

@@ -270,7 +270,65 @@ def _explain_streaming(engine: CredenceEngine, request: ExplainRequest):
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    return _run_explain(args, args.strategy)
+    docs = args.doc if isinstance(args.doc, list) else [args.doc]
+    if len(docs) == 1 and args.parallel is None and args.executor is None:
+        # Single document, no tier selection: the original single-request
+        # path (streaming/profiling supported) stays byte-for-byte intact.
+        args.doc = docs[0]
+        return _run_explain(args, args.strategy)
+    return _run_explain_batch(args, docs)
+
+
+def _run_explain_batch(args: argparse.Namespace, docs: list[str]) -> int:
+    """Dispatch one request per ``--doc`` through ``explain_batch``.
+
+    ``--parallel N`` fans the batch across N workers and ``--executor``
+    picks the tier (threads or GIL-free worker processes); results are
+    byte-identical to the sequential path either way. ``--stream`` and
+    ``--profile`` are single-request features and are ignored here.
+    """
+    engine = _build_engine(args)
+    requests = [
+        ExplainRequest(
+            query=args.query,
+            doc_id=doc_id,
+            strategy=args.strategy,
+            n=args.n,
+            k=args.k,
+            threshold=getattr(args, "threshold", 1),
+            samples=getattr(args, "samples", 50),
+            search=getattr(args, "search", None),
+            beam_width=getattr(args, "beam_width", DEFAULT_BEAM_WIDTH),
+            budget=getattr(args, "budget", None),
+            deadline_ms=getattr(args, "deadline_ms", None),
+        )
+        for doc_id in docs
+    ]
+    responses = engine.explain_batch(
+        requests, parallel=args.parallel, executor=args.executor
+    )
+    blocks = []
+    for response in responses:
+        renderer = _RENDERERS.get(response.strategy)
+        body = (
+            renderer(response)
+            if renderer is not None and response.error is None
+            else json.dumps(response.to_dict(), ensure_ascii=False, indent=2)
+        )
+        blocks.append(f"[{response.doc_id}]\n{body}")
+    _emit(
+        args,
+        {"responses": [response.to_dict() for response in responses]},
+        "\n\n".join(blocks),
+    )
+    return (
+        0
+        if all(
+            response.error is None and response.explanations
+            for response in responses
+        )
+        else 1
+    )
 
 
 def _cmd_strategies(args: argparse.Namespace) -> int:
@@ -363,10 +421,13 @@ def _cmd_index(args: argparse.Namespace) -> int:
             args.shards,
             router=build_router(args.router, args.shards),
             workers=args.workers,
+            executor=args.executor,
         )
     else:
         index = InvertedIndex()
-        index.add_documents(documents)
+        index.add_documents(
+            documents, workers=args.workers, executor=args.executor
+        )
     elapsed = time.perf_counter() - start
     if args.save:
         # "v2" selects the legacy JSON family (a plain index writes a v1
@@ -382,6 +443,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
         "average_document_length": stats.average_document_length,
         "shards": args.shards,
         "workers": args.workers,
+        "executor": args.executor or "thread",
         "ingest_seconds": round(elapsed, 4),
         "saved_to": args.save,
         "format": args.format if args.save else None,
@@ -492,6 +554,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        executor=args.executor,
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
         max_queue_depth=args.max_queue,
@@ -507,6 +570,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else ""
     )
     hardening = []
+    if args.executor == "process":
+        hardening.append("process executor")
     if args.rate_limit is not None:
         hardening.append(f"rate limit {args.rate_limit:g}/s")
     if args.max_queue is not None:
@@ -757,7 +822,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(explain)
     explain.add_argument("--query", required=True)
-    explain.add_argument("--doc", required=True)
+    explain.add_argument(
+        "--doc",
+        required=True,
+        action="append",
+        help="document id to explain; repeat for a batch",
+    )
+    explain.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan a multi-document batch out across N workers "
+        "(results stay byte-identical to the sequential path)",
+    )
+    explain.add_argument(
+        "--executor",
+        default=None,
+        choices=("thread", "process"),
+        help="execution tier for --parallel: worker threads (default) "
+        "or worker processes (GIL-free; scales with cores)",
+    )
     explain.add_argument(
         "--strategy",
         default="document/sentence-removal",
@@ -863,6 +948,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel ingest workers (sharded only; default serial)",
     )
     index_cmd.add_argument(
+        "--executor",
+        default=None,
+        choices=("thread", "process"),
+        help="ingest tier: worker threads (default; overlap only on "
+        "free-threaded builds) or worker processes (GIL-free analysis)",
+    )
+    index_cmd.add_argument(
         "--router",
         default="hash",
         choices=ROUTER_CHOICES,
@@ -905,6 +997,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="explanation worker-pool size (default 4)",
+    )
+    serve_cmd.add_argument(
+        "--executor",
+        default="thread",
+        choices=("thread", "process"),
+        help="execution tier for computed explanations: worker threads "
+        "(default) or worker processes attaching the index via mmap",
     )
     serve_cmd.add_argument(
         "--replica",

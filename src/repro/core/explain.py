@@ -189,13 +189,17 @@ class ExplainResponse:
     def from_error(
         cls, request: ExplainRequest, error: Exception, elapsed_seconds: float = 0.0
     ) -> "ExplainResponse":
+        # An exception may carry a pre-formatted ``error_envelope`` — the
+        # process tier uses it to relay the *original* worker-side error
+        # text, so remote failures serialize byte-identically to local ones.
+        envelope = getattr(error, "error_envelope", None)
         return cls(
             strategy=request.strategy,
             query=request.query,
             doc_id=request.doc_id,
             result=None,
             elapsed_seconds=elapsed_seconds,
-            error=f"{type(error).__name__}: {error}",
+            error=envelope if envelope is not None else f"{type(error).__name__}: {error}",
         )
 
     @property

@@ -147,20 +147,30 @@ class InvertedIndex:
             return previous
 
     def add_documents(
-        self, documents: Iterable[Document], workers: int | None = None
+        self,
+        documents: Iterable[Document],
+        workers: int | None = None,
+        executor: str | None = None,
     ) -> int:
         """Bulk-add ``documents``; returns the number added.
 
         Interface parity with
         :meth:`~repro.index.sharding.ShardedIndex.add_documents`: a
-        single-shard index ingests serially (``workers`` is accepted but
-        cannot help — there is only one shard), reusing a per-ingest
-        :class:`~repro.index.sharding.AnalysisMemo` so repeated surface
-        forms are analyzed once. Duplicate ids (against the index or
-        within the batch) raise ``ValueError`` before anything mutates.
+        single-shard index builds its postings serially (``workers``
+        alone cannot help — there is only one shard), reusing a
+        per-ingest :class:`~repro.index.sharding.AnalysisMemo` so
+        repeated surface forms are analyzed once. ``executor="process"``
+        offloads the analysis step to ``workers`` worker processes
+        (byte-identical output, computed off the GIL). Duplicate ids
+        (against the index or within the batch) raise ``ValueError``
+        before anything mutates.
         """
-        from repro.index.sharding import AnalysisMemo
+        from repro.index.sharding import AnalysisMemo, analyze_in_processes
 
+        if executor not in (None, "thread", "process"):
+            raise ValueError(
+                f'executor must be "thread" or "process", got {executor!r}'
+            )
         documents = list(documents)
         with self._lock:
             seen: set[str] = set()
@@ -170,9 +180,16 @@ class InvertedIndex:
                         f"duplicate document id: {document.doc_id!r}"
                     )
                 seen.add(document.doc_id)
-            memo = AnalysisMemo(self.analyzer)
-            for document in documents:
-                self.add_analyzed(document, memo.analyze(document.body))
+            if executor == "process" and documents:
+                precomputed = analyze_in_processes(
+                    self.analyzer, documents, workers
+                )
+                for document, terms in zip(documents, precomputed):
+                    self.add_analyzed(document, terms)
+            else:
+                memo = AnalysisMemo(self.analyzer)
+                for document in documents:
+                    self.add_analyzed(document, memo.analyze(document.body))
         return len(documents)
 
     # -- lookups -------------------------------------------------------------

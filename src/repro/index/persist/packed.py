@@ -82,6 +82,10 @@ class PackedIndex(_ReadOnlyMutations):
         self.analyzer = analyzer
         self._fingerprint = fingerprint
         self._storage = dict(storage or {})
+        #: Manifest path this view was attached from (set by
+        #: :func:`attach_packed`); the process tier reuses it so worker
+        #: processes can re-attach the same index without a re-save.
+        self.manifest_path: Path | None = None
         self._documents: dict[int, Document] = {}
         self._vectors: dict[int, Counter[str]] = {}
         self._postings: dict[str, PostingsList | None] = {}
@@ -293,6 +297,8 @@ class PackedShardedIndex(_ReadOnlyMutations):
         self.analyzer = analyzer
         self._record = record
         self._storage = dict(storage or {})
+        #: Manifest path this view was attached from (see PackedIndex).
+        self.manifest_path: Path | None = None
         self.router = build_router(
             record.router or "hash", record.shard_count
         )
@@ -482,9 +488,11 @@ def _attach_packed(
         for segment in record.segments
     ]
     if record.layout == "single":
-        return PackedIndex(
+        packed = PackedIndex(
             segments[0], analyzer, record.fingerprint, storage
         )
+        packed.manifest_path = path
+        return packed
     shards = tuple(
         PackedIndex(
             segment,
@@ -496,4 +504,6 @@ def _attach_packed(
         )
         for position, segment in enumerate(segments)
     )
-    return PackedShardedIndex(shards, analyzer, record, storage)
+    sharded = PackedShardedIndex(shards, analyzer, record, storage)
+    sharded.manifest_path = path
+    return sharded

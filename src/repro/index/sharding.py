@@ -310,6 +310,31 @@ class MergedPostings:
         return any(doc_id in part for part in self._parts)
 
 
+def analyze_in_processes(analyzer, documents, workers: int | None) -> list:
+    """Analyze document bodies in worker processes; returns per-document
+    term lists in input order.
+
+    The GIL-escape path for bulk ingest: bodies are split into
+    contiguous chunks (one per worker) and each worker runs the same
+    memoized :class:`AnalysisMemo` pipeline over an analyzer rebuilt
+    from the identical configuration — so the output is byte-identical
+    to local analysis, only computed on other cores.
+    """
+    # Lazy, call-scoped import: the process pool lives in the service
+    # layer; importing it at module load would cycle the layering.
+    from repro.service.process import analysis_pool
+
+    worker_count = max(1, min(workers or 1, len(documents)))
+    chunk = -(-len(documents) // worker_count)  # ceil division
+    partitions = [
+        [document.body for document in documents[start:start + chunk]]
+        for start in range(0, len(documents), chunk)
+    ]
+    with analysis_pool(analyzer, len(partitions)) as pool:
+        buckets = pool.analyze_partitions(partitions)
+    return [terms for bucket in buckets for terms in bucket]
+
+
 class ShardedIndex:
     """N inverted-index shards behind the single-index surface.
 
@@ -360,9 +385,10 @@ class ShardedIndex:
         analyzer: Analyzer | None = None,
         router: ShardRouter | None = None,
         workers: int | None = None,
+        executor: str | None = None,
     ) -> "ShardedIndex":
         index = cls(shard_count, analyzer, router)
-        index.add_documents(documents, workers=workers)
+        index.add_documents(documents, workers=workers, executor=executor)
         return index
 
     @classmethod
@@ -505,7 +531,10 @@ class ShardedIndex:
             return previous
 
     def add_documents(
-        self, documents: Iterable[Document], workers: int | None = None
+        self,
+        documents: Iterable[Document],
+        workers: int | None = None,
+        executor: str | None = None,
     ) -> int:
         """Bulk-ingest ``documents`` in parallel; returns the number added.
 
@@ -516,10 +545,20 @@ class ShardedIndex:
         order are replayed in input order afterwards, so the result is
         byte-identical to adding the documents one at a time.
 
+        ``executor="process"`` routes the analysis step — tokenize,
+        stopword, stem; the CPU-bound bulk of ingest — through
+        :func:`analyze_in_processes` (``workers`` sizes that pool too),
+        escaping the GIL on standard builds; the per-shard posting
+        builds then run on the thread tier with the precomputed terms.
+
         All-or-nothing: duplicate ids fail before anything mutates, and
         an ingest error rolls the already-indexed batch documents back
         out of their shards before propagating.
         """
+        if executor not in (None, "thread", "process"):
+            raise ValueError(
+                f'executor must be "thread" or "process", got {executor!r}'
+            )
         documents = list(documents)
         if not documents:
             return 0
@@ -531,6 +570,11 @@ class ShardedIndex:
                         f"duplicate document id: {document.doc_id!r}"
                     )
                 seen.add(document.doc_id)
+            precomputed = (
+                analyze_in_processes(self.analyzer, documents, workers)
+                if executor == "process"
+                else None
+            )
             placements = [
                 (document, self.router.route(document.doc_id))
                 for document in documents
@@ -546,7 +590,11 @@ class ShardedIndex:
             def ingest(shard_position: int) -> None:
                 shard = self.shards[shard_position]
                 for position, document in partitions[shard_position]:
-                    terms = memo.analyze(document.body)
+                    terms = (
+                        precomputed[position]
+                        if precomputed is not None
+                        else memo.analyze(document.body)
+                    )
                     shard.add_analyzed(document, terms)
                     analyzed[position] = terms
 

@@ -80,6 +80,22 @@ METRIC_HELP = {
         "counter",
         "Injected fault events by site (chaos runs only).",
     ),
+    "repro_executor_workers": (
+        "gauge",
+        "Workers in the configured execution tier (thread or process).",
+    ),
+    "repro_executor_tasks_dispatched_total": (
+        "counter",
+        "Tasks dispatched to worker processes (0 on the thread tier).",
+    ),
+    "repro_executor_worker_respawns_total": (
+        "counter",
+        "Worker processes respawned after dying mid-task.",
+    ),
+    "repro_executor_index_snapshots_total": (
+        "counter",
+        "v3 index snapshots written for worker-process attachment.",
+    ),
 }
 
 #: JSON counter names → their Prometheus family name. Kept explicit (not
@@ -196,6 +212,25 @@ def render_prometheus(snapshot: dict) -> str:
                 "repro_circuit_breaker_open",
                 admission["circuit_breaker"] != "closed",
             )
+
+    executor = snapshot.get("executor")
+    if executor is not None:
+        labels = {"kind": executor["kind"]}
+        if executor.get("start_method") is not None:
+            labels["start_method"] = executor["start_method"]
+        lines.sample("repro_executor_workers", executor["workers"], labels)
+        lines.sample(
+            "repro_executor_tasks_dispatched_total",
+            executor["tasks_dispatched"],
+        )
+        lines.sample(
+            "repro_executor_worker_respawns_total",
+            executor["worker_respawns"],
+        )
+        lines.sample(
+            "repro_executor_index_snapshots_total",
+            executor["index_snapshots"],
+        )
 
     for site, count in sorted(snapshot["faults"].items()):
         lines.sample("repro_fault_events_total", count, {"site": site})

@@ -366,6 +366,72 @@ def count(name: str, by: int = 1) -> None:
     context.trace.count(name, by)
 
 
+def serialize_context() -> dict | None:
+    """Picklable marker of the ambient context for a worker *process*.
+
+    Live :class:`Trace`/:class:`Span` objects cannot cross a pipe; what
+    crosses is the trace's identity (request id, name). The worker opens
+    its own trace under that identity, records spans locally, and ships
+    them back compactly for :func:`graft_remote_trace` to splice into
+    the parent trace. Returns ``None`` when tracing is inactive, so
+    untraced requests pay nothing on the wire.
+    """
+    context = getattr(_LOCAL, "context", None)
+    if context is None:
+        return None
+    return {
+        "request_id": context.trace.request_id,
+        "name": context.trace.name,
+    }
+
+
+def export_remote_trace(trace: Trace) -> dict:
+    """The compact, picklable form of a worker-side trace: counters plus
+    rendered spans, exactly what :func:`graft_remote_trace` consumes."""
+    with trace._lock:
+        payload = {
+            "counters": dict(trace.counters),
+            "spans": [span.to_dict() for span in trace.spans],
+        }
+        if trace.spans_dropped:
+            payload["spans_dropped"] = trace.spans_dropped
+        return payload
+
+
+def graft_remote_trace(payload: dict | None, anchored_at: float) -> None:
+    """Splice a worker process's exported trace into the active trace.
+
+    ``anchored_at`` is the parent's ``perf_counter`` stamp taken when
+    the task was handed to the worker; remote span timings (relative to
+    the worker trace's own start) are rebased onto it, so the grafted
+    subtree lines up with the dispatch span on the parent timeline.
+    Remote span ids are remapped to fresh parent-trace ids (preserving
+    the subtree's parent/child structure); remote roots parent onto the
+    innermost open parent span. No-op when tracing is inactive or the
+    payload is empty.
+    """
+    context = getattr(_LOCAL, "context", None)
+    if context is None or not payload:
+        return
+    trace = context.trace
+    base_ms = (anchored_at - trace._t0) * 1000.0
+    for name, by in payload.get("counters", {}).items():
+        trace.count(name, by)
+    remapped: dict[str, str] = {}
+    for remote in payload.get("spans", ()):
+        parent = remapped.get(remote.get("parent_id"), context.parent_id)
+        grafted = trace.begin_span(
+            remote["name"], parent, **remote.get("attributes", {})
+        )
+        grafted.started_ms = base_ms + remote["started_ms"]
+        grafted.duration_ms = remote.get("duration_ms")
+        remapped[remote["span_id"]] = grafted.span_id
+    dropped = payload.get("spans_dropped", 0)
+    if dropped:
+        with trace._lock:
+            trace.spans_dropped += dropped
+
+
 def annotate(**attributes: Any) -> None:
     """Attach attributes to the innermost open span (or the trace itself
     at the root). No-op without an active trace."""

@@ -9,6 +9,13 @@ result store short-circuits repeated queries until the corpus mutates.
 Entry point: ``engine.service()`` (see
 :meth:`repro.core.engine.CredenceEngine.service`), or construct an
 :class:`ExplanationService` directly for custom store/metrics wiring.
+
+Two execution tiers share the same scheduling brain: the default
+thread tier, and a GIL-free process tier
+(:meth:`ExplanationService.configure_executor`, backed by
+:class:`ProcessExecutor` / :class:`ProcessWorkerPool`) whose worker
+processes attach the v3 packed index via mmap once and then serve
+requests with only compact picklable payloads crossing the pipe.
 """
 
 from repro.service.admission import (
@@ -29,6 +36,15 @@ from repro.service.faults import (
 )
 from repro.service.jobs import ExplainJob, JobStatus
 from repro.service.metrics import ServiceMetrics
+from repro.service.process import (
+    ProcessExecutor,
+    ProcessWorkerPool,
+    RemoteReproError,
+    RemoteWorkerError,
+    WorkerProcessDied,
+    WorkerSpec,
+    default_start_method,
+)
 from repro.service.scheduler import DEFAULT_JOB_RETENTION, ExplanationService
 from repro.service.store import ResultStore, request_fingerprint
 from repro.service.workers import DEFAULT_WORKERS, WorkerPool
@@ -50,11 +66,18 @@ __all__ = [
     "NO_DEADLINES",
     "NO_FAULTS",
     "Priority",
+    "ProcessExecutor",
+    "ProcessWorkerPool",
     "RateLimiter",
+    "RemoteReproError",
+    "RemoteWorkerError",
     "ResultStore",
     "ServiceMetrics",
     "TokenBucket",
     "WorkerPool",
+    "WorkerProcessDied",
+    "WorkerSpec",
+    "default_start_method",
     "parse_priority",
     "request_fingerprint",
 ]

@@ -39,7 +39,8 @@ from repro.utils.validation import require
 #: docs can enumerate the coverage surface.
 SITE_WORKER = "worker"
 SITE_RANKER = "ranker"
-FAULT_SITES = (SITE_WORKER, SITE_RANKER)
+SITE_PROCESS = "process"
+FAULT_SITES = (SITE_WORKER, SITE_RANKER, SITE_PROCESS)
 
 
 class InjectedFault(RuntimeError):
@@ -71,9 +72,14 @@ class FaultPlan:
     latency_rate: float = 0.0
     latency_ms: float = 0.0
     clock_skew_ms: float = 0.0
+    #: Probability that a dispatch to the *process* tier SIGKILLs the
+    #: leased worker process mid-job (site ``"process"``). The kill is
+    #: real — the pool's death-detection and respawn paths are exercised
+    #: end to end, not simulated.
+    kill_rate: float = 0.0
 
     def __post_init__(self):
-        for name in ("crash_rate", "ranker_error_rate", "latency_rate"):
+        for name in ("crash_rate", "ranker_error_rate", "latency_rate", "kill_rate"):
             value = getattr(self, name)
             require(
                 0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value!r}"
@@ -112,6 +118,7 @@ class FaultInjector:
             or plan.ranker_error_rate
             or plan.latency_rate
             or plan.clock_skew_ms
+            or plan.kill_rate
         )
 
     def latency(self, site: str) -> None:
@@ -139,6 +146,21 @@ class FaultInjector:
                 raise InjectedRankerError(
                     f"injected ranker exception at site {site!r}"
                 )
+
+    def should_kill(self, site: str = SITE_PROCESS) -> bool:
+        """Whether this dispatch should SIGKILL its worker process.
+
+        The injector only *decides* (and counts); the process pool does
+        the actual kill, because only it knows the leased worker's pid.
+        """
+        plan = self.plan
+        if plan.kill_rate <= 0.0:
+            return False
+        if self._draw(site, "kill") < plan.kill_rate:
+            with self._lock:
+                self.injected[f"{site}/kill"] += 1
+            return True
+        return False
 
     def wall_clock(self) -> float:
         """``time.time`` plus the plan's skew (chaos tests only)."""

@@ -123,6 +123,9 @@ class ExplanationService:
             deadline_policy if deadline_policy is not None else NO_DEADLINES
         )
         self.faults = faults if faults is not None else NO_FAULTS
+        #: The optional process tier; ``None`` means the thread pool
+        #: computes in-process (see :meth:`configure_executor`).
+        self.executor = None
         self._draining = False
         self._jobs: OrderedDict[str, ExplainJob] = OrderedDict()
         self._jobs_lock = threading.Lock()
@@ -167,6 +170,50 @@ class ExplanationService:
             )
         if faults is not None:
             self.faults = faults
+            if self.executor is not None:
+                self.executor.set_faults(faults)
+        return self
+
+    def configure_executor(
+        self,
+        executor: str = "thread",
+        *,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> "ExplanationService":
+        """Pick the execution tier for computed items; returns ``self``.
+
+        ``"thread"`` (the default) computes in-process on the pool's
+        worker threads. ``"process"`` installs a
+        :class:`~repro.service.process.ProcessExecutor`: items still
+        flow through the same priority queue, admission checks, deadline
+        stamping, and result store, but the compute step is dispatched
+        to a worker process that attached the v3 packed index via mmap
+        — CPU-bound batches scale with cores instead of the GIL.
+
+        Idempotent: reconfiguring the already-active tier keeps the
+        existing executor (and its warm worker processes). Switching
+        back to ``"thread"`` shuts the process tier down.
+        """
+        if executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f'executor must be "thread" or "process", got {executor!r}'
+            )
+        if executor == "thread":
+            stale, self.executor = self.executor, None
+            if stale is not None:
+                stale.shutdown()
+            return self
+        if self.executor is not None:
+            return self
+        from repro.service.process import ProcessExecutor
+
+        self.executor = ProcessExecutor(
+            self.engine,
+            workers=workers or self.pool.worker_count,
+            start_method=start_method,
+            faults=self.faults,
+        )
         return self
 
     # -- admission --------------------------------------------------------------
@@ -300,6 +347,23 @@ class ExplanationService:
         # Apply the deadline *after* any injected latency, so time lost
         # to the spike is charged against the request's remaining budget.
         effective = deadline.apply(request) if deadline is not None else request
+        # The execution-tier seam: everything above (store lookup, fault
+        # hooks, deadline stamping) and everything around (priorities,
+        # admission, breaker, drain) is tier-agnostic parent-side state;
+        # only this compute step crosses to a worker process.
+        if self.executor is not None:
+            if not faults.enabled:
+                return self.executor.explain(effective)
+            # The process tier has its own fault site (a real SIGKILL on
+            # the leased worker); charge anything it injects to the same
+            # faults_injected counter the thread-tier hooks use.
+            before = sum(faults.counts().values())
+            try:
+                return self.executor.explain(effective)
+            finally:
+                fired = sum(faults.counts().values()) - before
+                if fired:
+                    self.metrics.increment("faults_injected", by=fired)
         return self.engine.explain(effective)
 
     # -- async jobs ------------------------------------------------------------
@@ -496,6 +560,14 @@ class ExplanationService:
         snapshot["admission"] = (
             None if self.admission is None else self.admission.describe()
         )
+        if self.executor is not None:
+            snapshot["executor"] = self.executor.describe()
+        else:
+            from repro.service.process import thread_executor_block
+
+            snapshot["executor"] = thread_executor_block(
+                self.pool.worker_count
+            )
         snapshot["draining"] = self._draining
         snapshot["faults"] = self.faults.counts()
         with self._jobs_lock:
@@ -514,6 +586,8 @@ class ExplanationService:
         """
         self._draining = True
         self.pool.shutdown(wait=wait, drain=True)
+        if self.executor is not None:
+            self.executor.shutdown(wait=wait)
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop the pool.
@@ -527,6 +601,8 @@ class ExplanationService:
             for job in self.jobs():
                 job.request_cancel()
         self.pool.shutdown(wait=wait, drain=True)
+        if self.executor is not None:
+            self.executor.shutdown(wait=wait)
 
     def __enter__(self) -> "ExplanationService":
         return self

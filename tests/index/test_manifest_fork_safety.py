@@ -1,0 +1,192 @@
+"""Fork/spawn safety of the SQLite manifest and replica attachment.
+
+Regression net for the PR 6 bug class: an inherited SQLite connection
+(its file descriptor and the POSIX advisory locks behind it) crossing a
+``fork()`` lets the child release the *parent's* locks when it closes
+the fd — POSIX locks belong to the (pid, file) pair, not the fd.
+``Manifest`` defends by never holding a connection between operations
+(each opens, works, closes); these tests pin that contract under both
+start methods, and under the process tier's actual fork points (a
+worker pool forked while the parent serves a packed index).
+
+Children report through a ``Manager`` dict and are asserted on exit
+code, mirroring ``tests/index/test_replicas.py``; every child target is
+module-level so the file stays importable under ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.core.explain import ExplainRequest
+from repro.index.document import Document
+from repro.index.inverted import InvertedIndex
+from repro.index.persist import Manifest, ReplicaIndex, save_v3
+from tests.core.test_search_equivalence import _corpus
+
+QUERY = "covid outbreak hospital"
+K = 5
+
+START_METHODS = [
+    method
+    for method in ("fork", "spawn")
+    if method in multiprocessing.get_all_start_methods()
+]
+
+
+def _seed_index(path) -> InvertedIndex:
+    index = InvertedIndex.from_documents(_corpus())
+    save_v3(index, path)
+    return index
+
+
+def _child_reads_manifest(path, results) -> None:
+    """Open the manifest in the child, read, and close everything."""
+    manifest = Manifest.open(str(path))
+    record = manifest.latest_generation()
+    results["child_generation"] = record.generation
+    results["child_docs"] = sum(s.document_count for s in record.segments)
+
+
+def _child_attaches_replica(path, results) -> None:
+    replica = ReplicaIndex(str(path))
+    try:
+        results["child_generation"] = replica.generation
+        results["child_len"] = len(replica)
+    finally:
+        replica.close()
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+class TestManifestAcrossProcesses:
+    """A child's manifest use must never break the parent's locks."""
+
+    def test_parent_can_commit_after_child_exits(self, tmp_path, start_method):
+        path = tmp_path / "corpus.idx"
+        index = _seed_index(path)
+
+        context = multiprocessing.get_context(start_method)
+        manager = context.Manager()
+        results = manager.dict()
+        child = context.Process(
+            target=_child_reads_manifest, args=(path, results)
+        )
+        child.start()
+        child.join(timeout=60)
+        try:
+            assert child.exitcode == 0
+            assert results["child_generation"] == 1
+            assert results["child_docs"] == len(index)
+        finally:
+            manager.shutdown()
+
+        # If the child had inherited (and closed) a parent connection,
+        # the parent's next write transaction could deadlock or corrupt;
+        # it must commit generation 2 cleanly.
+        index.add(
+            Document("doc-new", "covid outbreak hospital capacity doubled.")
+        )
+        save_v3(index, path)
+        assert Manifest.open(path).latest_generation_number() == 2
+
+    def test_replica_refresh_survives_a_child_attachment(
+        self, tmp_path, start_method
+    ):
+        path = tmp_path / "corpus.idx"
+        index = _seed_index(path)
+        replica = ReplicaIndex(path)
+        try:
+            assert replica.generation == 1
+
+            context = multiprocessing.get_context(start_method)
+            manager = context.Manager()
+            results = manager.dict()
+            child = context.Process(
+                target=_child_attaches_replica, args=(path, results)
+            )
+            child.start()
+            child.join(timeout=60)
+            try:
+                assert child.exitcode == 0
+                assert results["child_generation"] == 1
+                assert results["child_len"] == len(index)
+            finally:
+                manager.shutdown()
+
+            # The parent replica (attached before the child came and
+            # went) must still refresh onto new generations.
+            index.add(
+                Document("doc-new", "covid outbreak hospital wards again.")
+            )
+            save_v3(index, path)
+            assert replica.refresh() is True
+            assert replica.generation == 2
+            assert "doc-new" in replica
+        finally:
+            replica.close()
+
+
+def _pool_child_noop(results) -> None:
+    results["ran"] = True
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="exercises fd inheritance, which only fork exhibits",
+)
+class TestForkWhileAttached:
+    """Forking while a packed index is attached (the process tier's
+    exact fork point) must not disturb the parent's open state."""
+
+    def test_process_tier_over_a_packed_index_leaves_locks_intact(
+        self, tmp_path
+    ):
+        from repro.index.storage import load_index
+        from repro.service.process import ProcessExecutor
+
+        path = tmp_path / "corpus.idx"
+        index = _seed_index(path)
+        engine = CredenceEngine.from_index(
+            load_index(path), config=EngineConfig(ranker="bm25", seed=5)
+        )
+        executor = ProcessExecutor(engine, workers=2, start_method="fork")
+        try:
+            target = engine.rank(QUERY, K).doc_ids[0]
+            response = executor.explain(ExplainRequest(QUERY, target, k=K))
+            assert response.error is None
+        finally:
+            executor.shutdown()
+
+        # Workers forked with the manifest attached, served, and exited;
+        # the parent-side files must still accept a new generation.
+        index.add(
+            Document("doc-new", "covid outbreak hospital overflow yet again.")
+        )
+        save_v3(index, path)
+        assert Manifest.open(path).latest_generation_number() == 2
+
+    def test_fork_during_open_replica_is_harmless(self, tmp_path):
+        path = tmp_path / "corpus.idx"
+        index = _seed_index(path)
+        replica = ReplicaIndex(path)
+        try:
+            context = multiprocessing.get_context("fork")
+            manager = context.Manager()
+            results = manager.dict()
+            child = context.Process(target=_pool_child_noop, args=(results,))
+            child.start()
+            child.join(timeout=30)
+            try:
+                assert child.exitcode == 0
+                assert results["ran"] is True
+            finally:
+                manager.shutdown()
+            index.add(Document("doc-new", "hospital outbreak covid anew."))
+            save_v3(index, path)
+            assert replica.refresh() is True
+            assert replica.generation == 2
+        finally:
+            replica.close()

@@ -29,6 +29,10 @@ PINNED_FAMILIES = [
     "repro_circuit_breaker_open",
     "repro_deadline_exceeded_total",
     "repro_draining",
+    "repro_executor_index_snapshots_total",
+    "repro_executor_tasks_dispatched_total",
+    "repro_executor_worker_respawns_total",
+    "repro_executor_workers",
     "repro_fault_events_total",
     "repro_faults_injected_total",
     "repro_item_latency_by_priority_seconds",
@@ -115,6 +119,14 @@ FULL_SNAPSHOT = {
     "draining": False,
     "faults": {"store.get": 1, "worker.execute": 1},
     "jobs_tracked": 2,
+    "executor": {
+        "kind": "process",
+        "workers": 4,
+        "start_method": "fork",
+        "tasks_dispatched": 11,
+        "worker_respawns": 1,
+        "index_snapshots": 2,
+    },
 }
 
 
@@ -195,6 +207,22 @@ class TestRenderedValues:
             'repro_item_latency_by_priority_seconds'
             '{priority="batch",quantile="0.99"} 0.5'
         ) in full_text
+
+    def test_executor_block_renders_with_tier_labels(self, full_text):
+        assert (
+            'repro_executor_workers{kind="process",start_method="fork"} 4'
+        ) in full_text
+        assert "repro_executor_tasks_dispatched_total 11" in full_text
+        assert "repro_executor_worker_respawns_total 1" in full_text
+        assert "repro_executor_index_snapshots_total 2" in full_text
+
+    def test_thread_tier_omits_the_start_method_label(self):
+        from repro.service.process import thread_executor_block
+
+        snapshot = {**FULL_SNAPSHOT, "executor": thread_executor_block(4)}
+        text = render_prometheus(snapshot)
+        assert 'repro_executor_workers{kind="thread"} 4' in text
+        assert "start_method" not in text
 
     def test_fault_sites_become_labels(self, full_text):
         assert 'repro_fault_events_total{site="store.get"} 1' in full_text

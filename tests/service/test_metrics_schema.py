@@ -64,6 +64,7 @@ SERVICE_SNAPSHOT_KEYS = {
     "draining",
     "faults",
     "jobs_tracked",
+    "executor",
 }
 
 ADMISSION_KEYS = {
@@ -71,6 +72,17 @@ ADMISSION_KEYS = {
     "rate_burst",
     "max_queue_depth",
     "circuit_breaker",
+}
+
+#: The executor block is shape-identical across both execution tiers;
+#: the process-only counters read zero on the thread tier.
+EXECUTOR_KEYS = {
+    "kind",
+    "workers",
+    "start_method",
+    "tasks_dispatched",
+    "worker_respawns",
+    "index_snapshots",
 }
 
 
@@ -155,5 +167,43 @@ class TestServiceSnapshotSchema:
         service = ExplanationService(_StubEngine(), workers=1)
         try:
             assert service.metrics_snapshot()["admission"] is None
+        finally:
+            service.shutdown()
+
+    def test_executor_block_on_the_default_thread_tier(self):
+        service = ExplanationService(_StubEngine(), workers=3)
+        try:
+            block = service.metrics_snapshot()["executor"]
+            assert set(block) == EXECUTOR_KEYS
+            assert block == {
+                "kind": "thread",
+                "workers": 3,
+                "start_method": None,
+                "tasks_dispatched": 0,
+                "worker_respawns": 0,
+                "index_snapshots": 0,
+            }
+        finally:
+            service.shutdown()
+
+    def test_executor_block_on_the_process_tier(self):
+        service = ExplanationService(_StubEngine(), workers=2)
+        try:
+            service.configure_executor("process", workers=2)
+            block = service.metrics_snapshot()["executor"]
+            assert set(block) == EXECUTOR_KEYS
+            assert block["kind"] == "process"
+            assert block["workers"] == 2
+            assert block["start_method"] is not None
+        finally:
+            service.shutdown()
+
+    def test_switching_back_to_threads_restores_the_thread_block(self):
+        service = ExplanationService(_StubEngine(), workers=2)
+        try:
+            service.configure_executor("process")
+            service.configure_executor("thread")
+            assert service.metrics_snapshot()["executor"]["kind"] == "thread"
+            assert service.executor is None
         finally:
             service.shutdown()

@@ -1,0 +1,199 @@
+"""Chaos suite for the process tier: workers die mid-job, for real.
+
+``FaultPlan.kill_rate`` makes the pool SIGKILL the leased worker after
+the task is written to its pipe — the recv sees EOF, so every assertion
+below exercises the true death-detection path, not a simulation. The
+contract under test: a dead worker fails only the task it was leased
+for, siblings keep serving, the pool respawns the slot, and the breaker
+treats a dead process exactly like an in-process worker crash.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.core.engine import CredenceEngine, EngineConfig
+from repro.core.explain import ExplainRequest
+from repro.errors import CircuitOpenError
+from repro.service.admission import AdmissionController, CircuitBreaker
+from repro.service.faults import NO_FAULTS, FaultInjector, FaultPlan
+from repro.service.process import ProcessExecutor, WorkerProcessDied
+from repro.service.scheduler import ExplanationService
+from tests.core.test_search_equivalence import _corpus
+
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process-tier tests need the fork start method",
+)
+
+QUERY = "covid outbreak hospital"
+
+
+def _engine() -> CredenceEngine:
+    return CredenceEngine(_corpus(), EngineConfig(ranker="bm25", seed=5))
+
+
+def _request(engine: CredenceEngine) -> ExplainRequest:
+    return ExplainRequest(QUERY, engine.rank(QUERY, 5).doc_ids[0], k=5)
+
+
+@requires_fork
+class TestWorkerDeath:
+    def test_killed_worker_fails_only_its_lease(self):
+        engine = _engine()
+        faults = FaultInjector(FaultPlan(kill_rate=1.0))
+        executor = ProcessExecutor(engine, workers=2, faults=faults)
+        request = _request(engine)
+        try:
+            with pytest.raises(WorkerProcessDied, match="died mid-task"):
+                executor.explain(request)
+            assert faults.counts()["process/kill"] == 1
+
+            # The injector decided once; disarm it and the pool is whole:
+            # the dead slot was respawned, the sibling never noticed.
+            executor.set_faults(NO_FAULTS)
+            pool = executor._pool
+            assert pool.stats()["worker_respawns"] == 1
+            assert pool.stats()["live_workers"] == 2
+            for _ in range(4):
+                assert executor.explain(request).error is None
+            assert pool.stats()["worker_respawns"] == 1
+        finally:
+            executor.shutdown()
+
+    def test_respawned_worker_produces_identical_results(self):
+        engine = _engine()
+        faults = FaultInjector(FaultPlan(kill_rate=1.0))
+        executor = ProcessExecutor(engine, workers=1, faults=faults)
+        request = _request(engine)
+        try:
+            with pytest.raises(WorkerProcessDied):
+                executor.explain(request)
+            executor.set_faults(NO_FAULTS)
+            remote = executor.explain(request)
+        finally:
+            executor.shutdown()
+        local = _engine().explain(request).to_dict()
+        remote = remote.to_dict()
+        local.pop("elapsed_seconds"), remote.pop("elapsed_seconds")
+        assert remote == local
+
+
+@requires_fork
+class TestServiceDegradation:
+    """Through the full service: jobs degrade, metrics tell the truth."""
+
+    def _service(self, engine, kill_rate: float, breaker=None):
+        service = ExplanationService(
+            engine,
+            workers=1,
+            admission=(
+                AdmissionController(breaker=breaker) if breaker else None
+            ),
+            faults=FaultInjector(FaultPlan(kill_rate=kill_rate)),
+        )
+        service.configure_executor("process", workers=1)
+        return service
+
+    def test_job_fails_cleanly_with_the_death_envelope(self):
+        engine = _engine()
+        service = self._service(engine, kill_rate=1.0)
+        try:
+            job = service.submit([_request(engine)])
+            assert job.wait(timeout=60)
+            response = job.responses[0]
+            assert response.error is not None
+            assert response.error.startswith("WorkerProcessDied:")
+            assert "died mid-task" in response.error
+            snapshot = service.metrics_snapshot()
+            assert snapshot["counters"]["items_failed"] == 1
+            assert snapshot["counters"]["faults_injected"] == 1
+            assert snapshot["faults"] == {"process/kill": 1}
+            assert snapshot["executor"]["worker_respawns"] == 1
+        finally:
+            service.shutdown()
+
+    def test_sibling_items_survive_one_death(self):
+        engine = _engine()
+        service = self._service(engine, kill_rate=0.0)
+        # Distinct targets per phase: the result store would otherwise
+        # answer repeats without ever dispatching to a worker.
+        targets = engine.rank(QUERY, 5).doc_ids[:4]
+        requests = [ExplainRequest(QUERY, doc_id, k=5) for doc_id in targets]
+        try:
+            # Warm the pool, then arm a one-kill plan: the next dispatch
+            # dies, every dispatch after the disarm below succeeds.
+            assert service.run_batch([requests[0]])[0].error is None
+            service.faults = FaultInjector(FaultPlan(kill_rate=1.0))
+            service.executor.set_faults(service.faults)
+            job = service.submit([requests[1]])
+            assert job.wait(timeout=60)
+            assert job.responses[0].error is not None
+            service.faults = NO_FAULTS
+            service.executor.set_faults(NO_FAULTS)
+            survivors = service.run_batch(requests[1:])
+            assert [r.error for r in survivors] == [None, None, None]
+            assert service.metrics_snapshot()["executor"]["worker_respawns"] == 1
+        finally:
+            service.shutdown()
+
+    def test_breaker_semantics_match_the_thread_tier(self):
+        """A dead process is a sick service: it must feed the breaker
+        exactly like an in-process worker crash does."""
+
+        def trip(service: ExplanationService) -> None:
+            engine = service.engine
+            request = _request(engine)
+            for _ in range(2):
+                job = service.submit([request])
+                assert job.wait(timeout=60)
+                assert job.responses[0].error is not None
+            with pytest.raises(CircuitOpenError):
+                service.submit([request])
+
+        breaker_kwargs = dict(
+            failure_threshold=0.5, min_samples=2, cooldown_seconds=60.0
+        )
+        process_service = self._service(
+            _engine(), kill_rate=1.0, breaker=CircuitBreaker(**breaker_kwargs)
+        )
+        try:
+            trip(process_service)
+        finally:
+            process_service.shutdown()
+
+        thread_service = ExplanationService(
+            _engine(),
+            workers=1,
+            admission=AdmissionController(
+                breaker=CircuitBreaker(**breaker_kwargs)
+            ),
+            faults=FaultInjector(FaultPlan(crash_rate=1.0)),
+        )
+        try:
+            trip(thread_service)
+        finally:
+            thread_service.shutdown()
+
+    def test_remote_repro_errors_do_not_trip_the_breaker(self):
+        engine = _engine()
+        service = self._service(
+            engine,
+            kill_rate=0.0,
+            breaker=CircuitBreaker(
+                failure_threshold=0.5, min_samples=2, cooldown_seconds=60.0
+            ),
+        )
+        try:
+            bad = ExplainRequest(QUERY, "no-such-document", k=5)
+            responses = service.run_batch([bad, bad, bad])
+            assert all(r.error is not None for r in responses)
+            assert all(r.error.startswith("RankingError:") for r in responses)
+            # bad requests are not a sick worker: admission still open
+            job = service.submit([_request(engine)])
+            assert job.wait(timeout=60)
+            assert job.responses[0].error is None
+        finally:
+            service.shutdown()

@@ -78,6 +78,49 @@ def test_api_hub_documents_the_sharding_api():
         assert needle in hub, f"docs/API.md no longer documents {needle!r}"
 
 
+#: The execution-tier surface each document must keep describing.
+EXECUTION_TIER_NEEDLES = {
+    "docs/ARCHITECTURE.md": (
+        "Execution tiers",
+        "ProcessExecutor",
+        "ProcessWorkerPool",
+        "WorkerSpec",
+        "index_snapshots",
+        "WorkerProcessDied",
+    ),
+    "docs/api/service.md": (
+        "Execution tiers",
+        "configure_executor",
+        'executor="process"',
+        "ProcessExecutor",
+        "RemoteReproError",
+        "WorkerProcessDied",
+        "tasks_dispatched",
+        "BENCH_process_tier.json",
+    ),
+    "docs/api/cli.md": (
+        "--parallel",
+        "--executor",
+        "serve --executor process",
+    ),
+    "docs/api/rest.md": (
+        "`executor`",
+        "worker_respawns",
+        "index_snapshots",
+        "repro_executor_workers",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXECUTION_TIER_NEEDLES))
+def test_docs_cover_the_execution_tiers(name):
+    text = (REPO_ROOT / name).read_text(encoding="utf-8")
+    missing = [n for n in EXECUTION_TIER_NEEDLES[name] if n not in text]
+    assert not missing, (
+        f"{name} no longer documents the execution-tier surface: {missing}"
+    )
+
+
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#]+)(?:#[^)]*)?\)")
 
 
