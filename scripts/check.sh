@@ -89,6 +89,20 @@ echo "== smoke: tracing overhead benchmark (no-op path + on/off sweeps) =="
 OBS_SMOKE=1 python -m pytest -q benchmarks/bench_obs.py
 
 echo
+echo "== eval harness: fidelity invariants, scaled studies, streaming corpora =="
+python -m pytest -q tests/eval tests/datasets/test_stream.py \
+    tests/text/test_analyzer_properties.py \
+    tests/index/test_varint_properties.py
+
+echo
+echo "== smoke: large-eval benchmark (quality floors + tier equivalence) =="
+EVAL_SMOKE=1 python -m pytest -q benchmarks/bench_large_eval.py
+
+echo
+echo "== coverage floor: eval + datasets layers (ratcheted) =="
+python scripts/coverage_floor.py
+
+echo
 echo "== docs: doc-sync guard + quickstart smoke on a tiny corpus =="
 python -m pytest -q tests/test_doc_sync.py
 QUICKSTART_RANKER=bm25 QUICKSTART_FILLER=12 \

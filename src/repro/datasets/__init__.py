@@ -13,9 +13,23 @@ from repro.datasets.covid import (
 )
 from repro.datasets.loaders import load_jsonl, save_jsonl
 from repro.datasets.queries import sample_queries
+from repro.datasets.stream import (
+    IngestReport,
+    ZipfianVocabulary,
+    load_trec_covid,
+    sample_stream_queries,
+    stream_corpus,
+    stream_ingest,
+)
 from repro.datasets.synthetic import TopicSpec, synthetic_corpus
 
 __all__ = [
+    "IngestReport",
+    "ZipfianVocabulary",
+    "load_trec_covid",
+    "sample_stream_queries",
+    "stream_corpus",
+    "stream_ingest",
     "FAKE_NEWS_DOC_ID",
     "NEAR_COPY_DOC_ID",
     "covid_corpus",

@@ -7,7 +7,26 @@ from repro.eval.cf_metrics import (
     minimality_violations,
     validity_rate,
 )
+from repro.eval.fidelity import FidelityCheck, fidelity_rate, recheck_explanation
+from repro.eval.harness import (
+    StudyFailure,
+    StudyInstance,
+    StudyResult,
+    rankable_instances,
+    run_document_cf_study,
+    run_query_cf_study,
+    study_table,
+)
 from repro.eval.plausibility import CorpusLanguageModel
+from repro.eval.scaled import (
+    CellResult,
+    QualityFloors,
+    StudyReport,
+    StudySpec,
+    build_study_engines,
+    run_cell,
+    run_scaled_study,
+)
 from repro.eval.ranking_metrics import (
     average_precision,
     kendall_tau,
@@ -21,6 +40,23 @@ from repro.eval.reporting import Table, format_table
 __all__ = [
     "CorpusLanguageModel",
     "CounterfactualStats",
+    "FidelityCheck",
+    "fidelity_rate",
+    "recheck_explanation",
+    "StudyFailure",
+    "StudyInstance",
+    "StudyResult",
+    "rankable_instances",
+    "run_document_cf_study",
+    "run_query_cf_study",
+    "study_table",
+    "CellResult",
+    "QualityFloors",
+    "StudyReport",
+    "StudySpec",
+    "build_study_engines",
+    "run_cell",
+    "run_scaled_study",
     "explanation_cost",
     "minimality_violations",
     "validity_rate",

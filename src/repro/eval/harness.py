@@ -3,8 +3,8 @@
 The demo explains one document at a time; for quantitative evaluation
 (and the ablation benchmarks) we sweep an explainer over many (query,
 document) instances and aggregate success rate, explanation size, and
-search cost. This is the scaffolding a full paper evaluation would use
-on LETOR/MS MARCO-scale data.
+search cost. This is the scaffolding the scaled study runner
+(:mod:`repro.eval.scaled`) builds on for the large-corpus evaluation.
 """
 
 from __future__ import annotations
@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.engine import CredenceEngine
+from repro.core.explain import ExplainRequest
 from repro.core.types import ExplanationSet
 from repro.errors import RankingError
 from repro.eval.cf_metrics import CounterfactualStats, summarize_runs
@@ -29,14 +30,47 @@ class StudyInstance:
     doc_id: str
 
 
+@dataclass(frozen=True)
+class StudyFailure:
+    """One per-instance failure, attributed to its (query, doc_id).
+
+    Studies used to count failures in an opaque integer, which made a
+    failing cell undiagnosable: *which* instances failed, and why? Every
+    failure now records the instance it struck and the error text, and
+    the aggregate ``errors`` count is derived from these records.
+    """
+
+    query: str
+    doc_id: str
+    error: str
+
+    def to_dict(self) -> dict:
+        return {"query": self.query, "doc_id": self.doc_id, "error": self.error}
+
+
 @dataclass
 class StudyResult:
     """Aggregated outcome of one explainer study."""
 
     name: str
     runs: list[ExplanationSet] = field(default_factory=list)
-    errors: int = 0
+    failures: list[StudyFailure] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+
+    @property
+    def errors(self) -> int:
+        """Number of failed instances (see :attr:`failures` for which)."""
+        return len(self.failures)
+
+    def record_failure(self, instance: StudyInstance, error: Exception) -> None:
+        """Attribute ``error`` to the instance that raised it."""
+        self.failures.append(
+            StudyFailure(
+                query=instance.query,
+                doc_id=instance.doc_id,
+                error=f"{type(error).__name__}: {error}",
+            )
+        )
 
     @property
     def stats(self) -> CounterfactualStats:
@@ -90,12 +124,18 @@ def run_document_cf_study(
     for instance in instances:
         try:
             with watch.measure():
-                run = engine.explain_document(
-                    instance.query, instance.doc_id, n=n, k=k
-                )
+                run = engine.explain(
+                    ExplainRequest(
+                        instance.query,
+                        instance.doc_id,
+                        strategy="document/sentence-removal",
+                        n=n,
+                        k=k,
+                    )
+                ).result
             result.runs.append(run)
-        except RankingError:
-            result.errors += 1
+        except RankingError as error:
+            result.record_failure(instance, error)
     result.elapsed_seconds = watch.elapsed
     return result
 
@@ -115,12 +155,19 @@ def run_query_cf_study(
     for instance in instances:
         try:
             with watch.measure():
-                run = engine.explain_query(
-                    instance.query, instance.doc_id, n=n, k=k, threshold=threshold
-                )
+                run = engine.explain(
+                    ExplainRequest(
+                        instance.query,
+                        instance.doc_id,
+                        strategy="query/augmentation",
+                        n=n,
+                        k=k,
+                        threshold=threshold,
+                    )
+                ).result
             result.runs.append(run)
-        except RankingError:
-            result.errors += 1
+        except RankingError as error:
+            result.record_failure(instance, error)
     result.elapsed_seconds = watch.elapsed
     return result
 

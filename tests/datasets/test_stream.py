@@ -1,0 +1,210 @@
+"""Tests for the streaming corpus generator, loader, and bulk ingest."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.datasets.stream import (
+    COVID_SEED_TERMS,
+    IngestReport,
+    TREC_COVID_ENV,
+    ZipfianVocabulary,
+    load_trec_covid,
+    sample_stream_queries,
+    stream_corpus,
+    stream_ingest,
+)
+from repro.index.inverted import InvertedIndex
+from repro.index.sharding import ShardedIndex
+from repro.text.analyzer import default_analyzer
+
+
+class TestZipfianVocabulary:
+    def test_build_produces_unique_terms(self):
+        vocab = ZipfianVocabulary.build(500)
+        assert len(vocab) == 500
+        assert len(set(vocab.terms)) == 500
+
+    def test_head_terms_occupy_top_ranks(self):
+        vocab = ZipfianVocabulary.build(100, head_terms=("virus", "vaccine"))
+        assert vocab.terms[0] == "virus"
+        assert vocab.terms[1] == "vaccine"
+        assert len(set(vocab.terms)) == 100
+
+    def test_pseudo_words_survive_stemming(self):
+        # The Zipf curve is only meaningful if the analyzer does not
+        # merge distinct vocabulary ranks; the syllable alphabet avoids
+        # every Porter suffix pattern.
+        analyzer = default_analyzer()
+        vocab = ZipfianVocabulary.build(2000)
+        for term in vocab.terms[COVID_SEED_TERMS.__len__():][:500]:
+            assert analyzer.analyze(term) == [term]
+
+    def test_sampling_is_zipf_shaped(self):
+        import numpy as np
+
+        vocab = ZipfianVocabulary.build(1000, exponent=1.1)
+        rng = np.random.default_rng(3)
+        ranks = vocab.sample_indices(rng, 200_000)
+        counts = np.bincount(ranks, minlength=len(vocab))
+        assert counts[0] > counts[10] > counts[100] > counts[900]
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(Exception):
+            ZipfianVocabulary.build(0)
+
+
+class TestStreamCorpus:
+    def test_deterministic_for_seed(self):
+        first = list(stream_corpus(50, seed=9, vocabulary_size=300))
+        second = list(stream_corpus(50, seed=9, vocabulary_size=300))
+        assert [d.doc_id for d in first] == [d.doc_id for d in second]
+        assert [d.body for d in first] == [d.body for d in second]
+
+    def test_different_seeds_differ(self):
+        first = list(stream_corpus(20, seed=1, vocabulary_size=300))
+        second = list(stream_corpus(20, seed=2, vocabulary_size=300))
+        assert [d.body for d in first] != [d.body for d in second]
+
+    def test_prefix_independent_of_consumer_chunking(self):
+        # Taking 10 then 10 more must see the same documents as taking
+        # 20 at once: the stream's rng advances in fixed internal
+        # batches, never per consumer read.
+        stream = stream_corpus(3000, seed=4, vocabulary_size=300)
+        head = list(itertools.islice(stream, 1500))
+        tail = list(itertools.islice(stream, 1500))
+        whole = list(stream_corpus(3000, seed=4, vocabulary_size=300))
+        assert [d.body for d in head + tail] == [d.body for d in whole]
+
+    def test_doc_ids_are_unique_and_ordered(self):
+        docs = list(stream_corpus(30, seed=0, vocabulary_size=300))
+        ids = [d.doc_id for d in docs]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 30
+        assert ids[0] == "zipf-0000000"
+
+    def test_priors_attached_when_requested(self):
+        docs = list(
+            stream_corpus(10, seed=0, vocabulary_size=300, with_priors=True)
+        )
+        for doc in docs:
+            for key in ("popularity", "freshness", "authority"):
+                assert 0.0 <= doc.metadata[key] <= 1.0
+
+    def test_no_priors_by_default(self):
+        (doc,) = stream_corpus(1, seed=0, vocabulary_size=300)
+        assert "popularity" not in doc.metadata
+
+    def test_bodies_index_cleanly(self):
+        docs = list(stream_corpus(40, seed=5, vocabulary_size=300))
+        index = InvertedIndex.from_documents(docs)
+        assert len(index) == 40
+        assert index.stats().unique_terms > 50
+
+
+class TestSampleStreamQueries:
+    def test_deterministic_and_in_band(self):
+        vocab = ZipfianVocabulary.build(4000)
+        first = sample_stream_queries(8, vocabulary=vocab, seed=2)
+        second = sample_stream_queries(8, vocabulary=vocab, seed=2)
+        assert first == second
+        band = set(vocab.terms[32:2049])
+        for query in first:
+            assert query
+            assert all(term in band for term in query.split())
+
+    def test_band_clamped_to_vocabulary(self):
+        vocab = ZipfianVocabulary.build(200)
+        queries = sample_stream_queries(3, vocabulary=vocab, seed=0)
+        assert len(queries) == 3
+
+
+class TestLoadTrecCovid:
+    def test_fallback_stream_is_covid_flavoured(self, monkeypatch):
+        monkeypatch.delenv(TREC_COVID_ENV, raising=False)
+        docs = list(load_trec_covid(limit=30))
+        assert len(docs) == 30
+        corpus_text = " ".join(d.body for d in docs).lower()
+        assert any(term in corpus_text for term in COVID_SEED_TERMS)
+
+    def test_missing_explicit_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(load_trec_covid(tmp_path / "absent.csv", limit=5))
+
+    def test_csv_dump_streams_and_dedupes(self, tmp_path):
+        dump = tmp_path / "metadata.csv"
+        dump.write_text(
+            "cord_uid,title,abstract\n"
+            "a1,First,Covid vaccine trial results.\n"
+            "a2,Empty,\n"
+            "a1,Duplicate,Should be skipped.\n"
+            "a3,Third,Hospital capacity study.\n",
+            encoding="utf-8",
+        )
+        docs = list(load_trec_covid(dump))
+        assert [d.doc_id for d in docs] == ["a1", "a3"]
+        assert docs[0].metadata["source"] == "trec-covid"
+
+    def test_jsonl_dump_with_limit(self, tmp_path):
+        dump = tmp_path / "corpus.jsonl"
+        records = [
+            {"doc_id": f"j{i}", "title": f"t{i}", "abstract": f"body {i}"}
+            for i in range(5)
+        ]
+        dump.write_text(
+            "\n".join(json.dumps(r) for r in records), encoding="utf-8"
+        )
+        docs = list(load_trec_covid(dump, limit=3))
+        assert [d.doc_id for d in docs] == ["j0", "j1", "j2"]
+
+    def test_env_variable_names_dump(self, tmp_path, monkeypatch):
+        dump = tmp_path / "corpus.jsonl"
+        dump.write_text(
+            json.dumps({"doc_id": "e1", "abstract": "env sourced"}),
+            encoding="utf-8",
+        )
+        monkeypatch.setenv(TREC_COVID_ENV, str(dump))
+        docs = list(load_trec_covid())
+        assert [d.doc_id for d in docs] == ["e1"]
+
+
+class TestStreamIngest:
+    def test_chunked_ingest_matches_direct_build(self):
+        docs = list(stream_corpus(120, seed=6, vocabulary_size=300))
+        direct = InvertedIndex.from_documents(docs)
+        streamed = InvertedIndex()
+        report = stream_ingest(
+            streamed, stream_corpus(120, seed=6, vocabulary_size=300),
+            chunk_size=50,
+        )
+        assert isinstance(report, IngestReport)
+        assert report.documents == 120
+        assert report.chunks == 3
+        assert len(streamed) == len(direct)
+        assert streamed.stats().total_terms == direct.stats().total_terms
+
+    def test_sharded_ingest_and_report_fields(self):
+        index = ShardedIndex(shard_count=2)
+        progress_counts = []
+        report = stream_ingest(
+            index,
+            stream_corpus(80, seed=6, vocabulary_size=300),
+            chunk_size=32,
+            progress=lambda count, _: progress_counts.append(count),
+        )
+        assert len(index) == 80
+        assert progress_counts == [32, 64, 80]
+        assert report.docs_per_second > 0
+        # ru_maxrss and VmRSS round independently; allow 1 MiB of jitter.
+        assert report.rss_before_mb >= 0
+        assert report.peak_rss_mb >= report.rss_before_mb - 1.0
+        payload = report.to_dict()
+        assert payload["documents"] == 80
+        assert payload["chunk_size"] == 32
+
+    def test_duplicate_ids_fail_before_mutating_later_chunks(self):
+        index = InvertedIndex()
+        docs = list(stream_corpus(10, seed=6, vocabulary_size=300))
+        with pytest.raises(ValueError):
+            stream_ingest(index, docs + docs[:1], chunk_size=100)

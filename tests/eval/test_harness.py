@@ -2,10 +2,12 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RankingError
 from repro.eval.harness import (
     STUDY_HEADERS,
+    StudyFailure,
     StudyInstance,
+    StudyResult,
     rankable_instances,
     run_document_cf_study,
     run_query_cf_study,
@@ -47,6 +49,39 @@ class TestStudies:
     def test_empty_instances_rejected(self, bm25_engine):
         with pytest.raises(ConfigurationError):
             run_document_cf_study(bm25_engine, [])
+
+    def test_failures_attribute_the_failing_instance(self, bm25_engine):
+        # A document outside the top-k raises RankingError; the study
+        # must record *which* (query, doc_id) failed, not just a count.
+        bad = StudyInstance("covid outbreak", "d4")  # finance doc: not ranked
+        good = rankable_instances(bm25_engine, ["covid outbreak"], k=5)[:1]
+        result = run_document_cf_study(bm25_engine, good + [bad], k=3)
+        assert result.errors == len(result.failures)
+        assert result.failures, "expected the out-of-top-k instance to fail"
+        failure = result.failures[-1]
+        assert failure.query == "covid outbreak"
+        assert failure.doc_id == "d4"
+        assert "RankingError" in failure.error
+        assert failure.to_dict() == {
+            "query": failure.query,
+            "doc_id": failure.doc_id,
+            "error": failure.error,
+        }
+
+    def test_query_study_failures_are_attributed_too(self, bm25_engine):
+        bad = StudyInstance("covid outbreak", "d4")
+        result = run_query_cf_study(bm25_engine, [bad], k=3, threshold=1)
+        assert [f.doc_id for f in result.failures] == ["d4"]
+
+    def test_record_failure_formats_error(self):
+        result = StudyResult(name="unit")
+        result.record_failure(
+            StudyInstance("q", "doc-9"), RankingError("not in top-k")
+        )
+        assert result.errors == 1
+        assert result.failures == [
+            StudyFailure("q", "doc-9", "RankingError: not in top-k")
+        ]
 
     def test_study_table_renders(self, bm25_engine, instances):
         results = [

@@ -1,0 +1,103 @@
+"""Property-based round-trip invariants for the v3 integer codecs.
+
+The example-based persist suites pin known values; these generate
+arbitrary integers and strictly-increasing sequences (hypothesis when
+installed, seeded random otherwise) and assert the invariants the packed
+format actually relies on: decode(encode(x)) == x, offsets advance
+exactly over the consumed bytes, and concatenated encodings decode
+independently.
+"""
+
+import pytest
+
+from property_support import given, increasing_ints, integers
+from repro.errors import IndexFormatError
+from repro.index.persist.varint import (
+    read_deltas,
+    read_uvarint,
+    write_deltas,
+    write_uvarint,
+)
+
+
+class TestUvarintRoundTrip:
+    @given(value=integers(min_value=0, max_value=2**63 - 1))
+    def test_round_trip(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, offset = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    @given(value=integers(min_value=0, max_value=2**63 - 1))
+    def test_encoding_length_matches_bit_width(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        expected = max(1, -(-value.bit_length() // 7))  # ceil(bits / 7)
+        assert len(out) == expected
+
+    @given(
+        first=integers(min_value=0, max_value=2**48),
+        second=integers(min_value=0, max_value=2**48),
+    )
+    def test_concatenated_values_decode_independently(self, first, second):
+        out = bytearray()
+        write_uvarint(out, first)
+        write_uvarint(out, second)
+        buffer = bytes(out)
+        decoded_first, offset = read_uvarint(buffer, 0)
+        decoded_second, end = read_uvarint(buffer, offset)
+        assert (decoded_first, decoded_second) == (first, second)
+        assert end == len(buffer)
+
+    @given(value=integers(min_value=0, max_value=2**63 - 1))
+    def test_truncated_buffer_raises(self, value):
+        # Dropping the terminator byte must never decode silently: either
+        # the buffer ends mid-integer or it is empty — both are format
+        # errors, whatever the value.
+        out = bytearray()
+        write_uvarint(out, value)
+        with pytest.raises(IndexFormatError):
+            read_uvarint(bytes(out[:-1]), 0)
+
+    @given(value=integers(min_value=0, max_value=2**63 - 1))
+    def test_decode_from_memoryview(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, _ = read_uvarint(memoryview(bytes(out)), 0)
+        assert decoded == value
+
+
+class TestDeltaRoundTrip:
+    @given(values=increasing_ints(min_size=1, max_size=64))
+    def test_round_trip(self, values):
+        out = bytearray()
+        write_deltas(out, values)
+        decoded, offset = read_deltas(bytes(out), 0, len(values))
+        assert decoded == values
+        assert offset == len(out)
+
+    @given(values=increasing_ints(min_size=2, max_size=48))
+    def test_gap_encoding_is_compact(self, values):
+        # The whole point of delta coding: encoded size tracks the gaps,
+        # not the absolute magnitudes of the tail values.
+        out = bytearray()
+        write_deltas(out, values)
+        absolute = bytearray()
+        for value in values:
+            write_uvarint(absolute, value)
+        assert len(out) <= len(absolute)
+
+    @given(values=increasing_ints(min_size=2, max_size=32))
+    def test_non_increasing_rejected(self, values):
+        broken = [values[0], values[0], *values[1:]]
+        with pytest.raises(ValueError):
+            write_deltas(bytearray(), broken)
+
+    def test_empty_sequence_round_trips(self):
+        out = bytearray()
+        write_deltas(out, [])
+        assert out == bytearray()
+        decoded, offset = read_deltas(b"", 0, 0)
+        assert decoded == []
+        assert offset == 0

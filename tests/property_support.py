@@ -1,0 +1,143 @@
+"""Property-testing support: hypothesis when installed, a seeded-random
+fallback otherwise.
+
+The property suites (analyzer/tokenizer round-trips, varint codecs) want
+hypothesis's shrinking and edge-case generation, but the project must
+not *require* the dependency. This module exposes a tiny uniform
+surface:
+
+* ``given(name=strategy, ...)`` — decorator running the test once per
+  generated example;
+* ``integers(min_value, max_value)`` / ``increasing_ints(...)`` /
+  ``text(...)`` — the three strategy shapes the suites need.
+
+With hypothesis installed these delegate to the real library (so CI gets
+shrinking and its corpus of known-nasty unicode); without it, a
+deterministic seeded ``random.Random`` drives the same invariants over a
+fixed number of examples — weaker generation, identical assertions.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import random
+
+MAX_EXAMPLES = 120
+
+try:  # pragma: no cover - exercised implicitly by the property suites
+    from hypothesis import HealthCheck, given as _hypothesis_given, settings
+    from hypothesis import strategies as _st
+
+    HAVE_HYPOTHESIS = True
+
+    def given(**strategies):
+        def decorate(test):
+            return settings(
+                max_examples=MAX_EXAMPLES,
+                deadline=None,
+                suppress_health_check=[HealthCheck.too_slow],
+            )(_hypothesis_given(**strategies)(test))
+
+        return decorate
+
+    def integers(min_value: int = 0, max_value: int = 2**63 - 1):
+        return _st.integers(min_value=min_value, max_value=max_value)
+
+    def increasing_ints(
+        min_size: int = 0,
+        max_size: int = 64,
+        max_start: int = 2**40,
+        max_gap: int = 2**20,
+    ):
+        return _st.tuples(
+            _st.integers(min_value=0, max_value=max_start),
+            _st.lists(
+                _st.integers(min_value=1, max_value=max_gap),
+                min_size=max(0, min_size - 1),
+                max_size=max(0, max_size - 1),
+            ),
+        ).map(lambda pair: _accumulate(pair[0], pair[1], min_size))
+
+    def text(max_size: int = 200):
+        return _st.text(max_size=max_size)
+
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+    class _Strategy:
+        def __init__(self, draw):
+            self.draw = draw
+
+    def given(**strategies):
+        def decorate(test):
+            @functools.wraps(test)
+            def run(*args, **kwargs):
+                rng = random.Random(0xC0FFEE)
+                for _ in range(MAX_EXAMPLES):
+                    drawn = {
+                        name: strategy.draw(rng)
+                        for name, strategy in strategies.items()
+                    }
+                    test(*args, **kwargs, **drawn)
+
+            # Hide the drawn parameters from pytest's fixture resolution:
+            # wraps() exposes the original signature via __wrapped__, and
+            # pytest would otherwise demand a fixture per strategy name.
+            del run.__wrapped__
+            signature = inspect.signature(test)
+            run.__signature__ = signature.replace(
+                parameters=[
+                    parameter
+                    for name, parameter in signature.parameters.items()
+                    if name not in strategies
+                ]
+            )
+            return run
+
+        return decorate
+
+    def integers(min_value: int = 0, max_value: int = 2**63 - 1):
+        return _Strategy(lambda rng: rng.randint(min_value, max_value))
+
+    def increasing_ints(
+        min_size: int = 0,
+        max_size: int = 64,
+        max_start: int = 2**40,
+        max_gap: int = 2**20,
+    ):
+        def draw(rng):
+            size = rng.randint(max(1, min_size), max_size)
+            start = rng.randint(0, max_start)
+            gaps = [rng.randint(1, max_gap) for _ in range(size - 1)]
+            return _accumulate(start, gaps, min_size)
+
+        return _Strategy(draw)
+
+    _CODEPOINT_BANDS = (
+        (0x20, 0x7E),  # printable ASCII
+        (0xA0, 0x2FF),  # Latin supplements (café, naïve)
+        (0x370, 0x3FF),  # Greek
+        (0x4E00, 0x4FFF),  # a CJK slice
+        (0x1F300, 0x1F5FF),  # emoji (astral plane: surrogate handling)
+    )
+
+    def text(max_size: int = 200):
+        def draw(rng):
+            size = rng.randint(0, max_size)
+            chars = []
+            for _ in range(size):
+                low, high = rng.choice(_CODEPOINT_BANDS)
+                chars.append(chr(rng.randint(low, high)))
+            return "".join(chars)
+
+        return _Strategy(draw)
+
+
+def _accumulate(start: int, gaps: list[int], min_size: int) -> list[int]:
+    values = [start]
+    for gap in gaps:
+        values.append(values[-1] + gap)
+    while len(values) < min_size:  # pad to the floor, still increasing
+        values.append(values[-1] + 1)
+    return values

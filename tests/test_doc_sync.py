@@ -36,6 +36,7 @@ REQUIRED_DOCS = (
     "docs/api/rest.md",
     "docs/api/cli.md",
     "docs/api/observability.md",
+    "docs/api/eval.md",
 )
 
 
@@ -118,6 +119,42 @@ def test_docs_cover_the_execution_tiers(name):
     missing = [n for n in EXECUTION_TIER_NEEDLES[name] if n not in text]
     assert not missing, (
         f"{name} no longer documents the execution-tier surface: {missing}"
+    )
+
+
+#: The evaluation-harness surface each document must keep describing.
+EVAL_NEEDLES = {
+    "docs/api/eval.md": (
+        "StudySpec",
+        "run_scaled_study",
+        "QualityFloors",
+        "recheck_explanation",
+        "stream_corpus",
+        "stream_ingest",
+        "load_trec_covid",
+        "EVAL_SMOKE=1",
+        "BENCH_large_eval.json",
+        "canonical_json",
+    ),
+    "docs/API.md": (
+        "api/eval.md",
+        "run_scaled_study",
+    ),
+    "docs/COOKBOOK.md": (
+        "StudySpec",
+        "run_scaled_study",
+        "stream_corpus",
+        "EVAL_SMOKE=1",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EVAL_NEEDLES))
+def test_docs_cover_the_eval_harness(name):
+    text = (REPO_ROOT / name).read_text(encoding="utf-8")
+    missing = [n for n in EVAL_NEEDLES[name] if n not in text]
+    assert not missing, (
+        f"{name} no longer documents the evaluation harness: {missing}"
     )
 
 
